@@ -1,0 +1,30 @@
+# Convenience targets for the Polite WiFi reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench demo examples clean
+
+install:
+	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/ -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
+
+demo:
+	$(PYTHON) -m repro probe
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/deauth_wont_help.py
+	$(PYTHON) examples/battery_drain_attack.py
+	$(PYTHON) examples/breathing_monitor.py
+	$(PYTHON) examples/locate_through_walls.py
+	$(PYTHON) examples/keystroke_sniffer.py
+	$(PYTHON) examples/wardrive_survey.py
+
+clean:
+	rm -rf .pytest_cache .hypothesis benchmarks/results
+	find . -name __pycache__ -type d -exec rm -rf {} +

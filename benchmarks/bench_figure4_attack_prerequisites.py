@@ -1,0 +1,98 @@
+"""Figure 4 — existing keystroke attacks vs the Polite WiFi attack.
+
+Paper: WindTalker-style attacks (Figure 4a) need the victim to join the
+attacker's rogue AP (or the attacker to own the network key); Polite WiFi
+(Figure 4b) needs neither — it works even when the victim is connected to
+its own WPA2 network, and even when it is connected to nothing at all.
+
+We run both attacks against the same victim under three conditions and
+tabulate who succeeds.
+"""
+
+import numpy as np
+
+from repro.analysis.tables import render_table
+from repro.baselines.windtalker import RogueApAttack
+from repro.core.probe import PoliteWiFiProbe
+from repro.devices.access_point import AccessPoint
+from repro.devices.dongle import MonitorDongle
+from repro.devices.station import Station
+from repro.mac.addresses import MacAddress
+from repro.sim.engine import Engine
+from repro.sim.medium import Medium
+from repro.sim.world import Position
+
+from benchmarks.conftest import once
+
+
+def _scenario(condition, seed):
+    engine = Engine()
+    medium = Medium(engine)
+    rng = np.random.default_rng(seed)
+    rogue = AccessPoint(
+        mac=MacAddress("0c:00:1e:00:00:09"),
+        medium=medium, position=Position(0, 0), rng=rng,
+        ssid="Free WiFi", passphrase=None,
+    )
+    victim = Station(
+        mac=MacAddress("f2:6e:0b:11:22:33"),
+        medium=medium, position=Position(4, 0), rng=rng,
+    )
+    if condition == "on own WPA2 network":
+        home = AccessPoint(
+            mac=MacAddress("0c:00:1e:00:00:08"),
+            medium=medium, position=Position(8, 0), rng=rng,
+            ssid="HomeNet", passphrase="private key material",
+        )
+        victim.connect(home.mac, "HomeNet", "private key material")
+        engine.run_until(1.0)
+
+    lured = condition == "lured to rogue AP"
+    windtalker = RogueApAttack(rogue, engine, request_rate_pps=50.0)
+    baseline = windtalker.run(victim, duration_s=3.0, victim_lured=lured)
+
+    attacker = MonitorDongle(
+        mac=MacAddress("02:dd:00:00:00:04"),
+        medium=medium, position=Position(6, 2), rng=rng,
+    )
+    polite = PoliteWiFiProbe(attacker).probe(victim.mac)
+    return baseline, polite
+
+
+def _run_figure4():
+    conditions = [
+        "lured to rogue AP",
+        "on own WPA2 network",
+        "not connected to any network",
+    ]
+    return [
+        (condition, *_scenario(condition, seed=10 + index))
+        for index, condition in enumerate(conditions)
+    ]
+
+
+def test_figure4_attack_prerequisites(benchmark, report):
+    results = once(benchmark, _run_figure4)
+
+    by_condition = {condition: (baseline, polite) for condition, baseline, polite in results}
+
+    # WindTalker works only under the lure; Polite WiFi works always.
+    assert by_condition["lured to rogue AP"][0].succeeded
+    assert not by_condition["on own WPA2 network"][0].succeeded
+    assert not by_condition["not connected to any network"][0].succeeded
+    for condition, (baseline, polite) in by_condition.items():
+        assert polite.responded, f"Polite WiFi failed under: {condition}"
+
+    table = render_table(
+        ["victim condition", "WindTalker (rogue AP)", "Polite WiFi"],
+        [
+            (
+                condition,
+                "succeeds" if baseline.succeeded else f"fails ({baseline.outcome.value})",
+                "succeeds" if polite.responded else "fails",
+            )
+            for condition, baseline, polite in results
+        ],
+        title="Figure 4 — attack prerequisites: rogue-AP baseline vs Polite WiFi",
+    )
+    report("figure4_attack_prerequisites", table)

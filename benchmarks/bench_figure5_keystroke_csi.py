@@ -1,0 +1,177 @@
+"""Figure 5 — CSI amplitude of ACKs during ground/pickup/hold/typing.
+
+Paper: the attacker (an ESP32 in another room, 150 fake frames/s, no
+network access, no keys) measures the CSI of the victim tablet's ACKs on
+subcarrier 17.  On the ground the amplitude is "very stable"; picking the
+tablet up causes "large fluctuations"; holding and typing produce "very
+distinct" patterns.
+
+We regenerate the 32-second series through the physical multipath model
+with a human-motion scatterer, assert those shape claims, and additionally
+run the sensing pipeline: activity windows classified against ground truth.
+"""
+
+import numpy as np
+
+from repro.analysis.figures import FigureSeries, ascii_plot
+from repro.analysis.tables import render_table
+from repro.channel.csi import CsiChannelModel, MultipathChannel
+from repro.channel.noise import CsiMeasurementNoise
+from repro.channel.motion import (
+    HoldMotion,
+    PickupMotion,
+    ScheduledMotion,
+    StillMotion,
+    TypingMotion,
+)
+from repro.core.keystroke import KeystrokeInferenceAttack
+from repro.devices.esp import Esp32CsiSniffer
+from repro.devices.station import Station
+from repro.mac.addresses import ATTACKER_FAKE_MAC, MacAddress
+from repro.sensing.keystroke_classifier import ActivityClassifier
+from repro.sim.engine import Engine
+from repro.sim.medium import Medium
+from repro.sim.world import Position
+
+from benchmarks.conftest import once
+
+
+def _build(motion, seed):
+    engine = Engine()
+    # Realistic measurement noise: ~35 dB CSI estimation SNR with 8-bit
+    # I/Q quantization (ESP32-class export).  Keeps the ground phase
+    # "very stable" but not identically zero.
+    noise = CsiMeasurementNoise(
+        snr_db=35.0, rng=np.random.default_rng(seed + 5000)
+    )
+    csi_model = CsiChannelModel(noise=noise)
+    medium = Medium(engine, csi_model=csi_model)
+    rng = np.random.default_rng(seed)
+    victim = Station(
+        mac=MacAddress("f2:6e:0b:11:22:33"),
+        medium=medium, position=Position(0, 0, 1), rng=rng,
+    )
+    esp = Esp32CsiSniffer(
+        mac=MacAddress("02:e5:93:20:00:01"),
+        medium=medium, position=Position(8, 3, 1), rng=rng,
+        expected_ack_ra=ATTACKER_FAKE_MAC,
+    )
+    csi_model.register_link(
+        str(victim.mac), str(esp.mac),
+        MultipathChannel(
+            Position(0, 0, 1), Position(8, 3, 1),
+            np.random.default_rng(seed + 100), motion=motion,
+        ),
+    )
+    return KeystrokeInferenceAttack(esp, victim.mac)
+
+
+def _figure5_timeline(rng):
+    typing = TypingMotion(rng, start=22.0, duration=10.0)
+    timeline = ScheduledMotion([
+        (0.0, 9.0, "still", StillMotion()),
+        (9.0, 12.0, "pickup", PickupMotion(start=9.0, duration=3.0)),
+        (12.0, 22.0, "hold", HoldMotion(rng)),
+        (22.0, 32.0, "typing", typing),
+    ])
+    timeline.typing_truth = typing.keystroke_times  # ground truth for timing
+    return timeline
+
+
+def _train_classifier():
+    rng = np.random.default_rng(33)
+    calibration = _figure5_timeline(rng)
+    attack = _build(calibration, seed=900)
+    recording = attack.run(duration_s=32.0)
+    samples = KeystrokeInferenceAttack.training_windows(
+        recording.series, calibration
+    )
+    return ActivityClassifier().fit(samples)
+
+
+def _run_figure5():
+    classifier = _train_classifier()
+    timeline = _figure5_timeline(np.random.default_rng(7))
+    attack = _build(timeline, seed=7)
+    result = attack.run(duration_s=32.0)
+    KeystrokeInferenceAttack.analyze(result, classifier)
+    return timeline, result
+
+
+def test_figure5_keystroke_csi(benchmark, report):
+    timeline, result = once(benchmark, _run_figure5)
+
+    # Measurement integrity: 150 fps sustained, high ACK yield.
+    assert result.frames_injected > 4500
+    assert result.ack_yield > 0.9
+    series = result.series
+
+    def sigma(lo, hi):
+        return float(np.std(series.slice(lo, hi).amplitudes))
+
+    still, pickup, hold = sigma(1, 8.5), sigma(9, 12), sigma(13, 21.5)
+    # The paper's shape claims.
+    assert pickup > 10 * max(still, 1e-9), "pickup must dominate"
+    assert hold > 3 * max(still, 1e-9), "holding visibly noisier than ground"
+    assert pickup > hold
+
+    # Sensing pipeline: classified windows match ground truth well away
+    # from phase transitions.
+    scored = [
+        (label.value == timeline.label_at((start + end) / 2.0))
+        for start, end, label in result.window_labels
+    ]
+    accuracy = sum(scored) / len(scored)
+    assert accuracy > 0.6, f"window accuracy {accuracy:.2f}"
+
+    # Beyond the paper's "beyond scope" remark: recover individual
+    # keystroke *instants* from the typing phase (timing leaks PINs).
+    from repro.sensing.keystroke_timing import (
+        KeystrokeTimingExtractor,
+        match_keystrokes,
+    )
+
+    detection = KeystrokeTimingExtractor().detect(series.slice(22.0, 32.0))
+    hits, misses, false_alarms = match_keystrokes(
+        detection.times, timeline.typing_truth, tolerance_s=0.06
+    )
+    recall = len(hits) / max(len(timeline.typing_truth), 1)
+    assert recall >= 0.9, f"keystroke recall {recall:.2f}"
+    assert len(false_alarms) <= 0.2 * max(len(timeline.typing_truth), 1)
+
+    figure = ascii_plot(
+        [
+            FigureSeries(
+                "|CSI| subcarrier 17",
+                series.times,
+                series.amplitudes,
+                x_label="time (s)",
+            ).downsample(400)
+        ],
+        title="Figure 5 — measured CSI of acknowledgements (150 fake frames/s)",
+    )
+    phase_table = render_table(
+        ["phase", "window (s)", "std of |CSI|", "vs ground"],
+        [
+            ("on the ground", "1.0-8.5", f"{still:.5f}", "1x"),
+            ("picked up", "9.0-12.0", f"{pickup:.5f}",
+             f"{pickup / max(still, 1e-9):.0f}x"),
+            ("held", "13.0-21.5", f"{hold:.5f}",
+             f"{hold / max(still, 1e-9):.0f}x"),
+            ("typing", "22.5-31.5", f"{sigma(22.5, 31.5):.5f}",
+             f"{sigma(22.5, 31.5) / max(still, 1e-9):.0f}x"),
+        ],
+    )
+    report(
+        "figure5_keystroke_csi",
+        figure
+        + "\n\n"
+        + phase_table
+        + f"\n\nacks measured: {result.acks_measured} "
+        f"({100 * result.ack_yield:.1f}% of {result.frames_injected} injected)"
+        + f"\nactivity-window classification accuracy: {accuracy:.2f}"
+        + f"\nkeystroke timing extraction: {len(hits)}/{len(timeline.typing_truth)} "
+        f"keystrokes recovered, {len(false_alarms)} false alarms, "
+        f"median timing error "
+        f"{1000 * float(np.median([abs(d - t) for t, d in hits])):.0f} ms",
+    )

@@ -1,0 +1,35 @@
+"""Benchmark harness plumbing.
+
+Every benchmark regenerates one table or figure from the paper, asserts
+the reproduction claims about its *shape*, and writes the rendered
+table/series to ``benchmarks/results/<name>.txt`` so the output survives
+pytest's stdout capture.  EXPERIMENTS.md indexes these files against the
+paper's reported values.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def report():
+    """Write (and echo) a named benchmark report."""
+
+    def write(name: str, text: str) -> pathlib.Path:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        print(f"\n{text}\n[report written to {path}]")
+        return path
+
+    return write
+
+
+def once(benchmark, fn):
+    """Run a heavy simulation exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

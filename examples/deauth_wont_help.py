@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Why nothing the AP does can stop the ACKs (Section 2.1, Figure 3).
+
+Some access points react to the attacker's fake frames by bursting
+deauthentication frames at the spoofed address — and still acknowledge
+the very next fake frame, because the ACK is generated in the PHY below
+everything the AP's software controls.  Blocking the attacker's MAC on
+the AP doesn't help either: the filter runs above the ACK engine.
+
+Run:  python examples/deauth_wont_help.py
+"""
+
+import numpy as np
+
+from repro import Engine, FrameTrace, MacAddress, Medium, MonitorDongle, Position
+from repro.core.injector import FakeFrameInjector
+from repro.devices.access_point import AccessPoint, ApBehavior
+from repro.mac.addresses import ATTACKER_FAKE_MAC
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    engine = Engine()
+    trace = FrameTrace()
+    medium = Medium(engine, trace=trace)
+
+    ap = AccessPoint(
+        mac=MacAddress("0c:00:1e:00:00:03"),
+        medium=medium,
+        position=Position(0, 0, 2),
+        rng=rng,
+        ssid="GrumpyNet",
+        behavior=ApBehavior(deauth_on_unknown=True),
+    )
+    attacker = MonitorDongle(
+        mac=MacAddress("02:dd:00:00:00:03"),
+        medium=medium,
+        position=Position(8, 0, 1),
+        rng=rng,
+    )
+    injector = FakeFrameInjector(attacker)
+
+    print("Phase 1 — fake frames at an AP that deauths intruders:")
+    for index in range(2):
+        engine.call_at(index * 0.6, lambda: injector.inject_null(ap.mac))
+    engine.run_until(2.0)
+    print(trace.to_table())
+    deauths = trace.count_info("Deauthentication")
+    acks = trace.count_info("Acknowledgement")
+    print(
+        f"\nThe AP sent {deauths} deauthentication frames (same SN repeated "
+        f"— never ACKed by the monitor-mode attacker, so it retransmits), "
+        f"yet still sent {acks} acknowledgements for the fake frames."
+    )
+
+    print("\nPhase 2 — the operator blocklists the attacker's MAC:")
+    ap.block(ATTACKER_FAKE_MAC)
+    trace.clear()
+    injector.inject_null(ap.mac)
+    engine.run_until(engine.now + 1.0)
+    print(trace.to_table())
+    print(
+        f"\nBlocked frames dropped at the MAC filter: {ap.blocked_frames_dropped}; "
+        f"ACKs sent anyway: {trace.count_info('Acknowledgement')}."
+    )
+    print("'This experiment destroyed the last hope of preventing this attack.'")
+
+
+if __name__ == "__main__":
+    main()

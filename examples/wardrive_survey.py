@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""City-scale wardriving survey (Section 3, Table 2).
+
+Builds a synthetic city whose device population follows the paper's
+Table 2 vendor census, drives a 3-dongle survey rig along the street
+grid, and runs the three-stage pipeline — discover (sniff), inject
+(fake frames), verify (ACKs) — against every node encountered.
+
+By default this example runs a 10%-scale city (~530 devices) so it
+finishes in well under a minute; pass ``--full`` for the paper-scale
+5,328-node city (this is what the Table 2 benchmark runs).
+
+Run:  python examples/wardrive_survey.py [--full]
+"""
+
+import argparse
+import time
+
+from repro.core.wardrive import WardriveConfig, WardrivePipeline
+from repro.devices.base import DeviceKind
+from repro.sim.engine import Engine
+from repro.sim.medium import Medium
+from repro.survey.city import CityConfig, SyntheticCity
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="paper-scale city (5,328 devices; takes several minutes)",
+    )
+    parser.add_argument("--seed", type=int, default=2020)
+    args = parser.parse_args()
+
+    scale = 1.0 if args.full else 0.10
+    config = CityConfig(
+        seed=args.seed,
+        population_scale=scale,
+        blocks_x=12 if args.full else 5,
+        blocks_y=8 if args.full else 3,
+    )
+    engine = Engine()
+    medium = Medium(engine)
+    city = SyntheticCity(engine, medium, config)
+    print(
+        f"Synthetic city: {city.population} devices "
+        f"({len(city.ap_specs)} APs, {len(city.client_specs)} clients) "
+        f"from {len({s.vendor for s in city.specs})} vendors"
+    )
+
+    pipeline = WardrivePipeline(city, WardriveConfig())
+    route = city.survey_route()
+    print(
+        f"Driving {route.total_length / 1000:.1f} km at "
+        f"{pipeline.config.vehicle_speed_mps:.0f} m/s "
+        f"({route.duration / 60:.1f} simulated minutes)..."
+    )
+    started = time.time()
+    results = pipeline.run(route=route)
+    print(f"(simulated in {time.time() - started:.1f} s wall time)\n")
+
+    print(results.to_table(top=20))
+    print()
+    print(
+        f"Client devices: {results.count(DeviceKind.CLIENT)} from "
+        f"{results.vendor_count(DeviceKind.CLIENT)} vendors; "
+        f"APs: {results.count(DeviceKind.ACCESS_POINT)} from "
+        f"{results.vendor_count(DeviceKind.ACCESS_POINT)} vendors."
+    )
+    non_responders = results.non_responders()
+    if non_responders:
+        print(f"devices that never ACKed: {len(non_responders)}")
+    else:
+        print(
+            "Every probed device responded with an ACK — the paper's "
+            "5,328/5,328 finding."
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""Polite WiFi — a full reproduction of *WiFi Says "Hi!" Back to
+Strangers!* (Abedi & Abari, HotNets 2020) on a pure-Python 802.11
+PHY/MAC simulator.
+
+Quick taste (see ``examples/quickstart.py`` for the narrated version)::
+
+    import numpy as np
+    from repro import (
+        Engine, Medium, Position, Station, MonitorDongle,
+        PoliteWiFiProbe, MacAddress, ATTACKER_FAKE_MAC,
+    )
+
+    rng = np.random.default_rng(0)
+    engine = Engine()
+    medium = Medium(engine)
+    victim = Station(mac=MacAddress("f2:6e:0b:11:22:33"), medium=medium,
+                     position=Position(0, 0), rng=rng)
+    attacker = MonitorDongle(mac=ATTACKER_FAKE_MAC, medium=medium,
+                             position=Position(5, 0), rng=rng)
+    result = PoliteWiFiProbe(attacker).probe(victim.mac)
+    assert result.responded   # WiFi says hi back to a stranger.
+
+Package map:
+
+==================  ====================================================
+``repro.core``      the contribution: probe, wardrive, keystroke attack,
+                    battery drain, single-device sensing, defenses
+``repro.sim``       discrete-event engine, medium, world, trace
+``repro.phy``       802.11 PHY: timing, FCS, rates, airtime, radio
+``repro.mac``       frames, wire format, **ACK engine**, state machines
+``repro.crypto``    AES/CCMP/WPA2 + decode-latency model
+``repro.channel``   propagation, fading, CSI synthesis, human motion
+``repro.devices``   stations, APs, ESP8266/ESP32, dongle, power, vendors
+``repro.survey``    synthetic city + passive scanner + Table 2 results
+``repro.sensing``   CSI processing, segmentation, classifiers
+``repro.baselines`` WindTalker, two-device sensing, Intel 5300 CSI tool
+``repro.analysis``  tables, figure series, stats
+==================  ====================================================
+"""
+
+from repro.core import (
+    AckMonitor,
+    BatteryDrainAttack,
+    DefenseAnalysis,
+    FakeFrameInjector,
+    KeystrokeInferenceAttack,
+    PoliteWiFiProbe,
+    ProbeResult,
+    SingleDeviceSensingHub,
+    WardriveConfig,
+    WardrivePipeline,
+)
+from repro.devices import (
+    AccessPoint,
+    Esp32CsiSniffer,
+    Esp8266Device,
+    MonitorDongle,
+    Station,
+)
+from repro.mac import ATTACKER_FAKE_MAC, MacAddress
+from repro.sim import Engine, FrameTrace, Medium, Position
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ATTACKER_FAKE_MAC",
+    "AccessPoint",
+    "AckMonitor",
+    "BatteryDrainAttack",
+    "DefenseAnalysis",
+    "Engine",
+    "Esp32CsiSniffer",
+    "Esp8266Device",
+    "FakeFrameInjector",
+    "FrameTrace",
+    "KeystrokeInferenceAttack",
+    "MacAddress",
+    "Medium",
+    "MonitorDongle",
+    "PoliteWiFiProbe",
+    "Position",
+    "ProbeResult",
+    "SingleDeviceSensingHub",
+    "Station",
+    "WardriveConfig",
+    "WardrivePipeline",
+    "__version__",
+]

@@ -1,0 +1,196 @@
+"""Command-line demo runner: ``python -m repro [demo]``.
+
+Gives a new user one command per headline result:
+
+* ``probe``      — the Figure 2 fake-frame → ACK exchange (default);
+* ``deauth``     — Figure 3: the AP barks and ACKs anyway;
+* ``battery``    — a quick Figure 6 power sweep;
+* ``locate``     — ACK-timing localization of a victim device;
+* ``survey``     — a small wardriving survey (Table 2 shape).
+
+The full, narrated versions live in ``examples/``; the full-scale
+reproductions in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro import (
+    ATTACKER_FAKE_MAC,
+    Engine,
+    FrameTrace,
+    MacAddress,
+    Medium,
+    MonitorDongle,
+    PoliteWiFiProbe,
+    Position,
+    Station,
+)
+
+
+def _demo_probe() -> int:
+    engine = Engine()
+    trace = FrameTrace()
+    medium = Medium(engine, trace=trace)
+    rng = np.random.default_rng(0)
+    victim = Station(
+        mac=MacAddress("f2:6e:0b:11:22:33"),
+        medium=medium, position=Position(0, 0), rng=rng,
+    )
+    attacker = MonitorDongle(
+        mac=MacAddress("02:dd:00:00:00:01"),
+        medium=medium, position=Position(5, 0), rng=rng,
+    )
+    result = PoliteWiFiProbe(attacker).probe(victim.mac)
+    print(trace.to_table())
+    print(
+        f"\nPolite WiFi: responded={result.responded}, "
+        f"ACK after {result.ack_latency_s * 1e6:.0f} us"
+    )
+    return 0 if result.responded else 1
+
+
+def _demo_deauth() -> int:
+    from repro.core.injector import FakeFrameInjector
+    from repro.devices.access_point import AccessPoint, ApBehavior
+
+    engine = Engine()
+    trace = FrameTrace()
+    medium = Medium(engine, trace=trace)
+    rng = np.random.default_rng(1)
+    ap = AccessPoint(
+        mac=MacAddress("0c:00:1e:00:00:01"), medium=medium,
+        position=Position(0, 0, 2), rng=rng,
+        behavior=ApBehavior(deauth_on_unknown=True),
+    )
+    attacker = MonitorDongle(
+        mac=MacAddress("02:dd:00:00:00:01"),
+        medium=medium, position=Position(8, 0), rng=rng,
+    )
+    FakeFrameInjector(attacker).inject_null(ap.mac)
+    engine.run_until(1.0)
+    print(trace.to_table())
+    print(
+        f"\ndeauth frames: {trace.count_info('Deauthentication')}, "
+        f"ACKs to the fake frame: {trace.count_info('Acknowledgement')}"
+    )
+    return 0
+
+
+def _demo_battery() -> int:
+    from repro.core.battery import BatteryDrainAttack
+    from repro.devices.access_point import AccessPoint
+    from repro.devices.esp import Esp8266Device
+
+    engine = Engine()
+    medium = Medium(engine)
+    rng = np.random.default_rng(42)
+    ap = AccessPoint(
+        mac=MacAddress("0c:00:1e:00:00:02"), medium=medium,
+        position=Position(0, 0, 2), rng=rng,
+        ssid="IoTNet", passphrase="iot network key",
+    )
+    victim = Esp8266Device(
+        mac=MacAddress("02:e8:26:60:00:01"), medium=medium,
+        position=Position(5, 0, 1), rng=rng,
+    )
+    victim.connect(ap.mac, "IoTNet", "iot network key")
+    engine.run_until(1.0)
+    victim.enter_power_save()
+    attacker = MonitorDongle(
+        mac=MacAddress("02:dd:00:00:00:02"), medium=medium,
+        position=Position(12, 0, 1), rng=rng,
+    )
+    attack = BatteryDrainAttack(attacker, victim)
+    print("rate (pkt/s)  power (mW)")
+    for rate in (0, 10, 50, 200, 900):
+        point = attack.measure_power(float(rate), duration_s=5.0)
+        print(f"{rate:>11}  {point.average_power_mw:>9.1f}")
+    return 0
+
+
+def _demo_locate() -> int:
+    from repro.core.localization import AckRangingSensor, LocalizationAttack
+
+    engine = Engine()
+    medium = Medium(engine)
+    rng = np.random.default_rng(7)
+    truth = Position(18.0, 12.0, 1.0)
+    victim = Station(
+        mac=MacAddress("f2:6e:0b:11:22:33"),
+        medium=medium, position=truth, rng=rng,
+    )
+    dongle = MonitorDongle(
+        mac=MacAddress("02:dd:00:00:00:03"),
+        medium=medium, position=Position(0, 0, 1), rng=rng,
+    )
+    attack = LocalizationAttack(AckRangingSensor(dongle))
+    result = attack.locate(
+        victim.mac,
+        anchor_positions=[
+            Position(0, 0, 1), Position(40, 0, 1),
+            Position(0, 40, 1), Position(40, 40, 1),
+        ],
+        probes_per_anchor=60,
+        truth=truth,
+    )
+    for m in result.measurements:
+        print(
+            f"anchor ({m.anchor.x:4.0f},{m.anchor.y:4.0f})  "
+            f"range {m.distance_m:6.2f} m  (+/-{m.standard_error_m:.2f})"
+        )
+    print(
+        f"\nvictim at ({truth.x:.1f}, {truth.y:.1f}); "
+        f"estimated ({result.estimated.x:.1f}, {result.estimated.y:.1f}); "
+        f"error {result.error_m:.2f} m"
+    )
+    return 0
+
+
+def _demo_survey() -> int:
+    from repro.core.wardrive import WardriveConfig, WardrivePipeline
+    from repro.survey.city import CityConfig, SyntheticCity
+
+    engine = Engine()
+    medium = Medium(engine)
+    city = SyntheticCity(
+        engine, medium,
+        CityConfig(
+            population_scale=0.05, keep_all_vendors=False,
+            blocks_x=4, blocks_y=3,
+        ),
+    )
+    pipeline = WardrivePipeline(city, WardriveConfig())
+    results = pipeline.run()
+    print(results.to_table(top=10))
+    return 0
+
+
+_DEMOS = {
+    "probe": _demo_probe,
+    "deauth": _demo_deauth,
+    "battery": _demo_battery,
+    "locate": _demo_locate,
+    "survey": _demo_survey,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Polite WiFi reproduction demos",
+    )
+    parser.add_argument(
+        "demo", nargs="?", default="probe", choices=sorted(_DEMOS),
+        help="which demo to run (default: probe)",
+    )
+    args = parser.parse_args(argv)
+    return _DEMOS[args.demo]()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

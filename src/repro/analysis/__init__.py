@@ -1,0 +1,18 @@
+"""Reporting helpers: tables, figure series, summary statistics.
+
+The benchmark harness uses these to print the same rows and series the
+paper's tables and figures report, so `pytest benchmarks/` output can be
+compared against the paper side by side (see EXPERIMENTS.md).
+"""
+
+from repro.analysis.figures import FigureSeries, ascii_plot
+from repro.analysis.stats import linear_fit, summarize
+from repro.analysis.tables import render_table
+
+__all__ = [
+    "FigureSeries",
+    "ascii_plot",
+    "linear_fit",
+    "render_table",
+    "summarize",
+]

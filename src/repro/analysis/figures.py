@@ -1,0 +1,86 @@
+"""Figure series containers and terminal rendering.
+
+A :class:`FigureSeries` is the data behind one curve of a paper figure;
+:func:`ascii_plot` renders one or more series as a terminal plot so the
+benchmark output is inspectable without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+@dataclass
+class FigureSeries:
+    """One labelled (x, y) curve."""
+
+    label: str
+    x: np.ndarray
+    y: np.ndarray
+    x_label: str = "x"
+    y_label: str = "y"
+
+    def __post_init__(self) -> None:
+        self.x = np.asarray(self.x, dtype=float)
+        self.y = np.asarray(self.y, dtype=float)
+        if self.x.shape != self.y.shape:
+            raise ValueError("x and y must have the same shape")
+
+    def __len__(self) -> int:
+        return len(self.x)
+
+    def downsample(self, max_points: int) -> "FigureSeries":
+        if len(self.x) <= max_points:
+            return self
+        indices = np.linspace(0, len(self.x) - 1, max_points).astype(int)
+        return FigureSeries(
+            self.label, self.x[indices], self.y[indices], self.x_label, self.y_label
+        )
+
+
+_MARKS = "*o+x#@"
+
+
+def ascii_plot(
+    series: Sequence[FigureSeries],
+    width: int = 72,
+    height: int = 18,
+    title: Optional[str] = None,
+) -> str:
+    """Scatter one or more series onto a character grid."""
+    live = [s for s in series if len(s) > 0]
+    if not live:
+        return "(no data)"
+    x_min = min(float(np.min(s.x)) for s in live)
+    x_max = max(float(np.max(s.x)) for s in live)
+    y_min = min(float(np.min(s.y)) for s in live)
+    y_max = max(float(np.max(s.y)) for s in live)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for series_index, s in enumerate(live):
+        mark = _MARKS[series_index % len(_MARKS)]
+        for x, y in zip(s.x, s.y):
+            column = int((x - x_min) / (x_max - x_min) * (width - 1))
+            row = int((y - y_min) / (y_max - y_min) * (height - 1))
+            grid[height - 1 - row][column] = mark
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_max:.4g} +" + "-" * width + "+")
+    for row in grid:
+        lines.append("       |" + "".join(row) + "|")
+    lines.append(f"{y_min:.4g} +" + "-" * width + "+")
+    lines.append(
+        f"        {x_min:.4g}"
+        + " " * max(width - 16, 1)
+        + f"{x_max:.4g}  ({live[0].x_label})"
+    )
+    for series_index, s in enumerate(live):
+        lines.append(f"        [{_MARKS[series_index % len(_MARKS)]}] {s.label}")
+    return "\n".join(lines)

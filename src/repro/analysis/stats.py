@@ -1,0 +1,50 @@
+"""Small statistics helpers used by benchmarks and tests."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Summary:
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    median: float
+    maximum: float
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Five-number-ish summary of a sample."""
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        return Summary(0, float("nan"), float("nan"), float("nan"), float("nan"), float("nan"))
+    return Summary(
+        count=int(array.size),
+        mean=float(np.mean(array)),
+        std=float(np.std(array)),
+        minimum=float(np.min(array)),
+        median=float(np.median(array)),
+        maximum=float(np.max(array)),
+    )
+
+
+def linear_fit(x: Sequence[float], y: Sequence[float]) -> Tuple[float, float, float]:
+    """Least-squares line fit: returns (slope, intercept, r²).
+
+    Used to verify the linear region of the Figure 6 power curve.
+    """
+    x_array = np.asarray(list(x), dtype=float)
+    y_array = np.asarray(list(y), dtype=float)
+    if x_array.size < 2:
+        raise ValueError("need at least two points for a fit")
+    slope, intercept = np.polyfit(x_array, y_array, 1)
+    predicted = slope * x_array + intercept
+    total = float(np.sum((y_array - np.mean(y_array)) ** 2))
+    residual = float(np.sum((y_array - predicted) ** 2))
+    r_squared = 1.0 - residual / total if total > 0.0 else 1.0
+    return float(slope), float(intercept), float(r_squared)

@@ -1,0 +1,66 @@
+"""Plain-text table rendering."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+    align_right: Optional[Sequence[bool]] = None,
+) -> str:
+    """Render rows as an aligned monospace table.
+
+    ``align_right`` marks numeric columns; defaults to right-aligning
+    anything that renders as a number in the first data row.
+    """
+    rendered = [[_cell(value) for value in row] for row in rows]
+    table = [list(headers)] + rendered
+    widths = [
+        max(len(row[column]) if column < len(row) else 0 for row in table)
+        for column in range(len(headers))
+    ]
+    if align_right is None:
+        probe = rendered[0] if rendered else []
+        align_right = [
+            _is_number(probe[column]) if column < len(probe) else False
+            for column in range(len(headers))
+        ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(
+        header.ljust(widths[i]) for i, header in enumerate(headers)
+    )
+    lines.append(header_line)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rendered:
+        cells = []
+        for column in range(len(headers)):
+            value = row[column] if column < len(row) else ""
+            if align_right[column]:
+                cells.append(value.rjust(widths[column]))
+            else:
+                cells.append(value.ljust(widths[column]))
+        lines.append("  ".join(cells))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if abs(value) >= 1000.0 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def _is_number(text: str) -> bool:
+    try:
+        float(text.rstrip("x%"))
+        return True
+    except ValueError:
+        return False

@@ -1,0 +1,28 @@
+"""Baselines the paper compares against.
+
+* :mod:`repro.baselines.windtalker` — the pre-existing keystroke-inference
+  attack architecture (Figure 4a): a rogue access point the victim must be
+  lured onto, probed with ICMP echo traffic.
+* :mod:`repro.baselines.two_device_sensing` — the classic two-device WiFi
+  sensing deployment (dedicated transmitter + receiver, both modified,
+  100–1000 packets/s of generated traffic).
+* :mod:`repro.baselines.csitool` — the Intel 5300 CSI tool, which cannot
+  report CSI for legacy-rate frames and therefore cannot measure ACKs
+  (paper footnote 3 — the reason the authors use an ESP32).
+"""
+
+from repro.baselines.csitool import CsiToolReceiver
+from repro.baselines.two_device_sensing import TwoDeviceSensingSystem
+from repro.baselines.windtalker import (
+    RogueApAttack,
+    WindTalkerOutcome,
+    WindTalkerPreconditions,
+)
+
+__all__ = [
+    "CsiToolReceiver",
+    "RogueApAttack",
+    "TwoDeviceSensingSystem",
+    "WindTalkerOutcome",
+    "WindTalkerPreconditions",
+]

@@ -1,0 +1,75 @@
+"""Intel 5300 CSI-tool receiver model (paper footnote 3).
+
+The widely-used Linux 802.11n CSI Tool (Halperin et al.) exports CSI only
+for HT (802.11n) frames; it reports nothing for legacy 802.11a/g
+transmissions.  ACKs are *always* sent at legacy basic rates, so an
+Intel 5300 cannot measure the CSI of the ACKs the Polite WiFi attack
+elicits — which is exactly why the paper's measurement head is an ESP32.
+
+The model mirrors :class:`repro.devices.esp.Esp32CsiSniffer` but drops
+legacy-rate samples, so the legacy-rate ablation can run both receivers
+side by side on the same traffic and count what each one sees.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.devices.dongle import MonitorDongle
+from repro.devices.esp import CsiSample
+from repro.mac.addresses import MacAddress
+from repro.mac.frames import Frame
+from repro.phy.constants import PhyType
+from repro.phy.rates import rate_info
+from repro.sim.medium import Reception
+
+
+class CsiToolReceiver(MonitorDongle):
+    """Intel 5300 + CSI tool: HT-only CSI extraction."""
+
+    def __init__(
+        self,
+        *args,
+        target: Optional[MacAddress] = None,
+        expected_ack_ra: Optional[MacAddress] = None,
+        **kwargs,
+    ) -> None:
+        kwargs.setdefault("vendor", "Intel")
+        super().__init__(*args, **kwargs)
+        self.target = MacAddress(target) if target is not None else None
+        self.expected_ack_ra = (
+            MacAddress(expected_ack_ra) if expected_ack_ra is not None else None
+        )
+        self.samples: List[CsiSample] = []
+        self.legacy_frames_skipped = 0
+        self.add_listener(self._maybe_sample)
+
+    def _maybe_sample(self, frame: Frame, reception: Reception) -> None:
+        if not self._matches(frame):
+            return
+        info = rate_info(reception.rate_mbps)
+        if info.phy is not PhyType.HT:
+            # The tool's firmware hook only fires for HT receptions.
+            self.legacy_frames_skipped += 1
+            return
+        if reception.csi is None:
+            return
+        self.samples.append(
+            CsiSample(
+                time=reception.end,
+                rssi_dbm=reception.rssi_dbm,
+                rate_mbps=reception.rate_mbps,
+                source=frame.addr2,
+                csi=reception.csi,
+                is_ack=frame.is_ack,
+            )
+        )
+
+    def _matches(self, frame: Frame) -> bool:
+        if frame.is_ack:
+            if self.expected_ack_ra is None:
+                return False
+            return frame.addr1 == self.expected_ack_ra
+        if self.target is None:
+            return False
+        return frame.addr2 == self.target

@@ -1,0 +1,133 @@
+"""Classic two-device WiFi sensing (the Section 4.3 baseline).
+
+Existing sensing systems need a dedicated transmitter and a dedicated
+receiver, **both under the experimenter's control**: the transmitter must
+be modified to emit 100–1000 packets/s (far above natural traffic), the
+receiver to export CSI, and the sensed person should be near the
+line-of-sight between them.  The paper's opportunity claim is that
+Polite WiFi removes the transmitter-side modification entirely — any
+nearby unmodified device can be turned into the "transmitter" by
+eliciting its ACKs.
+
+This module models the baseline's deployment *requirements* so the
+opportunity benchmark can count modified devices, check traffic-rate
+feasibility against natural traffic, and compare coverage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.sim.world import Position
+
+#: Packet rates WiFi sensing needs, per the paper's cited systems [13,24,25].
+MIN_SENSING_RATE_PPS = 100.0
+MAX_SENSING_RATE_PPS = 1000.0
+
+#: Typical natural (idle) traffic of consumer devices, packets/s.  Orders
+#: of magnitude below sensing requirements — the reason baseline systems
+#: must modify transmitters.
+NATURAL_TRAFFIC_PPS = {
+    "access_point_beacons": 10.0,
+    "idle_phone": 1.0,
+    "iot_sensor": 0.1,
+    "smart_tv_idle": 0.5,
+}
+
+
+@dataclass
+class SensingLink:
+    """One transmitter→receiver sensing pair."""
+
+    tx_position: Position
+    rx_position: Position
+    packet_rate_pps: float
+
+    def distance_to_los(self, person: Position) -> float:
+        """Perpendicular distance from a person to the TX–RX segment."""
+        ax, ay = self.tx_position.x, self.tx_position.y
+        bx, by = self.rx_position.x, self.rx_position.y
+        px, py = person.x, person.y
+        dx, dy = bx - ax, by - ay
+        length_sq = dx * dx + dy * dy
+        if length_sq == 0.0:
+            return math_hypot(px - ax, py - ay)
+        t = max(0.0, min(1.0, ((px - ax) * dx + (py - ay) * dy) / length_sq))
+        cx, cy = ax + t * dx, ay + t * dy
+        return math_hypot(px - cx, py - cy)
+
+    def covers(self, person: Position, los_margin_m: float = 2.0) -> bool:
+        """Is the person close enough to the line of sight to be sensed?"""
+        return self.distance_to_los(person) <= los_margin_m
+
+    @property
+    def rate_sufficient(self) -> bool:
+        return self.packet_rate_pps >= MIN_SENSING_RATE_PPS
+
+
+def math_hypot(x: float, y: float) -> float:
+    return float(np.hypot(x, y))
+
+
+@dataclass
+class DeploymentPlan:
+    """What it takes to sense a set of rooms with the baseline."""
+
+    links: List[SensingLink] = field(default_factory=list)
+    modified_devices: int = 0
+
+    def coverage_of(self, people: List[Position]) -> float:
+        if not people:
+            return 0.0
+        covered = sum(
+            1
+            for person in people
+            if any(link.covers(person) and link.rate_sufficient for link in self.links)
+        )
+        return covered / len(people)
+
+
+class TwoDeviceSensingSystem:
+    """Deployment calculator for the classic architecture.
+
+    ``plan_for_rooms`` places one TX/RX pair per room (both modified —
+    that is the architecture's cost) and reports the deployment burden;
+    the opportunity benchmark contrasts it with Polite WiFi's single
+    modified device.
+    """
+
+    def __init__(self, packet_rate_pps: float = 200.0) -> None:
+        if packet_rate_pps <= 0.0:
+            raise ValueError("packet rate must be positive")
+        self.packet_rate_pps = packet_rate_pps
+
+    def plan_for_rooms(
+        self, room_centres: List[Position], room_span_m: float = 4.0
+    ) -> DeploymentPlan:
+        links = []
+        for centre in room_centres:
+            links.append(
+                SensingLink(
+                    tx_position=centre.translated(dx=-room_span_m / 2.0),
+                    rx_position=centre.translated(dx=room_span_m / 2.0),
+                    packet_rate_pps=self.packet_rate_pps,
+                )
+            )
+        # Both endpoints of every link run modified software.
+        return DeploymentPlan(links=links, modified_devices=2 * len(links))
+
+    @staticmethod
+    def natural_traffic_sufficient(device_kind: str) -> bool:
+        """Could an *unmodified* device's natural traffic drive sensing?
+
+        It cannot, for any of the device kinds we model — which is the
+        deployment wall the paper's opportunity knocks down.
+        """
+        try:
+            rate = NATURAL_TRAFFIC_PPS[device_kind]
+        except KeyError:
+            raise ValueError(f"unknown device kind {device_kind!r}") from None
+        return rate >= MIN_SENSING_RATE_PPS

@@ -1,0 +1,155 @@
+"""WindTalker-style rogue-AP keystroke attack (the Figure 4a baseline).
+
+The pre-Polite-WiFi attack architecture: the adversary stands up an open
+access point, lures the victim into connecting to it, streams ICMP echo
+requests at the victim, and measures the CSI of the echo replies.  The
+paper's point is the *preconditions*: the attack needs the victim to join
+the attacker's network (or the attacker to hold the victim network's
+key).  If the victim declines the lure — or is connected to its own WPA2
+network, or to no network at all — the baseline collects nothing, while
+the Polite WiFi attack collects ACK CSI regardless.
+
+This module implements the baseline end-to-end on the simulator so the
+Figure 4 comparison benchmark can run both attacks against the same
+victims and report who succeeds under which preconditions.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.devices.access_point import AccessPoint
+from repro.devices.esp import CsiSample
+from repro.devices.station import Station, StationState
+from repro.mac.frames import Frame
+from repro.sim.engine import Engine
+
+#: Payload markers standing in for ICMP echo request/reply.
+ICMP_REQUEST = b"ICMP-ECHO-REQUEST"
+ICMP_REPLY = b"ICMP-ECHO-REPLY"
+
+
+class WindTalkerOutcome(enum.Enum):
+    SUCCESS = "success"
+    VICTIM_NOT_LURED = "victim_not_lured"
+    VICTIM_ON_OTHER_NETWORK = "victim_on_other_network"
+    NO_REPLIES = "no_replies"
+
+
+@dataclass
+class WindTalkerPreconditions:
+    """What must be true for the baseline to work."""
+
+    victim_lured: bool
+    needs_rogue_ap: bool = True
+    needs_network_membership: bool = True
+
+    @property
+    def satisfied(self) -> bool:
+        return self.victim_lured
+
+
+@dataclass
+class WindTalkerResult:
+    outcome: WindTalkerOutcome
+    requests_sent: int
+    replies_received: int
+    csi_samples: List[CsiSample] = field(default_factory=list)
+
+    @property
+    def succeeded(self) -> bool:
+        return self.outcome is WindTalkerOutcome.SUCCESS
+
+
+def install_icmp_responder(victim: Station) -> None:
+    """Make a station answer ICMP echo requests (what an OS IP stack does)."""
+
+    def responder(payload: bytes, frame: Frame) -> None:
+        if payload == ICMP_REQUEST and victim.state is StationState.ASSOCIATED:
+            victim.send_data(ICMP_REPLY)
+
+    victim.data_handler = responder
+
+
+class RogueApAttack:
+    """The baseline attack: rogue AP + ICMP probing + reply CSI capture."""
+
+    def __init__(
+        self,
+        rogue_ap: AccessPoint,
+        engine: Engine,
+        request_rate_pps: float = 100.0,
+    ) -> None:
+        if rogue_ap._passphrase is not None:
+            raise ValueError("a rogue AP runs an open network")
+        self.rogue_ap = rogue_ap
+        self.engine = engine
+        self.request_rate_pps = request_rate_pps
+        self.requests_sent = 0
+        self.replies_received = 0
+        self.csi_samples: List[CsiSample] = []
+        self._running = False
+        rogue_ap.data_handler = self._on_payload
+
+    def _on_payload(self, payload: bytes, frame: Frame) -> None:
+        if payload != ICMP_REPLY:
+            return
+        self.replies_received += 1
+
+    def record_reply_csi(self, sample: CsiSample) -> None:
+        """Fed by a co-located sniffer measuring the replies' CSI."""
+        self.csi_samples.append(sample)
+
+    # ------------------------------------------------------------------
+    # Attack execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        victim: Station,
+        duration_s: float,
+        victim_lured: bool,
+    ) -> WindTalkerResult:
+        """Execute the baseline against ``victim`` for ``duration_s``.
+
+        ``victim_lured`` models the social-engineering step the paper
+        calls the attack's weak point: whether the victim can be convinced
+        to join the rogue network.  The simulation enforces the
+        consequences — an unlured victim never associates, so no ICMP
+        flows and no CSI is collected.
+        """
+        start = self.engine.now
+        if victim_lured:
+            install_icmp_responder(victim)
+            victim.connect(self.rogue_ap.mac, self.rogue_ap.ssid, passphrase=None)
+        self._running = True
+        self._probe_tick(victim)
+        self.engine.run_until(start + duration_s)
+        self._running = False
+
+        if not victim_lured:
+            outcome = (
+                WindTalkerOutcome.VICTIM_ON_OTHER_NETWORK
+                if victim.state is StationState.ASSOCIATED
+                else WindTalkerOutcome.VICTIM_NOT_LURED
+            )
+            return WindTalkerResult(outcome, self.requests_sent, 0)
+        if self.replies_received == 0:
+            return WindTalkerResult(
+                WindTalkerOutcome.NO_REPLIES, self.requests_sent, 0
+            )
+        return WindTalkerResult(
+            WindTalkerOutcome.SUCCESS,
+            self.requests_sent,
+            self.replies_received,
+            list(self.csi_samples),
+        )
+
+    def _probe_tick(self, victim: Station) -> None:
+        if not self._running:
+            return
+        if self.rogue_ap.is_associated(victim.mac):
+            self.rogue_ap.send_data(victim.mac, ICMP_REQUEST)
+            self.requests_sent += 1
+        self.engine.call_after(1.0 / self.request_rate_pps, lambda: self._probe_tick(victim))

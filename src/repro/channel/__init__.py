@@ -1,0 +1,51 @@
+"""Wireless channel models.
+
+Two distinct jobs:
+
+* **link budget** (:mod:`repro.channel.propagation`,
+  :mod:`repro.channel.fading`) — how much power survives the trip, feeding
+  the medium's delivery/error decisions for the wardriving survey;
+* **channel state information** (:mod:`repro.channel.csi`,
+  :mod:`repro.channel.motion`, :mod:`repro.channel.noise`) — the complex
+  per-subcarrier frequency response the attacker measures on each ACK.
+  A geometric multipath model with a human scatterer reproduces the
+  signatures of Figure 5: flat while the tablet sits on the ground, wild
+  during pickup, gently varying while held, and bursty while typing.
+"""
+
+from repro.channel.csi import CsiChannelModel, MultipathChannel, Subcarriers
+from repro.channel.motion import (
+    BreathingMotion,
+    CompositeMotion,
+    HeartbeatMotion,
+    HoldMotion,
+    MotionModel,
+    PickupMotion,
+    ScheduledMotion,
+    StillMotion,
+    TypingMotion,
+    WalkingMotion,
+)
+from repro.channel.noise import CsiMeasurementNoise
+from repro.channel.propagation import ShadowedPathLoss
+from repro.channel.fading import RayleighFading, RicianFading
+
+__all__ = [
+    "BreathingMotion",
+    "CompositeMotion",
+    "CsiChannelModel",
+    "CsiMeasurementNoise",
+    "HeartbeatMotion",
+    "HoldMotion",
+    "MotionModel",
+    "MultipathChannel",
+    "PickupMotion",
+    "RayleighFading",
+    "RicianFading",
+    "ScheduledMotion",
+    "ShadowedPathLoss",
+    "StillMotion",
+    "Subcarriers",
+    "TypingMotion",
+    "WalkingMotion",
+]

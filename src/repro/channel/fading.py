@@ -1,0 +1,48 @@
+"""Small-scale fading draws.
+
+Scalar multipath fading for links where we do not track full geometry
+(thousands of survey links): Rayleigh for non-line-of-sight street-to-
+indoor paths and Rician with a configurable K-factor when a dominant path
+exists.  Both return *power* gains in dB around the large-scale mean, with
+unit average power (so they compose with the path-loss model without
+biasing the link budget).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class RayleighFading:
+    """NLOS fading: |h|² with h ~ CN(0, 1)."""
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self._rng = rng
+
+    def gain_linear(self) -> float:
+        real = self._rng.normal(0.0, np.sqrt(0.5))
+        imaginary = self._rng.normal(0.0, np.sqrt(0.5))
+        return float(real * real + imaginary * imaginary)
+
+    def gain_db(self) -> float:
+        return float(10.0 * np.log10(max(self.gain_linear(), 1e-12)))
+
+
+class RicianFading:
+    """LOS-dominant fading with K-factor (ratio of LOS to scattered power)."""
+
+    def __init__(self, rng: np.random.Generator, k_factor_db: float = 6.0) -> None:
+        self._rng = rng
+        self.k_factor_db = k_factor_db
+
+    def gain_linear(self) -> float:
+        k = 10.0 ** (self.k_factor_db / 10.0)
+        # Unit-mean-power decomposition: LOS amplitude + CN scattered part.
+        los = np.sqrt(k / (k + 1.0))
+        sigma = np.sqrt(1.0 / (2.0 * (k + 1.0)))
+        real = los + self._rng.normal(0.0, sigma)
+        imaginary = self._rng.normal(0.0, sigma)
+        return float(real * real + imaginary * imaginary)
+
+    def gain_db(self) -> float:
+        return float(10.0 * np.log10(max(self.gain_linear(), 1e-12)))

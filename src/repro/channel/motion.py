@@ -1,0 +1,295 @@
+"""Human-motion displacement models.
+
+A motion model maps time to the **extra path length** (metres) of the
+dynamic multipath component reflected off a moving body part.  At 2.4 GHz
+the wavelength is ≈12.5 cm, so centimetre-scale displacement swings the
+dynamic path's phase by large fractions of a cycle and the per-subcarrier
+CSI amplitude wobbles visibly — exactly the effect Figure 5 exploits.
+
+The models mirror the paper's Figure 5 timeline:
+
+* the tablet on the ground — :class:`StillMotion`, essentially flat CSI;
+* a person approaching and picking it up — :class:`PickupMotion`,
+  decimetre-scale transient → large fluctuations;
+* holding it — :class:`HoldMotion`, millimetre tremor → small slow wobble;
+* typing — :class:`TypingMotion`, centimetre keystroke impulses at a few
+  hertz → a bursty signature clearly distinct from holding;
+
+plus :class:`BreathingMotion` and :class:`WalkingMotion` for the
+Section 4.3 sensing opportunities (vital signs, occupancy).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class MotionModel:
+    """Base class: displacement (metres) of the dynamic path vs time."""
+
+    def displacement(self, time: float) -> float:
+        raise NotImplementedError
+
+    def __call__(self, time: float) -> float:
+        return self.displacement(time)
+
+    def sample(self, times: Sequence[float]) -> np.ndarray:
+        """Vectorized convenience for analysis code."""
+        return np.array([self.displacement(t) for t in times])
+
+
+class StillMotion(MotionModel):
+    """No moving scatterer near the device (tablet on the ground)."""
+
+    def __init__(self, jitter_m: float = 0.0) -> None:
+        self.jitter_m = jitter_m
+
+    def displacement(self, time: float) -> float:
+        if self.jitter_m == 0.0:
+            return 0.0
+        # Sub-millimetre environmental vibration, deterministic in time.
+        return self.jitter_m * math.sin(2.0 * math.pi * 47.0 * time)
+
+
+class PickupMotion(MotionModel):
+    """A person walks up and lifts the device: a large smooth transient.
+
+    Displacement ramps through several tens of centimetres with a raised-
+    cosine profile plus a decaying oscillation as the grip settles.
+    """
+
+    def __init__(
+        self,
+        start: float = 0.0,
+        duration: float = 2.0,
+        travel_m: float = 0.6,
+        settle_hz: float = 2.5,
+    ) -> None:
+        if duration <= 0.0:
+            raise ValueError("pickup duration must be positive")
+        self.start = start
+        self.duration = duration
+        self.travel_m = travel_m
+        self.settle_hz = settle_hz
+
+    def displacement(self, time: float) -> float:
+        elapsed = time - self.start
+        if elapsed <= 0.0:
+            return 0.0
+        if elapsed >= self.duration:
+            # Settled at the final height with a dying wobble.
+            decay = math.exp(-2.0 * (elapsed - self.duration))
+            wobble = 0.02 * decay * math.sin(
+                2.0 * math.pi * self.settle_hz * elapsed
+            )
+            return self.travel_m + wobble
+        phase = elapsed / self.duration
+        ramp = 0.5 * (1.0 - math.cos(math.pi * phase))
+        wobble = 0.03 * math.sin(2.0 * math.pi * 3.0 * elapsed) * phase
+        return self.travel_m * ramp + wobble
+
+
+class HoldMotion(MotionModel):
+    """Physiological tremor while holding a device: mm-scale, 1–3 Hz."""
+
+    def __init__(
+        self,
+        rng: Optional[np.random.Generator] = None,
+        amplitude_m: float = 0.004,
+        components: int = 3,
+        offset_m: float = 0.0,
+    ) -> None:
+        rng = rng if rng is not None else np.random.default_rng(7)
+        self.offset_m = offset_m
+        self._terms: List[Tuple[float, float, float]] = []
+        for _ in range(components):
+            frequency = float(rng.uniform(1.0, 3.0))
+            amplitude = float(rng.uniform(0.4, 1.0)) * amplitude_m
+            phase = float(rng.uniform(0.0, 2.0 * math.pi))
+            self._terms.append((frequency, amplitude, phase))
+
+    def displacement(self, time: float) -> float:
+        total = self.offset_m
+        for frequency, amplitude, phase in self._terms:
+            total += amplitude * math.sin(2.0 * math.pi * frequency * time + phase)
+        return total
+
+
+class TypingMotion(MotionModel):
+    """Keystroke impulses: ~30 ms raised-cosine pulses of cm-scale motion.
+
+    Keystroke instants are pre-drawn as a jittered train at the requested
+    typing speed, so the model is deterministic after construction and the
+    same frame-time queries always see the same keystrokes.
+    """
+
+    def __init__(
+        self,
+        rng: Optional[np.random.Generator] = None,
+        start: float = 0.0,
+        duration: float = 10.0,
+        keystrokes_per_second: float = 5.0,
+        pulse_width_s: float = 0.03,
+        pulse_amplitude_m: float = 0.015,
+        offset_m: float = 0.0,
+        tremor: Optional[HoldMotion] = None,
+    ) -> None:
+        rng = rng if rng is not None else np.random.default_rng(11)
+        self.start = start
+        self.duration = duration
+        self.pulse_width_s = pulse_width_s
+        self.pulse_amplitude_m = pulse_amplitude_m
+        self.offset_m = offset_m
+        self.tremor = tremor
+        interval = 1.0 / keystrokes_per_second
+        instants = []
+        t = start + float(rng.uniform(0.0, interval))
+        while t < start + duration:
+            instants.append(t)
+            t += interval * float(rng.uniform(0.6, 1.4))
+        self.keystroke_times = np.array(instants)
+
+    def displacement(self, time: float) -> float:
+        total = self.offset_m
+        if self.tremor is not None:
+            total += self.tremor.displacement(time) - self.tremor.offset_m
+        if len(self.keystroke_times) == 0:
+            return total
+        # Only the nearest few pulses can contribute.
+        deltas = time - self.keystroke_times
+        active = np.abs(deltas) < self.pulse_width_s
+        for delta in deltas[active]:
+            phase = (delta / self.pulse_width_s + 1.0) / 2.0  # 0..1
+            total += self.pulse_amplitude_m * 0.5 * (
+                1.0 - math.cos(2.0 * math.pi * phase)
+            )
+        return total
+
+
+class BreathingMotion(MotionModel):
+    """Chest displacement while breathing: ~5 mm sinusoid at 10–20 bpm."""
+
+    def __init__(
+        self,
+        rate_bpm: float = 15.0,
+        amplitude_m: float = 0.005,
+        phase: float = 0.0,
+        offset_m: float = 0.0,
+    ) -> None:
+        if rate_bpm <= 0.0:
+            raise ValueError("breathing rate must be positive")
+        self.rate_bpm = rate_bpm
+        self.amplitude_m = amplitude_m
+        self.phase = phase
+        self.offset_m = offset_m
+
+    @property
+    def rate_hz(self) -> float:
+        return self.rate_bpm / 60.0
+
+    def displacement(self, time: float) -> float:
+        return self.offset_m + self.amplitude_m * math.sin(
+            2.0 * math.pi * self.rate_hz * time + self.phase
+        )
+
+
+class HeartbeatMotion(BreathingMotion):
+    """Chest-wall displacement from the heartbeat: ~0.5 mm at 0.8–2.5 Hz.
+
+    An order of magnitude weaker than breathing; the vital-signs
+    estimator separates the two by frequency band.
+    """
+
+    def __init__(
+        self,
+        rate_bpm: float = 72.0,
+        amplitude_m: float = 0.0005,
+        phase: float = 0.0,
+    ) -> None:
+        super().__init__(rate_bpm=rate_bpm, amplitude_m=amplitude_m, phase=phase)
+
+
+class WalkingMotion(MotionModel):
+    """A person walking through the room: metre-scale travel plus gait sway."""
+
+    def __init__(
+        self,
+        start: float = 0.0,
+        speed_mps: float = 1.2,
+        gait_hz: float = 1.8,
+        sway_m: float = 0.05,
+        span_m: float = 6.0,
+    ) -> None:
+        self.start = start
+        self.speed_mps = speed_mps
+        self.gait_hz = gait_hz
+        self.sway_m = sway_m
+        self.span_m = span_m
+
+    def displacement(self, time: float) -> float:
+        elapsed = time - self.start
+        if elapsed <= 0.0:
+            return 0.0
+        # Walk back and forth across the span (triangular travel).
+        distance = self.speed_mps * elapsed
+        lap, within = divmod(distance, self.span_m)
+        travel = within if int(lap) % 2 == 0 else self.span_m - within
+        sway = self.sway_m * math.sin(2.0 * math.pi * self.gait_hz * elapsed)
+        return travel + sway
+
+
+class CompositeMotion(MotionModel):
+    """Sum of simultaneous motions (e.g. breathing while holding)."""
+
+    def __init__(self, components: Sequence[MotionModel]) -> None:
+        if not components:
+            raise ValueError("CompositeMotion needs at least one component")
+        self.components = list(components)
+
+    def displacement(self, time: float) -> float:
+        return sum(component.displacement(time) for component in self.components)
+
+
+class ScheduledMotion(MotionModel):
+    """A labelled timeline of motion segments — the Figure 5 scenario.
+
+    Segments are ``(start, end, label, model)``; outside all segments the
+    displacement is zero (still).  Each segment's model is queried with
+    absolute time, and segment transitions hold the previous segment's
+    final displacement as the new baseline so the path length does not
+    teleport.
+    """
+
+    def __init__(
+        self, segments: Sequence[Tuple[float, float, str, MotionModel]]
+    ) -> None:
+        ordered = sorted(segments, key=lambda item: item[0])
+        for (s1, e1, _, _), (s2, _, _, _) in zip(ordered, ordered[1:]):
+            if s2 < e1:
+                raise ValueError("motion segments overlap")
+            if e1 < s1:
+                raise ValueError("segment ends before it starts")
+        self.segments = ordered
+
+    def label_at(self, time: float) -> str:
+        for start, end, label, _ in self.segments:
+            if start <= time < end:
+                return label
+        return "still"
+
+    def displacement(self, time: float) -> float:
+        baseline = 0.0
+        for start, end, _, model in self.segments:
+            if time < start:
+                break
+            if time < end:
+                return baseline + model.displacement(time)
+            baseline += model.displacement(end)
+        return baseline
+
+    @property
+    def labels(self) -> List[str]:
+        return [label for _, _, label, _ in self.segments]

@@ -1,0 +1,57 @@
+"""Polite WiFi: the paper's contribution.
+
+The primitive is :class:`~repro.core.probe.PoliteWiFiProbe` — inject a
+fake frame at a device that has never heard of you, and observe that it
+acknowledges.  On top of it:
+
+* :mod:`repro.core.injector` / :mod:`repro.core.monitor` — Scapy-style
+  fake-frame crafting + streaming, and ACK correlation;
+* :mod:`repro.core.wardrive` — the Section 3 three-stage survey pipeline
+  (discover / inject / verify) over the synthetic city;
+* :mod:`repro.core.keystroke` — the Section 4.1 keystroke/activity
+  inference attack (150 fake frames/s, ACK CSI, no network membership);
+* :mod:`repro.core.battery` — the Section 4.2 battery-drain attack and
+  the Figure 6 power sweep;
+* :mod:`repro.core.sensing_app` — the Section 4.3 single-device sensing
+  opportunity (modify one hub, sense through everyone's ACKs);
+* :mod:`repro.core.defenses` — the Section 2.2 "why this is not
+  preventable" analysis, quantified.
+"""
+
+from repro.core.battery import BatteryDrainAttack, PowerSweepPoint
+from repro.core.defenses import DefenseAnalysis, DeadlineRow
+from repro.core.injector import FakeFrameInjector, InjectionStream
+from repro.core.keystroke import KeystrokeInferenceAttack, KeystrokeAttackResult
+from repro.core.localization import (
+    AckRangingSensor,
+    LocalizationAttack,
+    LocalizationResult,
+    RangingMeasurement,
+    trilaterate,
+)
+from repro.core.monitor import AckMonitor
+from repro.core.probe import PoliteWiFiProbe, ProbeResult
+from repro.core.sensing_app import SingleDeviceSensingHub
+from repro.core.wardrive import WardrivePipeline, WardriveConfig
+
+__all__ = [
+    "AckMonitor",
+    "AckRangingSensor",
+    "LocalizationAttack",
+    "LocalizationResult",
+    "RangingMeasurement",
+    "trilaterate",
+    "BatteryDrainAttack",
+    "DeadlineRow",
+    "DefenseAnalysis",
+    "FakeFrameInjector",
+    "InjectionStream",
+    "KeystrokeAttackResult",
+    "KeystrokeInferenceAttack",
+    "PoliteWiFiProbe",
+    "PowerSweepPoint",
+    "ProbeResult",
+    "SingleDeviceSensingHub",
+    "WardriveConfig",
+    "WardrivePipeline",
+]

@@ -1,0 +1,145 @@
+"""Battery-drain attack (Section 4.2, Figure 6).
+
+Bombard a power-save IoT device with fake frames and watch its average
+power.  The mechanics: every received frame (a) must be acknowledged —
+TX energy, (b) resets the power-save inactivity timer — so above
+~10 packets/s the radio never sleeps, and (c) costs fixed per-frame
+processing energy — the linear term.  The paper measures ~10 mW
+unattacked, ~230 mW once pinned awake, and ~360 mW at 900 packets/s
+(35×), draining a Logitech Circle 2 in ~6.7 h and a Blink XT2 in
+~16.7 h.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.injector import FakeFrameInjector, InjectionStream
+from repro.devices.battery import BatteryPoweredCamera
+from repro.devices.dongle import MonitorDongle
+from repro.devices.esp import Esp8266Device
+from repro.mac.addresses import ATTACKER_FAKE_MAC, MacAddress
+from repro.phy.radio import RadioState
+
+
+@dataclass
+class PowerSweepPoint:
+    """One point of the Figure 6 curve."""
+
+    rate_pps: float
+    average_power_mw: float
+    sleep_fraction: float
+    frames_received: int
+    acks_transmitted: int
+
+    @property
+    def radio_pinned_awake(self) -> bool:
+        return self.sleep_fraction < 0.05
+
+
+@dataclass
+class BatteryLifeProjection:
+    """Section 4.2's camera case-study arithmetic."""
+
+    camera: BatteryPoweredCamera
+    attack_power_mw: float
+
+    @property
+    def hours_under_attack(self) -> float:
+        return self.camera.hours_under_attack(self.attack_power_mw)
+
+    @property
+    def advertised_hours(self) -> float:
+        return self.camera.advertised_lifetime_hours
+
+    @property
+    def reduction_factor(self) -> float:
+        return self.camera.lifetime_reduction_factor(self.attack_power_mw)
+
+
+class BatteryDrainAttack:
+    """Measure a victim's power draw under paced fake-frame bombardment."""
+
+    def __init__(
+        self,
+        attacker: MonitorDongle,
+        victim: Esp8266Device,
+        fake_source: MacAddress = ATTACKER_FAKE_MAC,
+    ) -> None:
+        if victim.accountant is None:
+            raise ValueError("the victim needs a power profile to measure")
+        self.attacker = attacker
+        self.victim = victim
+        self.injector = FakeFrameInjector(attacker, fake_source)
+        self.engine = attacker.engine
+
+    # ------------------------------------------------------------------
+    # Single measurement
+    # ------------------------------------------------------------------
+    def measure_power(
+        self,
+        rate_pps: float,
+        duration_s: float = 10.0,
+        settle_s: float = 1.0,
+    ) -> PowerSweepPoint:
+        """Average power of the victim at one attack rate.
+
+        ``rate_pps=0`` measures the unattacked baseline (power save
+        working).  A settle period before the measurement window lets the
+        power-save state machine reach steady state.
+        """
+        accountant = self.victim.accountant
+        assert accountant is not None
+        stream: Optional[InjectionStream] = None
+        if rate_pps > 0.0:
+            stream = self.injector.start_stream(self.victim.mac, rate_pps)
+        self.engine.run_until(self.engine.now + settle_s)
+        accountant.reset_window()
+        acks_before = self.victim.ack_engine.stats.acks_sent
+        self.engine.run_until(self.engine.now + duration_s)
+        power = accountant.average_power_mw()
+        point = PowerSweepPoint(
+            rate_pps=rate_pps,
+            average_power_mw=power,
+            sleep_fraction=accountant.duty_cycle(RadioState.SLEEP),
+            frames_received=accountant.frames_processed,
+            acks_transmitted=self.victim.ack_engine.stats.acks_sent - acks_before,
+        )
+        if stream is not None:
+            stream.stop()
+            # Drain in-flight frames so the next sweep point starts clean.
+            self.engine.run_until(self.engine.now + 0.2)
+        return point
+
+    # ------------------------------------------------------------------
+    # The Figure 6 sweep
+    # ------------------------------------------------------------------
+    def sweep(
+        self,
+        rates_pps: Sequence[float] = (0, 1, 5, 10, 25, 50, 100, 200, 400, 600, 900),
+        duration_s: float = 10.0,
+    ) -> List[PowerSweepPoint]:
+        """Power vs fake-frame rate — the Figure 6 series."""
+        return [self.measure_power(rate, duration_s) for rate in rates_pps]
+
+    # ------------------------------------------------------------------
+    # Camera projections
+    # ------------------------------------------------------------------
+    @staticmethod
+    def project(
+        cameras: Sequence[BatteryPoweredCamera], attack_power_mw: float
+    ) -> List[BatteryLifeProjection]:
+        return [
+            BatteryLifeProjection(camera=camera, attack_power_mw=attack_power_mw)
+            for camera in cameras
+        ]
+
+    @staticmethod
+    def amplification(points: Sequence[PowerSweepPoint]) -> float:
+        """Max power ÷ baseline power (the paper's 35×)."""
+        baseline = next((p for p in points if p.rate_pps == 0), None)
+        if baseline is None or baseline.average_power_mw <= 0.0:
+            return 0.0
+        peak = max(p.average_power_mw for p in points)
+        return peak / baseline.average_power_mw

@@ -1,0 +1,182 @@
+"""Why Polite WiFi is not preventable (Section 2.2, quantified).
+
+Three results, each runnable as an experiment:
+
+1. **The deadline analysis.**  The ACK must start one SIFS (10/16 µs)
+   after the frame ends; validating a WPA2 frame takes 200–700 µs.  The
+   deadline table sweeps decoder classes × frame sizes and reports the
+   margin — negative by 1–2 orders of magnitude everywhere, including a
+   hypothetical 10×-faster ASIC.
+
+2. **The checking-device experiment.**  A strawman receiver that refuses
+   to ACK until validation completes is simulated against a *legitimate*
+   transmitter: every ACK misses the timeout, the transmitter
+   retransmits every frame to exhaustion, and goodput collapses.  A
+   standard that waited for validation would break WiFi, not fix it.
+
+3. **The RTS/CTS fallback.**  Even a receiver with an instant, perfect
+   validator must answer RTS with CTS (control frames cannot be
+   encrypted — every neighbour must parse them for channel reservation).
+   The probe still gets its response; only the frame type changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.crypto.timing_model import DecodeTimingModel, DecoderClass
+from repro.mac.ack_engine import AckEngineConfig
+from repro.phy.constants import Band, sifs
+
+#: Frame sizes swept in the deadline table: a null frame, a small packet,
+#: a typical TCP segment, an MTU-sized frame.
+DEADLINE_FRAME_SIZES = (0, 100, 576, 1500)
+
+
+@dataclass(frozen=True)
+class DeadlineRow:
+    """One row of the SIFS-vs-decode-time table."""
+
+    decoder_class: DecoderClass
+    payload_bytes: int
+    band: Band
+    sifs_s: float
+    decode_time_s: float
+
+    @property
+    def meets_deadline(self) -> bool:
+        return self.decode_time_s <= self.sifs_s
+
+    @property
+    def overshoot_factor(self) -> float:
+        """How many times over budget the validation lands."""
+        return self.decode_time_s / self.sifs_s
+
+
+@dataclass
+class CheckingDeviceReport:
+    """Outcome of the strawman validate-before-ACK receiver."""
+
+    frames_offered: int
+    frames_eventually_acked_in_time: int
+    acks_sent_late: int
+    retransmissions: int
+    delivery_failures: int
+
+    @property
+    def timely_ack_rate(self) -> float:
+        if self.frames_offered == 0:
+            return 0.0
+        return self.frames_eventually_acked_in_time / self.frames_offered
+
+
+class DefenseAnalysis:
+    """The Section 2.2 defense-feasibility toolkit."""
+
+    # ------------------------------------------------------------------
+    # 1. Deadline table
+    # ------------------------------------------------------------------
+    @staticmethod
+    def deadline_table(
+        decoder_classes: Optional[List[DecoderClass]] = None,
+        payload_sizes: Tuple[int, ...] = DEADLINE_FRAME_SIZES,
+        bands: Tuple[Band, ...] = (Band.GHZ_2_4, Band.GHZ_5),
+    ) -> List[DeadlineRow]:
+        classes = decoder_classes or list(DecoderClass)
+        rows = []
+        for decoder_class in classes:
+            model = DecodeTimingModel(decoder_class)
+            for band in bands:
+                for size in payload_sizes:
+                    rows.append(
+                        DeadlineRow(
+                            decoder_class=decoder_class,
+                            payload_bytes=size,
+                            band=band,
+                            sifs_s=sifs(band),
+                            decode_time_s=model.decode_time(size),
+                        )
+                    )
+        return rows
+
+    @staticmethod
+    def any_feasible(rows: List[DeadlineRow]) -> bool:
+        """Does *any* decoder/band/size combination meet the deadline?
+
+        The paper's answer — and ours — is no.
+        """
+        return any(row.meets_deadline for row in rows)
+
+    @staticmethod
+    def render_deadline_table(rows: List[DeadlineRow]) -> str:
+        lines = [
+            f"{'decoder':<20}{'band':<8}{'payload':>8}  "
+            f"{'SIFS':>9}{'decode':>11}{'over budget':>13}",
+            "-" * 72,
+        ]
+        for row in rows:
+            lines.append(
+                f"{row.decoder_class.value:<20}{row.band.value:<8}"
+                f"{row.payload_bytes:>7}B  "
+                f"{row.sifs_s * 1e6:>7.1f}us"
+                f"{row.decode_time_s * 1e6:>9.1f}us"
+                f"{row.overshoot_factor:>11.1f}x"
+            )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # 2. Checking-device strawman configuration
+    # ------------------------------------------------------------------
+    @staticmethod
+    def checking_device_config(
+        band: Band = Band.GHZ_2_4,
+        decoder_class: DecoderClass = DecoderClass.MAINSTREAM,
+        temporal_key: Optional[bytes] = None,
+    ) -> AckEngineConfig:
+        """An ACK-engine config for the hypothetical device that validates
+        before acknowledging.  Plug into a Device's ``ack_config``."""
+        return AckEngineConfig(
+            band=band,
+            validate_before_ack=True,
+            validator=DecodeTimingModel(decoder_class, temporal_key=temporal_key),
+        )
+
+    @staticmethod
+    def summarize_checking_device(
+        frames_offered: int,
+        late_acks: int,
+        suppressed: int,
+        retransmissions: int,
+        delivery_failures: int,
+    ) -> CheckingDeviceReport:
+        return CheckingDeviceReport(
+            frames_offered=frames_offered,
+            frames_eventually_acked_in_time=max(
+                frames_offered - late_acks - suppressed, 0
+            ),
+            acks_sent_late=late_acks,
+            retransmissions=retransmissions,
+            delivery_failures=delivery_failures,
+        )
+
+    # ------------------------------------------------------------------
+    # 3. RTS/CTS fallback arithmetic
+    # ------------------------------------------------------------------
+    @staticmethod
+    def control_frames_encryptable() -> bool:
+        """Control frames cannot be encrypted: every nearby device —
+        associated or not — must parse RTS/CTS to honour channel
+        reservation.  (802.11w protects *management* frames only.)"""
+        return False
+
+    @staticmethod
+    def required_speedup_for_deadline(
+        decoder_class: DecoderClass = DecoderClass.MAINSTREAM,
+        payload_bytes: int = 0,
+        band: Band = Band.GHZ_2_4,
+    ) -> float:
+        """How many times faster validation would need to become to fit in
+        SIFS — and even then, the RTS/CTS path remains open."""
+        model = DecodeTimingModel(decoder_class)
+        return model.decode_time(payload_bytes) / sifs(band)

@@ -1,0 +1,179 @@
+"""Keystroke/activity inference via ACK CSI (Section 4.1, Figure 5).
+
+The attack, as the paper runs it: an ESP32 in a *different room*, with no
+access to the victim's network and no key, sends 150 fake frames per
+second at a Surface Pro and measures the CSI of the ACKs.  The amplitude
+of subcarrier 17 is flat while the tablet lies on the ground, churns when
+a user picks it up, wobbles gently while held, and bursts while typed on.
+
+:class:`KeystrokeInferenceAttack` wires the injector stream to an ESP32
+CSI sniffer, exposes the Figure 5 amplitude series, and runs the sensing
+pipeline (segmentation + activity classification) over it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.channel.motion import ScheduledMotion
+from repro.core.injector import FakeFrameInjector, InjectionStream
+from repro.devices.esp import Esp32CsiSniffer
+from repro.mac.addresses import ATTACKER_FAKE_MAC, MacAddress
+from repro.sensing.csi_processing import CsiSeries, hampel_filter, resample_uniform
+from repro.sensing.features import WindowFeatures, extract_features, sliding_windows
+from repro.sensing.keystroke_classifier import ActivityClassifier, ActivityLabel
+from repro.sensing.segmentation import ActivitySegment, segment_by_variance
+
+#: The paper's injection rate for this attack.
+PAPER_INJECTION_RATE_PPS = 150.0
+
+#: The subcarrier Figure 5 plots.
+PAPER_SUBCARRIER = 17
+
+
+@dataclass
+class KeystrokeAttackResult:
+    """Everything the attack extracts from one recording."""
+
+    series: CsiSeries
+    frames_injected: int
+    acks_measured: int
+    segments: List[ActivitySegment] = field(default_factory=list)
+    window_labels: List[Tuple[float, float, ActivityLabel]] = field(
+        default_factory=list
+    )
+
+    @property
+    def measurement_rate_hz(self) -> float:
+        return self.series.mean_rate_hz
+
+    @property
+    def ack_yield(self) -> float:
+        """ACKs measured per frame injected (loss-adjusted)."""
+        if self.frames_injected == 0:
+            return 0.0
+        return self.acks_measured / self.frames_injected
+
+    def labels_between(self, start: float, end: float) -> List[ActivityLabel]:
+        return [
+            label
+            for w_start, w_end, label in self.window_labels
+            if w_start < end and w_end > start
+        ]
+
+
+class KeystrokeInferenceAttack:
+    """150 fake frames/s + ACK CSI + sensing pipeline."""
+
+    def __init__(
+        self,
+        esp32: Esp32CsiSniffer,
+        victim_mac: MacAddress,
+        fake_source: MacAddress = ATTACKER_FAKE_MAC,
+        rate_pps: float = PAPER_INJECTION_RATE_PPS,
+        subcarrier: int = PAPER_SUBCARRIER,
+    ) -> None:
+        if esp32.expected_ack_ra != MacAddress(fake_source):
+            raise ValueError(
+                "the ESP32 sniffer must expect ACKs to the spoofed source "
+                "(construct it with expected_ack_ra=fake_source)"
+            )
+        self.esp32 = esp32
+        self.victim_mac = MacAddress(victim_mac)
+        self.rate_pps = rate_pps
+        self.subcarrier = subcarrier
+        self.injector = FakeFrameInjector(esp32, fake_source)
+        self._stream: Optional[InjectionStream] = None
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, duration_s: float) -> KeystrokeAttackResult:
+        """Inject for ``duration_s`` and collect the CSI recording."""
+        engine = self.esp32.engine
+        self.esp32.clear()
+        self._stream = self.injector.start_stream(self.victim_mac, self.rate_pps)
+        engine.run_until(engine.now + duration_s)
+        self._stream.stop()
+        return self._collect(self._stream.frames_sent)
+
+    def _collect(self, frames_injected: int) -> KeystrokeAttackResult:
+        ack_samples = [s for s in self.esp32.samples if s.is_ack]
+        subcarrier_index = _subcarrier_index(self.esp32, self.subcarrier)
+        times = np.array([s.time for s in ack_samples])
+        amplitudes = np.array([s.amplitude(subcarrier_index) for s in ack_samples])
+        series = CsiSeries(times, amplitudes, self.subcarrier)
+        return KeystrokeAttackResult(
+            series=series,
+            frames_injected=frames_injected,
+            acks_measured=len(ack_samples),
+        )
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+    @staticmethod
+    def analyze(
+        result: KeystrokeAttackResult,
+        classifier: Optional[ActivityClassifier] = None,
+        resample_hz: float = 50.0,
+        window_s: float = 2.0,
+        step_s: float = 1.0,
+    ) -> KeystrokeAttackResult:
+        """Fill in segmentation (and classification, if a trained
+        classifier is supplied) on a collected recording."""
+        if len(result.series) < 8:
+            return result
+        cleaned = CsiSeries(
+            result.series.times,
+            hampel_filter(result.series.amplitudes),
+            result.series.subcarrier,
+        )
+        uniform = resample_uniform(cleaned, resample_hz)
+        result.segments = segment_by_variance(uniform)
+        if classifier is not None and classifier.is_fitted:
+            labels = []
+            for window in sliding_windows(uniform, window_s, step_s):
+                features = extract_features(window)
+                labels.append(
+                    (features.start, features.end, classifier.predict(features))
+                )
+            result.window_labels = labels
+        return result
+
+    @staticmethod
+    def training_windows(
+        series: CsiSeries,
+        scenario: ScheduledMotion,
+        resample_hz: float = 50.0,
+        window_s: float = 2.0,
+        step_s: float = 1.0,
+    ) -> List[Tuple[WindowFeatures, ActivityLabel]]:
+        """Label windows of a calibration recording by the ground-truth
+        motion timeline (windows straddling a transition are skipped)."""
+        cleaned = CsiSeries(
+            series.times, hampel_filter(series.amplitudes), series.subcarrier
+        )
+        uniform = resample_uniform(cleaned, resample_hz)
+        samples: List[Tuple[WindowFeatures, ActivityLabel]] = []
+        for window in sliding_windows(uniform, window_s, step_s):
+            start_label = scenario.label_at(float(window.times[0]))
+            end_label = scenario.label_at(float(window.times[-1]))
+            if start_label != end_label:
+                continue
+            try:
+                label = ActivityLabel.from_string(start_label)
+            except ValueError:
+                continue
+            samples.append((extract_features(window), label))
+        return samples
+
+
+def _subcarrier_index(esp32: Esp32CsiSniffer, subcarrier: int) -> int:
+    """Array index of a subcarrier number in the sniffer's CSI vectors."""
+    from repro.channel.csi import Subcarriers
+
+    return Subcarriers().array_index(subcarrier)

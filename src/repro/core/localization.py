@@ -1,0 +1,227 @@
+"""Localization through ACK timing — the intro's localization threat.
+
+The paper's introduction lists localization among the threats Polite WiFi
+enables (later realized by the Wi-Peep follow-up work): because the ACK
+departs a *fixed* SIFS after the frame ends, the attacker can use the
+fake-frame → ACK round trip as a time-of-flight ranging primitive against
+devices that never agreed to participate:
+
+``RTT = frame_airtime + propagation + SIFS + ack_airtime + propagation``
+
+Everything in that sum except the two propagation legs is known from the
+standard, so ``distance = (RTT − deterministic) · c / 2``.  Individual
+measurements are dominated by receive-timestamp jitter (tens of
+nanoseconds ⇒ metres), but averaging over a burst of probes shrinks the
+error as 1/√N, and ranging from three or more attacker positions
+trilaterates the victim.
+
+:class:`AckRangingSensor` produces per-burst distance estimates;
+:func:`trilaterate` solves the multi-anchor position fix;
+:class:`LocalizationAttack` composes the two into "fly around the
+building, locate the devices inside".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.injector import FakeFrameInjector
+from repro.devices.dongle import MonitorDongle
+from repro.mac.addresses import ATTACKER_FAKE_MAC, MacAddress
+from repro.mac.frames import Frame
+from repro.phy.constants import Band, sifs
+from repro.phy.plcp import ack_airtime, frame_airtime
+from repro.phy.rates import ack_rate_for
+from repro.sim.medium import Reception
+from repro.sim.world import SPEED_OF_LIGHT, Position
+
+#: Default one-sigma receive-timestamp jitter.  40 MHz sampling gives
+#: 25 ns resolution; Wi-Peep-class hardware achieves tens of ns after
+#: calibration.
+DEFAULT_TIMESTAMP_JITTER_S = 25e-9
+
+
+@dataclass
+class RangingMeasurement:
+    """Distance estimate from one burst of probes at one position."""
+
+    target: MacAddress
+    anchor: Position
+    distance_m: float
+    std_m: float
+    samples: int
+
+    @property
+    def standard_error_m(self) -> float:
+        if self.samples <= 1:
+            return self.std_m
+        return self.std_m / np.sqrt(self.samples)
+
+
+class AckRangingSensor:
+    """Fake-frame time-of-flight ranging through one monitor dongle."""
+
+    def __init__(
+        self,
+        dongle: MonitorDongle,
+        fake_source: MacAddress = ATTACKER_FAKE_MAC,
+        band: Band = Band.GHZ_2_4,
+        rate_mbps: float = 6.0,
+        timestamp_jitter_s: float = DEFAULT_TIMESTAMP_JITTER_S,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.dongle = dongle
+        self.fake_source = MacAddress(fake_source)
+        self.band = band
+        self.rate_mbps = rate_mbps
+        self.timestamp_jitter_s = timestamp_jitter_s
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self.injector = FakeFrameInjector(dongle, fake_source, band, rate_mbps)
+        self._await_ack = False
+        self._ack_end: Optional[float] = None
+        dongle.add_listener(self._on_frame)
+
+    def _on_frame(self, frame: Frame, reception: Reception) -> None:
+        if self._await_ack and frame.is_ack and frame.addr1 == self.fake_source:
+            self._ack_end = reception.end
+            self._await_ack = False
+
+    def _deterministic_span(self, frame_length: int) -> float:
+        """The known part of the round trip (everything but propagation)."""
+        response_rate = ack_rate_for(self.rate_mbps)
+        return (
+            frame_airtime(frame_length, self.rate_mbps)
+            + sifs(self.band)
+            + ack_airtime(response_rate)
+        )
+
+    def range_target(
+        self,
+        target: MacAddress,
+        probes: int = 50,
+        probe_spacing_s: float = 0.002,
+    ) -> Optional[RangingMeasurement]:
+        """Burst-probe ``target`` and estimate the distance.
+
+        Runs the engine inline (like :meth:`PoliteWiFiProbe.probe`); each
+        probe contributes one RTT sample unless it is lost.  Returns
+        ``None`` when no probe was answered.
+        """
+        engine = self.dongle.engine
+        distances: List[float] = []
+        anchor = self.dongle.radio.current_position(engine.now)
+        for _ in range(probes):
+            frame = self.injector.craft_null(target)
+            span = self._deterministic_span(frame.wire_length())
+            t0 = engine.now
+            self._await_ack = True
+            self._ack_end = None
+            self.injector.inject(frame)
+            engine.run_until(t0 + span + 50e-6)
+            self._await_ack = False
+            if self._ack_end is None:
+                continue
+            observed = self._ack_end - t0
+            observed += float(self._rng.normal(0.0, self.timestamp_jitter_s))
+            flight = (observed - span) / 2.0
+            distances.append(max(flight, 0.0) * SPEED_OF_LIGHT)
+            engine.run_until(engine.now + probe_spacing_s)
+        if not distances:
+            return None
+        return RangingMeasurement(
+            target=MacAddress(target),
+            anchor=anchor,
+            distance_m=float(np.mean(distances)),
+            std_m=float(np.std(distances)),
+            samples=len(distances),
+        )
+
+
+def trilaterate(measurements: Sequence[RangingMeasurement]) -> Position:
+    """Least-squares 2-D position fix from ≥3 ranging measurements.
+
+    Uses the standard linearization: subtracting the first anchor's circle
+    equation from the others yields a linear system in (x, y).  Anchors
+    must not be collinear (the system is then singular and ``ValueError``
+    is raised).  The z coordinate is taken from the mean anchor height —
+    vertical resolution would need anchors at spread heights.
+    """
+    if len(measurements) < 3:
+        raise ValueError("trilateration needs at least three measurements")
+    reference = measurements[0]
+    x0, y0 = reference.anchor.x, reference.anchor.y
+    r0 = reference.distance_m
+    rows = []
+    rhs = []
+    for m in measurements[1:]:
+        xi, yi, ri = m.anchor.x, m.anchor.y, m.distance_m
+        rows.append([2.0 * (xi - x0), 2.0 * (yi - y0)])
+        rhs.append(r0**2 - ri**2 + xi**2 - x0**2 + yi**2 - y0**2)
+    matrix = np.array(rows)
+    vector = np.array(rhs)
+    if np.linalg.matrix_rank(matrix) < 2:
+        raise ValueError("anchors are collinear; cannot trilaterate")
+    solution, *_ = np.linalg.lstsq(matrix, vector, rcond=None)
+    z = float(np.mean([m.anchor.z for m in measurements]))
+    return Position(float(solution[0]), float(solution[1]), z)
+
+
+@dataclass
+class LocalizationResult:
+    target: MacAddress
+    estimated: Position
+    measurements: List[RangingMeasurement]
+    truth: Optional[Position] = None
+
+    @property
+    def error_m(self) -> Optional[float]:
+        if self.truth is None:
+            return None
+        # Horizontal error; height is not resolvable from coplanar anchors.
+        return float(
+            np.hypot(
+                self.estimated.x - self.truth.x, self.estimated.y - self.truth.y
+            )
+        )
+
+
+class LocalizationAttack:
+    """Range a victim from several attacker positions and trilaterate.
+
+    The dongle is repositioned between bursts (a walk or drone pass); in
+    the simulator that is a mutable position provider.
+    """
+
+    def __init__(self, sensor: AckRangingSensor) -> None:
+        self.sensor = sensor
+        self._position = Position(0, 0)
+        # Take over the dongle's position with a mutable provider.
+        self.sensor.dongle.radio._position = lambda time: self._position
+
+    def locate(
+        self,
+        target: MacAddress,
+        anchor_positions: Sequence[Position],
+        probes_per_anchor: int = 50,
+        truth: Optional[Position] = None,
+    ) -> LocalizationResult:
+        measurements = []
+        for anchor in anchor_positions:
+            self._position = anchor
+            measurement = self.sensor.range_target(target, probes=probes_per_anchor)
+            if measurement is not None:
+                measurements.append(measurement)
+        if len(measurements) < 3:
+            raise RuntimeError(
+                f"only {len(measurements)} anchors produced ranges; need 3"
+            )
+        estimated = trilaterate(measurements)
+        return LocalizationResult(
+            target=MacAddress(target),
+            estimated=estimated,
+            measurements=measurements,
+            truth=truth,
+        )

@@ -1,0 +1,161 @@
+"""The Polite WiFi probe: does this stranger answer?
+
+One probe = inject a fake frame at a target, listen for the ACK that the
+target's PHY must emit one SIFS later, retry a few times against channel
+noise.  This is the primitive behind Figure 2, Table 1, and the 5,328-
+device survey — the paper's core observable, packaged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.core.injector import FakeFrameInjector
+from repro.core.monitor import AckMonitor
+from repro.mac.addresses import ATTACKER_FAKE_MAC, MacAddress
+from repro.devices.dongle import MonitorDongle
+from repro.phy.constants import Band, sifs
+from repro.phy.plcp import ack_airtime, cts_airtime, frame_airtime
+from repro.phy.rates import ack_rate_for
+from repro.sim.medium import Reception
+
+#: Timing slack beyond the deterministic frame + SIFS + response airtime
+#: (propagation, scheduling quantization).
+PROBE_WINDOW_SLACK = 100e-6
+
+
+@dataclass
+class ProbeResult:
+    """Outcome of probing one target."""
+
+    target: MacAddress
+    responded: bool
+    attempts: int
+    elapsed_s: float
+    ack_rssi_dbm: Optional[float] = None
+    ack_latency_s: Optional[float] = None
+    kind: str = "null"
+
+
+class PoliteWiFiProbe:
+    """Inject-and-verify against a single target.
+
+    The probe machinery is asynchronous (everything in the simulator is);
+    :meth:`probe` is a synchronous convenience that drives the engine
+    until the verdict is in — the shape most tests and examples want.
+    """
+
+    def __init__(
+        self,
+        dongle: MonitorDongle,
+        fake_source: MacAddress = ATTACKER_FAKE_MAC,
+        band: Band = Band.GHZ_2_4,
+        rate_mbps: float = 6.0,
+        attempts: int = 3,
+    ) -> None:
+        self.dongle = dongle
+        self.band = band
+        self.rate_mbps = rate_mbps
+        self.attempts = attempts
+        self.injector = FakeFrameInjector(dongle, fake_source, band, rate_mbps)
+        self.monitor = AckMonitor(dongle, fake_source)
+        self.results: List[ProbeResult] = []
+
+    # ------------------------------------------------------------------
+    # Windows
+    # ------------------------------------------------------------------
+    def _response_window(self, frame_length: int, kind: str) -> float:
+        """How long after injection the response can possibly arrive."""
+        response_rate = ack_rate_for(self.rate_mbps)
+        response_airtime = (
+            cts_airtime(response_rate) if kind == "rts" else ack_airtime(response_rate)
+        )
+        return (
+            frame_airtime(frame_length, self.rate_mbps)
+            + sifs(self.band)
+            + response_airtime
+            + PROBE_WINDOW_SLACK
+        )
+
+    # ------------------------------------------------------------------
+    # Asynchronous probe
+    # ------------------------------------------------------------------
+    def probe_async(
+        self,
+        target: MacAddress,
+        on_result: Callable[[ProbeResult], None],
+        kind: str = "null",
+    ) -> None:
+        """Probe ``target``; deliver a :class:`ProbeResult` when resolved."""
+        target = MacAddress(target)
+        engine = self.dongle.engine
+        started = engine.now
+        crafters = {
+            "null": self.injector.craft_null,
+            "qos_null": self.injector.craft_qos_null,
+            "rts": self.injector.craft_rts,
+            "data": self.injector.craft_garbage_data,
+        }
+        if kind not in crafters:
+            raise ValueError(f"unknown probe kind {kind!r}")
+        state = {"attempt": 0}
+
+        def attempt() -> None:
+            state["attempt"] += 1
+            frame = crafters[kind](target)
+            window = self._response_window(frame.wire_length(), kind)
+            self.monitor.expect_ack(
+                target,
+                window,
+                on_ack=lambda reception: finish(True, reception),
+                on_timeout=retry_or_fail,
+            )
+            self.injector.inject(frame)
+
+        def retry_or_fail() -> None:
+            if state["attempt"] < self.attempts:
+                # Brief pause between attempts, like a retransmitting NIC.
+                engine.call_after(500e-6, attempt)
+            else:
+                finish(False, None)
+
+        def finish(responded: bool, reception: Optional[Reception]) -> None:
+            result = ProbeResult(
+                target=target,
+                responded=responded,
+                attempts=state["attempt"],
+                elapsed_s=engine.now - started,
+                ack_rssi_dbm=reception.rssi_dbm if reception else None,
+                ack_latency_s=(
+                    reception.end - started if reception is not None else None
+                ),
+                kind=kind,
+            )
+            self.results.append(result)
+            on_result(result)
+
+        attempt()
+
+    # ------------------------------------------------------------------
+    # Synchronous convenience
+    # ------------------------------------------------------------------
+    def probe(self, target: MacAddress, kind: str = "null") -> ProbeResult:
+        """Probe and drive the engine until the verdict is known."""
+        outcome: List[ProbeResult] = []
+        self.probe_async(target, outcome.append, kind)
+        engine = self.dongle.engine
+        # Worst case: all attempts time out, with inter-attempt pauses.
+        horizon = engine.now + self.attempts * 0.05 + 0.1
+        while not outcome and engine.now < horizon:
+            if not engine.step():
+                break
+        if not outcome:
+            raise RuntimeError("probe did not resolve (engine starved)")
+        return outcome[0]
+
+    def probe_all(
+        self, targets: List[MacAddress], kind: str = "null"
+    ) -> List[ProbeResult]:
+        """Sequentially probe many targets (lab-bench style, Table 1)."""
+        return [self.probe(target, kind) for target in targets]

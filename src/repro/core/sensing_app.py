@@ -1,0 +1,157 @@
+"""Single-device WiFi sensing (the Section 4.3 opportunity).
+
+Classic WiFi sensing needs two cooperating, modified devices per covered
+area and 100–1000 packets/s of generated traffic.  Polite WiFi collapses
+that to **one** modified device: an IoT hub transmits fake frames to any
+nearby unmodified WiFi device and measures the CSI of the ACKs.  Every
+thermostat, TV, and speaker in the house becomes a sensing anchor with
+zero changes to its software.
+
+:class:`SingleDeviceSensingHub` round-robins elicitation over a set of
+anchor devices and feeds the per-anchor CSI streams to the estimators in
+:mod:`repro.sensing` (occupancy, breathing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.channel.csi import Subcarriers
+from repro.core.injector import FakeFrameInjector, InjectionStream
+from repro.devices.esp import Esp32CsiSniffer
+from repro.mac.addresses import ATTACKER_FAKE_MAC, MacAddress
+from repro.sensing.breathing import BreathingEstimate, BreathingRateEstimator
+from repro.sensing.csi_processing import CsiSeries
+from repro.sensing.occupancy import OccupancyDetector
+
+
+@dataclass
+class AnchorStream:
+    """CSI collected through one unmodified anchor device."""
+
+    anchor: MacAddress
+    samples_times: List[float] = field(default_factory=list)
+    samples_amplitudes: List[float] = field(default_factory=list)
+
+    def series(self, subcarrier: int = 17) -> CsiSeries:
+        return CsiSeries(
+            np.array(self.samples_times),
+            np.array(self.samples_amplitudes),
+            subcarrier,
+        )
+
+
+class SingleDeviceSensingHub:
+    """An IoT hub doing whole-home sensing through strangers' ACKs."""
+
+    def __init__(
+        self,
+        hub: Esp32CsiSniffer,
+        fake_source: MacAddress = ATTACKER_FAKE_MAC,
+        subcarrier: int = 17,
+        rate_per_anchor_pps: float = 100.0,
+    ) -> None:
+        self.hub = hub
+        self.subcarrier = subcarrier
+        self.rate_per_anchor_pps = rate_per_anchor_pps
+        self.injector = FakeFrameInjector(hub, fake_source)
+        self._subcarrier_index = Subcarriers().array_index(subcarrier)
+        self._anchors: Dict[MacAddress, AnchorStream] = {}
+        self._streams: List[InjectionStream] = []
+        self._pending_anchor: Optional[MacAddress] = None
+        hub.add_listener(self._on_frame)
+        #: The opportunity's deployment cost: exactly one modified device.
+        self.modified_devices = 1
+
+    # ------------------------------------------------------------------
+    # Anchor management
+    # ------------------------------------------------------------------
+    def add_anchor(self, mac: MacAddress) -> None:
+        """Register a nearby *unmodified* device as a sensing anchor."""
+        self._anchors.setdefault(MacAddress(mac), AnchorStream(MacAddress(mac)))
+
+    @property
+    def anchors(self) -> List[MacAddress]:
+        return list(self._anchors)
+
+    def stream_for(self, mac: MacAddress) -> AnchorStream:
+        return self._anchors[MacAddress(mac)]
+
+    # ------------------------------------------------------------------
+    # Sensing run
+    # ------------------------------------------------------------------
+    def sense(self, duration_s: float) -> None:
+        """Elicit ACKs from every anchor for ``duration_s``.
+
+        Anchors are probed on interleaved schedules; ACK→anchor
+        attribution uses the same SIFS-timing trick as the survey: the
+        hub serializes its injections, so the next ACK to the fake MAC
+        belongs to the last-probed anchor.
+        """
+        engine = self.hub.engine
+        if not self._anchors:
+            raise RuntimeError("no anchors registered")
+        anchor_list = list(self._anchors)
+        period = 1.0 / (self.rate_per_anchor_pps * len(anchor_list))
+        state = {"index": 0, "running": True}
+
+        def tick() -> None:
+            if not state["running"]:
+                return
+            anchor = anchor_list[state["index"] % len(anchor_list)]
+            state["index"] += 1
+            self._pending_anchor = anchor
+            self.injector.inject_null(anchor)
+            engine.call_after(period, tick)
+
+        engine.call_after(period, tick)
+        engine.run_until(engine.now + duration_s)
+        state["running"] = False
+
+    def _on_frame(self, frame, reception) -> None:
+        if not frame.is_ack or frame.addr1 != self.injector.fake_source:
+            return
+        if reception.csi is None or self._pending_anchor is None:
+            return
+        stream = self._anchors.get(self._pending_anchor)
+        if stream is None:
+            return
+        stream.samples_times.append(reception.end)
+        stream.samples_amplitudes.append(
+            float(abs(reception.csi[self._subcarrier_index]))
+        )
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def breathing_rate(
+        self, anchor: MacAddress, estimator: Optional[BreathingRateEstimator] = None
+    ) -> Optional[BreathingEstimate]:
+        estimator = estimator or BreathingRateEstimator()
+        return estimator.estimate(self.stream_for(anchor).series(self.subcarrier))
+
+    def occupancy(
+        self,
+        anchor: MacAddress,
+        detector: OccupancyDetector,
+    ) -> float:
+        """Fraction of time motion was detected near ``anchor``."""
+        return detector.occupancy_fraction(
+            self.stream_for(anchor).series(self.subcarrier)
+        )
+
+    def vital_signs(self, anchor: MacAddress):
+        """Breathing + heart rate of a person near ``anchor``.
+
+        Answers the paper's closing open question ("can an attacker
+        estimate vital signs ... from the CSI of their WiFi devices?")
+        through the same single-device pipeline.
+        """
+        from repro.sensing.vitals import VitalSignsEstimator
+
+        return VitalSignsEstimator().estimate(
+            self.stream_for(anchor).series(self.subcarrier)
+        )

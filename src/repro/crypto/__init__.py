@@ -1,0 +1,39 @@
+"""WPA2 security machinery.
+
+The paper's impossibility argument (Section 2.2) is that a receiver would
+need to *decrypt and verify* a frame before acknowledging it, and that
+takes 200–700 µs against a 10 µs SIFS budget.  To make that argument with
+real code rather than an assumption, this package implements the WPA2 data
+path from scratch:
+
+* :mod:`repro.crypto.aes` — AES-128 block cipher (FIPS-197);
+* :mod:`repro.crypto.ccmp` — CCMP (AES-CCM with 8-byte MIC) frame
+  encapsulation per IEEE 802.11-2016 §12.5.3, including AAD/nonce
+  construction from the MAC header and replay-checked decapsulation;
+* :mod:`repro.crypto.wpa2` — PSK→PMK (PBKDF2), PTK derivation (PRF-384)
+  and the 4-way handshake message flow;
+* :mod:`repro.crypto.timing_model` — a decode-latency model calibrated to
+  the published 200–700 µs measurements, used by the defense ablations.
+"""
+
+from repro.crypto.aes import AES128
+from repro.crypto.ccmp import CcmpError, CcmpSession, ccmp_decrypt, ccmp_encrypt
+from repro.crypto.timing_model import DecoderClass, DecodeTimingModel
+from repro.crypto.wpa2 import (
+    FourWayHandshake,
+    derive_pmk,
+    derive_ptk,
+)
+
+__all__ = [
+    "AES128",
+    "CcmpError",
+    "CcmpSession",
+    "DecodeTimingModel",
+    "DecoderClass",
+    "FourWayHandshake",
+    "ccmp_decrypt",
+    "ccmp_encrypt",
+    "derive_pmk",
+    "derive_ptk",
+]

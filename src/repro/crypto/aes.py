@@ -1,0 +1,204 @@
+"""AES-128 block cipher, implemented from scratch (FIPS-197).
+
+Only the forward cipher is required by CCMP (CCM builds both its CTR
+keystream and its CBC-MAC from block *encryption*), but the inverse
+cipher is included for completeness and is exercised by the tests against
+the FIPS-197 appendix vectors.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+# ----------------------------------------------------------------------
+# Tables
+# ----------------------------------------------------------------------
+def _build_sbox() -> List[int]:
+    """Generate the S-box from the multiplicative inverse in GF(2^8)."""
+    # Build inverses via exp/log tables over the AES field (0x11B).
+    exp = [0] * 512
+    log = [0] * 256
+    value = 1
+    for exponent in range(255):
+        exp[exponent] = value
+        log[value] = exponent
+        value ^= (value << 1) ^ (0x11B if value & 0x80 else 0)
+        value &= 0xFF
+    for exponent in range(255, 512):
+        exp[exponent] = exp[exponent - 255]
+
+    sbox = [0] * 256
+    for byte in range(256):
+        inverse = 0 if byte == 0 else exp[255 - log[byte]]
+        # Affine transformation.
+        result = 0x63
+        for shift in range(5):
+            result ^= ((inverse << shift) | (inverse >> (8 - shift))) & 0xFF
+        sbox[byte] = result
+    return sbox
+
+
+_SBOX = _build_sbox()
+_INV_SBOX = [0] * 256
+for _index, _value in enumerate(_SBOX):
+    _INV_SBOX[_value] = _index
+
+_RCON = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36]
+
+
+def _xtime(value: int) -> int:
+    """Multiply by x in GF(2^8)."""
+    value <<= 1
+    if value & 0x100:
+        value ^= 0x11B
+    return value & 0xFF
+
+
+def _gf_multiply(a: int, b: int) -> int:
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a = _xtime(a)
+        b >>= 1
+    return result
+
+
+class AES128:
+    """AES with a 128-bit key operating on 16-byte blocks.
+
+    The state is held column-major as in the standard; rounds are the
+    classic SubBytes/ShiftRows/MixColumns/AddRoundKey sequence with 10
+    rounds and a final round without MixColumns.
+    """
+
+    BLOCK_SIZE = 16
+    ROUNDS = 10
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) != 16:
+            raise ValueError(f"AES-128 key must be 16 bytes, got {len(key)}")
+        self._round_keys = self._expand_key(key)
+
+    # ------------------------------------------------------------------
+    # Key schedule
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _expand_key(key: bytes) -> List[List[int]]:
+        words = [list(key[i : i + 4]) for i in range(0, 16, 4)]
+        for i in range(4, 4 * (AES128.ROUNDS + 1)):
+            previous = list(words[i - 1])
+            if i % 4 == 0:
+                previous = previous[1:] + previous[:1]  # RotWord
+                previous = [_SBOX[b] for b in previous]  # SubWord
+                previous[0] ^= _RCON[i // 4 - 1]
+            words.append([a ^ b for a, b in zip(words[i - 4], previous)])
+        # Group into 16-byte round keys.
+        round_keys = []
+        for round_index in range(AES128.ROUNDS + 1):
+            chunk = words[4 * round_index : 4 * round_index + 4]
+            round_keys.append([byte for word in chunk for byte in word])
+        return round_keys
+
+    # ------------------------------------------------------------------
+    # Round building blocks (state is a flat 16-list, column-major)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _add_round_key(state: List[int], round_key: List[int]) -> None:
+        for i in range(16):
+            state[i] ^= round_key[i]
+
+    @staticmethod
+    def _sub_bytes(state: List[int], box: List[int]) -> None:
+        for i in range(16):
+            state[i] = box[state[i]]
+
+    @staticmethod
+    def _shift_rows(state: List[int]) -> None:
+        # Row r of column c sits at index 4*c + r.
+        for row in range(1, 4):
+            values = [state[4 * column + row] for column in range(4)]
+            values = values[row:] + values[:row]
+            for column in range(4):
+                state[4 * column + row] = values[column]
+
+    @staticmethod
+    def _inv_shift_rows(state: List[int]) -> None:
+        for row in range(1, 4):
+            values = [state[4 * column + row] for column in range(4)]
+            values = values[-row:] + values[:-row]
+            for column in range(4):
+                state[4 * column + row] = values[column]
+
+    @staticmethod
+    def _mix_columns(state: List[int]) -> None:
+        for column in range(4):
+            offset = 4 * column
+            a = state[offset : offset + 4]
+            state[offset + 0] = _xtime(a[0]) ^ _xtime(a[1]) ^ a[1] ^ a[2] ^ a[3]
+            state[offset + 1] = a[0] ^ _xtime(a[1]) ^ _xtime(a[2]) ^ a[2] ^ a[3]
+            state[offset + 2] = a[0] ^ a[1] ^ _xtime(a[2]) ^ _xtime(a[3]) ^ a[3]
+            state[offset + 3] = _xtime(a[0]) ^ a[0] ^ a[1] ^ a[2] ^ _xtime(a[3])
+
+    @staticmethod
+    def _inv_mix_columns(state: List[int]) -> None:
+        for column in range(4):
+            offset = 4 * column
+            a = state[offset : offset + 4]
+            state[offset + 0] = (
+                _gf_multiply(a[0], 14)
+                ^ _gf_multiply(a[1], 11)
+                ^ _gf_multiply(a[2], 13)
+                ^ _gf_multiply(a[3], 9)
+            )
+            state[offset + 1] = (
+                _gf_multiply(a[0], 9)
+                ^ _gf_multiply(a[1], 14)
+                ^ _gf_multiply(a[2], 11)
+                ^ _gf_multiply(a[3], 13)
+            )
+            state[offset + 2] = (
+                _gf_multiply(a[0], 13)
+                ^ _gf_multiply(a[1], 9)
+                ^ _gf_multiply(a[2], 14)
+                ^ _gf_multiply(a[3], 11)
+            )
+            state[offset + 3] = (
+                _gf_multiply(a[0], 11)
+                ^ _gf_multiply(a[1], 13)
+                ^ _gf_multiply(a[2], 9)
+                ^ _gf_multiply(a[3], 14)
+            )
+
+    # ------------------------------------------------------------------
+    # Block operations
+    # ------------------------------------------------------------------
+    def encrypt_block(self, block: bytes) -> bytes:
+        if len(block) != self.BLOCK_SIZE:
+            raise ValueError(f"block must be 16 bytes, got {len(block)}")
+        state = list(block)
+        self._add_round_key(state, self._round_keys[0])
+        for round_index in range(1, self.ROUNDS):
+            self._sub_bytes(state, _SBOX)
+            self._shift_rows(state)
+            self._mix_columns(state)
+            self._add_round_key(state, self._round_keys[round_index])
+        self._sub_bytes(state, _SBOX)
+        self._shift_rows(state)
+        self._add_round_key(state, self._round_keys[self.ROUNDS])
+        return bytes(state)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        if len(block) != self.BLOCK_SIZE:
+            raise ValueError(f"block must be 16 bytes, got {len(block)}")
+        state = list(block)
+        self._add_round_key(state, self._round_keys[self.ROUNDS])
+        for round_index in range(self.ROUNDS - 1, 0, -1):
+            self._inv_shift_rows(state)
+            self._sub_bytes(state, _INV_SBOX)
+            self._add_round_key(state, self._round_keys[round_index])
+            self._inv_mix_columns(state)
+        self._inv_shift_rows(state)
+        self._sub_bytes(state, _INV_SBOX)
+        self._add_round_key(state, self._round_keys[0])
+        return bytes(state)

@@ -1,0 +1,61 @@
+"""Device models.
+
+Everything that owns a radio: client stations, access points (with the
+deauth-on-unknown and blocklist behaviours of Section 2.1), the ESP8266
+power-save target of the battery-drain experiment, the ESP32 CSI sniffer,
+the attacker's RTL8812AU-class monitor dongle, chipset profiles for the
+paper's Table 1 lab devices, the vendor/OUI census behind Table 2, and
+the power/battery accounting behind Figure 6.
+"""
+
+from repro.devices.access_point import AccessPoint, ApBehavior
+from repro.devices.base import Device, DeviceKind
+from repro.devices.battery import (
+    BLINK_XT2,
+    LOGITECH_CIRCLE2,
+    Battery,
+    BatteryPoweredCamera,
+)
+from repro.devices.chipsets import (
+    TABLE1_DEVICES,
+    ChipsetProfile,
+    build_lab_device,
+)
+from repro.devices.dongle import MonitorDongle
+from repro.devices.esp import Esp32CsiSniffer, Esp8266Device
+from repro.devices.power_model import (
+    ESP8266_PROFILE,
+    EnergyAccountant,
+    PowerProfile,
+)
+from repro.devices.station import Station, StationState
+from repro.devices.vendors import (
+    AP_VENDOR_CENSUS,
+    CLIENT_VENDOR_CENSUS,
+    VendorDatabase,
+)
+
+__all__ = [
+    "AP_VENDOR_CENSUS",
+    "AccessPoint",
+    "ApBehavior",
+    "BLINK_XT2",
+    "Battery",
+    "BatteryPoweredCamera",
+    "CLIENT_VENDOR_CENSUS",
+    "ChipsetProfile",
+    "Device",
+    "DeviceKind",
+    "ESP8266_PROFILE",
+    "EnergyAccountant",
+    "Esp32CsiSniffer",
+    "Esp8266Device",
+    "LOGITECH_CIRCLE2",
+    "MonitorDongle",
+    "PowerProfile",
+    "Station",
+    "StationState",
+    "TABLE1_DEVICES",
+    "VendorDatabase",
+    "build_lab_device",
+]

@@ -1,0 +1,328 @@
+"""Access point: beaconing, association handling, and the Section 2.1
+behaviours the paper observed on real APs.
+
+Two quirks from the paper are modelled explicitly:
+
+* **deauth-on-unknown** — some APs react to the attacker's fake data
+  frames by bursting deauthentication frames at the spoofed address
+  ("leave the network!"), even though that address was never associated.
+  Because the attacker's monitor interface never acknowledges them, the
+  AP retransmits each deauth — which is why Figure 3 shows the same
+  sequence number three times.  And the AP *still* acknowledges the next
+  fake frame, because the ACK engine sits below all of this.
+* **MAC blocklists** — blocking the attacker's address drops its frames
+  at the MAC filter, but the filter runs above the ACK engine, so the
+  ACKs keep flowing ("this experiment destroyed the last hope of
+  preventing this attack").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+from repro.crypto.ccmp import CcmpError, CcmpSession
+from repro.crypto.wpa2 import FourWayHandshake, derive_pmk, tk_of
+from repro.devices.base import Device, DeviceKind
+from repro.mac import llc
+from repro.mac.addresses import BROADCAST, MacAddress
+from repro.mac.frames import (
+    AssocResponseFrame,
+    AuthFrame,
+    BeaconFrame,
+    DataFrame,
+    DeauthFrame,
+    Frame,
+    ProbeResponseFrame,
+)
+from repro.sim.medium import Reception
+
+
+@dataclass
+class ApBehavior:
+    """Per-chipset AP personality knobs."""
+
+    beacon_interval: float = 0.1024
+    deauth_on_unknown: bool = False
+    deauth_retry_limit: int = 2  # 1 + 2 retries = the 3 copies of Figure 3
+    deauth_cooldown: float = 0.5  # at most one burst per source per cooldown
+    pmf: bool = False
+    #: Answer wildcard (broadcast-SSID) probe requests.  Real APs mostly
+    #: do; the dense synthetic city disables it because a single wildcard
+    #: probe answered by every AP in range creates response/retry storms
+    #: that dominate simulation cost without affecting any result (the
+    #: survey discovers APs from their beacons).
+    respond_to_wildcard_probe: bool = True
+
+
+@dataclass
+class _Association:
+    station: MacAddress
+    state: str = "authenticated"  # authenticated → associated → keyed
+    handshake: Optional[FourWayHandshake] = None
+    session: Optional[CcmpSession] = None
+    association_id: int = 0
+
+
+class AccessPoint(Device):
+    """A WPA2-PSK access point."""
+
+    def __init__(
+        self,
+        *args,
+        ssid: str = "PoliteNet",
+        passphrase: Optional[str] = "correct horse battery",
+        behavior: Optional[ApBehavior] = None,
+        **kwargs,
+    ) -> None:
+        """``passphrase=None`` runs an *open* network (no WPA2) — the
+        configuration a WindTalker-style rogue AP uses to lure victims."""
+        kwargs.setdefault("kind", DeviceKind.ACCESS_POINT)
+        super().__init__(*args, **kwargs)
+        self.ssid = ssid
+        self._passphrase = passphrase
+        self.behavior = behavior if behavior is not None else ApBehavior()
+        self._pmk = derive_pmk(passphrase, ssid) if passphrase is not None else b""
+        self._gtk = bytes(int(b) for b in self.rng.integers(0, 256, size=16))
+        self._associations: Dict[MacAddress, _Association] = {}
+        self._next_aid = 1
+        self.blocklist: Set[MacAddress] = set()
+        self.blocked_frames_dropped = 0
+        self.deauth_bursts_sent = 0
+        self._last_deauth_at: Dict[MacAddress, float] = {}
+        self.data_received = 0
+        #: Optional application hook: (payload, frame) per delivered payload.
+        self.data_handler = None
+
+    # ------------------------------------------------------------------
+    # Beaconing / discovery
+    # ------------------------------------------------------------------
+    def start_beaconing(self) -> None:
+        """Broadcast beacons at the configured interval until stopped."""
+        if getattr(self, "_beaconing", False):
+            return
+        self._beaconing = True
+        # Jitter the first beacon so co-channel APs don't synchronize.
+        offset = float(self.rng.uniform(0.0, self.behavior.beacon_interval))
+        self.engine.call_after(offset, self._beacon_tick)
+
+    def stop_beaconing(self) -> None:
+        """Stop the beacon loop (wardrive deactivation)."""
+        self._beaconing = False
+
+    def _beacon_tick(self) -> None:
+        if not getattr(self, "_beaconing", False):
+            return
+        beacon = BeaconFrame(
+            addr1=BROADCAST,
+            addr2=self.mac,
+            addr3=self.mac,
+            ssid=self.ssid,
+            beacon_interval_tu=int(self.behavior.beacon_interval / 1.024e-3),
+        )
+        beacon.sequence = self.next_sequence()
+        self.send(beacon)
+        self.engine.call_after(self.behavior.beacon_interval, self._beacon_tick)
+
+    def on_probe_request(self, frame: Frame, reception: Reception) -> None:
+        requested = getattr(frame, "ssid", "")
+        if requested not in ("", self.ssid):
+            return
+        if requested == "" and not self.behavior.respond_to_wildcard_probe:
+            return
+        if frame.addr2 is None:
+            return
+        response = ProbeResponseFrame(
+            addr1=frame.addr2,
+            addr2=self.mac,
+            addr3=self.mac,
+            ssid=self.ssid,
+        )
+        response.sequence = self.next_sequence()
+        self.send(response)
+
+    # ------------------------------------------------------------------
+    # MAC filtering (demonstrably useless against Polite WiFi)
+    # ------------------------------------------------------------------
+    def block(self, mac: MacAddress) -> None:
+        """Add ``mac`` to the AP's blocklist (a MAC-layer filter)."""
+        self.blocklist.add(MacAddress(mac))
+
+    def _blocked(self, frame: Frame) -> bool:
+        if frame.addr2 is not None and frame.addr2 in self.blocklist:
+            # Dropped *here*, at the MAC — the PHY already ACKed.
+            self.blocked_frames_dropped += 1
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Association control plane
+    # ------------------------------------------------------------------
+    def on_auth(self, frame: Frame, reception: Reception) -> None:
+        if self._blocked(frame) or frame.addr2 is None:
+            return
+        if getattr(frame, "auth_sequence", 0) != 1:
+            return
+        self._associations[frame.addr2] = _Association(station=frame.addr2)
+        reply = AuthFrame(
+            addr1=frame.addr2,
+            addr2=self.mac,
+            addr3=self.mac,
+            auth_sequence=2,
+            status=0,
+        )
+        reply.sequence = self.next_sequence()
+        self.send(reply)
+
+    def on_assoc_request(self, frame: Frame, reception: Reception) -> None:
+        if self._blocked(frame) or frame.addr2 is None:
+            return
+        association = self._associations.get(frame.addr2)
+        if association is None:
+            return
+        association.state = "associated"
+        association.association_id = self._next_aid
+        self._next_aid += 1
+        reply = AssocResponseFrame(
+            addr1=frame.addr2,
+            addr2=self.mac,
+            addr3=self.mac,
+            status=0,
+            association_id=association.association_id,
+        )
+        reply.sequence = self.next_sequence()
+        if self._passphrase is None:
+            # Open network: associated means connected; no key handshake.
+            association.state = "keyed"
+            self.send(reply)
+            return
+        anonce = bytes(int(b) for b in self.rng.integers(0, 256, size=32))
+        association.handshake = FourWayHandshake(
+            pmk=self._pmk,
+            ap_mac=self.mac,
+            sta_mac=frame.addr2,
+            anonce=anonce,
+            snonce=b"\x00" * 32,  # learned from message 2
+            gtk=self._gtk,
+        )
+
+        def kick_off_handshake(_attempt) -> None:
+            assert association.handshake is not None
+            self._send_eapol(association.station, association.handshake.ap_message1())
+
+        self.send(reply, on_complete=kick_off_handshake)
+
+    def _send_eapol(self, station: MacAddress, payload: bytes) -> None:
+        frame = DataFrame(
+            addr1=station,
+            addr2=self.mac,
+            addr3=self.mac,
+            from_ds=True,
+            body=llc.wrap_eapol(payload),
+        )
+        frame.sequence = self.next_sequence()
+        self.send(frame)
+
+    # ------------------------------------------------------------------
+    # Data plane
+    # ------------------------------------------------------------------
+    def on_data(self, frame: Frame, reception: Reception) -> None:
+        if self._blocked(frame):
+            return
+        source = frame.addr2
+        association = self._associations.get(source) if source is not None else None
+        if association is not None and llc.is_eapol(frame.body):
+            assert association.handshake is not None
+            reply = association.handshake.ap_handle(llc.eapol_payload(frame.body))
+            if reply is not None:
+                self._send_eapol(association.station, reply)
+            if association.handshake.ap_installed:
+                association.state = "keyed"
+                assert association.handshake.ap_ptk is not None
+                association.session = CcmpSession(
+                    tk_of(association.handshake.ap_ptk)
+                )
+            return
+        if association is not None and association.state == "keyed":
+            if frame.protected and association.session is not None:
+                try:
+                    plaintext = association.session.decrypt(frame)
+                except CcmpError:
+                    return
+                self.data_received += 1
+                self._deliver_payload(plaintext, frame)
+                return
+            if frame.is_null_data:
+                self.data_received += 1  # keepalive
+                return
+            if not frame.protected and association.session is None:
+                # Open network: plaintext data from a connected station.
+                self.data_received += 1
+                self._deliver_payload(frame.body, frame)
+                return
+        # Class-3 data from a station we know nothing about: the paper's
+        # fake frame.  Some APs bark; none can stop the ACK below.
+        self.unsolicited_data_frames += 1
+        self.fake_frames_discarded += 1
+        if self.behavior.deauth_on_unknown and source is not None:
+            self._maybe_deauth(source)
+
+    def _maybe_deauth(self, intruder: MacAddress) -> None:
+        now = self.engine.now
+        last = self._last_deauth_at.get(intruder)
+        if last is not None and now - last < self.behavior.deauth_cooldown:
+            return
+        self._last_deauth_at[intruder] = now
+        deauth = DeauthFrame(
+            addr1=intruder,
+            addr2=self.mac,
+            addr3=self.mac,
+            reason=7,  # class-3 frame from nonassociated station
+        )
+        deauth.sequence = self.next_sequence()
+        if self.behavior.pmf:
+            deauth.protected = True
+        self.deauth_bursts_sent += 1
+        self.send(deauth, retry_limit=self.behavior.deauth_retry_limit)
+
+    def _deliver_payload(self, body: bytes, frame: Frame) -> None:
+        parsed = llc.unwrap(body)
+        payload = parsed[1] if parsed is not None else body
+        if self.data_handler is not None:
+            self.data_handler(payload, frame)
+
+    def send_data(
+        self, station: MacAddress, payload: bytes, rate_mbps: float = 24.0
+    ) -> None:
+        """Send an application payload to an associated station."""
+        station = MacAddress(station)
+        association = self._associations.get(station)
+        if association is None or association.state != "keyed":
+            raise RuntimeError(f"{station} is not associated")
+        frame = DataFrame(
+            addr1=station,
+            addr2=self.mac,
+            addr3=self.mac,
+            from_ds=True,
+        )
+        frame.sequence = self.next_sequence()
+        wrapped = llc.wrap(llc.ETHERTYPE_IPV4, payload)
+        if association.session is not None:
+            frame.body = association.session.encrypt(frame, wrapped)
+        else:
+            frame.body = wrapped
+        self.send(frame, rate_mbps)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def is_associated(self, station: MacAddress) -> bool:
+        association = self._associations.get(MacAddress(station))
+        return association is not None and association.state == "keyed"
+
+    def associated_stations(self) -> Set[MacAddress]:
+        return {
+            mac
+            for mac, record in self._associations.items()
+            if record.state == "keyed"
+        }

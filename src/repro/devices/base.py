@@ -1,0 +1,191 @@
+"""Common device plumbing.
+
+A :class:`Device` bundles one radio, the PHY ACK engine, a retransmitting
+transmitter, optional power accounting, and optional power save, and
+routes received frames to overridable ``on_*`` handlers.  Subclasses
+(:class:`~repro.devices.station.Station`,
+:class:`~repro.devices.access_point.AccessPoint`, the ESP models, the
+monitor dongle) add their role-specific behaviour on top.
+
+A deliberate consequence of this layering: by the time any ``on_*``
+handler runs, the ACK (if one was due) has already been scheduled by the
+ACK engine.  Nothing a subclass does — ignoring strangers, blocklisting
+them, deauthenticating them — can reach back below and stop it.  That is
+the paper's Section 2.1 observation, reproduced structurally.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.devices.power_model import EnergyAccountant, PowerProfile
+from repro.mac.ack_engine import AckEngine, AckEngineConfig
+from repro.mac.addresses import MacAddress
+from repro.mac.frames import Frame
+from repro.mac.powersave import PowerSaveConfig, PowerSaveController
+from repro.mac.transmitter import MacTransmitter, TxAttempt
+from repro.phy.constants import Band
+from repro.phy.radio import PositionProvider, Radio
+from repro.sim.medium import Medium, Reception
+
+
+class DeviceKind(enum.Enum):
+    CLIENT = "client"
+    ACCESS_POINT = "access_point"
+    MONITOR = "monitor"
+
+
+class Device:
+    """Base class for everything with a WiFi radio."""
+
+    def __init__(
+        self,
+        mac: MacAddress,
+        medium: Medium,
+        position: PositionProvider,
+        rng: np.random.Generator,
+        kind: DeviceKind = DeviceKind.CLIENT,
+        vendor: Optional[str] = None,
+        channel: int = 6,
+        band: Band = Band.GHZ_2_4,
+        tx_power_dbm: float = 20.0,
+        rx_sensitivity_dbm: float = -92.0,
+        power_profile: Optional[PowerProfile] = None,
+        power_save: Optional[PowerSaveConfig] = None,
+        ack_config: Optional[AckEngineConfig] = None,
+        use_dcf: bool = True,
+    ) -> None:
+        self.mac = MacAddress(mac)
+        self.kind = kind
+        self.vendor = vendor
+        self.band = band
+        self.rng = rng
+        self.medium = medium
+        self.engine = medium.engine
+        self.radio = Radio(
+            name=str(self.mac),
+            medium=medium,
+            position=position,
+            channel=channel,
+            tx_power_dbm=tx_power_dbm,
+            rx_sensitivity_dbm=rx_sensitivity_dbm,
+        )
+        if ack_config is None:
+            ack_config = AckEngineConfig(band=band)
+        self.ack_engine = AckEngine(self.radio, self.mac, ack_config)
+        self.transmitter = MacTransmitter(
+            self.radio, self.ack_engine, self.mac, rng, band, use_dcf=use_dcf
+        )
+        self.ack_engine.mac_handler = self._dispatch_frame
+        self.ack_engine.sniffer_handler = self._account_frame
+        self.accountant: Optional[EnergyAccountant] = None
+        if power_profile is not None:
+            self.accountant = EnergyAccountant(self.radio, power_profile)
+        self.power_save: Optional[PowerSaveController] = None
+        if power_save is not None:
+            self.power_save = PowerSaveController(
+                self.radio, self.engine, power_save
+            )
+        self._sequence = itertools.count(int(rng.integers(0, 4096)))
+        self.unsolicited_data_frames = 0
+        self.fake_frames_discarded = 0
+
+    # ------------------------------------------------------------------
+    # Identity / convenience
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return str(self.mac)
+
+    def next_sequence(self) -> int:
+        return next(self._sequence) & 0x0FFF
+
+    def send(
+        self,
+        frame: Frame,
+        rate_mbps: float = 6.0,
+        on_complete: Optional[Callable[[TxAttempt], None]] = None,
+        retry_limit: Optional[int] = None,
+    ) -> None:
+        """Stamp a sequence number and queue the frame for transmission."""
+        if frame.sequence == 0 and not frame.is_control:
+            frame.sequence = self.next_sequence()
+        self.transmitter.send(frame, rate_mbps, on_complete, retry_limit)
+
+    # ------------------------------------------------------------------
+    # Receive-side accounting (every decoded frame, ours or not)
+    # ------------------------------------------------------------------
+    def _account_frame(self, frame: Frame, reception: Reception) -> None:
+        addressed_to_us = frame.addr1 == self.mac
+        if self.accountant is not None:
+            self.accountant.note_frame_received(reception.airtime, addressed_to_us)
+        if self.power_save is not None and addressed_to_us:
+            self.power_save.note_activity()
+
+    # ------------------------------------------------------------------
+    # Frame dispatch (unicast-to-us and group frames, post-ACK)
+    # ------------------------------------------------------------------
+    def _dispatch_frame(self, frame: Frame, reception: Reception) -> None:
+        if frame.is_beacon:
+            self.on_beacon(frame, reception)
+        elif frame.is_management:
+            from repro.mac import frames as frame_types
+
+            if frame.subtype == frame_types.SUBTYPE_PROBE_REQUEST:
+                self.on_probe_request(frame, reception)
+            elif frame.subtype == frame_types.SUBTYPE_PROBE_RESPONSE:
+                self.on_probe_response(frame, reception)
+            elif frame.subtype == frame_types.SUBTYPE_AUTH:
+                self.on_auth(frame, reception)
+            elif frame.subtype == frame_types.SUBTYPE_ASSOC_REQUEST:
+                self.on_assoc_request(frame, reception)
+            elif frame.subtype == frame_types.SUBTYPE_ASSOC_RESPONSE:
+                self.on_assoc_response(frame, reception)
+            elif frame.subtype == frame_types.SUBTYPE_DEAUTH:
+                self.on_deauth(frame, reception)
+            else:
+                self.on_management(frame, reception)
+        elif frame.is_data:
+            self.on_data(frame, reception)
+
+    # ------------------------------------------------------------------
+    # Overridable handlers (defaults do nothing)
+    # ------------------------------------------------------------------
+    def on_beacon(self, frame: Frame, reception: Reception) -> None:
+        """Broadcast beacon from some AP."""
+
+    def on_probe_request(self, frame: Frame, reception: Reception) -> None:
+        """Probe request (APs answer these)."""
+
+    def on_probe_response(self, frame: Frame, reception: Reception) -> None:
+        """Probe response (scanning clients consume these)."""
+
+    def on_auth(self, frame: Frame, reception: Reception) -> None:
+        """Authentication exchange step."""
+
+    def on_assoc_request(self, frame: Frame, reception: Reception) -> None:
+        """Association request (AP side)."""
+
+    def on_assoc_response(self, frame: Frame, reception: Reception) -> None:
+        """Association response (client side)."""
+
+    def on_deauth(self, frame: Frame, reception: Reception) -> None:
+        """Deauthentication notice."""
+
+    def on_management(self, frame: Frame, reception: Reception) -> None:
+        """Any other management frame."""
+
+    def on_data(self, frame: Frame, reception: Reception) -> None:
+        """Data-class frame addressed to us (or group-addressed).
+
+        The default treats data from unknown peers the way real MACs
+        treat the paper's fake frames: counted and discarded — *after*
+        the PHY has already acknowledged them.
+        """
+        self.unsolicited_data_frames += 1
+        if frame.is_null_data or not frame.protected:
+            self.fake_frames_discarded += 1

@@ -1,0 +1,89 @@
+"""Battery models and the Section 4.2 camera case studies.
+
+The paper projects its ESP8266 measurement onto two commercial
+battery-operated WiFi cameras: the Logitech Circle 2 (2400 mWh,
+advertised "up to 3 months") and the Amazon Blink XT2 (6000 mWh, "up to
+2 years").  Under a 900 pkt/s attack drawing 360 mW those batteries last
+about 6.7 and 16.7 hours respectively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Hours per month/year used when converting advertised lifetimes.
+HOURS_PER_MONTH = 30.44 * 24.0
+HOURS_PER_YEAR = 365.25 * 24.0
+
+
+@dataclass
+class Battery:
+    """An ideal energy reservoir measured in milliwatt-hours."""
+
+    capacity_mwh: float
+    remaining_mwh: float = field(default=-1.0)
+
+    def __post_init__(self) -> None:
+        if self.capacity_mwh <= 0.0:
+            raise ValueError("battery capacity must be positive")
+        if self.remaining_mwh < 0.0:
+            self.remaining_mwh = self.capacity_mwh
+
+    def drain(self, power_mw: float, hours: float) -> float:
+        """Draw ``power_mw`` for ``hours``; returns remaining mWh (≥ 0)."""
+        if power_mw < 0.0 or hours < 0.0:
+            raise ValueError("power and duration must be non-negative")
+        self.remaining_mwh = max(self.remaining_mwh - power_mw * hours, 0.0)
+        return self.remaining_mwh
+
+    @property
+    def is_depleted(self) -> bool:
+        return self.remaining_mwh <= 0.0
+
+    def lifetime_hours(self, power_mw: float) -> float:
+        """How long the *remaining* charge lasts at a constant draw."""
+        if power_mw <= 0.0:
+            return float("inf")
+        return self.remaining_mwh / power_mw
+
+
+@dataclass(frozen=True)
+class BatteryPoweredCamera:
+    """A commercial camera: capacity plus the advertised idle lifetime."""
+
+    name: str
+    capacity_mwh: float
+    advertised_lifetime_hours: float
+
+    @property
+    def advertised_average_power_mw(self) -> float:
+        """Draw implied by the marketing claim (sub-milliwatt duty cycling)."""
+        return self.capacity_mwh / self.advertised_lifetime_hours
+
+    def battery(self) -> Battery:
+        return Battery(self.capacity_mwh)
+
+    def hours_under_attack(self, attack_power_mw: float) -> float:
+        """Battery life when the WiFi module is pinned at the attack draw."""
+        if attack_power_mw <= 0.0:
+            return float("inf")
+        return self.capacity_mwh / attack_power_mw
+
+    def lifetime_reduction_factor(self, attack_power_mw: float) -> float:
+        """Advertised lifetime ÷ lifetime under attack."""
+        return self.advertised_lifetime_hours / self.hours_under_attack(
+            attack_power_mw
+        )
+
+
+LOGITECH_CIRCLE2 = BatteryPoweredCamera(
+    name="Logitech Circle 2",
+    capacity_mwh=2400.0,
+    advertised_lifetime_hours=3.0 * HOURS_PER_MONTH,
+)
+
+BLINK_XT2 = BatteryPoweredCamera(
+    name="Amazon Blink XT2",
+    capacity_mwh=6000.0,
+    advertised_lifetime_hours=2.0 * HOURS_PER_YEAR,
+)

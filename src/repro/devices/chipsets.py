@@ -1,0 +1,115 @@
+"""Chipset profiles — the paper's Table 1 lab devices.
+
+Table 1 lists the devices the authors tested by hand before the
+large-scale survey: an MSI GE62 laptop (Intel AC 3160, 11ac), an Ecobee3
+thermostat (Atheros, 11n), a Surface Pro 2017 (Marvell 88W8897, 11ac), a
+Samsung Galaxy S8 (Murata KM5D18098, 11ac), and a Google Wifi AP
+(Qualcomm IPQ 4019, 11ac).  Each profile captures the differences that
+matter to the experiments — device kind, band, receiver quality, decoder
+speed, and whether the AP firmware exhibits the deauth-on-unknown quirk —
+while the politeness itself comes from the shared ACK engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.crypto.timing_model import DecoderClass
+from repro.devices.access_point import AccessPoint, ApBehavior
+from repro.devices.base import DeviceKind
+from repro.devices.station import Station
+from repro.mac.addresses import MacAddress, random_mac
+from repro.phy.constants import Band
+from repro.sim.medium import Medium
+from repro.sim.world import Position
+
+
+@dataclass(frozen=True)
+class ChipsetProfile:
+    """One row of Table 1 (plus behaviour details)."""
+
+    device_name: str
+    wifi_module: str
+    vendor: str
+    standard: str  # "11ac" / "11n"
+    kind: DeviceKind = DeviceKind.CLIENT
+    band: Band = Band.GHZ_2_4
+    channel: int = 6
+    tx_power_dbm: float = 18.0
+    rx_sensitivity_dbm: float = -92.0
+    decoder_class: DecoderClass = DecoderClass.MAINSTREAM
+    deauth_on_unknown: bool = False
+
+
+TABLE1_DEVICES = [
+    ChipsetProfile(
+        device_name="MSI GE62 laptop",
+        wifi_module="Intel AC 3160",
+        vendor="Intel",
+        standard="11ac",
+        decoder_class=DecoderClass.MAINSTREAM,
+    ),
+    ChipsetProfile(
+        device_name="Ecobee3 thermostat",
+        wifi_module="Atheros",
+        vendor="ecobee",
+        standard="11n",
+        decoder_class=DecoderClass.IOT_MCU,
+        rx_sensitivity_dbm=-89.0,
+        tx_power_dbm=15.0,
+    ),
+    ChipsetProfile(
+        device_name="Surface Pro 2017",
+        wifi_module="Marvel 88W8897",
+        vendor="Microsoft",
+        standard="11ac",
+        decoder_class=DecoderClass.MAINSTREAM,
+    ),
+    ChipsetProfile(
+        device_name="Samsung Galaxy S8",
+        wifi_module="Murata KM5D18098",
+        vendor="Samsung",
+        standard="11ac",
+        decoder_class=DecoderClass.MAINSTREAM,
+    ),
+    ChipsetProfile(
+        device_name="Google Wifi AP",
+        wifi_module="Qualcomm IPQ 4019",
+        vendor="Google",
+        standard="11ac",
+        kind=DeviceKind.ACCESS_POINT,
+        decoder_class=DecoderClass.HIGH_END,
+        tx_power_dbm=20.0,
+        deauth_on_unknown=True,
+    ),
+]
+
+
+def build_lab_device(
+    profile: ChipsetProfile,
+    medium: Medium,
+    position: Position,
+    rng: np.random.Generator,
+    mac: Optional[MacAddress] = None,
+) -> Union[Station, AccessPoint]:
+    """Instantiate a Table 1 device on the medium."""
+    if mac is None:
+        mac = random_mac(rng)
+    common = dict(
+        mac=mac,
+        medium=medium,
+        position=position,
+        rng=rng,
+        vendor=profile.vendor,
+        channel=profile.channel,
+        band=profile.band,
+        tx_power_dbm=profile.tx_power_dbm,
+        rx_sensitivity_dbm=profile.rx_sensitivity_dbm,
+    )
+    if profile.kind is DeviceKind.ACCESS_POINT:
+        behavior = ApBehavior(deauth_on_unknown=profile.deauth_on_unknown)
+        return AccessPoint(behavior=behavior, **common)
+    return Station(**common)

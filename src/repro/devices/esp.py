@@ -1,0 +1,140 @@
+"""Espressif device models.
+
+Two Espressif parts appear in the paper:
+
+* the **ESP8266** is the battery-drain *victim* — a low-power IoT module
+  that associates to an AP, enables 802.11 power save, and mostly sleeps
+  (10 mW) until fake frames pin it awake (Section 4.2 / Figure 6);
+* the **ESP32** is the *attacker's measurement head* for keystroke
+  inference — chosen over the Intel 5300 CSI tool because it reports CSI
+  for legacy-rate frames, and ACKs are always sent at legacy rates
+  (footnote 3).
+
+The ESP32 model is a monitor sniffer that records a CSI sample per frame
+received from a chosen target MAC — in the attack, the victim's ACKs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.devices.dongle import MonitorDongle
+from repro.devices.power_model import ESP8266_PROFILE
+from repro.devices.station import Station
+from repro.mac.addresses import MacAddress
+from repro.mac.frames import Frame
+from repro.mac.powersave import PowerSaveConfig
+from repro.phy.rates import is_legacy_rate
+from repro.sim.medium import Reception
+
+
+class Esp8266Device(Station):
+    """ESP8266 IoT module: a power-save station with calibrated energetics."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        kwargs.setdefault("power_profile", ESP8266_PROFILE)
+        kwargs.setdefault("power_save", PowerSaveConfig())
+        kwargs.setdefault("vendor", "Espressif")
+        kwargs.setdefault("tx_power_dbm", 17.0)
+        super().__init__(*args, **kwargs)
+
+    def enter_power_save(self) -> None:
+        """Start duty-cycling the radio (call once associated)."""
+        assert self.power_save is not None
+        self.power_save.start()
+
+    def leave_power_save(self) -> None:
+        assert self.power_save is not None
+        self.power_save.stop()
+
+
+@dataclass
+class CsiSample:
+    """One CSI measurement: timestamp, RSSI, and the complex CSI vector."""
+
+    time: float
+    rssi_dbm: float
+    rate_mbps: float
+    source: Optional[MacAddress]
+    csi: np.ndarray
+    is_ack: bool = False
+
+    def amplitude(self, array_index: int) -> float:
+        return float(abs(self.csi[array_index]))
+
+
+class Esp32CsiSniffer(MonitorDongle):
+    """ESP32 in promiscuous mode, extracting CSI per received frame.
+
+    ``target`` filters which frames produce samples.  ACK frames carry no
+    transmitter address, so they are attributed to the target by their
+    *receiver* address: the attack sends fake frames with a spoofed source,
+    and the victim's ACKs come back addressed to that spoofed MAC.  Set
+    ``expected_ack_ra`` to the spoofed address to capture them.
+    """
+
+    def __init__(
+        self,
+        *args,
+        target: Optional[MacAddress] = None,
+        expected_ack_ra: Optional[MacAddress] = None,
+        **kwargs,
+    ) -> None:
+        kwargs.setdefault("vendor", "Espressif")
+        super().__init__(*args, **kwargs)
+        self.target = MacAddress(target) if target is not None else None
+        self.expected_ack_ra = (
+            MacAddress(expected_ack_ra) if expected_ack_ra is not None else None
+        )
+        self.samples: List[CsiSample] = []
+        self.samples_dropped_no_csi = 0
+        self.add_listener(self._maybe_sample)
+
+    def _maybe_sample(self, frame: Frame, reception: Reception) -> None:
+        if not self._matches(frame):
+            return
+        if reception.csi is None:
+            self.samples_dropped_no_csi += 1
+            return
+        if not is_legacy_rate(reception.rate_mbps):
+            # The ESP32 handles legacy rates fine; this guard documents
+            # that our rate tables are all legacy (cf. the CSI-tool
+            # baseline, which rejects them).
+            return
+        self.samples.append(
+            CsiSample(
+                time=reception.end,
+                rssi_dbm=reception.rssi_dbm,
+                rate_mbps=reception.rate_mbps,
+                source=frame.addr2,
+                csi=reception.csi,
+                is_ack=frame.is_ack,
+            )
+        )
+
+    def _matches(self, frame: Frame) -> bool:
+        if frame.is_ack:
+            if self.expected_ack_ra is None:
+                return False
+            return frame.addr1 == self.expected_ack_ra
+        if self.target is None:
+            return False
+        return frame.addr2 == self.target
+
+    # ------------------------------------------------------------------
+    # Readout
+    # ------------------------------------------------------------------
+    def amplitude_series(self, subcarrier_array_index: int) -> np.ndarray:
+        """|CSI| of one subcarrier across all samples, in time order."""
+        return np.array(
+            [sample.amplitude(subcarrier_array_index) for sample in self.samples]
+        )
+
+    def sample_times(self) -> np.ndarray:
+        return np.array([sample.time for sample in self.samples])
+
+    def clear(self) -> None:
+        self.samples.clear()

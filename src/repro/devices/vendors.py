@@ -1,0 +1,225 @@
+"""Vendor census and OUI database (paper Table 2).
+
+The survey identified 5,328 WiFi nodes — 1,523 client devices from 147
+vendors and 3,805 access points from 94 vendors (186 distinct vendors in
+total) — **all** of which acknowledged fake frames.  Table 2 lists the
+top-20 vendors of each kind with device counts; the remainder are rolled
+up as "Others".
+
+This module embeds that census verbatim so the synthetic city can be
+populated with exactly the paper's vendor mix, and provides the OUI
+machinery the scanner uses to attribute discovered MAC addresses to
+vendors (the same way the authors attributed theirs).
+
+The long tail is expanded deterministically into named synthetic vendors
+("Shenzhen OEM 012", …) such that the totals, the per-kind vendor counts
+(147/94), and the number of vendors appearing in *both* lists (the union
+must come to 186) all match the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.mac.addresses import MacAddress
+
+#: Top-20 client-device vendors from Table 2 (vendor, device count).
+CLIENT_VENDOR_CENSUS: List[Tuple[str, int]] = [
+    ("Apple", 143),
+    ("Google", 102),
+    ("Intel", 66),
+    ("Hitron", 65),
+    ("HP", 63),
+    ("Samsung", 56),
+    ("Espressif", 47),
+    ("Hon Hai", 46),
+    ("Amazon", 41),
+    ("Sagemcom", 38),
+    ("Liteon", 33),
+    ("AzureWave", 30),
+    ("Sonos", 30),
+    ("Nest Labs", 27),
+    ("Murata", 24),
+    ("Belkin", 20),
+    ("TP-LINK", 20),
+    ("Cisco", 16),
+    ("ecobee", 13),
+    ("Microsoft", 13),
+]
+
+#: Top-20 access-point vendors from Table 2 (vendor, device count).
+AP_VENDOR_CENSUS: List[Tuple[str, int]] = [
+    ("Hitron", 723),
+    ("Sagemcom", 601),
+    ("Technicolor", 410),
+    ("eero", 195),
+    ("Extreme N.", 188),
+    ("Cisco", 156),
+    ("HP", 104),
+    ("TP-LINK", 101),
+    ("Google", 80),
+    ("D-Link", 75),
+    ("NETGEAR", 69),
+    ("ASUSTek", 51),
+    ("Aruba", 46),
+    ("SmartRG", 44),
+    ("Ubiquiti N.", 35),
+    ("Zebra", 35),
+    ("Pegatron", 28),
+    ("Belkin", 25),
+    ("Mitsumi", 25),
+    ("Apple", 19),
+]
+
+#: "Others" rows of Table 2.  Note a discrepancy in the paper itself: the
+#: AP column prints "Others 789", but the top-20 AP counts sum to 3,010,
+#: so reaching the reported 3,805 total requires 795 others.  We treat the
+#: totals (1,523 / 3,805 / 5,328) as authoritative.
+CLIENT_OTHERS_TOTAL = 630
+AP_OTHERS_TOTAL = 795
+
+#: Paper-reported totals and vendor diversity.
+CLIENT_TOTAL = 1523
+AP_TOTAL = 3805
+CLIENT_VENDOR_COUNT = 147
+AP_VENDOR_COUNT = 94
+TOTAL_VENDOR_COUNT = 186
+
+#: Vendors present in both top-20 lists (8 of them); the union arithmetic
+#: 147 + 94 − 186 = 55 means another 47 long-tail vendors ship both
+#: clients and APs.
+_SHARED_TAIL_VENDORS = 47
+
+
+def _spread(total: int, parts: int) -> List[int]:
+    """Deterministically split ``total`` devices over ``parts`` vendors.
+
+    A Zipf-like descending allocation (realistic vendor long tails are
+    heavy-headed) with every vendor getting at least one device and the
+    rounding remainder folded into the largest entries.
+    """
+    if parts <= 0:
+        raise ValueError("parts must be positive")
+    if total < parts:
+        raise ValueError(f"cannot give {parts} vendors at least 1 of {total}")
+    weights = [1.0 / (rank + 1) for rank in range(parts)]
+    weight_sum = sum(weights)
+    counts = [max(int(total * weight / weight_sum), 1) for weight in weights]
+    index = 0
+    while sum(counts) < total:
+        counts[index % parts] += 1
+        index += 1
+    while sum(counts) > total:
+        for i in range(parts - 1, -1, -1):
+            if counts[i] > 1 and sum(counts) > total:
+                counts[i] -= 1
+    return counts
+
+
+def _tail_names() -> Tuple[List[str], List[str]]:
+    """Synthetic long-tail vendor names for clients and APs.
+
+    The first ``_SHARED_TAIL_VENDORS`` names are common to both lists so
+    the union of all vendors comes to exactly 186.
+    """
+    top_client = {name for name, _ in CLIENT_VENDOR_CENSUS}
+    top_ap = {name for name, _ in AP_VENDOR_CENSUS}
+    shared_top = len(top_client & top_ap)
+    shared = [f"Shenzhen OEM {i:03d}" for i in range(_SHARED_TAIL_VENDORS)]
+    client_only_needed = CLIENT_VENDOR_COUNT - len(top_client) - len(shared)
+    ap_only_needed = AP_VENDOR_COUNT - len(top_ap) - len(shared)
+    client_only = [f"Client Silicon {i:03d}" for i in range(client_only_needed)]
+    ap_only = [f"Gateway Systems {i:03d}" for i in range(ap_only_needed)]
+    # Sanity: union size must equal the paper's 186 distinct vendors.
+    union = (
+        len(top_client | top_ap)
+        + len(shared)
+        + len(client_only)
+        + len(ap_only)
+    )
+    assert union == TOTAL_VENDOR_COUNT, union
+    assert shared_top + _SHARED_TAIL_VENDORS == (
+        CLIENT_VENDOR_COUNT + AP_VENDOR_COUNT - TOTAL_VENDOR_COUNT
+    )
+    return shared + client_only, shared + ap_only
+
+
+def full_client_census() -> List[Tuple[str, int]]:
+    """Top-20 client vendors plus the expanded 630-device long tail."""
+    client_tail, _ = _tail_names()
+    tail_counts = _spread(CLIENT_OTHERS_TOTAL, len(client_tail))
+    census = list(CLIENT_VENDOR_CENSUS)
+    census.extend(zip(client_tail, tail_counts))
+    assert sum(count for _, count in census) == CLIENT_TOTAL
+    assert len(census) == CLIENT_VENDOR_COUNT
+    return census
+
+
+def full_ap_census() -> List[Tuple[str, int]]:
+    """Top-20 AP vendors plus the expanded 789-device long tail."""
+    _, ap_tail = _tail_names()
+    tail_counts = _spread(AP_OTHERS_TOTAL, len(ap_tail))
+    census = list(AP_VENDOR_CENSUS)
+    census.extend(zip(ap_tail, tail_counts))
+    assert sum(count for _, count in census) == AP_TOTAL
+    assert len(census) == AP_VENDOR_COUNT
+    return census
+
+
+@dataclass(frozen=True)
+class VendorRecord:
+    name: str
+    ouis: Tuple[bytes, ...]
+
+
+class VendorDatabase:
+    """Bidirectional vendor ⇄ OUI mapping.
+
+    OUIs are allocated deterministically per vendor (derived from the
+    vendor's position in the registry), with multiple OUIs for large
+    vendors — mirroring reality, where Apple owns hundreds of prefixes and
+    the scanner must map many OUIs onto one vendor name.
+    """
+
+    def __init__(self) -> None:
+        self._vendor_to_ouis: Dict[str, List[bytes]] = {}
+        self._oui_to_vendor: Dict[bytes, str] = {}
+        names = sorted(
+            {name for name, _ in full_client_census()}
+            | {name for name, _ in full_ap_census()}
+        )
+        for index, name in enumerate(names):
+            oui_count = 4 if index < 20 else 1
+            ouis = []
+            for sub in range(oui_count):
+                # Locally-administered-bit clear, group-bit clear.
+                first = 0x0C
+                oui = bytes([first, (index >> 4) & 0xFF, ((index & 0x0F) << 4) | sub])
+                ouis.append(oui)
+                self._oui_to_vendor[oui] = name
+            self._vendor_to_ouis[name] = ouis
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def vendors(self) -> List[str]:
+        return sorted(self._vendor_to_ouis)
+
+    def ouis_for(self, vendor: str) -> List[bytes]:
+        try:
+            return list(self._vendor_to_ouis[vendor])
+        except KeyError:
+            raise KeyError(f"unknown vendor {vendor!r}") from None
+
+    def oui_for(self, vendor: str, index: int = 0) -> bytes:
+        ouis = self.ouis_for(vendor)
+        return ouis[index % len(ouis)]
+
+    def vendor_of(self, mac: MacAddress) -> Optional[str]:
+        """Vendor owning this MAC's OUI, or ``None`` for unknown prefixes
+        (randomized/locally-administered client addresses)."""
+        return self._oui_to_vendor.get(mac.oui)
+
+    def __len__(self) -> int:
+        return len(self._vendor_to_ouis)

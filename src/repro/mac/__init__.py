@@ -1,0 +1,66 @@
+"""802.11 MAC layer.
+
+The package splits into the wire model (addresses, frame classes,
+serialization, duration/NAV math), the **PHY-level ACK engine** — the
+automaton whose standard-mandated behaviour *is* the Polite WiFi finding —
+and the conventional upper-MAC machinery built on top of it: STA/AP state
+machines, power save, and a retransmitting transmitter.
+"""
+
+from repro.mac.ack_engine import AckEngine, AckEngineConfig
+from repro.mac.addresses import (
+    ATTACKER_FAKE_MAC,
+    BROADCAST,
+    MacAddress,
+    random_mac,
+)
+from repro.mac.frames import (
+    AckFrame,
+    AssocRequestFrame,
+    AssocResponseFrame,
+    AuthFrame,
+    BeaconFrame,
+    CtsFrame,
+    DataFrame,
+    DeauthFrame,
+    Frame,
+    FrameType,
+    NullDataFrame,
+    ProbeRequestFrame,
+    ProbeResponseFrame,
+    QosNullFrame,
+    RtsFrame,
+)
+from repro.mac.serialization import deserialize, serialize
+from repro.mac.timing import DcfTimer
+from repro.mac.transmitter import MacTransmitter, TxAttempt, TxOutcome
+
+__all__ = [
+    "ATTACKER_FAKE_MAC",
+    "AckEngine",
+    "AckEngineConfig",
+    "AckFrame",
+    "AssocRequestFrame",
+    "AssocResponseFrame",
+    "AuthFrame",
+    "BROADCAST",
+    "BeaconFrame",
+    "CtsFrame",
+    "DataFrame",
+    "DcfTimer",
+    "DeauthFrame",
+    "Frame",
+    "FrameType",
+    "MacAddress",
+    "MacTransmitter",
+    "NullDataFrame",
+    "ProbeRequestFrame",
+    "ProbeResponseFrame",
+    "QosNullFrame",
+    "RtsFrame",
+    "TxAttempt",
+    "TxOutcome",
+    "deserialize",
+    "random_mac",
+    "serialize",
+]

@@ -1,0 +1,232 @@
+"""The PHY-level acknowledgement engine — the Polite WiFi root cause.
+
+IEEE 802.11 requires that a receiver start transmitting the ACK exactly one
+SIFS after the end of any correctly-received (FCS-passing) unicast frame
+addressed to it, and a CTS one SIFS after any RTS.  SIFS is 10 µs at
+2.4 GHz — far too short to consult the MAC, the driver, or the operating
+system, let alone run CCMP decryption (200–700 µs).  The consequence the
+paper discovers is that this automaton answers *strangers*: a fake,
+unencrypted frame from a device that was never part of the network is
+acknowledged like any other, because the only checks that fit in the
+deadline are the CRC and the receiver-address match.
+
+:class:`AckEngine` implements exactly that automaton.  Politeness is not a
+hard-coded "vulnerability flag": it emerges from implementing the standard
+faithfully.  The ablation hooks (:attr:`AckEngineConfig.validate_before_ack`)
+model the *hypothetical* checking device of Section 2.2 so the benchmarks
+can show why it cannot meet the deadline.
+
+Everything above this module (association state, blocklists, deauth logic,
+802.11w) runs *after* the ACK decision — which is why the access point in
+Figure 3 deauthenticates the attacker and still acknowledges its frames.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.mac.addresses import MacAddress
+from repro.mac.frames import AckFrame, CtsFrame, Frame
+from repro.mac.serialization import FrameFormatError, deserialize
+from repro.phy.constants import Band, sifs
+from repro.phy.plcp import cts_airtime
+from repro.phy.radio import Radio
+from repro.phy.rates import ack_rate_for
+from repro.sim.medium import Reception
+
+#: How many (transmitter, sequence) pairs the duplicate cache remembers.
+_DUPLICATE_CACHE_SIZE = 64
+
+
+@dataclass
+class AckEngineConfig:
+    """Behavioural knobs of the receive-side PHY/low-MAC automaton.
+
+    The defaults model every real device the paper tested.  The other
+    settings exist purely for the defense-feasibility ablations:
+
+    ``validate_before_ack``
+        The hypothetical device that verifies frame legitimacy before
+        acknowledging.  The ``validator`` callback returns
+        ``(is_legitimate, decode_time_s)``; the ACK (if the frame proves
+        legitimate) is only transmitted after the decode time, so it
+        always misses the SIFS deadline (the transmitter will long since
+        have declared the frame lost).
+    ``respond_to_rts``
+        Disable to model a device that somehow suppressed CTS responses —
+        the standard does not permit this, since control frames cannot be
+        encrypted and channel reservation must work network-wide.
+    """
+
+    band: Band = Band.GHZ_2_4
+    respond_to_rts: bool = True
+    validate_before_ack: bool = False
+    validator: Optional[Callable[[Frame], Tuple[bool, float]]] = None
+    promiscuous: bool = False
+
+
+@dataclass
+class AckEngineStats:
+    """Counters the tests and benchmarks assert on."""
+
+    frames_seen: int = 0
+    fcs_failures: int = 0
+    acks_sent: int = 0
+    cts_sent: int = 0
+    acks_suppressed_by_validation: int = 0
+    late_acks: int = 0
+    duplicates_dropped: int = 0
+    passed_up: int = 0
+
+
+class AckEngine:
+    """Receive-side automaton bound to one radio.
+
+    Wire-up: the engine installs itself as the radio's ``frame_handler``;
+    the device's upper MAC subscribes via :attr:`mac_handler` (data and
+    management frames that survive duplicate filtering) and
+    :attr:`control_handler` (ACK/CTS addressed to us, consumed by the
+    retransmitting transmitter).
+    """
+
+    def __init__(
+        self,
+        radio: Radio,
+        mac_address: MacAddress,
+        config: Optional[AckEngineConfig] = None,
+    ) -> None:
+        self.radio = radio
+        self.mac_address = MacAddress(mac_address)
+        self.config = config if config is not None else AckEngineConfig()
+        self.stats = AckEngineStats()
+        self.mac_handler: Optional[Callable[[Frame, Reception], None]] = None
+        self.control_handler: Optional[Callable[[Frame, Reception], None]] = None
+        self.sniffer_handler: Optional[Callable[[Frame, Reception], None]] = None
+        self._duplicate_cache: Dict[Tuple[MacAddress, int, int], None] = {}
+        radio.frame_handler = self._on_reception
+
+    # ------------------------------------------------------------------
+    # Receive path
+    # ------------------------------------------------------------------
+    def _on_reception(self, reception: Reception) -> None:
+        self.stats.frames_seen += 1
+        if not reception.fcs_ok:
+            # The PHY silently discards frames that fail the CRC; nothing
+            # above ever learns they existed, and no ACK is generated.
+            self.stats.fcs_failures += 1
+            return
+        frame = self._as_frame(reception.frame)
+        if frame is None:
+            self.stats.fcs_failures += 1
+            return
+        if self.sniffer_handler is not None:
+            self.sniffer_handler(frame, reception)
+        if self.config.promiscuous:
+            # Monitor-mode interfaces capture everything and answer nothing.
+            return
+        if frame.addr1 != self.mac_address:
+            if frame.addr1.is_multicast:
+                self._pass_up(frame, reception)
+            return
+
+        # --- From here on the frame is addressed to us and passed the FCS.
+        # This is the entirety of what fits inside SIFS.
+        if frame.is_control:
+            self._handle_control(frame, reception)
+            return
+        self._schedule_ack(frame, reception)
+        self._pass_up_unicast(frame, reception)
+
+    @staticmethod
+    def _as_frame(payload: object) -> Optional[Frame]:
+        """Accept both typed frames and raw PSDU bytes off the air."""
+        if isinstance(payload, Frame):
+            return payload
+        raw = getattr(payload, "psdu", payload)
+        if isinstance(raw, (bytes, bytearray)):
+            try:
+                return deserialize(bytes(raw))
+            except FrameFormatError:
+                return None
+        return None
+
+    # ------------------------------------------------------------------
+    # Control responses
+    # ------------------------------------------------------------------
+    def _handle_control(self, frame: Frame, reception: Reception) -> None:
+        if frame.is_rts and self.config.respond_to_rts:
+            self._schedule_cts(frame, reception)
+            return
+        if (frame.is_ack or frame.is_cts) and self.control_handler is not None:
+            self.control_handler(frame, reception)
+
+    def _schedule_cts(self, rts: Frame, reception: Reception) -> None:
+        """CTS one SIFS after the RTS — mandatory, unencryptable, and the
+        reason Polite WiFi survives even a hypothetical instant validator."""
+        gap = sifs(self.config.band)
+        rate = ack_rate_for(reception.rate_mbps)
+        remaining = rts.duration_us * 1e-6 - gap - cts_airtime(rate)
+        cts = CtsFrame(
+            ra=rts.addr2 if rts.addr2 is not None else rts.addr1,
+            duration_us=max(int(remaining * 1e6), 0),
+        )
+
+        def send() -> None:
+            self.radio.transmit(cts, rate)
+            self.stats.cts_sent += 1
+
+        self.radio.medium.engine.call_after(gap, send)
+
+    def _schedule_ack(self, frame: Frame, reception: Reception) -> None:
+        if not frame.needs_ack:
+            return
+        rate = ack_rate_for(reception.rate_mbps)
+        ack = AckFrame(ra=frame.addr2 if frame.addr2 is not None else frame.addr1)
+        gap = sifs(self.config.band)
+
+        if self.config.validate_before_ack:
+            # Hypothetical checking device (Section 2.2 ablation): the ACK
+            # waits for full frame validation.  Decode takes 200-700 us,
+            # so the ACK — when it comes at all — is hopelessly late.
+            validator = self.config.validator
+            if validator is None:
+                raise RuntimeError(
+                    "validate_before_ack requires a validator callback"
+                )
+            legitimate, decode_time = validator(frame)
+            if not legitimate:
+                self.stats.acks_suppressed_by_validation += 1
+                return
+            if decode_time > gap:
+                self.stats.late_acks += 1
+            gap = max(gap, decode_time)
+
+        def send() -> None:
+            self.radio.transmit(ack, rate)
+            self.stats.acks_sent += 1
+
+        self.radio.medium.engine.call_after(gap, send)
+
+    # ------------------------------------------------------------------
+    # Pass-up to the real MAC (runs long after the ACK decision)
+    # ------------------------------------------------------------------
+    def _pass_up_unicast(self, frame: Frame, reception: Reception) -> None:
+        key = None
+        if frame.addr2 is not None:
+            key = (frame.addr2, frame.sequence, frame.fragment)
+        if frame.retry and key is not None and key in self._duplicate_cache:
+            # Duplicates are *still acknowledged* (the ACK already went out
+            # above); they are merely not delivered twice.
+            self.stats.duplicates_dropped += 1
+            return
+        if key is not None:
+            self._duplicate_cache[key] = None
+            while len(self._duplicate_cache) > _DUPLICATE_CACHE_SIZE:
+                self._duplicate_cache.pop(next(iter(self._duplicate_cache)))
+        self._pass_up(frame, reception)
+
+    def _pass_up(self, frame: Frame, reception: Reception) -> None:
+        self.stats.passed_up += 1
+        if self.mac_handler is not None:
+            self.mac_handler(frame, reception)

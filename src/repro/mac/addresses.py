@@ -1,0 +1,148 @@
+"""MAC addresses and OUI handling.
+
+The survey identifies vendors from the 24-bit OUI prefix of discovered MAC
+addresses (that is how Table 2's vendor census was assembled), and the
+attacker spoofs the unassigned source address ``aa:bb:bb:bb:bb:bb`` used
+throughout the paper's captures.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Union
+
+import numpy as np
+
+
+class MacAddress:
+    """An immutable 48-bit MAC address.
+
+    Accepts ``"aa:bb:cc:dd:ee:ff"`` strings, 6-byte ``bytes``, or another
+    :class:`MacAddress`.  Hashable, comparable, and cheap enough to use as
+    a dict key throughout the simulator.
+    """
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value: Union[str, bytes, "MacAddress"]) -> None:
+        if isinstance(value, MacAddress):
+            self._value = value._value
+        elif isinstance(value, bytes):
+            if len(value) != 6:
+                raise ValueError(f"MAC must be 6 bytes, got {len(value)}")
+            self._value = bytes(value)
+        elif isinstance(value, str):
+            parts = value.replace("-", ":").split(":")
+            if len(parts) != 6:
+                raise ValueError(f"malformed MAC string {value!r}")
+            try:
+                self._value = bytes(int(part, 16) for part in parts)
+            except ValueError:
+                raise ValueError(f"malformed MAC string {value!r}") from None
+        else:
+            raise TypeError(f"cannot build MacAddress from {type(value).__name__}")
+
+    # ------------------------------------------------------------------
+    # Representation
+    # ------------------------------------------------------------------
+    def __str__(self) -> str:
+        return ":".join(f"{byte:02x}" for byte in self._value)
+
+    def __repr__(self) -> str:
+        return f"MacAddress('{self}')"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, MacAddress):
+            return self._value == other._value
+        if isinstance(other, (str, bytes)):
+            try:
+                return self._value == MacAddress(other)._value
+            except (ValueError, TypeError):
+                return False
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._value)
+
+    def __lt__(self, other: "MacAddress") -> bool:
+        return self._value < other._value
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def bytes(self) -> bytes:
+        return self._value
+
+    @property
+    def oui(self) -> bytes:
+        """The 24-bit organizationally unique identifier."""
+        return self._value[:3]
+
+    @property
+    def oui_str(self) -> str:
+        return ":".join(f"{byte:02x}" for byte in self._value[:3])
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self._value == b"\xff" * 6
+
+    @property
+    def is_multicast(self) -> bool:
+        """Group bit set (includes broadcast); group frames are never ACKed."""
+        return bool(self._value[0] & 0x01)
+
+    @property
+    def is_unicast(self) -> bool:
+        return not self.is_multicast
+
+    @property
+    def is_locally_administered(self) -> bool:
+        return bool(self._value[0] & 0x02)
+
+
+#: The all-ones broadcast address.
+BROADCAST = MacAddress("ff:ff:ff:ff:ff:ff")
+
+#: The spoofed attacker source address used in the paper's captures
+#: (Figures 2 and 3).
+ATTACKER_FAKE_MAC = MacAddress("aa:bb:bb:bb:bb:bb")
+
+
+def random_mac(
+    rng: np.random.Generator,
+    oui: Optional[Union[bytes, str]] = None,
+) -> MacAddress:
+    """A random unicast MAC, optionally under a fixed vendor OUI.
+
+    Without an OUI the result is flagged locally administered, like the
+    randomized addresses modern clients probe with.
+    """
+    if oui is None:
+        head = bytes([(int(rng.integers(0, 256)) & 0xFC) | 0x02])
+        tail = bytes(int(b) for b in rng.integers(0, 256, size=5))
+        return MacAddress(head + tail)
+    if isinstance(oui, str):
+        oui = MacAddress(oui + ":00:00:00").oui
+    if len(oui) != 3:
+        raise ValueError(f"OUI must be 3 bytes, got {len(oui)}")
+    if oui[0] & 0x01:
+        raise ValueError("OUI has the group bit set; cannot assign to a device")
+    tail = bytes(int(b) for b in rng.integers(0, 256, size=3))
+    return MacAddress(bytes(oui) + tail)
+
+
+def unique_macs(
+    rng: np.random.Generator,
+    count: int,
+    oui: Optional[Union[bytes, str]] = None,
+) -> Iterable[MacAddress]:
+    """``count`` distinct random MACs (rejection-sampled for uniqueness)."""
+    seen = set()
+    produced = 0
+    while produced < count:
+        mac = random_mac(rng, oui)
+        if mac in seen:
+            continue
+        seen.add(mac)
+        produced += 1
+        yield mac

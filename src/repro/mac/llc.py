@@ -1,0 +1,47 @@
+"""LLC/SNAP encapsulation for data-frame payloads.
+
+802.11 data frames carry an LLC/SNAP header identifying the payload
+protocol; the only protocol our control plane needs is EAPOL (EtherType
+0x888E), which transports the 4-way handshake messages.  Everything else
+is opaque application payload wrapped as generic IPv4-ish traffic for the
+keepalive/traffic generators.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+#: LLC SNAP header: DSAP=SSAP=0xAA, control 0x03, OUI 00:00:00.
+_SNAP_PREFIX = b"\xaa\xaa\x03\x00\x00\x00"
+
+ETHERTYPE_EAPOL = 0x888E
+ETHERTYPE_IPV4 = 0x0800
+
+
+def wrap(ethertype: int, payload: bytes) -> bytes:
+    """Prefix ``payload`` with the LLC/SNAP header for ``ethertype``."""
+    return _SNAP_PREFIX + ethertype.to_bytes(2, "big") + payload
+
+
+def unwrap(body: bytes) -> Optional[Tuple[int, bytes]]:
+    """Parse an LLC/SNAP body; returns ``(ethertype, payload)`` or ``None``."""
+    if len(body) < 8 or not body.startswith(_SNAP_PREFIX):
+        return None
+    ethertype = int.from_bytes(body[6:8], "big")
+    return ethertype, body[8:]
+
+
+def wrap_eapol(payload: bytes) -> bytes:
+    return wrap(ETHERTYPE_EAPOL, payload)
+
+
+def is_eapol(body: bytes) -> bool:
+    parsed = unwrap(body)
+    return parsed is not None and parsed[0] == ETHERTYPE_EAPOL
+
+
+def eapol_payload(body: bytes) -> bytes:
+    parsed = unwrap(body)
+    if parsed is None or parsed[0] != ETHERTYPE_EAPOL:
+        raise ValueError("body is not an EAPOL frame")
+    return parsed[1]

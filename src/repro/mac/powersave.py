@@ -1,0 +1,154 @@
+"""802.11 power-save mode.
+
+Battery-operated clients (the paper's ESP8266 target) keep their radio off
+almost all the time, waking briefly for every DTIM beacon and going back
+to sleep once the medium has been idle for an inactivity timeout.  The
+battery-drain attack of Section 4.2 works precisely against this state
+machine: once fake frames arrive faster than the inactivity timeout, the
+radio never gets to sleep again — the measured power jumps from ~10 mW to
+~230 mW at roughly 10 packets/s and then climbs linearly with the rate as
+each extra frame costs RX + ACK-TX + processing energy.
+
+:class:`PowerSaveController` implements the sleep/wake scheduling; the
+energy integration lives in :mod:`repro.devices.power_model`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.phy.radio import Radio
+from repro.sim.engine import Engine, Event
+
+#: Typical consumer defaults: beacons every 102.4 ms, DTIM period 3,
+#: ~100 ms of post-traffic inactivity before the radio sleeps again.
+DEFAULT_BEACON_INTERVAL = 0.1024
+DEFAULT_DTIM_PERIOD = 3
+DEFAULT_IDLE_TIMEOUT = 0.100
+DEFAULT_LISTEN_WINDOW = 0.005
+
+
+@dataclass
+class PowerSaveConfig:
+    beacon_interval: float = DEFAULT_BEACON_INTERVAL
+    dtim_period: int = DEFAULT_DTIM_PERIOD
+    idle_timeout: float = DEFAULT_IDLE_TIMEOUT
+    listen_window: float = DEFAULT_LISTEN_WINDOW
+
+    @property
+    def dtim_interval(self) -> float:
+        return self.beacon_interval * self.dtim_period
+
+    @property
+    def pinning_rate_pps(self) -> float:
+        """Packet rate above which the radio can never sleep (≈10 pkt/s
+        with the defaults, matching the knee of Figure 6)."""
+        return 1.0 / self.idle_timeout
+
+
+class PowerSaveController:
+    """Drives a radio's sleep/wake cycle.
+
+    Lifecycle: :meth:`start` schedules the periodic DTIM wakeups.  Any
+    call to :meth:`note_activity` (the device calls it for every unicast
+    frame it receives and every frame it transmits) extends the awake
+    period by the inactivity timeout.  When neither the DTIM listen
+    window nor the activity hold-off keeps the radio up, it sleeps.
+    """
+
+    def __init__(
+        self,
+        radio: Radio,
+        engine: Engine,
+        config: Optional[PowerSaveConfig] = None,
+        first_dtim_time: float = 0.0,
+    ) -> None:
+        self.radio = radio
+        self.engine = engine
+        self.config = config if config is not None else PowerSaveConfig()
+        self.first_dtim_time = first_dtim_time
+        self.enabled = False
+        self._awake_until = 0.0
+        self._sleep_event: Optional[Event] = None
+        self._next_dtim: Optional[float] = None
+        self.wakeups = 0
+        self.sleeps = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Enable power save; the radio sleeps except around DTIM beacons."""
+        self.enabled = True
+        self._schedule_next_dtim()
+        self._hold_awake(self.config.listen_window)
+
+    def stop(self) -> None:
+        """Disable power save; the radio stays awake (mains-powered mode)."""
+        self.enabled = False
+        if self._sleep_event is not None:
+            self._sleep_event.cancel()
+            self._sleep_event = None
+        self.radio.wake()
+
+    # ------------------------------------------------------------------
+    # Activity
+    # ------------------------------------------------------------------
+    def note_activity(self) -> None:
+        """Traffic touched this device: restart the inactivity timer."""
+        if not self.enabled:
+            return
+        self._hold_awake(self.config.idle_timeout)
+
+    def _hold_awake(self, duration: float) -> None:
+        now = self.engine.now
+        if not self.radio.is_awake:
+            self.radio.wake()
+            self.wakeups += 1
+        until = now + duration
+        if until <= self._awake_until:
+            return
+        self._awake_until = until
+        if self._sleep_event is not None:
+            self._sleep_event.cancel()
+        self._sleep_event = self.engine.call_at(until, self._maybe_sleep)
+
+    def _maybe_sleep(self) -> None:
+        self._sleep_event = None
+        if not self.enabled:
+            return
+        if self.engine.now + 1e-12 < self._awake_until:
+            return
+        if self.radio.is_transmitting:
+            # Finish the frame on the air, then try again.
+            self._sleep_event = self.engine.call_after(1e-4, self._maybe_sleep)
+            return
+        if self.radio.is_awake:
+            self.radio.sleep()
+            self.sleeps += 1
+
+    # ------------------------------------------------------------------
+    # DTIM schedule
+    # ------------------------------------------------------------------
+    def _schedule_next_dtim(self) -> None:
+        if not self.enabled:
+            return
+        now = self.engine.now
+        interval = self.config.dtim_interval
+        if self._next_dtim is None:
+            elapsed = max(now - self.first_dtim_time, 0.0)
+            periods = int(elapsed / interval) + 1
+            self._next_dtim = self.first_dtim_time + periods * interval
+        # Force strict progress: float rounding must never let the next
+        # DTIM land at (or before) the current instant, which would spin
+        # the event loop at a frozen simulation time.
+        while self._next_dtim <= now + 1e-12:
+            self._next_dtim += interval
+        self.engine.call_at(self._next_dtim, self._on_dtim)
+
+    def _on_dtim(self) -> None:
+        if not self.enabled:
+            return
+        self._hold_awake(self.config.listen_window)
+        self._schedule_next_dtim()

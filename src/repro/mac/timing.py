@@ -1,0 +1,57 @@
+"""DCF channel-access timing.
+
+A deliberately lean distributed-coordination-function model: before each
+transmission a device waits DIFS plus a uniform random backoff drawn from
+the current contention window, doubling the window on retry.  The survey
+and attack scenarios are sparse enough that full per-slot freeze/resume
+CSMA bookkeeping would add cost without changing any result the paper
+reports, so backoff is drawn once per attempt (documented simplification).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.phy.constants import Band, difs, slot_time
+from repro.sim.engine import Engine, Event
+
+#: Contention-window bounds (802.11 OFDM defaults).
+CW_MIN = 15
+CW_MAX = 1023
+
+
+class DcfTimer:
+    """Schedules transmissions after DIFS + random backoff."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        rng: np.random.Generator,
+        band: Band = Band.GHZ_2_4,
+    ) -> None:
+        self.engine = engine
+        self.rng = rng
+        self.band = band
+
+    def contention_window(self, retry_count: int) -> int:
+        """CW for the given retry stage: (CW_MIN+1)·2^r − 1, capped."""
+        window = (CW_MIN + 1) * (2 ** max(retry_count, 0)) - 1
+        return min(window, CW_MAX)
+
+    def backoff_delay(self, retry_count: int = 0) -> float:
+        """One DIFS plus a uniformly-drawn number of slots."""
+        slots = int(self.rng.integers(0, self.contention_window(retry_count) + 1))
+        return difs(self.band) + slots * slot_time(self.band)
+
+    def schedule(
+        self,
+        callback: Callable[[], None],
+        retry_count: int = 0,
+        extra_delay: float = 0.0,
+    ) -> Event:
+        """Run ``callback`` after access timing (plus ``extra_delay``)."""
+        return self.engine.call_after(
+            extra_delay + self.backoff_delay(retry_count), callback
+        )

@@ -1,0 +1,65 @@
+"""802.11 physical layer.
+
+Implements the pieces of the PHY the paper's argument rests on:
+
+* **timing** (:mod:`repro.phy.constants`) — SIFS is 10 µs at 2.4 GHz and
+  16 µs at 5 GHz; the ACK must be on the air by then (Section 2.2);
+* **FCS** (:mod:`repro.phy.crc`) — the CRC-32 check is the *only*
+  validation performed before acknowledging;
+* **rates** (:mod:`repro.phy.rates`) — ACKs go out at legacy basic rates
+  (which is why the paper uses an ESP32 rather than the Intel 5300 CSI
+  tool, footnote 3);
+* **airtime** (:mod:`repro.phy.plcp`) — PLCP preamble/header plus symbol
+  math, needed for medium occupancy and power accounting;
+* **link quality** (:mod:`repro.phy.signal`) — path loss, SNR thresholds
+  and an SNR→FER model for realistic loss;
+* **radio** (:mod:`repro.phy.radio`) — the half-duplex radio state machine
+  that attaches to :class:`repro.sim.medium.Medium`.
+"""
+
+from repro.phy.constants import (
+    ACK_TIMEOUT,
+    Band,
+    PhyType,
+    channel_to_frequency_hz,
+    difs,
+    sifs,
+    slot_time,
+)
+from repro.phy.crc import crc32, fcs_is_valid, fcs_of
+from repro.phy.plcp import ack_airtime, frame_airtime
+from repro.phy.radio import Radio, RadioState
+from repro.phy.rates import (
+    BASIC_RATES_DSSS,
+    BASIC_RATES_OFDM,
+    OFDM_RATES,
+    RateInfo,
+    ack_rate_for,
+    rate_info,
+)
+from repro.phy.signal import LogDistancePathLoss, SnrFerModel
+
+__all__ = [
+    "ACK_TIMEOUT",
+    "BASIC_RATES_DSSS",
+    "BASIC_RATES_OFDM",
+    "Band",
+    "LogDistancePathLoss",
+    "OFDM_RATES",
+    "PhyType",
+    "Radio",
+    "RadioState",
+    "RateInfo",
+    "SnrFerModel",
+    "ack_airtime",
+    "ack_rate_for",
+    "channel_to_frequency_hz",
+    "crc32",
+    "difs",
+    "fcs_is_valid",
+    "fcs_of",
+    "frame_airtime",
+    "rate_info",
+    "sifs",
+    "slot_time",
+]

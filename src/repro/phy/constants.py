@@ -1,0 +1,119 @@
+"""802.11 PHY timing constants.
+
+These numbers carry the paper's central argument: the Short Interframe
+Space — the deadline by which the receiver must start transmitting the
+ACK — is 10 µs in the 2.4 GHz band and 16 µs in the 5 GHz band, while
+validating a WPA2-protected frame takes 200–700 µs (Section 2.2).  A
+standard-conformant receiver therefore *cannot* check frame legitimacy
+before acknowledging.
+"""
+
+from __future__ import annotations
+
+import enum
+
+MICROSECOND = 1e-6
+
+
+class Band(enum.Enum):
+    """Operating band; SIFS and slot durations differ between them."""
+
+    GHZ_2_4 = "2.4GHz"
+    GHZ_5 = "5GHz"
+
+
+class PhyType(enum.Enum):
+    """PHY families we model.
+
+    ``DSSS`` covers 802.11b-style long-preamble transmission; ``OFDM``
+    covers 802.11a/g legacy rates, which is what ACKs and our fake null
+    frames use; ``HT`` marks 802.11n data transmissions (airtime modelled
+    with the OFDM symbol math plus the HT preamble).
+    """
+
+    DSSS = "dsss"
+    OFDM = "ofdm"
+    HT = "ht"
+
+
+#: SIFS per band (seconds).  IEEE 802.11-2016 Table 19-25 / 17-21.
+SIFS_BY_BAND = {
+    Band.GHZ_2_4: 10 * MICROSECOND,
+    Band.GHZ_5: 16 * MICROSECOND,
+}
+
+#: Slot time per band (seconds); 2.4 GHz value is the long (DSSS-compatible)
+#: slot, 5 GHz the OFDM slot.
+SLOT_BY_BAND = {
+    Band.GHZ_2_4: 20 * MICROSECOND,
+    Band.GHZ_5: 9 * MICROSECOND,
+}
+
+#: Time for the transmitter to conclude the ACK is not coming and schedule a
+#: retransmission: SIFS + slot + PHY preamble detect time (approximation of
+#: the standard's ACKTimeout).
+ACK_TIMEOUT_EXTRA = 25 * MICROSECOND
+
+#: OFDM PLCP preamble + SIGNAL field duration (16 µs preamble + 4 µs SIGNAL).
+OFDM_PREAMBLE = 20 * MICROSECOND
+
+#: OFDM symbol duration (3.2 µs FFT + 0.8 µs guard interval).
+OFDM_SYMBOL = 4 * MICROSECOND
+
+#: DSSS long PLCP preamble + header.
+DSSS_LONG_PREAMBLE = 192 * MICROSECOND
+
+#: Extra preamble time for HT (mixed-mode) transmissions on top of OFDM.
+HT_PREAMBLE_EXTRA = 12 * MICROSECOND
+
+#: OFDM service (16) and tail (6) bits prepended/appended to the PSDU.
+OFDM_SERVICE_BITS = 16
+OFDM_TAIL_BITS = 6
+
+
+def sifs(band: Band) -> float:
+    """SIFS for ``band`` in seconds."""
+    return SIFS_BY_BAND[band]
+
+
+def slot_time(band: Band) -> float:
+    """Slot time for ``band`` in seconds."""
+    return SLOT_BY_BAND[band]
+
+
+def difs(band: Band) -> float:
+    """DIFS = SIFS + 2 × slot."""
+    return sifs(band) + 2.0 * slot_time(band)
+
+
+def ack_timeout(band: Band) -> float:
+    """How long a transmitter waits for an ACK before declaring loss."""
+    return sifs(band) + ACK_TIMEOUT_EXTRA
+
+
+#: Convenience alias used across the code base (2.4 GHz ACK timeout).
+ACK_TIMEOUT = ack_timeout(Band.GHZ_2_4)
+
+
+def channel_to_frequency_hz(channel: int) -> float:
+    """Centre frequency of a 2.4/5 GHz channel number.
+
+    Channels 1–13 map to 2.4 GHz (2407 + 5·n MHz, channel 14 special-cased);
+    channels 32–177 map to the 5 GHz band (5000 + 5·n MHz).
+    """
+    if 1 <= channel <= 13:
+        return (2407 + 5 * channel) * 1e6
+    if channel == 14:
+        return 2484 * 1e6
+    if 32 <= channel <= 177:
+        return (5000 + 5 * channel) * 1e6
+    raise ValueError(f"unknown channel number {channel!r}")
+
+
+def band_of_channel(channel: int) -> Band:
+    """Which band a channel number lives in."""
+    if 1 <= channel <= 14:
+        return Band.GHZ_2_4
+    if 32 <= channel <= 177:
+        return Band.GHZ_5
+    raise ValueError(f"unknown channel number {channel!r}")

@@ -1,0 +1,71 @@
+"""CRC-32 frame check sequence.
+
+Every 802.11 frame ends in a 4-byte FCS computed with the IEEE CRC-32
+(polynomial 0x04C11DB7, reflected, initial value and final XOR of
+0xFFFFFFFF — the same CRC used by Ethernet and zlib).  This check is the
+*entirety* of what a receiver validates before acknowledging a frame: a
+fake frame with a correct FCS is, to the PHY, a perfectly good frame.
+
+Implemented from scratch (table-driven) rather than via :func:`zlib.crc32`
+so the algorithm itself is part of the reproduction; the test suite
+cross-checks against zlib.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+#: Reflected polynomial for IEEE CRC-32.
+_POLYNOMIAL = 0xEDB88320
+
+
+def _build_table() -> List[int]:
+    table = []
+    for byte in range(256):
+        value = byte
+        for _ in range(8):
+            if value & 1:
+                value = (value >> 1) ^ _POLYNOMIAL
+            else:
+                value >>= 1
+        table.append(value)
+    return table
+
+
+_TABLE = _build_table()
+
+
+def crc32(data: bytes, initial: int = 0) -> int:
+    """IEEE CRC-32 of ``data`` (matches ``zlib.crc32``)."""
+    crc = initial ^ 0xFFFFFFFF
+    for byte in data:
+        crc = (crc >> 8) ^ _TABLE[(crc ^ byte) & 0xFF]
+    return crc ^ 0xFFFFFFFF
+
+
+def fcs_of(frame_body: bytes) -> bytes:
+    """The 4-byte FCS for a MAC header+body, little-endian as on the wire."""
+    return crc32(frame_body).to_bytes(4, "little")
+
+
+def append_fcs(frame_body: bytes) -> bytes:
+    """Return ``frame_body`` with its FCS appended (the on-air PSDU)."""
+    return frame_body + fcs_of(frame_body)
+
+
+def fcs_is_valid(psdu: bytes) -> bool:
+    """Check the trailing FCS of an on-air PSDU.
+
+    Frames shorter than the FCS itself are malformed and invalid.
+    """
+    if len(psdu) < 4:
+        return False
+    body, fcs = psdu[:-4], psdu[-4:]
+    return fcs_of(body) == fcs
+
+
+def strip_fcs(psdu: bytes) -> bytes:
+    """Drop a validated FCS; raises ``ValueError`` if the FCS is wrong."""
+    if not fcs_is_valid(psdu):
+        raise ValueError("FCS check failed")
+    return psdu[:-4]

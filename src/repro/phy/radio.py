@@ -1,0 +1,165 @@
+"""Half-duplex radio state machine.
+
+A :class:`Radio` is the glue between a device and the shared medium.  It
+owns the antenna position (static, or a callable for the wardriving
+vehicle), the TX power, the channel, and the awake/asleep/transmitting
+state that the power model (:mod:`repro.devices.power_model`) integrates
+over time to produce the Figure 6 consumption curve.
+
+Frame semantics live one layer up: the radio delivers every finished
+:class:`~repro.sim.medium.Reception` to its ``frame_handler`` (normally
+the MAC's ACK engine) and, while asleep, delivers nothing — which is how
+the power-save threshold of ~10 packets/s emerges in the battery-drain
+experiment.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, List, Optional, Union
+
+from repro.phy.plcp import frame_airtime
+from repro.sim.medium import Medium, Reception, Transmission
+from repro.sim.world import Position
+
+PositionProvider = Union[Position, Callable[[float], Position]]
+
+
+class RadioState(enum.Enum):
+    """Power-relevant radio states."""
+
+    SLEEP = "sleep"
+    IDLE = "idle"  # awake, listening
+    TX = "tx"
+
+
+class Radio:
+    """One 802.11 radio attached to a medium.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier on the medium (we use the device's MAC string).
+    medium:
+        The shared :class:`~repro.sim.medium.Medium`.
+    position:
+        Either a fixed :class:`Position` or a ``f(time) -> Position``
+        callable for mobile radios.
+    channel:
+        802.11 channel number.
+    tx_power_dbm / rx_sensitivity_dbm:
+        Link-budget endpoints; defaults are typical for consumer gear.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        medium: Medium,
+        position: PositionProvider,
+        channel: int = 6,
+        tx_power_dbm: float = 20.0,
+        rx_sensitivity_dbm: float = -92.0,
+    ) -> None:
+        self.name = name
+        self.medium = medium
+        self.channel = channel
+        self.tx_power_dbm = tx_power_dbm
+        self.rx_sensitivity_dbm = rx_sensitivity_dbm
+        self._position = position
+        self._state = RadioState.IDLE
+        self._state_listeners: List[Callable[[RadioState, float], None]] = []
+        self.frame_handler: Optional[Callable[[Reception], None]] = None
+        self.frames_sent = 0
+        self.frames_delivered = 0
+        self.frames_dropped_asleep = 0
+        medium.attach(self)
+
+    # ------------------------------------------------------------------
+    # RadioPort protocol
+    # ------------------------------------------------------------------
+    def current_position(self, time: float) -> Position:
+        if callable(self._position):
+            return self._position(time)
+        return self._position
+
+    def on_reception(self, reception: Reception) -> None:
+        """Medium callback: route a finished arrival to the MAC."""
+        if self._state is RadioState.SLEEP:
+            self.frames_dropped_asleep += 1
+            return
+        self.frames_delivered += 1
+        if self.frame_handler is not None:
+            self.frame_handler(reception)
+
+    # ------------------------------------------------------------------
+    # State machine
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> RadioState:
+        return self._state
+
+    @property
+    def is_awake(self) -> bool:
+        return self._state is not RadioState.SLEEP
+
+    @property
+    def is_transmitting(self) -> bool:
+        return self._state is RadioState.TX
+
+    def add_state_listener(self, listener: Callable[[RadioState, float], None]) -> None:
+        """Subscribe to state changes (power accounting hooks in here)."""
+        self._state_listeners.append(listener)
+
+    def _set_state(self, state: RadioState) -> None:
+        if state is self._state:
+            return
+        self._state = state
+        now = self.medium.engine.now
+        for listener in self._state_listeners:
+            listener(state, now)
+
+    def sleep(self) -> None:
+        """Power the radio down; incoming frames are lost while asleep."""
+        if self._state is RadioState.TX:
+            raise RuntimeError("cannot sleep while transmitting")
+        self._set_state(RadioState.SLEEP)
+
+    def wake(self) -> None:
+        """Power the radio up into the listening state."""
+        if self._state is RadioState.SLEEP:
+            self._set_state(RadioState.IDLE)
+
+    # ------------------------------------------------------------------
+    # Transmission
+    # ------------------------------------------------------------------
+    def transmit(
+        self,
+        frame: object,
+        rate_mbps: float,
+        length_bytes: Optional[int] = None,
+    ) -> Transmission:
+        """Send ``frame`` at ``rate_mbps``; airtime derives from its length.
+
+        A sleeping radio transparently wakes to transmit (matching how
+        power-save clients wake to send) and returns to the listening state
+        when the frame ends; the caller decides when to sleep again.
+        """
+        if length_bytes is None:
+            getter = getattr(frame, "wire_length", None)
+            if getter is None:
+                raise ValueError(
+                    "frame has no wire_length(); pass length_bytes explicitly"
+                )
+            length_bytes = getter()
+        duration = frame_airtime(length_bytes, rate_mbps)
+        self._set_state(RadioState.TX)
+        transmission = self.medium.transmit(
+            self, frame, duration, self.tx_power_dbm, rate_mbps
+        )
+        self.frames_sent += 1
+        self.medium.engine.call_after(duration, self._tx_done)
+        return transmission
+
+    def _tx_done(self) -> None:
+        if self._state is RadioState.TX:
+            self._set_state(RadioState.IDLE)

@@ -1,0 +1,51 @@
+"""WiFi sensing pipeline.
+
+Turns streams of per-frame CSI measurements (what the attacker collects
+from the victim's ACKs) into inferences: activity segmentation and
+keystroke/activity classification for the Section 4.1 privacy threat,
+breathing-rate estimation and occupancy detection for the Section 4.3
+sensing opportunities.
+"""
+
+from repro.sensing.breathing import BreathingRateEstimator
+from repro.sensing.csi_processing import (
+    CsiSeries,
+    hampel_filter,
+    moving_average,
+    moving_std,
+    normalize_series,
+    resample_uniform,
+)
+from repro.sensing.features import WindowFeatures, extract_features, sliding_windows
+from repro.sensing.keystroke_classifier import ActivityClassifier, ActivityLabel
+from repro.sensing.keystroke_timing import (
+    KeystrokeDetection,
+    KeystrokeTimingExtractor,
+    match_keystrokes,
+)
+from repro.sensing.occupancy import OccupancyDetector
+from repro.sensing.segmentation import ActivitySegment, segment_by_variance
+from repro.sensing.vitals import VitalSigns, VitalSignsEstimator
+
+__all__ = [
+    "ActivityClassifier",
+    "ActivityLabel",
+    "ActivitySegment",
+    "BreathingRateEstimator",
+    "CsiSeries",
+    "KeystrokeDetection",
+    "KeystrokeTimingExtractor",
+    "OccupancyDetector",
+    "match_keystrokes",
+    "VitalSigns",
+    "VitalSignsEstimator",
+    "WindowFeatures",
+    "extract_features",
+    "hampel_filter",
+    "moving_average",
+    "moving_std",
+    "normalize_series",
+    "resample_uniform",
+    "segment_by_variance",
+    "sliding_windows",
+]

@@ -1,0 +1,129 @@
+"""CSI stream conditioning.
+
+Raw per-frame CSI amplitude is irregularly sampled (frames are paced by
+the injector but jittered by DCF and losses) and contaminated by impulse
+noise from imperfect channel estimates.  The standard WiFi-sensing
+pre-processing chain — Hampel outlier rejection, resampling onto a
+uniform grid, moving-window smoothing, normalization — lives here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+import numpy as np
+
+
+@dataclass
+class CsiSeries:
+    """An amplitude time series for one subcarrier."""
+
+    times: np.ndarray
+    amplitudes: np.ndarray
+    subcarrier: int = 17
+
+    def __post_init__(self) -> None:
+        self.times = np.asarray(self.times, dtype=float)
+        self.amplitudes = np.asarray(self.amplitudes, dtype=float)
+        if self.times.shape != self.amplitudes.shape:
+            raise ValueError("times and amplitudes must have the same shape")
+        if len(self.times) > 1 and np.any(np.diff(self.times) < 0):
+            raise ValueError("times must be non-decreasing")
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    @property
+    def duration(self) -> float:
+        if len(self.times) < 2:
+            return 0.0
+        return float(self.times[-1] - self.times[0])
+
+    @property
+    def mean_rate_hz(self) -> float:
+        """Effective sample (measurement) rate."""
+        if self.duration <= 0.0:
+            return 0.0
+        return (len(self.times) - 1) / self.duration
+
+    def slice(self, start: float, end: float) -> "CsiSeries":
+        mask = (self.times >= start) & (self.times < end)
+        return CsiSeries(self.times[mask], self.amplitudes[mask], self.subcarrier)
+
+
+def hampel_filter(
+    values: np.ndarray, window: int = 7, threshold_sigmas: float = 3.0
+) -> np.ndarray:
+    """Replace outliers with the local median (Hampel identifier).
+
+    The classic CSI-cleaning first step: channel-estimation glitches are
+    impulsive and would otherwise dominate variance features.
+    """
+    values = np.asarray(values, dtype=float)
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    cleaned = values.copy()
+    half = window // 2
+    scale = 1.4826  # MAD → sigma for Gaussian data
+    for index in range(len(values)):
+        low = max(index - half, 0)
+        high = min(index + half + 1, len(values))
+        neighbourhood = values[low:high]
+        median = np.median(neighbourhood)
+        mad = np.median(np.abs(neighbourhood - median))
+        if mad == 0.0:
+            # Locally constant neighbourhood: any deviation is an outlier.
+            if values[index] != median:
+                cleaned[index] = median
+            continue
+        if abs(values[index] - median) > threshold_sigmas * scale * mad:
+            cleaned[index] = median
+    return cleaned
+
+
+def resample_uniform(
+    series: CsiSeries, rate_hz: float
+) -> CsiSeries:
+    """Linear interpolation onto a uniform grid at ``rate_hz``."""
+    if rate_hz <= 0.0:
+        raise ValueError("rate must be positive")
+    if len(series) < 2:
+        return series
+    start, end = float(series.times[0]), float(series.times[-1])
+    count = max(int((end - start) * rate_hz) + 1, 2)
+    grid = np.linspace(start, end, count)
+    values = np.interp(grid, series.times, series.amplitudes)
+    return CsiSeries(grid, values, series.subcarrier)
+
+
+def moving_average(values: np.ndarray, window: int) -> np.ndarray:
+    """Centered moving mean with edge shrinkage (same-length output)."""
+    values = np.asarray(values, dtype=float)
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    if window == 1 or len(values) == 0:
+        return values.copy()
+    kernel = np.ones(window) / window
+    padded = np.pad(values, (window // 2, window - 1 - window // 2), mode="edge")
+    return np.convolve(padded, kernel, mode="valid")
+
+
+def moving_std(values: np.ndarray, window: int) -> np.ndarray:
+    """Centered moving standard deviation (same-length output)."""
+    values = np.asarray(values, dtype=float)
+    mean = moving_average(values, window)
+    mean_sq = moving_average(values**2, window)
+    variance = np.maximum(mean_sq - mean**2, 0.0)
+    return np.sqrt(variance)
+
+
+def normalize_series(values: np.ndarray) -> np.ndarray:
+    """Zero-mean, unit-variance scaling (constant series map to zeros)."""
+    values = np.asarray(values, dtype=float)
+    std = float(np.std(values))
+    scale = float(np.max(np.abs(values))) if values.size else 0.0
+    if std <= 1e-12 * max(scale, 1.0):
+        # Numerically constant (float jitter around a constant level).
+        return np.zeros_like(values)
+    return (values - float(np.mean(values))) / std

@@ -1,0 +1,82 @@
+"""Occupancy / motion detection.
+
+The simplest of the Section 4.3 opportunities: "can an attacker detect
+occupancy?"  Motion near the target device raises the short-window CSI
+variance far above the empty-room floor, so a calibrated variance
+threshold detects presence.  Calibration against an empty-room recording
+is part of the API because that is how such detectors are deployed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.sensing.csi_processing import CsiSeries, hampel_filter, moving_std
+
+
+@dataclass
+class OccupancyReading:
+    start: float
+    end: float
+    occupied: bool
+    motion_score: float
+
+
+class OccupancyDetector:
+    """Variance-threshold presence detector with empty-room calibration."""
+
+    def __init__(self, window: int = 25, threshold_ratio: float = 4.0) -> None:
+        self.window = window
+        self.threshold_ratio = threshold_ratio
+        self._floor: Optional[float] = None
+
+    def calibrate(self, empty_room: CsiSeries) -> float:
+        """Learn the quiet-channel variance floor; returns the floor."""
+        if len(empty_room) < self.window:
+            raise ValueError("calibration recording too short")
+        cleaned = hampel_filter(empty_room.amplitudes)
+        sigma = moving_std(cleaned, self.window)
+        self._floor = float(np.percentile(sigma, 90.0))
+        return self._floor
+
+    @property
+    def is_calibrated(self) -> bool:
+        return self._floor is not None
+
+    def detect(self, series: CsiSeries, interval_s: float = 1.0) -> List[OccupancyReading]:
+        """Chunk the stream into intervals and score each for motion."""
+        if self._floor is None:
+            raise RuntimeError("detector is not calibrated")
+        if len(series) == 0:
+            return []
+        threshold = max(self.threshold_ratio * self._floor, 1e-12)
+        cleaned = hampel_filter(series.amplitudes)
+        sigma = moving_std(cleaned, self.window)
+        readings: List[OccupancyReading] = []
+        start = float(series.times[0])
+        end = float(series.times[-1])
+        t = start
+        while t < end:
+            mask = (series.times >= t) & (series.times < t + interval_s)
+            if np.any(mask):
+                score = float(np.max(sigma[mask]))
+                readings.append(
+                    OccupancyReading(
+                        start=t,
+                        end=min(t + interval_s, end),
+                        occupied=score > threshold,
+                        motion_score=score / threshold,
+                    )
+                )
+            t += interval_s
+        return readings
+
+    def occupancy_fraction(self, series: CsiSeries) -> float:
+        """Fraction of intervals flagged occupied."""
+        readings = self.detect(series)
+        if not readings:
+            return 0.0
+        return sum(1 for r in readings if r.occupied) / len(readings)

@@ -1,0 +1,107 @@
+"""Activity segmentation.
+
+Splits a CSI amplitude stream into quiet and active segments by
+thresholding the moving standard deviation — the first stage of every
+keystroke-inference pipeline (WindTalker isolates typing bouts the same
+way before classifying individual keys).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.sensing.csi_processing import CsiSeries, moving_std
+
+
+@dataclass(frozen=True)
+class ActivitySegment:
+    start: float
+    end: float
+    active: bool
+    mean_std: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+def segment_by_variance(
+    series: CsiSeries,
+    window: int = 25,
+    threshold_ratio: float = 3.0,
+    min_segment_s: float = 0.5,
+) -> List[ActivitySegment]:
+    """Label the stream active/quiet by moving-σ thresholding.
+
+    The threshold adapts to the stream: ``threshold_ratio`` times the 10th
+    percentile of the moving σ (the quiet floor), so the same settings work
+    across link geometries.  Segments shorter than ``min_segment_s`` are
+    merged into their neighbours to suppress chatter.
+    """
+    if len(series) < window:
+        if len(series) == 0:
+            return []
+        return [
+            ActivitySegment(
+                start=float(series.times[0]),
+                end=float(series.times[-1]),
+                active=False,
+                mean_std=float(np.std(series.amplitudes)),
+            )
+        ]
+    sigma = moving_std(series.amplitudes, window)
+    floor = float(np.percentile(sigma, 10.0))
+    threshold = max(threshold_ratio * floor, 1e-12)
+    active = sigma > threshold
+
+    # Run-length encode.
+    segments: List[ActivitySegment] = []
+    run_start = 0
+    for index in range(1, len(active) + 1):
+        if index == len(active) or active[index] != active[run_start]:
+            segments.append(
+                ActivitySegment(
+                    start=float(series.times[run_start]),
+                    end=float(
+                        series.times[index - 1]
+                        if index == len(active)
+                        else series.times[index]
+                    ),
+                    active=bool(active[run_start]),
+                    mean_std=float(np.mean(sigma[run_start:index])),
+                )
+            )
+            run_start = index
+
+    return _merge_short(segments, min_segment_s)
+
+
+def _merge_short(
+    segments: List[ActivitySegment], min_segment_s: float
+) -> List[ActivitySegment]:
+    """Absorb sub-minimum segments into the previous segment."""
+    if not segments:
+        return segments
+    merged: List[ActivitySegment] = [segments[0]]
+    for segment in segments[1:]:
+        previous = merged[-1]
+        if segment.duration < min_segment_s:
+            merged[-1] = ActivitySegment(
+                start=previous.start,
+                end=segment.end,
+                active=previous.active,
+                mean_std=previous.mean_std,
+            )
+        elif segment.active == previous.active:
+            merged[-1] = ActivitySegment(
+                start=previous.start,
+                end=segment.end,
+                active=previous.active,
+                mean_std=(previous.mean_std + segment.mean_std) / 2.0,
+            )
+        else:
+            merged.append(segment)
+    return merged

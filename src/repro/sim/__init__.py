@@ -1,0 +1,30 @@
+"""Discrete-event simulation substrate.
+
+This package provides the event engine, virtual clock, deterministic RNG
+helpers, the shared wireless medium, the spatial world (device placement and
+mobility), and a Wireshark-style frame trace.  Everything above it — PHY,
+MAC, devices, attacks — runs as callbacks scheduled on :class:`Engine`.
+"""
+
+from repro.sim.clock import Clock
+from repro.sim.engine import Engine, Event
+from repro.sim.medium import Medium, Reception, Transmission
+from repro.sim.rng import SeedSequenceFactory, derive_rng
+from repro.sim.trace import FrameTrace, TraceRecord
+from repro.sim.world import DriveRoute, Position, World
+
+__all__ = [
+    "Clock",
+    "DriveRoute",
+    "Engine",
+    "Event",
+    "FrameTrace",
+    "Medium",
+    "Position",
+    "Reception",
+    "SeedSequenceFactory",
+    "TraceRecord",
+    "Transmission",
+    "World",
+    "derive_rng",
+]

@@ -1,0 +1,51 @@
+"""Virtual simulation clock.
+
+Time is a float number of **seconds** since the start of the simulation.
+802.11 timing constants (SIFS, slot times, airtimes) are expressed in
+seconds as well (e.g. ``10e-6`` for a 10 microsecond SIFS), so arithmetic
+never needs unit conversion.
+"""
+
+from __future__ import annotations
+
+MICROSECOND = 1e-6
+MILLISECOND = 1e-3
+
+# Time units (TU) are the 802.11 beacon-interval unit: 1024 microseconds.
+TIME_UNIT = 1024 * MICROSECOND
+
+
+class Clock:
+    """Monotonic virtual clock advanced only by the event engine.
+
+    The clock is deliberately dumb: it can be read by anyone but advanced
+    only through :meth:`advance`, which the engine calls when it pops an
+    event.  Attempting to move time backwards is a programming error and
+    raises ``ValueError`` — event-ordering bugs should fail loudly.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0.0:
+            raise ValueError(f"clock cannot start at negative time {start!r}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    def advance(self, to: float) -> None:
+        """Move the clock forward to ``to`` seconds.
+
+        Raises ``ValueError`` if ``to`` is earlier than the current time.
+        Advancing to the *same* time is allowed: simultaneous events are
+        legal and ordered by their scheduling sequence number.
+        """
+        if to < self._now:
+            raise ValueError(
+                f"clock cannot run backwards: now={self._now!r}, requested {to!r}"
+            )
+        self._now = to
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Clock(now={self._now:.9f})"

@@ -1,0 +1,168 @@
+"""Heap-based discrete-event engine.
+
+The engine owns a :class:`~repro.sim.clock.Clock` and a priority queue of
+events.  Events are ``(time, sequence, callback)`` triples; the sequence
+number breaks ties so that two events scheduled for the same instant run in
+scheduling order, which keeps simulations deterministic.
+
+Callbacks take no arguments — closures capture whatever context they need.
+A callback may schedule further events (including at the current time).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.sim.clock import Clock
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events sort by ``(time, sequence)``.  ``cancelled`` events stay in the
+    heap but are skipped when popped (lazy deletion), which makes
+    cancellation O(1).
+    """
+
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark this event so it is skipped when its time comes."""
+        self.cancelled = True
+
+
+class Engine:
+    """Discrete-event simulation engine.
+
+    Typical use::
+
+        engine = Engine()
+        engine.call_at(1.5, lambda: print("hello at t=1.5"))
+        engine.run_until(10.0)
+    """
+
+    def __init__(self, clock: Optional[Clock] = None) -> None:
+        self.clock = clock if clock is not None else Clock()
+        self._heap: List[Event] = []
+        self._sequence = itertools.count()
+        self._processed = 0
+        self._running = False
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self.clock.now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of callbacks executed so far (cancelled events excluded)."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def call_at(self, time: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` to run at absolute time ``time``.
+
+        Scheduling in the past raises ``ValueError``; scheduling at the
+        current instant is allowed and runs after already-queued events for
+        that instant.
+        """
+        if time < self.clock.now:
+            raise ValueError(
+                f"cannot schedule event at {time!r}, now is {self.clock.now!r}"
+            )
+        event = Event(time=time, sequence=next(self._sequence), callback=callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def call_after(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0.0:
+            raise ValueError(f"delay must be non-negative, got {delay!r}")
+        return self.call_at(self.clock.now + delay, callback)
+
+    def stop(self) -> None:
+        """Request the current :meth:`run_until`/:meth:`run` loop to exit."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Run the single next live event.
+
+        Returns ``True`` if an event ran, ``False`` if the queue was empty.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.clock.advance(event.time)
+            event.callback()
+            self._processed += 1
+            return True
+        return False
+
+    def run_until(self, end_time: float) -> None:
+        """Run events in order until the queue is exhausted or an event
+        would occur after ``end_time``.
+
+        The clock is left at ``end_time`` (or at the last event time if it
+        was later than ``end_time`` already — which cannot happen given the
+        scheduling guard).
+        """
+        if self._running:
+            raise RuntimeError("engine is already running (re-entrant run)")
+        self._running = True
+        self._stopped = False
+        try:
+            while self._heap and not self._stopped:
+                head = self._heap[0]
+                if head.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if head.time > end_time:
+                    break
+                heapq.heappop(self._heap)
+                self.clock.advance(head.time)
+                head.callback()
+                self._processed += 1
+            if end_time > self.clock.now:
+                self.clock.advance(end_time)
+        finally:
+            self._running = False
+
+    def run(self, max_events: Optional[int] = None) -> None:
+        """Run until the event queue drains (or ``max_events`` callbacks).
+
+        ``max_events`` is a safety valve for tests driving potentially
+        self-sustaining simulations (beaconing APs never stop on their own).
+        """
+        if self._running:
+            raise RuntimeError("engine is already running (re-entrant run)")
+        self._running = True
+        self._stopped = False
+        ran = 0
+        try:
+            while not self._stopped:
+                if max_events is not None and ran >= max_events:
+                    break
+                if not self.step():
+                    break
+                ran += 1
+        finally:
+            self._running = False

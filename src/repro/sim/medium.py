@@ -1,0 +1,353 @@
+"""Shared wireless medium.
+
+The medium is a broadcast channel connecting every attached radio.  A
+transmission is delivered to all other radios tuned to the same channel,
+after free-space propagation delay, at a received power given by the
+pluggable path-loss model.  The medium also implements:
+
+* **half duplex** — a radio that transmits during an arrival corrupts that
+  arrival (its receiver is deaf while the PA is on);
+* **collisions with capture** — overlapping arrivals corrupt each other
+  unless one is stronger by the capture threshold, in which case the
+  stronger frame survives (standard capture-effect model);
+* **frame errors** — an optional FER model converts SNR/rate/length into a
+  loss probability (defaults to error-free above sensitivity);
+* **CSI tagging** — an optional CSI model attaches a per-subcarrier channel
+  estimate to each reception, which is how the attacker "measures the CSI
+  of received ACKs" (paper Section 4.1).
+
+The medium knows nothing about 802.11 semantics; frames are opaque objects.
+It only reads three optional cosmetic hooks (``trace_source``,
+``trace_destination``, ``trace_info``) to feed the capture trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Protocol
+
+import numpy as np
+
+from repro.sim.engine import Engine
+from repro.sim.trace import FrameTrace
+from repro.sim.world import Position
+
+#: Default thermal noise floor for a 20 MHz 802.11 channel including a
+#: typical receiver noise figure (−174 dBm/Hz + 10·log10(20 MHz) + 6 dB NF).
+DEFAULT_NOISE_FLOOR_DBM = -95.0
+
+#: Power advantage required for the stronger of two overlapping frames to be
+#: captured successfully.
+DEFAULT_CAPTURE_THRESHOLD_DB = 10.0
+
+
+class RadioPort(Protocol):
+    """What the medium requires of an attached radio."""
+
+    name: str
+    channel: int
+    rx_sensitivity_dbm: float
+
+    def current_position(self, time: float) -> Position:
+        """Radio antenna position at ``time`` (mobile radios move)."""
+
+    def on_reception(self, reception: "Reception") -> None:
+        """Called when an arrival finishes (successfully or not)."""
+
+
+def free_space_path_loss_db(tx: Position, rx: Position, frequency_hz: float) -> float:
+    """Friis free-space path loss, clamped below 1 m to avoid singularity."""
+    distance = max(tx.distance_to(rx), 1.0)
+    wavelength = 299_792_458.0 / frequency_hz
+    return 20.0 * np.log10(4.0 * np.pi * distance / wavelength)
+
+
+@dataclass
+class Transmission:
+    """An on-air frame as the medium sees it."""
+
+    sender: str
+    frame: object
+    start: float
+    duration: float
+    power_dbm: float
+    rate_mbps: float
+    channel: int
+    tx_position: Position
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+@dataclass
+class Reception:
+    """A finished arrival handed to a radio.
+
+    ``fcs_ok`` is what the receiver's CRC check will conclude; ``collided``
+    and ``while_transmitting`` explain *why* a frame failed, which the tests
+    and benchmarks assert on.
+    """
+
+    frame: object
+    transmission: Transmission
+    rssi_dbm: float
+    snr_db: float
+    start: float
+    end: float
+    fcs_ok: bool
+    collided: bool = False
+    while_transmitting: bool = False
+    csi: Optional[np.ndarray] = None
+
+    @property
+    def rate_mbps(self) -> float:
+        return self.transmission.rate_mbps
+
+    @property
+    def airtime(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class _Arrival:
+    """Book-keeping for an in-flight frame at one receiver."""
+
+    transmission: Transmission
+    rssi_dbm: float
+    corrupted: bool = False
+    corrupt_reason: str = ""
+
+
+class Medium:
+    """The broadcast medium binding radios together.
+
+    Parameters
+    ----------
+    engine:
+        Event engine used to schedule arrival start/end callbacks.
+    frequency_hz:
+        Carrier frequency used by the default path-loss model and by CSI
+        models (2.437 GHz = channel 6 by default).
+    path_loss_db:
+        ``f(tx_pos, rx_pos) -> dB``.  Defaults to free space at
+        ``frequency_hz``.
+    fer:
+        ``f(snr_db, rate_mbps, length_bytes) -> probability``; defaults to
+        lossless above sensitivity.
+    csi_model:
+        ``f(tx_name, rx_name, time) -> complex ndarray`` giving the channel
+        frequency response sampled at the reception instant, or ``None``.
+    trace:
+        Optional global :class:`FrameTrace` capturing every transmission.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        frequency_hz: float = 2.437e9,
+        path_loss_db: Optional[Callable[[Position, Position], float]] = None,
+        fer: Optional[Callable[[float, float, int], float]] = None,
+        csi_model: Optional[Callable[[str, str, float], Optional[np.ndarray]]] = None,
+        trace: Optional[FrameTrace] = None,
+        noise_floor_dbm: float = DEFAULT_NOISE_FLOOR_DBM,
+        capture_threshold_db: float = DEFAULT_CAPTURE_THRESHOLD_DB,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.engine = engine
+        self.frequency_hz = frequency_hz
+        self.noise_floor_dbm = noise_floor_dbm
+        self.capture_threshold_db = capture_threshold_db
+        self.trace = trace
+        self._path_loss = path_loss_db or (
+            lambda tx, rx: free_space_path_loss_db(tx, rx, self.frequency_hz)
+        )
+        self._fer = fer
+        self._csi_model = csi_model
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._radios: Dict[str, RadioPort] = {}
+        self._ongoing: Dict[str, List[_Arrival]] = {}
+        self._transmitting: Dict[str, float] = {}  # radio name -> tx end time
+        self.transmission_count = 0
+
+    # ------------------------------------------------------------------
+    # Attachment
+    # ------------------------------------------------------------------
+    def attach(self, radio: RadioPort) -> None:
+        """Connect a radio; its name must be unique on this medium."""
+        if radio.name in self._radios:
+            raise ValueError(f"radio {radio.name!r} already attached")
+        self._radios[radio.name] = radio
+        self._ongoing[radio.name] = []
+
+    def detach(self, radio_name: str) -> None:
+        self._radios.pop(radio_name, None)
+        self._ongoing.pop(radio_name, None)
+        self._transmitting.pop(radio_name, None)
+
+    @property
+    def radio_names(self) -> List[str]:
+        return sorted(self._radios)
+
+    def radio(self, name: str) -> RadioPort:
+        return self._radios[name]
+
+    # ------------------------------------------------------------------
+    # Channel state queries
+    # ------------------------------------------------------------------
+    def rssi_between(self, tx_name: str, rx_name: str, time: float) -> float:
+        """Would-be RSSI of a 20 dBm transmission between two radios."""
+        tx = self._radios[tx_name]
+        rx = self._radios[rx_name]
+        loss = self._path_loss(tx.current_position(time), rx.current_position(time))
+        return 20.0 - loss
+
+    def is_busy_for(self, radio_name: str, cca_threshold_dbm: float = -82.0) -> bool:
+        """Carrier-sense verdict: any ongoing arrival above the CCA level?"""
+        return any(
+            arrival.rssi_dbm >= cca_threshold_dbm
+            for arrival in self._ongoing.get(radio_name, [])
+        )
+
+    def is_transmitting(self, radio_name: str) -> bool:
+        end = self._transmitting.get(radio_name)
+        return end is not None and end > self.engine.now
+
+    # ------------------------------------------------------------------
+    # Transmission
+    # ------------------------------------------------------------------
+    def transmit(
+        self,
+        sender: RadioPort,
+        frame: object,
+        duration: float,
+        power_dbm: float,
+        rate_mbps: float,
+    ) -> Transmission:
+        """Put ``frame`` on the air from ``sender`` for ``duration`` seconds.
+
+        Returns the :class:`Transmission` record.  Arrival events at every
+        in-range same-channel radio are scheduled on the engine.
+        """
+        if duration <= 0.0:
+            raise ValueError(f"duration must be positive, got {duration!r}")
+        now = self.engine.now
+        tx_position = sender.current_position(now)
+        transmission = Transmission(
+            sender=sender.name,
+            frame=frame,
+            start=now,
+            duration=duration,
+            power_dbm=power_dbm,
+            rate_mbps=rate_mbps,
+            channel=sender.channel,
+            tx_position=tx_position,
+        )
+        self.transmission_count += 1
+        # Half duplex: transmitting deafens the sender's own receiver.
+        self._transmitting[sender.name] = max(
+            self._transmitting.get(sender.name, 0.0), now + duration
+        )
+        for arrival in self._ongoing.get(sender.name, []):
+            arrival.corrupted = True
+            arrival.corrupt_reason = "receiver was transmitting"
+
+        if self.trace is not None:
+            self.trace.add(
+                time=now,
+                source=str(getattr(frame, "trace_source", lambda: sender.name)()),
+                destination=str(getattr(frame, "trace_destination", lambda: "?")()),
+                info=str(getattr(frame, "trace_info", lambda: type(frame).__name__)()),
+                channel=sender.channel,
+                length=getattr(frame, "wire_length", lambda: None)(),
+            )
+
+        for name, radio in self._radios.items():
+            if name == sender.name or radio.channel != sender.channel:
+                continue
+            rx_position = radio.current_position(now)
+            rssi = power_dbm - self._path_loss(tx_position, rx_position)
+            if rssi < radio.rx_sensitivity_dbm:
+                continue
+            delay = tx_position.propagation_delay_to(rx_position)
+            self.engine.call_at(
+                now + delay,
+                self._make_arrival_start(radio, transmission, rssi),
+            )
+        return transmission
+
+    # ------------------------------------------------------------------
+    # Arrival lifecycle
+    # ------------------------------------------------------------------
+    def _make_arrival_start(
+        self, radio: RadioPort, transmission: Transmission, rssi: float
+    ) -> Callable[[], None]:
+        def start() -> None:
+            arrival = _Arrival(transmission=transmission, rssi_dbm=rssi)
+            ongoing = self._ongoing.setdefault(radio.name, [])
+            if self.is_transmitting(radio.name):
+                arrival.corrupted = True
+                arrival.corrupt_reason = "receiver was transmitting"
+            self._resolve_overlap(ongoing, arrival)
+            ongoing.append(arrival)
+            self.engine.call_after(
+                transmission.duration, self._make_arrival_end(radio, arrival)
+            )
+
+        return start
+
+    def _resolve_overlap(self, ongoing: List[_Arrival], new: _Arrival) -> None:
+        """Apply the capture model between ``new`` and live arrivals."""
+        live = [a for a in ongoing if not a.corrupted]
+        if not live:
+            return
+        strongest = max(live, key=lambda a: a.rssi_dbm)
+        if new.rssi_dbm >= strongest.rssi_dbm + self.capture_threshold_db:
+            for arrival in live:
+                arrival.corrupted = True
+                arrival.corrupt_reason = "captured by stronger frame"
+        elif new.rssi_dbm <= strongest.rssi_dbm - self.capture_threshold_db:
+            new.corrupted = True
+            new.corrupt_reason = "receiver locked on stronger frame"
+        else:
+            new.corrupted = True
+            new.corrupt_reason = "collision"
+            for arrival in live:
+                arrival.corrupted = True
+                arrival.corrupt_reason = "collision"
+
+    def _make_arrival_end(
+        self, radio: RadioPort, arrival: _Arrival
+    ) -> Callable[[], None]:
+        def end() -> None:
+            ongoing = self._ongoing.get(radio.name, [])
+            if arrival in ongoing:
+                ongoing.remove(arrival)
+            if radio.name not in self._radios:
+                return  # detached mid-flight
+            transmission = arrival.transmission
+            snr = arrival.rssi_dbm - self.noise_floor_dbm
+            fcs_ok = not arrival.corrupted
+            if fcs_ok and self._fer is not None:
+                length = getattr(transmission.frame, "wire_length", lambda: 0)()
+                probability = self._fer(snr, transmission.rate_mbps, length or 0)
+                if probability > 0.0 and self._rng.random() < probability:
+                    fcs_ok = False
+            csi = None
+            if self._csi_model is not None:
+                csi = self._csi_model(transmission.sender, radio.name, self.engine.now)
+            reception = Reception(
+                frame=transmission.frame,
+                transmission=transmission,
+                rssi_dbm=arrival.rssi_dbm,
+                snr_db=snr,
+                start=transmission.start,
+                end=self.engine.now,
+                fcs_ok=fcs_ok,
+                collided=arrival.corrupted and "transmitting" not in arrival.corrupt_reason,
+                while_transmitting="transmitting" in arrival.corrupt_reason,
+                csi=csi,
+            )
+            radio.on_reception(reception)
+
+        return end

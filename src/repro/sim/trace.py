@@ -1,0 +1,193 @@
+"""Wireshark-style frame trace.
+
+The paper demonstrates Polite WiFi with packet captures (Figures 2 and 3):
+a fake null-function frame from ``aa:bb:bb:bb:bb:bb`` followed by an
+acknowledgement from the victim, and an access point interleaving
+deauthentication bursts with acknowledgements of the attacker's frames.
+:class:`FrameTrace` records every frame that crosses the medium and renders
+the same three-column Source / Destination / Info view.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One captured frame."""
+
+    time: float
+    source: str
+    destination: str
+    info: str
+    channel: Optional[int] = None
+    rssi_dbm: Optional[float] = None
+    length: Optional[int] = None
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    def matches(self, **criteria: object) -> bool:
+        """True when every keyword equals the corresponding attribute."""
+        for key, value in criteria.items():
+            if getattr(self, key, None) != value:
+                return False
+        return True
+
+
+class FrameTrace:
+    """Append-only capture buffer with filtering and table rendering."""
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        self._records: List[TraceRecord] = []
+        self._capacity = capacity
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)
+
+    def __getitem__(self, index):
+        return self._records[index]
+
+    @property
+    def records(self) -> List[TraceRecord]:
+        """The captured records, oldest first."""
+        return list(self._records)
+
+    def record(self, record: TraceRecord) -> None:
+        """Append one record, evicting the oldest when over capacity."""
+        self._records.append(record)
+        if self._capacity is not None and len(self._records) > self._capacity:
+            del self._records[0 : len(self._records) - self._capacity]
+
+    def add(
+        self,
+        time: float,
+        source: str,
+        destination: str,
+        info: str,
+        **extra_fields: object,
+    ) -> TraceRecord:
+        """Convenience constructor + append; returns the record."""
+        known = {"channel", "rssi_dbm", "length"}
+        kwargs = {key: extra_fields.pop(key) for key in list(extra_fields) if key in known}
+        record = TraceRecord(
+            time=time,
+            source=source,
+            destination=destination,
+            info=info,
+            extra=extra_fields,
+            **kwargs,
+        )
+        self.record(record)
+        return record
+
+    def clear(self) -> None:
+        self._records.clear()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def filter(
+        self,
+        predicate: Optional[Callable[[TraceRecord], bool]] = None,
+        **criteria: object,
+    ) -> List[TraceRecord]:
+        """Records matching a predicate and/or attribute equality criteria."""
+        results = []
+        for record in self._records:
+            if predicate is not None and not predicate(record):
+                continue
+            if criteria and not record.matches(**criteria):
+                continue
+            results.append(record)
+        return results
+
+    def between(self, start: float, end: float) -> List[TraceRecord]:
+        """Records with ``start <= time < end``."""
+        return [r for r in self._records if start <= r.time < end]
+
+    def count_info(self, substring: str) -> int:
+        """How many records carry ``substring`` in their Info column."""
+        return sum(1 for r in self._records if substring in r.info)
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def to_table(
+        self,
+        records: Optional[Iterable[TraceRecord]] = None,
+        with_time: bool = True,
+    ) -> str:
+        """Render records as the paper's Source/Destination/Info capture view."""
+        rows = list(self._records if records is None else records)
+        header = ["Time", "Source", "Destination", "Info"] if with_time else [
+            "Source",
+            "Destination",
+            "Info",
+        ]
+        table: List[List[str]] = [header]
+        for record in rows:
+            cells = [record.source, record.destination, record.info]
+            if with_time:
+                cells = [f"{record.time:.6f}"] + cells
+            table.append(cells)
+        widths = [max(len(row[i]) for row in table) for i in range(len(header))]
+        lines = []
+        for row_index, row in enumerate(table):
+            lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+            if row_index == 0:
+                lines.append("  ".join("-" * widths[i] for i in range(len(header))))
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """Export the capture as CSV (time, source, destination, info,
+        channel, rssi_dbm, length) — importable into analysis notebooks."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(
+            ["time", "source", "destination", "info", "channel", "rssi_dbm", "length"]
+        )
+        for record in self._records:
+            writer.writerow(
+                [
+                    f"{record.time:.9f}",
+                    record.source,
+                    record.destination,
+                    record.info,
+                    record.channel if record.channel is not None else "",
+                    record.rssi_dbm if record.rssi_dbm is not None else "",
+                    record.length if record.length is not None else "",
+                ]
+            )
+        return buffer.getvalue()
+
+    def to_jsonl(self) -> str:
+        """Export the capture as JSON Lines (one object per frame)."""
+        lines = []
+        for record in self._records:
+            payload = {
+                "time": record.time,
+                "source": record.source,
+                "destination": record.destination,
+                "info": record.info,
+            }
+            if record.channel is not None:
+                payload["channel"] = record.channel
+            if record.rssi_dbm is not None:
+                payload["rssi_dbm"] = record.rssi_dbm
+            if record.length is not None:
+                payload["length"] = record.length
+            if record.extra:
+                payload["extra"] = {
+                    key: value
+                    for key, value in record.extra.items()
+                    if isinstance(value, (str, int, float, bool, type(None)))
+                }
+            lines.append(json.dumps(payload))
+        return "\n".join(lines)

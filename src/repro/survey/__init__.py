@@ -1,0 +1,27 @@
+"""Large-scale survey substrate (paper Section 3).
+
+The original experiment mounted a WiFi dongle on a vehicle and drove
+around a city for an hour, discovering 5,328 devices from 186 vendors.
+This package provides the synthetic city (device population drawn from
+the paper's Table 2 vendor census, placed along a street grid), the
+passive scanner that discovers devices from their emissions, and the
+aggregation that renders the results back into Table 2 form.
+
+The drive itself — the discover/inject/verify pipeline — lives in
+:mod:`repro.core.wardrive`, since it is the paper's contribution rather
+than substrate.
+"""
+
+from repro.survey.city import CityConfig, DeviceSpec, SyntheticCity
+from repro.survey.results import SurveyResults, VendorCensusRow
+from repro.survey.scanner import DiscoveredDevice, PassiveScanner
+
+__all__ = [
+    "CityConfig",
+    "DeviceSpec",
+    "DiscoveredDevice",
+    "PassiveScanner",
+    "SurveyResults",
+    "SyntheticCity",
+    "VendorCensusRow",
+]

@@ -1,0 +1,325 @@
+"""Synthetic city for the wardriving survey.
+
+The city scatters access points (households) along a street grid and
+attaches client devices to households, with vendors drawn exactly from
+the paper's Table 2 census — 3,805 APs from 94 vendors, 1,523 clients
+from 147 vendors.  APs sit on channels 1/6/11 like real deployments.
+
+Simulating 5,328 always-on devices for a full drive would be pointless
+event churn, so the city materializes devices **lazily**: an activation
+manager tracks the survey vehicle and only devices within radio range
+run (beacons, probe requests); devices left behind are detached from the
+medium and silenced.  A device's identity (MAC, vendor, position) is
+fixed in its :class:`DeviceSpec` at generation time, so lazy
+materialization never changes *who* is discovered — only when their
+radios burn simulator cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.devices.access_point import AccessPoint, ApBehavior
+from repro.devices.base import DeviceKind
+from repro.devices.station import Station
+from repro.devices.vendors import (
+    VendorDatabase,
+    full_ap_census,
+    full_client_census,
+)
+from repro.mac.addresses import MacAddress, random_mac
+from repro.sim.engine import Engine
+from repro.sim.medium import Medium
+from repro.sim.world import DriveRoute, Position
+
+#: Channels real 2.4 GHz deployments cluster on.
+SURVEY_CHANNELS = (1, 6, 11)
+
+
+@dataclass
+class CityConfig:
+    """City geometry and behavioural parameters."""
+
+    seed: int = 2020
+    blocks_x: int = 12
+    blocks_y: int = 8
+    block_m: float = 90.0
+    house_setback_m: float = 18.0
+    #: Beacon interval for survey APs.  Real APs beacon every 102.4 ms;
+    #: a longer interval keeps the event count tractable without changing
+    #: discoverability (the vehicle dwells near each AP for many seconds).
+    beacon_interval: float = 0.35
+    client_probe_interval: float = 3.0
+    #: Lazy-activation radii around the vehicle.
+    activate_radius_m: float = 120.0
+    deactivate_radius_m: float = 180.0
+    activation_tick: float = 1.0
+    #: Scale factor on the Table 2 census (1.0 = the paper's 5,328 nodes;
+    #: tests use smaller cities).
+    population_scale: float = 1.0
+    #: When scaling down, keep at least one device per vendor (True keeps
+    #: the vendor diversity; False lets small vendors drop out, which
+    #: makes unit-test cities much smaller).
+    keep_all_vendors: bool = True
+
+
+@dataclass
+class DeviceSpec:
+    """Immutable identity of one city device."""
+
+    mac: MacAddress
+    vendor: str
+    kind: DeviceKind
+    position: Position
+    channel: int
+    ssid: str = ""
+    bssid: Optional[MacAddress] = None  # the AP a client belongs to
+    device: Optional[Union[Station, AccessPoint]] = None
+    active: bool = False
+    ever_activated: bool = False
+
+
+def _scaled_census(census: List, scale: float, keep_all_vendors: bool = True) -> List:
+    if scale >= 1.0:
+        return census
+    floor = 1 if keep_all_vendors else 0
+    scaled = []
+    for vendor, count in census:
+        kept = max(int(round(count * scale)), floor) if count > 0 else 0
+        if kept > 0:
+            scaled.append((vendor, kept))
+    return scaled
+
+
+class SyntheticCity:
+    """Device population + lazy activation around a tracked vehicle."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        medium: Medium,
+        config: Optional[CityConfig] = None,
+    ) -> None:
+        self.engine = engine
+        self.medium = medium
+        self.config = config if config is not None else CityConfig()
+        self.vendor_db = VendorDatabase()
+        self._rng = np.random.default_rng(self.config.seed)
+        self.specs: List[DeviceSpec] = []
+        self._vehicle_route: Optional[DriveRoute] = None
+        self._running = False
+        self.activations = 0
+        self.deactivations = 0
+        self._generate_population()
+
+    # ------------------------------------------------------------------
+    # Population
+    # ------------------------------------------------------------------
+    def _street_positions(self, count: int) -> List[Position]:
+        """Household positions set back from the street grid."""
+        cfg = self.config
+        positions = []
+        for _ in range(count):
+            # A household sits beside a random street segment.
+            gx = float(self._rng.uniform(0, cfg.blocks_x - 1)) * cfg.block_m
+            gy = int(self._rng.integers(0, cfg.blocks_y)) * cfg.block_m
+            side = 1.0 if self._rng.random() < 0.5 else -1.0
+            setback = float(self._rng.uniform(0.4, 1.6)) * cfg.house_setback_m
+            positions.append(Position(gx, gy + side * setback, 3.0))
+        return positions
+
+    def _generate_population(self) -> None:
+        cfg = self.config
+        ap_census = _scaled_census(
+            full_ap_census(), cfg.population_scale, cfg.keep_all_vendors
+        )
+        client_census = _scaled_census(
+            full_client_census(), cfg.population_scale, cfg.keep_all_vendors
+        )
+
+        ap_specs: List[DeviceSpec] = []
+        used = set()
+        for vendor, count in ap_census:
+            ouis = self.vendor_db.ouis_for(vendor)
+            for index in range(count):
+                while True:
+                    mac = random_mac(self._rng, ouis[index % len(ouis)])
+                    if mac not in used:
+                        used.add(mac)
+                        break
+                ap_specs.append(
+                    DeviceSpec(
+                        mac=mac,
+                        vendor=vendor,
+                        kind=DeviceKind.ACCESS_POINT,
+                        position=Position(0, 0),  # placed below
+                        channel=int(
+                            SURVEY_CHANNELS[
+                                int(self._rng.integers(0, len(SURVEY_CHANNELS)))
+                            ]
+                        ),
+                        ssid=f"net-{len(ap_specs):04d}",
+                    )
+                )
+        for spec, position in zip(ap_specs, self._street_positions(len(ap_specs))):
+            spec.position = position
+
+        client_specs: List[DeviceSpec] = []
+        for vendor, count in client_census:
+            ouis = self.vendor_db.ouis_for(vendor)
+            for index in range(count):
+                while True:
+                    mac = random_mac(self._rng, ouis[index % len(ouis)])
+                    if mac not in used:
+                        used.add(mac)
+                        break
+                # Clients live in some household: near a random AP.
+                home = ap_specs[int(self._rng.integers(0, len(ap_specs)))]
+                offset_x = float(self._rng.uniform(-8.0, 8.0))
+                offset_y = float(self._rng.uniform(-8.0, 8.0))
+                client_specs.append(
+                    DeviceSpec(
+                        mac=mac,
+                        vendor=vendor,
+                        kind=DeviceKind.CLIENT,
+                        position=home.position.translated(offset_x, offset_y, -1.0),
+                        channel=home.channel,
+                        bssid=home.mac,
+                    )
+                )
+        self.specs = ap_specs + client_specs
+        self._by_mac: Dict[MacAddress, DeviceSpec] = {
+            spec.mac: spec for spec in self.specs
+        }
+
+    @property
+    def ap_specs(self) -> List[DeviceSpec]:
+        return [s for s in self.specs if s.kind is DeviceKind.ACCESS_POINT]
+
+    @property
+    def client_specs(self) -> List[DeviceSpec]:
+        return [s for s in self.specs if s.kind is DeviceKind.CLIENT]
+
+    def spec_of(self, mac: MacAddress) -> Optional[DeviceSpec]:
+        return self._by_mac.get(MacAddress(mac))
+
+    # ------------------------------------------------------------------
+    # Route / bounds
+    # ------------------------------------------------------------------
+    def survey_route(self, speed_mps: float = 11.0) -> DriveRoute:
+        """Serpentine drive covering every street of the grid."""
+        cfg = self.config
+        waypoints = []
+        for row in range(cfg.blocks_y):
+            y = row * cfg.block_m
+            xs = (
+                [0.0, (cfg.blocks_x - 1) * cfg.block_m]
+                if row % 2 == 0
+                else [(cfg.blocks_x - 1) * cfg.block_m, 0.0]
+            )
+            waypoints.extend(Position(x, y, 1.5) for x in xs)
+        return DriveRoute(waypoints, speed_mps)
+
+    # ------------------------------------------------------------------
+    # Lazy activation
+    # ------------------------------------------------------------------
+    def start(self, vehicle_route: DriveRoute, departure_time: float = 0.0) -> None:
+        """Begin tracking the vehicle and activating nearby devices."""
+        self._vehicle_route = vehicle_route
+        self._departure = departure_time
+        self._running = True
+        self.engine.call_after(0.0, self._activation_tick)
+
+    def stop(self) -> None:
+        self._running = False
+        for spec in self.specs:
+            if spec.active:
+                self._deactivate(spec)
+
+    def _activation_tick(self) -> None:
+        if not self._running or self._vehicle_route is None:
+            return
+        now = self.engine.now
+        vehicle = self._vehicle_route.position_at(now - self._departure)
+        activate_r = self.config.activate_radius_m
+        deactivate_r = self.config.deactivate_radius_m
+        for spec in self.specs:
+            distance = vehicle.distance_to(spec.position)
+            if spec.active and distance > deactivate_r:
+                self._deactivate(spec)
+            elif not spec.active and distance <= activate_r:
+                self._activate(spec)
+        self.engine.call_after(self.config.activation_tick, self._activation_tick)
+
+    def _activate(self, spec: DeviceSpec) -> None:
+        if spec.device is None:
+            spec.device = self._materialize(spec)
+        elif spec.device.radio.name not in self.medium.radio_names:
+            self.medium.attach(spec.device.radio)
+        spec.active = True
+        spec.ever_activated = True
+        self.activations += 1
+        if isinstance(spec.device, AccessPoint):
+            spec.device.start_beaconing()
+        else:
+            spec.device.start_probing(self.config.client_probe_interval)
+
+    def _deactivate(self, spec: DeviceSpec) -> None:
+        spec.active = False
+        self.deactivations += 1
+        if spec.device is None:
+            return
+        if isinstance(spec.device, AccessPoint):
+            spec.device.stop_beaconing()
+        else:
+            spec.device.stop_probing()
+        self.medium.detach(spec.device.radio.name)
+
+    def _materialize(self, spec: DeviceSpec) -> Union[Station, AccessPoint]:
+        rng = np.random.default_rng(
+            int.from_bytes(spec.mac.bytes, "big") ^ self.config.seed
+        )
+        if spec.kind is DeviceKind.ACCESS_POINT:
+            return AccessPoint(
+                mac=spec.mac,
+                medium=self.medium,
+                position=spec.position,
+                rng=rng,
+                vendor=spec.vendor,
+                channel=spec.channel,
+                ssid=spec.ssid,
+                behavior=ApBehavior(
+                    beacon_interval=self.config.beacon_interval,
+                    # Roughly one AP in five barks at intruders (Section 2.1
+                    # reports "some access points").
+                    deauth_on_unknown=bool(rng.random() < 0.2),
+                    respond_to_wildcard_probe=False,
+                ),
+            )
+        return Station(
+            mac=spec.mac,
+            medium=self.medium,
+            position=spec.position,
+            rng=rng,
+            vendor=spec.vendor,
+            channel=spec.channel,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def population(self) -> int:
+        return len(self.specs)
+
+    def active_count(self) -> int:
+        return sum(1 for spec in self.specs if spec.active)
+
+    def coverage(self) -> float:
+        """Fraction of the population that has ever been in radio range."""
+        if not self.specs:
+            return 0.0
+        return sum(1 for spec in self.specs if spec.ever_activated) / len(self.specs)

@@ -1,0 +1,133 @@
+"""Survey result aggregation — rebuilding Table 2 from observations.
+
+Takes the scanner's discoveries plus the verifier's ACK confirmations and
+produces the paper's reporting: per-kind totals, vendor diversity, the
+top-20 vendor census for clients and APs, and the headline response rate
+(the paper's: 5,328 / 5,328).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.devices.base import DeviceKind
+from repro.mac.addresses import MacAddress
+from repro.survey.scanner import DiscoveredDevice
+
+
+@dataclass(frozen=True)
+class VendorCensusRow:
+    vendor: str
+    devices: int
+
+
+@dataclass
+class SurveyResults:
+    """Everything the Section 3 experiment reports."""
+
+    discovered: List[DiscoveredDevice] = field(default_factory=list)
+    responded: Set[MacAddress] = field(default_factory=set)
+    probed: Set[MacAddress] = field(default_factory=set)
+    duration_s: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Headline numbers
+    # ------------------------------------------------------------------
+    @property
+    def total_discovered(self) -> int:
+        return len(self.discovered)
+
+    @property
+    def total_responded(self) -> int:
+        return len(self.responded)
+
+    @property
+    def response_rate(self) -> float:
+        probed = len(self.probed)
+        if probed == 0:
+            return 0.0
+        return len(self.responded & self.probed) / probed
+
+    def count(self, kind: DeviceKind) -> int:
+        return sum(1 for d in self.discovered if d.kind is kind)
+
+    def vendor_count(self, kind: Optional[DeviceKind] = None) -> int:
+        vendors = {
+            d.vendor
+            for d in self.discovered
+            if d.vendor is not None and (kind is None or d.kind is kind)
+        }
+        return len(vendors)
+
+    # ------------------------------------------------------------------
+    # Table 2 reconstruction
+    # ------------------------------------------------------------------
+    def vendor_census(
+        self, kind: DeviceKind, top: Optional[int] = 20
+    ) -> List[VendorCensusRow]:
+        """Vendor → device-count census, descending, top-N with an
+        "Others" rollup (the shape of the paper's Table 2)."""
+        counts: Dict[str, int] = {}
+        unknown = 0
+        for device in self.discovered:
+            if device.kind is not kind:
+                continue
+            if device.vendor is None:
+                unknown += 1
+                continue
+            counts[device.vendor] = counts.get(device.vendor, 0) + 1
+        ordered = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+        if top is None:
+            rows = [VendorCensusRow(vendor, n) for vendor, n in ordered]
+        else:
+            rows = [VendorCensusRow(vendor, n) for vendor, n in ordered[:top]]
+            others = sum(n for _, n in ordered[top:]) + unknown
+            if others:
+                rows.append(VendorCensusRow("Others", others))
+        return rows
+
+    def non_responders(self) -> List[DiscoveredDevice]:
+        """Probed devices that never ACKed (the paper found none)."""
+        return [
+            d
+            for d in self.discovered
+            if d.mac in self.probed and d.mac not in self.responded
+        ]
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def to_table(self, top: int = 20) -> str:
+        """Side-by-side client/AP census in the style of Table 2."""
+        client_rows = self.vendor_census(DeviceKind.CLIENT, top)
+        ap_rows = self.vendor_census(DeviceKind.ACCESS_POINT, top)
+        client_rows.append(
+            VendorCensusRow("Total", self.count(DeviceKind.CLIENT))
+        )
+        ap_rows.append(
+            VendorCensusRow("Total", self.count(DeviceKind.ACCESS_POINT))
+        )
+        lines = [
+            f"{'WiFi Client Device':<32}  {'WiFi Access Point':<32}",
+            f"{'Vendor':<22}{'# devices':>10}  {'Vendor':<22}{'# devices':>10}",
+            "-" * 66,
+        ]
+        for index in range(max(len(client_rows), len(ap_rows))):
+            left = right = ""
+            if index < len(client_rows):
+                row = client_rows[index]
+                left = f"{row.vendor:<22}{row.devices:>10}"
+            if index < len(ap_rows):
+                row = ap_rows[index]
+                right = f"{row.vendor:<22}{row.devices:>10}"
+            lines.append(f"{left:<32}  {right:<32}")
+        lines.append("-" * 66)
+        lines.append(
+            f"Discovered {self.total_discovered} nodes from "
+            f"{self.vendor_count()} vendors in {self.duration_s:.0f} s; "
+            f"{len(self.responded & self.probed)}/{len(self.probed)} probed "
+            f"devices responded with an ACK "
+            f"({100.0 * self.response_rate:.1f}%)."
+        )
+        return "\n".join(lines)

@@ -1,0 +1,86 @@
+"""Shared fixtures: a fresh simulation per test plus device factories."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.devices.access_point import AccessPoint, ApBehavior
+from repro.devices.dongle import MonitorDongle
+from repro.devices.station import Station
+from repro.mac.addresses import MacAddress
+from repro.sim.engine import Engine
+from repro.sim.medium import Medium
+from repro.sim.trace import FrameTrace
+from repro.sim.world import Position
+
+_mac_counter = itertools.count(1)
+
+
+def fresh_mac(prefix: int = 0x02) -> MacAddress:
+    """A unique locally-administered MAC per call (unique per test run)."""
+    serial = next(_mac_counter)
+    return MacAddress(bytes([prefix, 0x00]) + serial.to_bytes(4, "big"))
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(42)
+
+
+@pytest.fixture
+def engine() -> Engine:
+    return Engine()
+
+
+@pytest.fixture
+def trace() -> FrameTrace:
+    return FrameTrace()
+
+
+@pytest.fixture
+def medium(engine, trace) -> Medium:
+    return Medium(engine, trace=trace)
+
+
+@pytest.fixture
+def make_station(medium, rng):
+    def factory(x: float = 0.0, y: float = 0.0, **kwargs) -> Station:
+        kwargs.setdefault("mac", fresh_mac())
+        return Station(medium=medium, position=Position(x, y), rng=rng, **kwargs)
+
+    return factory
+
+
+@pytest.fixture
+def make_ap(medium, rng):
+    def factory(x: float = 0.0, y: float = 0.0, **kwargs) -> AccessPoint:
+        kwargs.setdefault("mac", fresh_mac(0x06))
+        kwargs.setdefault("ssid", "TestNet")
+        kwargs.setdefault("passphrase", "testing password")
+        return AccessPoint(medium=medium, position=Position(x, y), rng=rng, **kwargs)
+
+    return factory
+
+
+@pytest.fixture
+def make_dongle(medium, rng):
+    def factory(x: float = 5.0, y: float = 0.0, **kwargs) -> MonitorDongle:
+        kwargs.setdefault("mac", fresh_mac(0x0A))
+        return MonitorDongle(
+            medium=medium, position=Position(x, y), rng=rng, **kwargs
+        )
+
+    return factory
+
+
+def associate(engine: Engine, station: Station, ap: AccessPoint, timeout: float = 2.0):
+    """Drive a station through the full join sequence; assert success."""
+    station.connect(ap.mac, ap.ssid, ap._passphrase)
+    engine.run_until(engine.now + timeout)
+    from repro.devices.station import StationState
+
+    assert station.state is StationState.ASSOCIATED, station.state
+    return station

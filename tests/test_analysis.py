@@ -1,0 +1,106 @@
+"""Reporting helpers: tables, figure series, stats."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.figures import FigureSeries, ascii_plot
+from repro.analysis.stats import linear_fit, summarize
+from repro.analysis.tables import render_table
+
+
+class TestTables:
+    def test_renders_headers_and_rows(self):
+        text = render_table(
+            ["vendor", "# devices"],
+            [["Apple", 143], ["Google", 102]],
+            title="Table 2 (excerpt)",
+        )
+        assert "Table 2 (excerpt)" in text
+        assert "Apple" in text and "143" in text
+
+    def test_numeric_columns_right_aligned(self):
+        text = render_table(["name", "value"], [["x", 1], ["longer", 22]])
+        lines = text.splitlines()
+        assert lines[-1].endswith("22")
+
+    def test_float_formatting(self):
+        text = render_table(["v"], [[0.000123], [1234567.0], [3.14159], [0.0]])
+        assert "0.000123" in text and "3.14" in text and "0" in text
+
+    def test_empty_rows(self):
+        text = render_table(["a", "b"], [])
+        assert "a" in text
+
+
+class TestFigures:
+    def test_series_validates_shapes(self):
+        with pytest.raises(ValueError):
+            FigureSeries("x", np.arange(3), np.arange(4))
+
+    def test_downsample(self):
+        series = FigureSeries("x", np.arange(1000.0), np.arange(1000.0))
+        small = series.downsample(100)
+        assert len(small) == 100
+        assert small.x[0] == 0.0 and small.x[-1] == 999.0
+
+    def test_downsample_noop_when_small(self):
+        series = FigureSeries("x", np.arange(10.0), np.arange(10.0))
+        assert series.downsample(100) is series
+
+    def test_ascii_plot_contains_markers_and_labels(self):
+        series = FigureSeries(
+            "power", np.array([0.0, 450.0, 900.0]), np.array([10.0, 230.0, 360.0]),
+            x_label="pkts/s",
+        )
+        text = ascii_plot([series], title="Figure 6")
+        assert "Figure 6" in text
+        assert "[*] power" in text
+        assert "pkts/s" in text
+
+    def test_ascii_plot_empty(self):
+        assert ascii_plot([]) == "(no data)"
+
+    def test_ascii_plot_constant_series(self):
+        series = FigureSeries("flat", np.arange(5.0), np.full(5, 2.0))
+        assert "flat" in ascii_plot([series])
+
+    def test_multiple_series_distinct_markers(self):
+        a = FigureSeries("a", np.arange(5.0), np.arange(5.0))
+        b = FigureSeries("b", np.arange(5.0), np.arange(5.0)[::-1])
+        text = ascii_plot([a, b])
+        assert "[*] a" in text and "[o] b" in text
+
+
+class TestStats:
+    def test_summary(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.count == 4
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.median == pytest.approx(2.5)
+        assert summary.minimum == 1.0 and summary.maximum == 4.0
+
+    def test_summary_empty(self):
+        summary = summarize([])
+        assert summary.count == 0
+        assert np.isnan(summary.mean)
+
+    def test_linear_fit_recovers_line(self):
+        x = np.arange(20.0)
+        y = 3.0 * x + 7.0
+        slope, intercept, r_squared = linear_fit(x, y)
+        assert slope == pytest.approx(3.0)
+        assert intercept == pytest.approx(7.0)
+        assert r_squared == pytest.approx(1.0)
+
+    def test_linear_fit_needs_two_points(self):
+        with pytest.raises(ValueError):
+            linear_fit([1.0], [2.0])
+
+    def test_r_squared_degrades_with_noise(self):
+        rng = np.random.default_rng(0)
+        x = np.arange(100.0)
+        clean = 2.0 * x
+        noisy = clean + rng.normal(0, 40.0, 100)
+        _, _, r_clean = linear_fit(x, clean)
+        _, _, r_noisy = linear_fit(x, noisy)
+        assert r_noisy < r_clean

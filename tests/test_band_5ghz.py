@@ -1,0 +1,69 @@
+"""Polite WiFi on the 5 GHz band (SIFS = 16 µs)."""
+
+import pytest
+
+from repro.core.probe import PoliteWiFiProbe
+from repro.devices.dongle import MonitorDongle
+from repro.devices.station import Station
+from repro.mac.addresses import ATTACKER_FAKE_MAC
+from repro.mac.frames import NullDataFrame
+from repro.phy.constants import Band, sifs
+from repro.phy.plcp import frame_airtime
+from repro.sim.world import Position
+
+from tests.conftest import fresh_mac
+
+
+@pytest.fixture
+def victim_5g(medium, rng):
+    return Station(
+        mac=fresh_mac(),
+        medium=medium,
+        position=Position(0, 0),
+        rng=rng,
+        channel=36,
+        band=Band.GHZ_5,
+    )
+
+
+@pytest.fixture
+def attacker_5g(medium, rng):
+    return MonitorDongle(
+        mac=fresh_mac(0x0A),
+        medium=medium,
+        position=Position(5, 0),
+        rng=rng,
+        channel=36,
+        band=Band.GHZ_5,
+    )
+
+
+class TestFiveGigahertz:
+    def test_5ghz_device_is_equally_polite(self, victim_5g, attacker_5g):
+        probe = PoliteWiFiProbe(attacker_5g, band=Band.GHZ_5)
+        result = probe.probe(victim_5g.mac)
+        assert result.responded
+
+    def test_ack_timed_to_16us_sifs(self, engine, trace, victim_5g, attacker_5g):
+        frame = NullDataFrame(addr1=victim_5g.mac, addr2=ATTACKER_FAKE_MAC)
+        attacker_5g.inject(frame)
+        engine.run_until(0.01)
+        nulls = trace.filter(lambda r: "Null function" in r.info)
+        acks = trace.filter(lambda r: "Acknowledgement" in r.info)
+        assert len(acks) == 1
+        gap = acks[0].time - (nulls[0].time + frame_airtime(28, 6.0))
+        assert gap == pytest.approx(sifs(Band.GHZ_5), abs=1e-7)
+        assert gap == pytest.approx(16e-6, abs=1e-7)
+
+    def test_cross_band_isolation(self, engine, medium, rng, victim_5g):
+        """A 2.4 GHz attacker cannot reach a 5 GHz victim (different
+        channel): no ACK, not because of politeness but physics."""
+        attacker_24 = MonitorDongle(
+            mac=fresh_mac(0x0A), medium=medium, position=Position(5, 0), rng=rng,
+            channel=6,
+        )
+        attacker_24.inject(
+            NullDataFrame(addr1=victim_5g.mac, addr2=ATTACKER_FAKE_MAC)
+        )
+        engine.run_until(0.01)
+        assert victim_5g.ack_engine.stats.acks_sent == 0

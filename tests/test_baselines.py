@@ -1,0 +1,178 @@
+"""Baseline systems: WindTalker, two-device sensing, the CSI tool."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.csitool import CsiToolReceiver
+from repro.baselines.two_device_sensing import (
+    MIN_SENSING_RATE_PPS,
+    NATURAL_TRAFFIC_PPS,
+    TwoDeviceSensingSystem,
+)
+from repro.baselines.windtalker import (
+    ICMP_REQUEST,
+    RogueApAttack,
+    WindTalkerOutcome,
+)
+from repro.channel.csi import CsiChannelModel, MultipathChannel
+from repro.channel.motion import StillMotion
+from repro.devices.access_point import AccessPoint
+from repro.devices.esp import Esp32CsiSniffer
+from repro.devices.station import Station
+from repro.mac.addresses import ATTACKER_FAKE_MAC, MacAddress
+from repro.sim.engine import Engine
+from repro.sim.medium import Medium
+from repro.sim.world import Position
+
+from tests.conftest import fresh_mac
+
+
+def _windtalker_setup(seed=0):
+    engine = Engine()
+    medium = Medium(engine)
+    rng = np.random.default_rng(seed)
+    rogue = AccessPoint(
+        mac=fresh_mac(0x06), medium=medium, position=Position(0, 0), rng=rng,
+        ssid="FreeCoffeeWiFi", passphrase=None,
+    )
+    victim = Station(
+        mac=fresh_mac(), medium=medium, position=Position(4, 0), rng=rng
+    )
+    return engine, rogue, victim
+
+
+class TestWindTalker:
+    def test_succeeds_when_victim_lured(self):
+        engine, rogue, victim = _windtalker_setup()
+        attack = RogueApAttack(rogue, engine, request_rate_pps=50.0)
+        result = attack.run(victim, duration_s=3.0, victim_lured=True)
+        assert result.succeeded
+        assert result.replies_received > 50
+
+    def test_fails_when_victim_declines(self):
+        """The weak point the paper identifies: no lure, no attack."""
+        engine, rogue, victim = _windtalker_setup()
+        attack = RogueApAttack(rogue, engine, request_rate_pps=50.0)
+        result = attack.run(victim, duration_s=3.0, victim_lured=False)
+        assert not result.succeeded
+        assert result.outcome is WindTalkerOutcome.VICTIM_NOT_LURED
+        assert result.replies_received == 0
+
+    def test_fails_against_victim_on_own_network(self):
+        engine, rogue, victim = _windtalker_setup()
+        rng = np.random.default_rng(9)
+        home = AccessPoint(
+            mac=fresh_mac(0x06), medium=rogue.medium, position=Position(8, 0),
+            rng=rng, ssid="HomeNet", passphrase="homepassword",
+        )
+        victim.connect(home.mac, "HomeNet", "homepassword")
+        engine.run_until(1.0)
+        attack = RogueApAttack(rogue, engine, request_rate_pps=50.0)
+        result = attack.run(victim, duration_s=2.0, victim_lured=False)
+        assert result.outcome is WindTalkerOutcome.VICTIM_ON_OTHER_NETWORK
+
+    def test_requires_open_network(self):
+        engine = Engine()
+        medium = Medium(engine)
+        rng = np.random.default_rng(0)
+        secured = AccessPoint(
+            mac=fresh_mac(0x06), medium=medium, position=Position(0, 0), rng=rng,
+            passphrase="secretsecret",
+        )
+        with pytest.raises(ValueError):
+            RogueApAttack(secured, engine)
+
+    def test_polite_wifi_succeeds_where_windtalker_fails(self):
+        """The Figure 4 comparison in miniature."""
+        engine, rogue, victim = _windtalker_setup()
+        attack = RogueApAttack(rogue, engine, request_rate_pps=50.0)
+        baseline = attack.run(victim, duration_s=2.0, victim_lured=False)
+        assert not baseline.succeeded
+        from repro.core.probe import PoliteWiFiProbe
+        from repro.devices.dongle import MonitorDongle
+
+        dongle = MonitorDongle(
+            mac=fresh_mac(0x0A), medium=rogue.medium, position=Position(6, 0),
+            rng=np.random.default_rng(1),
+        )
+        assert PoliteWiFiProbe(dongle).probe(victim.mac).responded
+
+
+class TestTwoDeviceSensing:
+    def test_deployment_needs_two_modified_devices_per_room(self):
+        system = TwoDeviceSensingSystem(packet_rate_pps=200.0)
+        plan = system.plan_for_rooms([Position(0, 0), Position(10, 0), Position(20, 0)])
+        assert plan.modified_devices == 6
+
+    def test_coverage_requires_line_of_sight(self):
+        system = TwoDeviceSensingSystem(packet_rate_pps=200.0)
+        plan = system.plan_for_rooms([Position(0, 0)], room_span_m=4.0)
+        on_los = Position(0, 0.5)
+        off_los = Position(0, 10.0)
+        assert plan.coverage_of([on_los]) == 1.0
+        assert plan.coverage_of([off_los]) == 0.0
+
+    def test_insufficient_rate_means_no_coverage(self):
+        system = TwoDeviceSensingSystem(packet_rate_pps=5.0)
+        plan = system.plan_for_rooms([Position(0, 0)])
+        assert plan.coverage_of([Position(0, 0.5)]) == 0.0
+
+    def test_natural_traffic_never_sufficient(self):
+        """The deployment wall: no unmodified device transmits at sensing
+        rates (100-1000 pkt/s)."""
+        for kind in NATURAL_TRAFFIC_PPS:
+            assert not TwoDeviceSensingSystem.natural_traffic_sufficient(kind)
+
+    def test_unknown_device_kind(self):
+        with pytest.raises(ValueError):
+            TwoDeviceSensingSystem.natural_traffic_sufficient("mainframe")
+
+    def test_sensing_rate_band_matches_paper(self):
+        assert MIN_SENSING_RATE_PPS == 100.0
+
+
+class TestCsiTool:
+    def _setup(self):
+        engine = Engine()
+        csi_model = CsiChannelModel()
+        medium = Medium(engine, csi_model=csi_model)
+        rng = np.random.default_rng(0)
+        victim = Station(
+            mac=MacAddress("f2:6e:0b:11:22:33"), medium=medium,
+            position=Position(0, 0), rng=rng,
+        )
+        esp32 = Esp32CsiSniffer(
+            mac=fresh_mac(), medium=medium, position=Position(6, 0), rng=rng,
+            expected_ack_ra=ATTACKER_FAKE_MAC,
+        )
+        intel = CsiToolReceiver(
+            mac=fresh_mac(), medium=medium, position=Position(6, 1), rng=rng,
+            expected_ack_ra=ATTACKER_FAKE_MAC,
+        )
+        for rx in (esp32, intel):
+            csi_model.register_link(
+                str(victim.mac), str(rx.mac),
+                MultipathChannel(
+                    Position(0, 0), Position(6, 0), np.random.default_rng(1),
+                    motion=StillMotion(),
+                ),
+            )
+        return engine, victim, esp32, intel
+
+    def test_intel5300_cannot_see_ack_csi(self):
+        """Footnote 3: ACKs are legacy-rate; the CSI tool reports nothing,
+        while the ESP32 sees every ACK."""
+        engine, victim, esp32, intel = self._setup()
+        from repro.core.injector import FakeFrameInjector
+        from repro.mac.frames import NullDataFrame
+
+        injector = FakeFrameInjector(esp32)
+        for index in range(10):
+            engine.call_at(
+                index * 0.01,
+                lambda i=index: injector.inject_null(victim.mac),
+            )
+        engine.run_until(1.0)
+        assert len([s for s in esp32.samples if s.is_ack]) == 10
+        assert intel.samples == []
+        assert intel.legacy_frames_skipped == 10

@@ -1,0 +1,153 @@
+"""CSI synthesis: subcarrier bookkeeping, multipath response, noise."""
+
+import numpy as np
+import pytest
+
+from repro.channel.csi import CsiChannelModel, MultipathChannel, Subcarriers
+from repro.channel.motion import PickupMotion, StillMotion, TypingMotion
+from repro.channel.noise import CsiMeasurementNoise
+from repro.sim.world import Position
+
+
+class TestSubcarriers:
+    def test_52_subcarriers(self):
+        sc = Subcarriers()
+        assert len(sc.indices) == 52
+
+    def test_dc_not_used(self):
+        assert 0 not in Subcarriers().indices
+
+    def test_indices_symmetric(self):
+        indices = Subcarriers().indices
+        assert indices.min() == -26 and indices.max() == 26
+
+    def test_frequencies_centred(self):
+        sc = Subcarriers()
+        freqs = sc.frequencies(2.437e9)
+        assert freqs.min() == pytest.approx(2.437e9 - 26 * 312500)
+        assert freqs.max() == pytest.approx(2.437e9 + 26 * 312500)
+
+    def test_subcarrier_17_lookup(self):
+        sc = Subcarriers()
+        index = sc.array_index(17)
+        assert sc.indices[index] == 17
+
+    def test_unknown_subcarrier(self):
+        with pytest.raises(ValueError):
+            Subcarriers().array_index(0)
+        with pytest.raises(ValueError):
+            Subcarriers().array_index(27)
+
+
+def _channel(motion=None, **kwargs):
+    return MultipathChannel(
+        tx=Position(0, 0, 1),
+        rx=Position(6, 0, 1),
+        rng=np.random.default_rng(3),
+        motion=motion,
+        **kwargs,
+    )
+
+
+class TestMultipathChannel:
+    def test_response_shape(self):
+        response = _channel().response(0.0)
+        assert response.shape == (52,)
+        assert response.dtype == complex
+
+    def test_static_channel_is_time_invariant(self):
+        channel = _channel(motion=None)
+        assert np.allclose(channel.response(0.0), channel.response(100.0))
+
+    def test_static_channel_frequency_selective(self):
+        """Multipath makes |H| differ across subcarriers."""
+        amplitudes = np.abs(_channel().response(0.0))
+        assert np.std(amplitudes) > 1e-3
+
+    def test_moving_scatterer_changes_csi(self):
+        channel = _channel(motion=PickupMotion(start=0.0, duration=2.0))
+        before = channel.response(0.0)
+        during = channel.response(1.0)
+        assert not np.allclose(before, during)
+
+    def test_still_motion_model_keeps_csi_stable(self):
+        channel = _channel(motion=StillMotion())
+        assert np.allclose(channel.response(0.0), channel.response(5.0))
+
+    def test_normalized_magnitude(self):
+        amplitudes = np.abs(_channel().response(0.0))
+        assert amplitudes.max() <= 1.5  # sum of normalized path gains
+
+    def test_amplitude_series(self):
+        channel = _channel(motion=TypingMotion(np.random.default_rng(0)))
+        times = np.linspace(0.0, 2.0, 50)
+        series = channel.amplitude_series(times, 17)
+        assert series.shape == (50,)
+        assert np.all(series >= 0.0)
+
+    def test_typing_wobbles_subcarrier_17(self):
+        """A 1.5 cm keystroke swings the dynamic path phase enough to see."""
+        quiet = _channel(motion=StillMotion())
+        typing = _channel(
+            motion=TypingMotion(np.random.default_rng(0), keystrokes_per_second=6.0)
+        )
+        times = np.linspace(0.0, 5.0, 400)
+        assert np.std(typing.amplitude_series(times, 17)) > 5 * np.std(
+            quiet.amplitude_series(times, 17)
+        )
+
+
+class TestCsiChannelModel:
+    def test_unregistered_link_returns_none(self):
+        model = CsiChannelModel()
+        assert model("a", "b", 0.0) is None
+
+    def test_registered_link_returns_csi(self):
+        model = CsiChannelModel()
+        model.register_link("a", "b", _channel())
+        snapshot = model("a", "b", 0.0)
+        assert snapshot is not None and snapshot.shape == (52,)
+
+    def test_reciprocity(self):
+        """The reverse link (the ACK direction) sees the same channel."""
+        model = CsiChannelModel()
+        model.register_link("a", "b", _channel())
+        forward = model("a", "b", 1.0)
+        reverse = model("b", "a", 1.0)
+        assert np.allclose(forward, reverse)
+
+    def test_noise_applied(self):
+        noise = CsiMeasurementNoise(snr_db=20.0, rng=np.random.default_rng(0))
+        model = CsiChannelModel(noise=noise)
+        model.register_link("a", "b", _channel())
+        a = model("a", "b", 0.0)
+        b = model("a", "b", 0.0)
+        assert not np.allclose(a, b)  # independent noise draws
+
+
+class TestMeasurementNoise:
+    def test_high_snr_barely_perturbs(self):
+        clean = _channel().response(0.0)
+        noise = CsiMeasurementNoise(
+            snr_db=60.0, quantization_bits=None, rng=np.random.default_rng(0)
+        )
+        noisy = noise.apply(clean)
+        assert np.max(np.abs(noisy - clean)) < 0.05 * np.max(np.abs(clean))
+
+    def test_low_snr_perturbs_significantly(self):
+        clean = _channel().response(0.0)
+        noise = CsiMeasurementNoise(
+            snr_db=0.0, quantization_bits=None, rng=np.random.default_rng(0)
+        )
+        noisy = noise.apply(clean)
+        assert np.max(np.abs(noisy - clean)) > 0.1 * np.max(np.abs(clean))
+
+    def test_quantization_snaps_to_grid(self):
+        clean = _channel().response(0.0)
+        noise = CsiMeasurementNoise(
+            snr_db=60.0, quantization_bits=4, rng=np.random.default_rng(0)
+        )
+        noisy = noise.apply(clean)
+        reals = np.unique(np.round(noisy.real, 12))
+        # 4-bit quantization leaves at most 2^5 distinct levels per axis.
+        assert len(reals) <= 33

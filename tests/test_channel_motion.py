@@ -1,0 +1,188 @@
+"""Human-motion displacement models — the signal source behind Figure 5."""
+
+import numpy as np
+import pytest
+
+from repro.channel.motion import (
+    BreathingMotion,
+    CompositeMotion,
+    HoldMotion,
+    PickupMotion,
+    ScheduledMotion,
+    StillMotion,
+    TypingMotion,
+    WalkingMotion,
+)
+
+
+class TestStill:
+    def test_zero_displacement(self):
+        motion = StillMotion()
+        assert all(motion(t) == 0.0 for t in np.linspace(0, 10, 50))
+
+    def test_jitter_is_sub_millimetre(self):
+        motion = StillMotion(jitter_m=1e-4)
+        assert max(abs(motion(t)) for t in np.linspace(0, 1, 200)) <= 1e-4
+
+
+class TestPickup:
+    def test_no_motion_before_start(self):
+        motion = PickupMotion(start=5.0)
+        assert motion(4.9) == 0.0
+
+    def test_reaches_travel_distance(self):
+        motion = PickupMotion(start=0.0, duration=2.0, travel_m=0.6)
+        assert motion(10.0) == pytest.approx(0.6, abs=0.05)
+
+    def test_transient_is_large(self):
+        motion = PickupMotion(start=0.0, duration=2.0, travel_m=0.6)
+        displacements = [motion(t) for t in np.linspace(0, 2, 100)]
+        assert max(displacements) > 0.3
+
+    def test_monotone_ramp_dominates(self):
+        motion = PickupMotion(start=0.0, duration=2.0, travel_m=0.6)
+        assert motion(1.5) > motion(0.5)
+
+    def test_invalid_duration(self):
+        with pytest.raises(ValueError):
+            PickupMotion(duration=0.0)
+
+
+class TestHold:
+    def test_millimetre_scale(self):
+        motion = HoldMotion(np.random.default_rng(0), amplitude_m=0.004)
+        peak = max(abs(motion(t)) for t in np.linspace(0, 10, 1000))
+        assert peak < 0.02
+
+    def test_not_constant(self):
+        motion = HoldMotion(np.random.default_rng(0))
+        values = [motion(t) for t in np.linspace(0, 5, 200)]
+        assert np.std(values) > 1e-4
+
+    def test_deterministic_given_rng(self):
+        a = HoldMotion(np.random.default_rng(1))
+        b = HoldMotion(np.random.default_rng(1))
+        assert a(1.234) == b(1.234)
+
+
+class TestTyping:
+    def test_keystrokes_at_requested_rate(self):
+        motion = TypingMotion(
+            np.random.default_rng(0), start=0.0, duration=10.0,
+            keystrokes_per_second=5.0,
+        )
+        assert len(motion.keystroke_times) == pytest.approx(50, abs=15)
+
+    def test_pulses_are_centimetre_scale(self):
+        motion = TypingMotion(np.random.default_rng(0), pulse_amplitude_m=0.015)
+        instant = float(motion.keystroke_times[0])
+        assert motion(instant) == pytest.approx(0.015, abs=0.008)
+
+    def test_quiet_between_pulses(self):
+        motion = TypingMotion(
+            np.random.default_rng(0), keystrokes_per_second=1.0, duration=10.0
+        )
+        t0 = float(motion.keystroke_times[0])
+        # Halfway to the next keystroke nothing moves.
+        assert abs(motion(t0 + 0.4)) < 1e-6
+
+    def test_bursty_vs_hold(self):
+        """Typing produces higher peak-to-rms than tremor — the feature
+        the classifier keys on."""
+        rng = np.random.default_rng(0)
+        typing = TypingMotion(rng, duration=10.0)
+        hold = HoldMotion(np.random.default_rng(1))
+        times = np.linspace(0.0, 10.0, 2000)
+        def crest(model):
+            values = np.array([model(t) for t in times])
+            values = values - values.mean()
+            rms = np.sqrt(np.mean(values ** 2)) or 1.0
+            return np.max(np.abs(values)) / rms
+        assert crest(typing) > crest(hold)
+
+
+class TestBreathing:
+    def test_periodicity(self):
+        motion = BreathingMotion(rate_bpm=15.0, amplitude_m=0.005)
+        period = 60.0 / 15.0
+        assert motion(1.0) == pytest.approx(motion(1.0 + period), abs=1e-9)
+
+    def test_amplitude_bound(self):
+        motion = BreathingMotion(rate_bpm=12.0, amplitude_m=0.005)
+        assert max(abs(motion(t)) for t in np.linspace(0, 10, 500)) <= 0.005 + 1e-12
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            BreathingMotion(rate_bpm=0.0)
+
+
+class TestWalking:
+    def test_walks_back_and_forth(self):
+        motion = WalkingMotion(start=0.0, speed_mps=1.0, span_m=4.0, sway_m=0.0)
+        assert motion(2.0) == pytest.approx(2.0)
+        assert motion(6.0) == pytest.approx(2.0)  # returning
+        assert motion(4.0) == pytest.approx(4.0)
+
+    def test_metre_scale(self):
+        motion = WalkingMotion()
+        assert max(motion(t) for t in np.linspace(0, 10, 200)) > 1.0
+
+
+class TestComposite:
+    def test_sums_components(self):
+        motion = CompositeMotion([
+            BreathingMotion(rate_bpm=12.0, amplitude_m=0.005, phase=np.pi / 2),
+            StillMotion(),
+        ])
+        assert motion(0.0) == pytest.approx(0.005)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CompositeMotion([])
+
+
+class TestScheduled:
+    def _figure5_timeline(self):
+        rng = np.random.default_rng(0)
+        return ScheduledMotion([
+            (0.0, 9.0, "still", StillMotion()),
+            (9.0, 12.0, "pickup", PickupMotion(start=9.0, duration=3.0)),
+            (12.0, 22.0, "hold", HoldMotion(rng)),
+            (22.0, 32.0, "typing", TypingMotion(rng, start=22.0, duration=10.0)),
+        ])
+
+    def test_labels(self):
+        timeline = self._figure5_timeline()
+        assert timeline.label_at(5.0) == "still"
+        assert timeline.label_at(10.0) == "pickup"
+        assert timeline.label_at(15.0) == "hold"
+        assert timeline.label_at(25.0) == "typing"
+        assert timeline.label_at(40.0) == "still"
+
+    def test_still_phase_is_flat(self):
+        timeline = self._figure5_timeline()
+        values = [timeline(t) for t in np.linspace(0, 8.9, 100)]
+        assert np.std(values) < 1e-9
+
+    def test_pickup_phase_moves_most(self):
+        timeline = self._figure5_timeline()
+        def span(lo, hi):
+            values = [timeline(t) for t in np.linspace(lo, hi, 300)]
+            return max(values) - min(values)
+        assert span(9.0, 12.0) > span(12.0, 22.0)
+        assert span(9.0, 12.0) > span(0.0, 9.0)
+
+    def test_overlapping_segments_rejected(self):
+        with pytest.raises(ValueError):
+            ScheduledMotion([
+                (0.0, 5.0, "a", StillMotion()),
+                (4.0, 8.0, "b", StillMotion()),
+            ])
+
+    def test_baseline_carries_over(self):
+        """After pickup ends, the dynamic path keeps the new offset —
+        the device stays lifted."""
+        timeline = ScheduledMotion([
+            (0.0, 2.0, "pickup", PickupMotion(start=0.0, duration=2.0, travel_m=0.5)),
+        ])
+        assert timeline(5.0) == pytest.approx(0.5, abs=0.05)

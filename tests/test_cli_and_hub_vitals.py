@@ -1,0 +1,84 @@
+"""The ``python -m repro`` CLI and the hub's vital-signs path."""
+
+import numpy as np
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_probe_demo(self, capsys):
+        assert main(["probe"]) == 0
+        output = capsys.readouterr().out
+        assert "Acknowledgement" in output
+        assert "responded=True" in output
+
+    def test_default_is_probe(self, capsys):
+        assert main([]) == 0
+        assert "responded=True" in capsys.readouterr().out
+
+    def test_deauth_demo(self, capsys):
+        assert main(["deauth"]) == 0
+        output = capsys.readouterr().out
+        assert "Deauthentication" in output
+        assert "Acknowledgement" in output
+
+    def test_locate_demo(self, capsys):
+        assert main(["locate"]) == 0
+        output = capsys.readouterr().out
+        assert "error" in output
+
+    def test_unknown_demo_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestHubVitalSigns:
+    def test_vitals_through_unmodified_anchor(self):
+        from repro.channel.csi import CsiChannelModel, MultipathChannel
+        from repro.channel.motion import (
+            BreathingMotion,
+            CompositeMotion,
+            HeartbeatMotion,
+        )
+        from repro.core.sensing_app import SingleDeviceSensingHub
+        from repro.devices.esp import Esp32CsiSniffer
+        from repro.devices.station import Station
+        from repro.mac.addresses import ATTACKER_FAKE_MAC
+        from repro.sim.engine import Engine
+        from repro.sim.medium import Medium
+        from repro.sim.world import Position
+
+        from tests.conftest import fresh_mac
+
+        engine = Engine()
+        csi_model = CsiChannelModel()
+        medium = Medium(engine, csi_model=csi_model)
+        rng = np.random.default_rng(0)
+        hub = Esp32CsiSniffer(
+            mac=fresh_mac(), medium=medium, position=Position(4, 2, 2), rng=rng,
+            expected_ack_ra=ATTACKER_FAKE_MAC,
+        )
+        anchor = Station(
+            mac=fresh_mac(), medium=medium, position=Position(0, 0, 1), rng=rng
+        )
+        csi_model.register_link(
+            str(anchor.mac), str(hub.mac),
+            MultipathChannel(
+                Position(0, 0, 1), Position(4, 2, 2),
+                np.random.default_rng(1),
+                motion=CompositeMotion([
+                    BreathingMotion(rate_bpm=13.0),
+                    HeartbeatMotion(rate_bpm=75.0),
+                ]),
+                dynamic_gain=0.5,
+            ),
+        )
+        sensing = SingleDeviceSensingHub(hub, rate_per_anchor_pps=40.0)
+        sensing.add_anchor(anchor.mac)
+        sensing.sense(duration_s=60.0)
+        vitals = sensing.vital_signs(anchor.mac)
+        assert vitals.breathing is not None
+        assert vitals.breathing.rate_bpm == pytest.approx(13.0, abs=1.5)
+        assert vitals.heart_rate_bpm is not None
+        assert vitals.heart_rate_bpm == pytest.approx(75.0, abs=4.0)

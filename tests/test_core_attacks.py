@@ -1,0 +1,182 @@
+"""The headline attacks: keystroke inference and battery drain."""
+
+import numpy as np
+import pytest
+
+from repro.channel.csi import CsiChannelModel, MultipathChannel
+from repro.channel.motion import (
+    HoldMotion,
+    PickupMotion,
+    ScheduledMotion,
+    StillMotion,
+    TypingMotion,
+)
+from repro.core.battery import BatteryDrainAttack
+from repro.core.keystroke import KeystrokeInferenceAttack
+from repro.devices.access_point import AccessPoint
+from repro.devices.battery import BLINK_XT2, LOGITECH_CIRCLE2
+from repro.devices.dongle import MonitorDongle
+from repro.devices.esp import Esp32CsiSniffer, Esp8266Device
+from repro.devices.station import Station
+from repro.mac.addresses import ATTACKER_FAKE_MAC, MacAddress
+from repro.phy.radio import RadioState
+from repro.sim.engine import Engine
+from repro.sim.medium import Medium
+from repro.sim.world import Position
+
+from tests.conftest import fresh_mac
+
+
+def _keystroke_setup(motion, seed=0):
+    """Victim tablet + ESP32 attacker in another room, physical CSI."""
+    engine = Engine()
+    csi_model = CsiChannelModel()
+    medium = Medium(engine, csi_model=csi_model)
+    rng = np.random.default_rng(seed)
+    victim = Station(
+        mac=MacAddress("f2:6e:0b:11:22:33"),
+        medium=medium,
+        position=Position(0, 0, 1),
+        rng=rng,
+    )
+    esp = Esp32CsiSniffer(
+        mac=fresh_mac(),
+        medium=medium,
+        position=Position(8, 0, 1),
+        rng=rng,
+        expected_ack_ra=ATTACKER_FAKE_MAC,
+    )
+    csi_model.register_link(
+        str(victim.mac),
+        str(esp.mac),
+        MultipathChannel(
+            Position(0, 0, 1), Position(8, 0, 1),
+            np.random.default_rng(seed + 1), motion=motion,
+        ),
+    )
+    attack = KeystrokeInferenceAttack(esp, victim.mac)
+    return engine, attack
+
+
+class TestKeystrokeAttack:
+    def test_collects_csi_at_injection_rate(self):
+        engine, attack = _keystroke_setup(StillMotion())
+        result = attack.run(duration_s=2.0)
+        # 150 fps for 2 s, minus edge effects.
+        assert result.frames_injected == pytest.approx(300, abs=10)
+        assert result.acks_measured == pytest.approx(300, abs=15)
+        assert result.ack_yield > 0.9
+        assert result.measurement_rate_hz == pytest.approx(150.0, rel=0.1)
+
+    def test_no_network_membership_required(self):
+        """The victim is not associated to anything; the attack still works."""
+        engine, attack = _keystroke_setup(StillMotion())
+        result = attack.run(duration_s=1.0)
+        assert result.acks_measured > 100
+
+    def test_still_vs_typing_variance(self):
+        _, still_attack = _keystroke_setup(StillMotion(), seed=0)
+        still = still_attack.run(duration_s=3.0)
+        _, typing_attack = _keystroke_setup(
+            TypingMotion(np.random.default_rng(5), duration=30.0), seed=0
+        )
+        typing = typing_attack.run(duration_s=3.0)
+        assert np.std(typing.series.amplitudes) > 3 * np.std(still.series.amplitudes)
+
+    def test_segmentation_finds_pickup(self):
+        timeline = ScheduledMotion([
+            (2.0, 4.0, "pickup", PickupMotion(start=2.0, duration=2.0)),
+        ])
+        engine, attack = _keystroke_setup(timeline)
+        result = attack.run(duration_s=6.0)
+        KeystrokeInferenceAttack.analyze(result)
+        assert any(s.active for s in result.segments)
+
+    def test_validates_sniffer_configuration(self):
+        engine = Engine()
+        medium = Medium(engine)
+        rng = np.random.default_rng(0)
+        esp = Esp32CsiSniffer(
+            mac=fresh_mac(), medium=medium, position=Position(0, 0), rng=rng,
+            expected_ack_ra=MacAddress("02:12:34:56:78:9a"),  # wrong
+        )
+        with pytest.raises(ValueError):
+            KeystrokeInferenceAttack(esp, MacAddress("f2:6e:0b:11:22:33"))
+
+
+def _battery_setup(seed=7):
+    engine = Engine()
+    medium = Medium(engine)
+    rng = np.random.default_rng(seed)
+    ap = AccessPoint(
+        mac=fresh_mac(0x06), medium=medium, position=Position(0, 0), rng=rng,
+        ssid="IoTNet", passphrase="iotpassword",
+    )
+    esp = Esp8266Device(
+        mac=fresh_mac(), medium=medium, position=Position(4, 0), rng=rng
+    )
+    esp.connect(ap.mac, "IoTNet", "iotpassword")
+    engine.run_until(1.0)
+    esp.enter_power_save()
+    attacker = MonitorDongle(
+        mac=fresh_mac(0x0A), medium=medium, position=Position(8, 0), rng=rng
+    )
+    return engine, BatteryDrainAttack(attacker, esp), esp
+
+
+class TestBatteryDrainAttack:
+    def test_baseline_is_about_10mw(self):
+        _, attack, _ = _battery_setup()
+        point = attack.measure_power(0.0, duration_s=5.0)
+        assert point.average_power_mw < 15.0
+        assert point.sleep_fraction > 0.9
+
+    def test_high_rate_pins_radio_awake(self):
+        _, attack, _ = _battery_setup()
+        point = attack.measure_power(100.0, duration_s=3.0)
+        assert point.radio_pinned_awake
+        assert point.average_power_mw > 200.0
+
+    def test_900pps_reaches_paper_peak(self):
+        _, attack, _ = _battery_setup()
+        point = attack.measure_power(900.0, duration_s=3.0)
+        assert point.average_power_mw == pytest.approx(360.0, abs=25.0)
+
+    def test_acks_track_rate(self):
+        _, attack, _ = _battery_setup()
+        point = attack.measure_power(200.0, duration_s=3.0)
+        assert point.acks_transmitted == pytest.approx(600, abs=30)
+
+    def test_power_monotone_in_rate(self):
+        # Durations must span several DTIM cycles, or a low-rate stream may
+        # not have caught a listen window yet (the knee is probabilistic
+        # near the threshold, exactly like the real measurement).
+        _, attack, _ = _battery_setup()
+        points = attack.sweep(rates_pps=(0, 50, 200, 900), duration_s=5.0)
+        powers = [p.average_power_mw for p in points]
+        assert powers == sorted(powers)
+
+    def test_amplification_factor_order_35x(self):
+        """The paper's 35x headline (we land in the same decade)."""
+        _, attack, _ = _battery_setup()
+        points = attack.sweep(rates_pps=(0, 900), duration_s=5.0)
+        amplification = BatteryDrainAttack.amplification(points)
+        assert 20.0 <= amplification <= 60.0
+
+    def test_camera_projections(self):
+        projections = BatteryDrainAttack.project(
+            [LOGITECH_CIRCLE2, BLINK_XT2], attack_power_mw=360.0
+        )
+        assert projections[0].hours_under_attack == pytest.approx(6.67, abs=0.01)
+        assert projections[1].hours_under_attack == pytest.approx(16.67, abs=0.01)
+        assert projections[0].reduction_factor > 100
+
+    def test_requires_power_profile(self, engine, medium, rng):
+        victim = Station(
+            mac=fresh_mac(), medium=medium, position=Position(0, 0), rng=rng
+        )
+        attacker = MonitorDongle(
+            mac=fresh_mac(0x0A), medium=medium, position=Position(5, 0), rng=rng
+        )
+        with pytest.raises(ValueError):
+            BatteryDrainAttack(attacker, victim)

@@ -1,0 +1,109 @@
+"""The Section 2.2 defense analysis, end to end."""
+
+import pytest
+
+from repro.core.defenses import DefenseAnalysis
+from repro.crypto.timing_model import DecoderClass
+from repro.devices.station import Station
+from repro.mac.ack_engine import AckEngineConfig
+from repro.mac.addresses import ATTACKER_FAKE_MAC
+from repro.mac.frames import NullDataFrame
+from repro.mac.transmitter import TxOutcome
+from repro.phy.constants import Band
+from repro.sim.world import Position
+
+from tests.conftest import fresh_mac
+
+
+class TestDeadlineTable:
+    def test_nothing_meets_the_deadline(self):
+        rows = DefenseAnalysis.deadline_table()
+        assert rows  # non-empty
+        assert not DefenseAnalysis.any_feasible(rows)
+
+    def test_overshoot_is_orders_of_magnitude(self):
+        rows = DefenseAnalysis.deadline_table(
+            decoder_classes=[DecoderClass.MAINSTREAM]
+        )
+        assert all(row.overshoot_factor > 10.0 for row in rows)
+
+    def test_even_asic_misses(self):
+        rows = DefenseAnalysis.deadline_table(
+            decoder_classes=[DecoderClass.HYPOTHETICAL_ASIC]
+        )
+        assert not DefenseAnalysis.any_feasible(rows)
+
+    def test_table_renders(self):
+        rows = DefenseAnalysis.deadline_table()
+        text = DefenseAnalysis.render_deadline_table(rows)
+        assert "decoder" in text and "over budget" in text
+
+    def test_required_speedup(self):
+        speedup = DefenseAnalysis.required_speedup_for_deadline()
+        assert speedup > 20.0
+
+    def test_5ghz_band_slightly_easier_still_impossible(self):
+        rows_24 = DefenseAnalysis.deadline_table(bands=(Band.GHZ_2_4,))
+        rows_5 = DefenseAnalysis.deadline_table(bands=(Band.GHZ_5,))
+        for row_24, row_5 in zip(rows_24, rows_5):
+            assert row_5.overshoot_factor < row_24.overshoot_factor
+            assert not row_5.meets_deadline
+
+
+class TestCheckingDeviceBreaksLegitimateTraffic:
+    """A validate-before-ACK receiver would break WiFi for honest peers."""
+
+    def test_sender_times_out_against_checking_device(
+        self, engine, medium, rng, make_station
+    ):
+        sender = make_station()
+        checker = Station(
+            mac=fresh_mac(),
+            medium=medium,
+            position=Position(3, 0),
+            rng=rng,
+            ack_config=DefenseAnalysis.checking_device_config(),
+        )
+        outcomes = []
+        frame = NullDataFrame(addr1=checker.mac, addr2=sender.mac)
+        sender.send(frame, on_complete=outcomes.append)
+        engine.run_until(engine.now + 2.0)
+        # The checking device rejects the (unencrypted) frame after decode
+        # time; the sender retries to exhaustion and declares loss.
+        assert outcomes[0].outcome is TxOutcome.NO_ACK
+        assert outcomes[0].attempts == sender.transmitter.retry_limit + 1
+
+    def test_summary_report(self):
+        report = DefenseAnalysis.summarize_checking_device(
+            frames_offered=100,
+            late_acks=60,
+            suppressed=40,
+            retransmissions=700,
+            delivery_failures=100,
+        )
+        assert report.timely_ack_rate == 0.0
+
+
+class TestRtsCtsFallback:
+    def test_checking_device_still_answers_rts(
+        self, engine, medium, rng, make_dongle
+    ):
+        """Even the strawman validator cannot stop the CTS — control
+        frames are not encryptable."""
+        checker = Station(
+            mac=fresh_mac(),
+            medium=medium,
+            position=Position(3, 0),
+            rng=rng,
+            ack_config=DefenseAnalysis.checking_device_config(),
+        )
+        from repro.core.probe import PoliteWiFiProbe
+
+        probe = PoliteWiFiProbe(make_dongle())
+        null_result = probe.probe(checker.mac, kind="null")
+        rts_result = probe.probe(checker.mac, kind="rts")
+        assert not null_result.responded  # validation suppressed the ACK...
+        assert rts_result.responded  # ...but the CTS came anyway
+
+    def test_control_frames_not_encryptable(self):
+        assert not DefenseAnalysis.control_frames_encryptable()

@@ -1,0 +1,132 @@
+"""ACK-timing localization (the intro threat, Wi-Peep style)."""
+
+import numpy as np
+import pytest
+
+from repro.core.localization import (
+    AckRangingSensor,
+    LocalizationAttack,
+    RangingMeasurement,
+    trilaterate,
+)
+from repro.devices.dongle import MonitorDongle
+from repro.devices.station import Station
+from repro.mac.addresses import MacAddress
+from repro.sim.engine import Engine
+from repro.sim.medium import Medium
+from repro.sim.world import Position
+
+from tests.conftest import fresh_mac
+
+
+def _setup(victim_position=Position(20, 10, 1), jitter=25e-9, seed=0):
+    engine = Engine()
+    medium = Medium(engine)
+    rng = np.random.default_rng(seed)
+    victim = Station(
+        mac=MacAddress("f2:6e:0b:11:22:33"),
+        medium=medium, position=victim_position, rng=rng,
+    )
+    dongle = MonitorDongle(
+        mac=fresh_mac(0x0A), medium=medium, position=Position(0, 0, 1), rng=rng
+    )
+    sensor = AckRangingSensor(
+        dongle, timestamp_jitter_s=jitter, rng=np.random.default_rng(seed + 1)
+    )
+    return engine, victim, dongle, sensor
+
+
+class TestRanging:
+    def test_noiseless_ranging_is_exact(self):
+        engine, victim, dongle, sensor = _setup(jitter=0.0)
+        measurement = sensor.range_target(victim.mac, probes=5)
+        assert measurement is not None
+        truth = Position(0, 0, 1).distance_to(Position(20, 10, 1))
+        assert measurement.distance_m == pytest.approx(truth, abs=0.01)
+        assert measurement.std_m == pytest.approx(0.0, abs=0.01)
+
+    def test_jittered_ranging_converges_with_averaging(self):
+        engine, victim, dongle, sensor = _setup(jitter=25e-9)
+        measurement = sensor.range_target(victim.mac, probes=100)
+        assert measurement is not None
+        truth = Position(0, 0, 1).distance_to(Position(20, 10, 1))
+        # 25 ns sigma ~= 3.7 m per sample; 100 samples -> ~0.4 m SE.
+        assert measurement.distance_m == pytest.approx(truth, abs=2.0)
+        assert measurement.standard_error_m < 1.0
+
+    def test_absent_target_returns_none(self):
+        engine, victim, dongle, sensor = _setup()
+        assert sensor.range_target(MacAddress("02:de:ad:00:00:01"), probes=3) is None
+
+    def test_samples_counted(self):
+        engine, victim, dongle, sensor = _setup()
+        measurement = sensor.range_target(victim.mac, probes=20)
+        assert measurement.samples == 20
+
+
+class TestTrilateration:
+    def _measurement(self, anchor, target_at):
+        return RangingMeasurement(
+            target=MacAddress("f2:6e:0b:11:22:33"),
+            anchor=anchor,
+            distance_m=anchor.distance_to(target_at),
+            std_m=0.0,
+            samples=1,
+        )
+
+    def test_exact_fix_from_three_anchors(self):
+        truth = Position(12.0, 7.0, 1.0)
+        anchors = [Position(0, 0, 1), Position(30, 0, 1), Position(0, 30, 1)]
+        fix = trilaterate([self._measurement(a, truth) for a in anchors])
+        assert fix.x == pytest.approx(truth.x, abs=1e-6)
+        assert fix.y == pytest.approx(truth.y, abs=1e-6)
+
+    def test_overdetermined_least_squares(self):
+        truth = Position(-5.0, 14.0, 1.0)
+        anchors = [
+            Position(0, 0, 1), Position(30, 0, 1),
+            Position(0, 30, 1), Position(30, 30, 1), Position(15, -10, 1),
+        ]
+        fix = trilaterate([self._measurement(a, truth) for a in anchors])
+        assert fix.x == pytest.approx(truth.x, abs=1e-6)
+        assert fix.y == pytest.approx(truth.y, abs=1e-6)
+
+    def test_needs_three_measurements(self):
+        truth = Position(1, 1)
+        with pytest.raises(ValueError):
+            trilaterate([self._measurement(Position(0, 0), truth)] * 2)
+
+    def test_collinear_anchors_rejected(self):
+        truth = Position(5, 5)
+        anchors = [Position(0, 0), Position(10, 0), Position(20, 0)]
+        with pytest.raises(ValueError):
+            trilaterate([self._measurement(a, truth) for a in anchors])
+
+
+class TestLocalizationAttack:
+    def test_locates_victim_within_metres(self):
+        truth = Position(18.0, 12.0, 1.0)
+        engine, victim, dongle, sensor = _setup(victim_position=truth, jitter=25e-9)
+        attack = LocalizationAttack(sensor)
+        result = attack.locate(
+            victim.mac,
+            anchor_positions=[
+                Position(0, 0, 1), Position(40, 0, 1),
+                Position(0, 40, 1), Position(40, 40, 1),
+            ],
+            probes_per_anchor=60,
+            truth=truth,
+        )
+        assert result.error_m is not None
+        assert result.error_m < 3.0
+        assert len(result.measurements) == 4
+
+    def test_raises_without_enough_anchors(self):
+        engine, victim, dongle, sensor = _setup()
+        attack = LocalizationAttack(sensor)
+        with pytest.raises(RuntimeError):
+            attack.locate(
+                MacAddress("02:de:ad:00:00:02"),  # never answers
+                anchor_positions=[Position(0, 0), Position(10, 0), Position(0, 10)],
+                probes_per_anchor=2,
+            )

@@ -1,0 +1,154 @@
+"""The probe primitive, the injector, and ACK correlation."""
+
+import pytest
+
+from repro.core.injector import FakeFrameInjector
+from repro.core.monitor import AckMonitor
+from repro.core.probe import PoliteWiFiProbe
+from repro.mac.addresses import ATTACKER_FAKE_MAC, MacAddress
+from repro.phy.constants import Band, sifs
+
+
+class TestInjector:
+    def test_craft_null_matches_paper(self, make_dongle):
+        injector = FakeFrameInjector(make_dongle())
+        frame = injector.craft_null(MacAddress("f2:6e:0b:11:22:33"))
+        assert frame.is_null_data
+        assert frame.addr2 == ATTACKER_FAKE_MAC  # spoofed source
+        assert frame.body == b""  # no payload
+        assert not frame.protected  # not encrypted
+        assert frame.duration_us > 0  # plausible NAV
+
+    def test_sequence_numbers_advance(self, make_dongle):
+        injector = FakeFrameInjector(make_dongle())
+        target = MacAddress("f2:6e:0b:11:22:33")
+        a = injector.craft_null(target)
+        b = injector.craft_null(target)
+        assert a.sequence != b.sequence
+
+    def test_craft_rts(self, make_dongle):
+        injector = FakeFrameInjector(make_dongle())
+        rts = injector.craft_rts(MacAddress("f2:6e:0b:11:22:33"))
+        assert rts.is_rts
+        assert rts.addr2 == ATTACKER_FAKE_MAC
+
+    def test_craft_garbage_data(self, make_dongle):
+        injector = FakeFrameInjector(make_dongle())
+        frame = injector.craft_garbage_data(MacAddress("f2:6e:0b:11:22:33"), 64)
+        assert len(frame.body) == 64
+
+    def test_stream_rate(self, engine, make_dongle, make_station):
+        station = make_station()
+        injector = FakeFrameInjector(make_dongle())
+        stream = injector.start_stream(station.mac, rate_pps=100.0)
+        engine.run_until(2.0)
+        stream.stop()
+        assert stream.frames_sent == pytest.approx(200, abs=10)
+
+    def test_stream_stop(self, engine, make_dongle, make_station):
+        station = make_station()
+        injector = FakeFrameInjector(make_dongle())
+        stream = injector.start_stream(station.mac, rate_pps=100.0)
+        engine.run_until(1.0)
+        stream.stop()
+        sent = stream.frames_sent
+        engine.run_until(2.0)
+        assert stream.frames_sent == sent
+
+    def test_unknown_stream_kind(self, make_dongle, make_station):
+        injector = FakeFrameInjector(make_dongle())
+        with pytest.raises(ValueError):
+            injector.start_stream(MacAddress("02:00:00:00:00:01"), 10.0, kind="magic")
+
+    def test_invalid_rate(self, make_dongle):
+        injector = FakeFrameInjector(make_dongle())
+        with pytest.raises(ValueError):
+            injector.start_stream(MacAddress("02:00:00:00:00:01"), 0.0)
+
+
+class TestAckMonitor:
+    def test_single_expectation_at_a_time(self, engine, make_dongle):
+        dongle = make_dongle()
+        monitor = AckMonitor(dongle, ATTACKER_FAKE_MAC)
+        monitor.expect_ack(
+            MacAddress("02:00:00:00:00:01"), 0.01, lambda r: None, lambda: None
+        )
+        with pytest.raises(RuntimeError):
+            monitor.expect_ack(
+                MacAddress("02:00:00:00:00:02"), 0.01, lambda r: None, lambda: None
+            )
+
+    def test_timeout_fires(self, engine, make_dongle):
+        monitor = AckMonitor(make_dongle(), ATTACKER_FAKE_MAC)
+        timeouts = []
+        monitor.expect_ack(
+            MacAddress("02:00:00:00:00:01"), 0.01,
+            lambda r: None, lambda: timeouts.append(1),
+        )
+        engine.run_until(0.1)
+        assert timeouts == [1]
+        assert not monitor.busy
+
+    def test_ack_attributed_to_target(self, engine, make_dongle, make_station):
+        station = make_station()
+        dongle = make_dongle()
+        monitor = AckMonitor(dongle, ATTACKER_FAKE_MAC)
+        injector = FakeFrameInjector(dongle)
+        hits = []
+        monitor.expect_ack(station.mac, 0.01, hits.append, lambda: None)
+        injector.inject_null(station.mac)
+        engine.run_until(0.1)
+        assert len(hits) == 1
+        assert monitor.observations[0].target == station.mac
+
+    def test_unrelated_acks_counted_as_stray(self, engine, make_dongle, make_station):
+        station = make_station()
+        dongle = make_dongle()
+        monitor = AckMonitor(dongle, ATTACKER_FAKE_MAC)
+        injector = FakeFrameInjector(dongle)
+        injector.inject_null(station.mac)  # nobody is expecting this
+        engine.run_until(0.1)
+        assert monitor.stray_acks == 1
+
+
+class TestProbe:
+    def test_probe_station_responds(self, make_dongle, make_station):
+        station = make_station()
+        result = PoliteWiFiProbe(make_dongle()).probe(station.mac)
+        assert result.responded
+        assert result.attempts == 1
+        assert result.ack_rssi_dbm is not None
+
+    def test_probe_records_latency(self, make_dongle, make_station):
+        station = make_station()
+        result = PoliteWiFiProbe(make_dongle()).probe(station.mac)
+        # Frame airtime (64 us) + SIFS (10 us) + ACK airtime (44 us).
+        assert result.ack_latency_s == pytest.approx(118e-6, abs=5e-6)
+
+    def test_probe_absent_target_fails_after_attempts(self, make_dongle):
+        probe = PoliteWiFiProbe(make_dongle(), attempts=3)
+        result = probe.probe(MacAddress("02:de:ad:be:ef:00"))
+        assert not result.responded
+        assert result.attempts == 3
+
+    def test_probe_sleeping_device_fails(self, engine, make_dongle, make_station):
+        station = make_station()
+        station.radio.sleep()
+        result = PoliteWiFiProbe(make_dongle(), attempts=2).probe(station.mac)
+        assert not result.responded
+
+    def test_rts_probe(self, make_dongle, make_station):
+        station = make_station()
+        result = PoliteWiFiProbe(make_dongle()).probe(station.mac, kind="rts")
+        assert result.responded and result.kind == "rts"
+
+    def test_probe_all(self, make_dongle, make_station):
+        stations = [make_station(x=float(i)) for i in range(4)]
+        probe = PoliteWiFiProbe(make_dongle())
+        results = probe.probe_all([s.mac for s in stations])
+        assert all(r.responded for r in results)
+
+    def test_unknown_kind_rejected(self, make_dongle, make_station):
+        probe = PoliteWiFiProbe(make_dongle())
+        with pytest.raises(ValueError):
+            probe.probe(MacAddress("02:00:00:00:00:01"), kind="nope")

@@ -1,0 +1,107 @@
+"""Single-device sensing hub (the Section 4.3 opportunity)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.two_device_sensing import TwoDeviceSensingSystem
+from repro.channel.csi import CsiChannelModel, MultipathChannel
+from repro.channel.motion import BreathingMotion, StillMotion, WalkingMotion
+from repro.core.sensing_app import SingleDeviceSensingHub
+from repro.devices.esp import Esp32CsiSniffer
+from repro.devices.station import Station
+from repro.mac.addresses import ATTACKER_FAKE_MAC, MacAddress
+from repro.sensing.occupancy import OccupancyDetector
+from repro.sim.engine import Engine
+from repro.sim.medium import Medium
+from repro.sim.world import Position
+
+from tests.conftest import fresh_mac
+
+
+def _home(motions, seed=0):
+    """A hub plus one unmodified anchor per motion model."""
+    engine = Engine()
+    csi_model = CsiChannelModel()
+    medium = Medium(engine, csi_model=csi_model)
+    rng = np.random.default_rng(seed)
+    hub = Esp32CsiSniffer(
+        mac=fresh_mac(),
+        medium=medium,
+        position=Position(5, 5, 2),
+        rng=rng,
+        expected_ack_ra=ATTACKER_FAKE_MAC,
+    )
+    sensing = SingleDeviceSensingHub(hub, rate_per_anchor_pps=50.0)
+    anchors = []
+    for index, motion in enumerate(motions):
+        position = Position(float(index * 4), 0, 1)
+        anchor = Station(
+            mac=fresh_mac(), medium=medium, position=position, rng=rng
+        )
+        csi_model.register_link(
+            str(anchor.mac),
+            str(hub.mac),
+            MultipathChannel(
+                position, Position(5, 5, 2),
+                np.random.default_rng(seed + index + 1), motion=motion,
+            ),
+        )
+        sensing.add_anchor(anchor.mac)
+        anchors.append(anchor)
+    return engine, sensing, anchors
+
+
+class TestHub:
+    def test_requires_anchors(self):
+        engine, sensing, _ = _home([])
+        with pytest.raises(RuntimeError):
+            sensing.sense(1.0)
+
+    def test_collects_per_anchor_streams(self):
+        engine, sensing, anchors = _home([StillMotion(), StillMotion()])
+        sensing.sense(duration_s=4.0)
+        for anchor in anchors:
+            series = sensing.stream_for(anchor.mac).series()
+            # 50 frames/s per anchor for 4 s, minus channel losses.
+            assert len(series) > 150
+
+    def test_only_one_modified_device(self):
+        engine, sensing, anchors = _home([StillMotion()])
+        assert sensing.modified_devices == 1
+
+    def test_fewer_modified_devices_than_baseline(self):
+        """The deployment-cost comparison the paper makes."""
+        engine, sensing, anchors = _home([StillMotion(), StillMotion(), StillMotion()])
+        baseline = TwoDeviceSensingSystem().plan_for_rooms(
+            [Position(0, 0), Position(4, 0), Position(8, 0)]
+        )
+        assert sensing.modified_devices < baseline.modified_devices
+        assert baseline.modified_devices == 6
+
+    def test_breathing_through_unmodified_anchor(self):
+        engine, sensing, anchors = _home([BreathingMotion(rate_bpm=16.0)])
+        sensing.sense(duration_s=60.0)
+        estimate = sensing.breathing_rate(anchors[0].mac)
+        assert estimate is not None
+        assert estimate.rate_bpm == pytest.approx(16.0, abs=1.5)
+
+    def test_occupancy_through_unmodified_anchor(self):
+        engine, sensing, anchors = _home(
+            [StillMotion(), WalkingMotion(start=0.0)], seed=4
+        )
+        sensing.sense(duration_s=25.0)
+        detector = OccupancyDetector()
+        detector.calibrate(sensing.stream_for(anchors[0].mac).series())
+        busy = sensing.occupancy(anchors[1].mac, detector)
+        quiet = sensing.occupancy(anchors[0].mac, detector)
+        assert busy > quiet
+        assert busy > 0.5
+
+    def test_sensing_rate_meets_requirement(self):
+        """The hub elicits 100+ pkt/s — what sensing needs and natural
+        traffic cannot provide."""
+        engine, sensing, anchors = _home([StillMotion()], seed=2)
+        sensing.rate_per_anchor_pps = 120.0
+        sensing.sense(duration_s=5.0)
+        series = sensing.stream_for(anchors[0].mac).series()
+        assert series.mean_rate_hz > 100.0

@@ -1,0 +1,154 @@
+"""Small behaviours not covered elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro.channel.csi import CsiChannelModel, MultipathChannel
+from repro.channel.motion import StillMotion
+from repro.core.injector import FakeFrameInjector
+from repro.devices.esp import Esp32CsiSniffer
+from repro.devices.station import Station
+from repro.mac.addresses import ATTACKER_FAKE_MAC, MacAddress
+from repro.mac.frames import NullDataFrame
+from repro.sim.engine import Engine
+from repro.sim.medium import Medium
+from repro.sim.world import Position
+from repro.survey.results import SurveyResults, VendorCensusRow
+from repro.survey.scanner import DiscoveredDevice
+from repro.devices.base import DeviceKind
+
+from tests.conftest import fresh_mac
+
+
+class TestEsp32Helpers:
+    def _collect(self):
+        engine = Engine()
+        csi_model = CsiChannelModel()
+        medium = Medium(engine, csi_model=csi_model)
+        rng = np.random.default_rng(0)
+        victim = Station(
+            mac=fresh_mac(), medium=medium, position=Position(0, 0), rng=rng
+        )
+        esp = Esp32CsiSniffer(
+            mac=fresh_mac(), medium=medium, position=Position(6, 0), rng=rng,
+            expected_ack_ra=ATTACKER_FAKE_MAC,
+        )
+        csi_model.register_link(
+            str(victim.mac), str(esp.mac),
+            MultipathChannel(
+                Position(0, 0), Position(6, 0), np.random.default_rng(1),
+                motion=StillMotion(),
+            ),
+        )
+        injector = FakeFrameInjector(esp)
+        for index in range(8):
+            engine.call_at(index * 0.01, lambda: injector.inject_null(victim.mac))
+        engine.run_until(1.0)
+        return esp
+
+    def test_amplitude_series_and_times(self):
+        esp = self._collect()
+        amplitudes = esp.amplitude_series(10)
+        times = esp.sample_times()
+        assert len(amplitudes) == len(times) == 8
+        assert np.all(np.diff(times) > 0)
+        assert np.all(amplitudes > 0)
+
+    def test_clear(self):
+        esp = self._collect()
+        esp.clear()
+        assert esp.samples == []
+
+
+class TestSurveyResultsDetails:
+    def _results(self):
+        results = SurveyResults()
+        for index, (vendor, kind) in enumerate(
+            [
+                ("Apple", DeviceKind.CLIENT),
+                ("Apple", DeviceKind.CLIENT),
+                ("Google", DeviceKind.CLIENT),
+                ("Hitron", DeviceKind.ACCESS_POINT),
+                (None, DeviceKind.CLIENT),  # randomized MAC, unknown OUI
+            ]
+        ):
+            mac = MacAddress(bytes([0x02, 0, 0, 0, 0, index + 1]))
+            results.discovered.append(
+                DiscoveredDevice(
+                    mac=mac, kind=kind, vendor=vendor, channel=6,
+                    first_seen=0.0, first_rssi_dbm=-60.0,
+                )
+            )
+            results.probed.add(mac)
+            results.responded.add(mac)
+        return results
+
+    def test_census_rolls_unknown_into_others(self):
+        results = self._results()
+        census = results.vendor_census(DeviceKind.CLIENT, top=1)
+        assert census[0] == VendorCensusRow("Apple", 2)
+        assert census[-1].vendor == "Others"
+        assert census[-1].devices == 2  # Google + the unknown-OUI device
+
+    def test_census_without_top_limit(self):
+        results = self._results()
+        census = results.vendor_census(DeviceKind.CLIENT, top=None)
+        assert [row.vendor for row in census] == ["Apple", "Google"]
+
+    def test_vendor_count_excludes_unknown(self):
+        results = self._results()
+        assert results.vendor_count(DeviceKind.CLIENT) == 2
+        assert results.vendor_count() == 3
+
+    def test_response_rate_with_partial_probing(self):
+        results = self._results()
+        extra = MacAddress("02:00:00:00:00:77")
+        results.discovered.append(
+            DiscoveredDevice(
+                mac=extra, kind=DeviceKind.CLIENT, vendor="HP", channel=6,
+                first_seen=0.0, first_rssi_dbm=-70.0,
+            )
+        )
+        # Discovered but never probed: does not count against the rate.
+        assert results.response_rate == 1.0
+
+
+class TestInjectorStreamKinds:
+    @pytest.mark.parametrize("kind", ["null", "qos_null", "rts", "data"])
+    def test_all_stream_kinds_elicit_responses(self, kind, engine, medium, rng):
+        victim = Station(
+            mac=fresh_mac(), medium=medium, position=Position(0, 0), rng=rng
+        )
+        from repro.devices.dongle import MonitorDongle
+
+        attacker = MonitorDongle(
+            mac=fresh_mac(0x0A), medium=medium, position=Position(5, 0), rng=rng
+        )
+        injector = FakeFrameInjector(attacker)
+        stream = injector.start_stream(victim.mac, rate_pps=50.0, kind=kind)
+        engine.run_until(1.0)
+        stream.stop()
+        stats = victim.ack_engine.stats
+        responses = stats.acks_sent + stats.cts_sent
+        assert responses == pytest.approx(stream.frames_sent, abs=3)
+
+
+class TestAckEngineStatsExposed:
+    def test_counters_consistent(self, engine, medium, rng):
+        victim = Station(
+            mac=fresh_mac(), medium=medium, position=Position(0, 0), rng=rng
+        )
+        from repro.devices.dongle import MonitorDongle
+
+        attacker = MonitorDongle(
+            mac=fresh_mac(0x0A), medium=medium, position=Position(5, 0), rng=rng
+        )
+        injector = FakeFrameInjector(attacker)
+        for _ in range(5):
+            injector.inject_null(victim.mac)
+            engine.run_until(engine.now + 0.01)
+        stats = victim.ack_engine.stats
+        assert stats.frames_seen >= 5
+        assert stats.acks_sent == 5
+        assert stats.passed_up >= 5
+        assert victim.fake_frames_discarded == 5

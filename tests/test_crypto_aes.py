@@ -1,0 +1,66 @@
+"""AES-128 against FIPS-197 vectors plus algebraic properties."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.aes import AES128
+
+blocks = st.binary(min_size=16, max_size=16)
+keys = st.binary(min_size=16, max_size=16)
+
+
+class TestFipsVectors:
+    def test_appendix_c1(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        plaintext = bytes.fromhex("00112233445566778899aabbccddeeff")
+        ciphertext = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+        assert AES128(key).encrypt_block(plaintext) == ciphertext
+
+    def test_appendix_b(self):
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        plaintext = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+        ciphertext = bytes.fromhex("3925841d02dc09fbdc118597196a0b32")
+        assert AES128(key).encrypt_block(plaintext) == ciphertext
+
+    def test_nist_ecb_vector(self):
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        plaintext = bytes.fromhex("6bc1bee22e409f96e93d7e117393172a")
+        ciphertext = bytes.fromhex("3ad77bb40d7a3660a89ecaf32466ef97")
+        assert AES128(key).encrypt_block(plaintext) == ciphertext
+
+
+class TestProperties:
+    @given(keys, blocks)
+    def test_decrypt_inverts_encrypt(self, key, block):
+        cipher = AES128(key)
+        assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+    @given(keys, blocks)
+    def test_encrypt_is_permutation_not_identity(self, key, block):
+        # With overwhelming probability AES(x) != x; treat equality as failure.
+        assert AES128(key).encrypt_block(block) != block
+
+    @given(keys, blocks, blocks)
+    def test_injective(self, key, a, b):
+        cipher = AES128(key)
+        if a != b:
+            assert cipher.encrypt_block(a) != cipher.encrypt_block(b)
+
+    @given(blocks)
+    def test_different_keys_differ(self, block):
+        a = AES128(b"\x00" * 16).encrypt_block(block)
+        b = AES128(b"\x01" + b"\x00" * 15).encrypt_block(block)
+        assert a != b
+
+
+class TestValidation:
+    def test_wrong_key_length(self):
+        with pytest.raises(ValueError):
+            AES128(b"\x00" * 24)
+
+    def test_wrong_block_length(self):
+        cipher = AES128(b"\x00" * 16)
+        with pytest.raises(ValueError):
+            cipher.encrypt_block(b"\x00" * 8)
+        with pytest.raises(ValueError):
+            cipher.decrypt_block(b"\x00" * 24)

@@ -1,0 +1,111 @@
+"""The decode-latency model behind the Section 2.2 impossibility claim."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.timing_model import (
+    DecodeTimingModel,
+    DecoderClass,
+    ccmp_block_operations,
+)
+from repro.mac.addresses import MacAddress
+from repro.mac.frames import DataFrame, NullDataFrame
+from repro.phy.constants import Band, sifs
+
+
+class TestBlockCounting:
+    def test_empty_payload_minimum(self):
+        # B0 + 2 AAD blocks + (1 MAC + 1 CTR) + 1 MIC CTR = 6.
+        assert ccmp_block_operations(0) == 6
+
+    def test_block_count_grows_with_payload(self):
+        assert ccmp_block_operations(1500) > ccmp_block_operations(100)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ccmp_block_operations(-1)
+
+    @given(st.integers(1, 3000))
+    def test_two_blocks_per_16_bytes(self, length):
+        baseline = ccmp_block_operations(length)
+        assert ccmp_block_operations(length + 16) == baseline + 2
+
+
+class TestCalibration:
+    def test_mainstream_spans_published_range(self):
+        """[15, 17, 22] measured 200-700 us for WPA2 processing."""
+        model = DecodeTimingModel(DecoderClass.MAINSTREAM)
+        assert 180e-6 <= model.decode_time(28) <= 300e-6
+        assert 500e-6 <= model.decode_time(1500) <= 700e-6
+
+    def test_class_ordering(self):
+        times = {
+            cls: DecodeTimingModel(cls).decode_time(576) for cls in DecoderClass
+        }
+        assert times[DecoderClass.IOT_MCU] > times[DecoderClass.MAINSTREAM]
+        assert times[DecoderClass.MAINSTREAM] > times[DecoderClass.HIGH_END]
+        assert times[DecoderClass.HIGH_END] > times[DecoderClass.HYPOTHETICAL_ASIC]
+
+    def test_asic_is_about_10x_faster_than_mainstream(self):
+        mainstream = DecodeTimingModel(DecoderClass.MAINSTREAM).decode_time(576)
+        asic = DecodeTimingModel(DecoderClass.HYPOTHETICAL_ASIC).decode_time(576)
+        assert mainstream / asic == pytest.approx(10.0, rel=0.05)
+
+
+class TestDeadline:
+    def test_no_decoder_meets_sifs(self):
+        """The paper's central impossibility, as an assertion."""
+        for decoder in DecoderClass:
+            model = DecodeTimingModel(decoder)
+            for band in Band:
+                for size in (0, 28, 576, 1500):
+                    assert not model.meets_deadline(size, band)
+
+    def test_margin_is_negative_by_orders_of_magnitude(self):
+        model = DecodeTimingModel(DecoderClass.MAINSTREAM)
+        margin = model.deadline_margin(0, Band.GHZ_2_4)
+        assert margin < -100e-6  # >10x over the 10us budget
+
+    def test_overshoot_factor_20_to_70x(self):
+        """Paper: 'orders of magnitude longer than SIFS'."""
+        model = DecodeTimingModel(DecoderClass.MAINSTREAM)
+        factor = model.decode_time(28) / sifs(Band.GHZ_2_4)
+        assert 20.0 <= factor <= 70.0
+
+
+class TestValidatorProtocol:
+    def test_unprotected_fake_frame_rejected(self):
+        model = DecodeTimingModel(DecoderClass.MAINSTREAM)
+        fake = NullDataFrame(
+            addr1=MacAddress("02:00:00:00:00:01"),
+            addr2=MacAddress("aa:bb:bb:bb:bb:bb"),
+        )
+        legitimate, elapsed = model(fake)
+        assert not legitimate
+        assert elapsed > sifs(Band.GHZ_2_4)
+
+    def test_protected_frame_with_key_accepted(self):
+        from repro.crypto.ccmp import ccmp_encrypt
+
+        key = bytes(range(16))
+        frame = DataFrame(
+            addr1=MacAddress("02:00:00:00:00:01"),
+            addr2=MacAddress("02:00:00:00:00:02"),
+            addr3=MacAddress("02:00:00:00:00:01"),
+        )
+        frame.protected = True
+        frame.body = ccmp_encrypt(key, frame, b"real traffic", 5)
+        model = DecodeTimingModel(DecoderClass.MAINSTREAM, temporal_key=key)
+        legitimate, _ = model(frame)
+        assert legitimate
+
+    def test_protected_frame_without_key_rejected(self):
+        frame = DataFrame(
+            addr1=MacAddress("02:00:00:00:00:01"),
+            addr2=MacAddress("02:00:00:00:00:02"),
+            protected=True,
+            body=b"\x00" * 32,
+        )
+        model = DecodeTimingModel(DecoderClass.MAINSTREAM)
+        legitimate, _ = model(frame)
+        assert not legitimate

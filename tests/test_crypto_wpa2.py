@@ -1,0 +1,129 @@
+"""WPA2 key derivation and the 4-way handshake."""
+
+import os
+
+import pytest
+
+from repro.crypto.wpa2 import (
+    FourWayHandshake,
+    HandshakeError,
+    derive_pmk,
+    derive_ptk,
+    kck_of,
+    kek_of,
+    tk_of,
+)
+from repro.mac.addresses import MacAddress
+
+AP = MacAddress("02:00:00:00:00:02")
+STA = MacAddress("02:00:00:00:00:01")
+
+
+class TestPmk:
+    def test_known_vector(self):
+        # The canonical PBKDF2 test vector for WPA-PSK ("password"/"IEEE").
+        pmk = derive_pmk("password", "IEEE")
+        assert pmk.hex().startswith("f42c6fc52df0ebef9ebb4b90b38a5f90")
+
+    def test_deterministic(self):
+        assert derive_pmk("passphrase8", "Net") == derive_pmk("passphrase8", "Net")
+
+    def test_ssid_matters(self):
+        assert derive_pmk("passphrase8", "NetA") != derive_pmk("passphrase8", "NetB")
+
+    def test_length_is_256_bits(self):
+        assert len(derive_pmk("passphrase8", "Net")) == 32
+
+    def test_passphrase_length_enforced(self):
+        with pytest.raises(ValueError):
+            derive_pmk("short", "Net")
+        with pytest.raises(ValueError):
+            derive_pmk("x" * 64, "Net")
+
+
+class TestPtk:
+    def test_symmetric_in_roles(self):
+        pmk = derive_pmk("passphrase8", "Net")
+        anonce, snonce = os.urandom(32), os.urandom(32)
+        # Address/nonce ordering is canonicalized, so both sides agree.
+        assert derive_ptk(pmk, AP, STA, anonce, snonce) == derive_ptk(
+            pmk, AP, STA, anonce, snonce
+        )
+
+    def test_nonces_change_keys(self):
+        pmk = derive_pmk("passphrase8", "Net")
+        a = derive_ptk(pmk, AP, STA, b"\x01" * 32, b"\x02" * 32)
+        b = derive_ptk(pmk, AP, STA, b"\x03" * 32, b"\x02" * 32)
+        assert a != b
+
+    def test_key_hierarchy_lengths(self):
+        pmk = derive_pmk("passphrase8", "Net")
+        ptk = derive_ptk(pmk, AP, STA, b"\x01" * 32, b"\x02" * 32)
+        assert len(ptk) == 48
+        assert len(kck_of(ptk)) == 16
+        assert len(kek_of(ptk)) == 16
+        assert len(tk_of(ptk)) == 16
+
+    def test_bad_nonce_length(self):
+        with pytest.raises(ValueError):
+            derive_ptk(b"\x00" * 32, AP, STA, b"short", b"\x02" * 32)
+
+
+def _handshake_pair():
+    """Separate supplicant/authenticator state, like two real devices."""
+    pmk = derive_pmk("passphrase8", "Net")
+    authenticator = FourWayHandshake(
+        pmk=pmk, ap_mac=AP, sta_mac=STA,
+        anonce=os.urandom(32), snonce=b"\x00" * 32, gtk=os.urandom(16),
+    )
+    supplicant = FourWayHandshake(
+        pmk=pmk, ap_mac=AP, sta_mac=STA,
+        anonce=b"\x00" * 32, snonce=os.urandom(32),
+    )
+    return authenticator, supplicant
+
+
+class TestFourWay:
+    def test_full_exchange_agrees_on_tk(self):
+        authenticator, supplicant = _handshake_pair()
+        m1 = authenticator.ap_message1()
+        m2 = supplicant.sta_handle(m1)
+        m3 = authenticator.ap_handle(m2)
+        m4 = supplicant.sta_handle(m3)
+        assert authenticator.ap_handle(m4) is None
+        assert authenticator.ap_installed and supplicant.sta_installed
+        assert tk_of(authenticator.ap_ptk) == tk_of(supplicant.sta_ptk)
+
+    def test_gtk_delivered(self):
+        authenticator, supplicant = _handshake_pair()
+        m2 = supplicant.sta_handle(authenticator.ap_message1())
+        m3 = authenticator.ap_handle(m2)
+        supplicant.sta_handle(m3)
+        assert supplicant.gtk == authenticator.gtk
+
+    def test_wrong_passphrase_fails_mic(self):
+        authenticator, _ = _handshake_pair()
+        wrong = FourWayHandshake(
+            pmk=derive_pmk("wrongpass1", "Net"),
+            ap_mac=AP, sta_mac=STA,
+            anonce=b"\x00" * 32, snonce=os.urandom(32),
+        )
+        m2 = wrong.sta_handle(authenticator.ap_message1())
+        with pytest.raises(HandshakeError):
+            authenticator.ap_handle(m2)
+
+    def test_message3_before_message1_rejected(self):
+        _, supplicant = _handshake_pair()
+        authenticator, _ = _handshake_pair()
+        m2 = FourWayHandshake(
+            pmk=authenticator.pmk, ap_mac=AP, sta_mac=STA,
+            anonce=b"\x00" * 32, snonce=os.urandom(32),
+        )
+        forged_m3 = authenticator.ap_message1()[:1].replace(b"\x01", b"\x03") + authenticator.ap_message1()[1:]
+        with pytest.raises(HandshakeError):
+            supplicant.sta_handle(forged_m3)
+
+    def test_temporal_key_requires_completion(self):
+        authenticator, _ = _handshake_pair()
+        with pytest.raises(HandshakeError):
+            authenticator.temporal_key()

@@ -1,0 +1,105 @@
+"""The Table 2 vendor census and OUI database."""
+
+import numpy as np
+import pytest
+
+from repro.devices.vendors import (
+    AP_TOTAL,
+    AP_VENDOR_CENSUS,
+    AP_VENDOR_COUNT,
+    CLIENT_TOTAL,
+    CLIENT_VENDOR_CENSUS,
+    CLIENT_VENDOR_COUNT,
+    TOTAL_VENDOR_COUNT,
+    VendorDatabase,
+    full_ap_census,
+    full_client_census,
+)
+from repro.mac.addresses import MacAddress, random_mac
+
+
+class TestPaperNumbers:
+    def test_client_total_is_1523(self):
+        census = full_client_census()
+        assert sum(count for _, count in census) == CLIENT_TOTAL == 1523
+
+    def test_ap_total_is_3805(self):
+        census = full_ap_census()
+        assert sum(count for _, count in census) == AP_TOTAL == 3805
+
+    def test_grand_total_is_5328(self):
+        assert CLIENT_TOTAL + AP_TOTAL == 5328
+
+    def test_client_vendor_count_is_147(self):
+        assert len(full_client_census()) == CLIENT_VENDOR_COUNT == 147
+
+    def test_ap_vendor_count_is_94(self):
+        assert len(full_ap_census()) == AP_VENDOR_COUNT == 94
+
+    def test_union_is_186_vendors(self):
+        clients = {name for name, _ in full_client_census()}
+        aps = {name for name, _ in full_ap_census()}
+        assert len(clients | aps) == TOTAL_VENDOR_COUNT == 186
+
+    def test_top_client_vendor_is_apple(self):
+        assert CLIENT_VENDOR_CENSUS[0] == ("Apple", 143)
+
+    def test_top_ap_vendor_is_hitron(self):
+        assert AP_VENDOR_CENSUS[0] == ("Hitron", 723)
+
+    def test_espressif_count_matches_battery_section(self):
+        # Section 4.2: "we found 47 IoT devices that utilize Espressif
+        # WiFi chipsets".
+        counts = dict(CLIENT_VENDOR_CENSUS)
+        assert counts["Espressif"] == 47
+
+    def test_census_deterministic(self):
+        assert full_client_census() == full_client_census()
+        assert full_ap_census() == full_ap_census()
+
+    def test_every_vendor_has_at_least_one_device(self):
+        for _, count in full_client_census() + full_ap_census():
+            assert count >= 1
+
+
+class TestVendorDatabase:
+    @pytest.fixture(scope="class")
+    def db(self):
+        return VendorDatabase()
+
+    def test_knows_all_186_vendors(self, db):
+        assert len(db) == 186
+
+    def test_oui_round_trip(self, db):
+        for vendor in ("Apple", "Google", "Espressif", "Hitron"):
+            for oui in db.ouis_for(vendor):
+                mac = MacAddress(oui + b"\x01\x02\x03")
+                assert db.vendor_of(mac) == vendor
+
+    def test_large_vendors_have_multiple_ouis(self, db):
+        assert len(db.ouis_for(db.vendors()[0])) >= 1
+
+    def test_unknown_oui_returns_none(self, db):
+        assert db.vendor_of(MacAddress("02:12:34:56:78:9a")) is None
+
+    def test_unknown_vendor_raises(self, db):
+        with pytest.raises(KeyError):
+            db.ouis_for("Nonexistent Vendor Corp")
+
+    def test_ouis_are_unicast_global(self, db):
+        for vendor in db.vendors():
+            for oui in db.ouis_for(vendor):
+                assert not oui[0] & 0x01  # not group
+                assert not oui[0] & 0x02  # not locally administered
+
+    def test_random_mac_under_vendor_oui_classified(self, db):
+        rng = np.random.default_rng(0)
+        oui = db.oui_for("Samsung")
+        assert db.vendor_of(random_mac(rng, oui)) == "Samsung"
+
+    def test_no_oui_collisions(self, db):
+        seen = set()
+        for vendor in db.vendors():
+            for oui in db.ouis_for(vendor):
+                assert oui not in seen
+                seen.add(oui)

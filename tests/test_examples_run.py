@@ -1,0 +1,43 @@
+"""Smoke-run the fast examples as subprocesses so they can't rot.
+
+The heavyweight examples (full keystroke calibration, the battery sweep,
+the wardrive) are exercised through their benchmark twins; here we run
+the quick ones end-to-end exactly as a user would.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def _run(name: str, timeout: float = 120.0) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        output = _run("quickstart.py")
+        assert "Polite WiFi confirmed" in output
+        assert "Acknowledgement" in output
+        assert "RTS probe answered with CTS: True" in output
+
+    def test_deauth_wont_help(self):
+        output = _run("deauth_wont_help.py")
+        assert "Deauthentication" in output
+        assert "ACKs sent anyway: 1" in output
+
+    def test_locate_through_walls(self):
+        output = _run("locate_through_walls.py")
+        assert "error" in output
+        assert "never joined a network" in output

@@ -1,0 +1,178 @@
+"""End-to-end scenario tests mirroring the paper's figures.
+
+Each test builds the scenario from scratch (no fixtures from other tests)
+and asserts on the *capture trace* — the same artifact the paper shows.
+"""
+
+import numpy as np
+import pytest
+
+from repro.channel.csi import CsiChannelModel, MultipathChannel
+from repro.channel.motion import (
+    HoldMotion,
+    PickupMotion,
+    ScheduledMotion,
+    StillMotion,
+    TypingMotion,
+)
+from repro.core.keystroke import KeystrokeInferenceAttack
+from repro.core.probe import PoliteWiFiProbe
+from repro.devices.access_point import AccessPoint, ApBehavior
+from repro.devices.dongle import MonitorDongle
+from repro.devices.esp import Esp32CsiSniffer
+from repro.devices.station import Station
+from repro.mac.addresses import ATTACKER_FAKE_MAC, MacAddress
+from repro.sim.engine import Engine
+from repro.sim.medium import Medium
+from repro.sim.trace import FrameTrace
+from repro.sim.world import Position
+
+from tests.conftest import fresh_mac
+
+
+class TestFigure2:
+    """Attacker sends a fake null frame; victim ACKs the fake MAC."""
+
+    def test_trace_matches_figure(self):
+        engine = Engine()
+        trace = FrameTrace()
+        medium = Medium(engine, trace=trace)
+        rng = np.random.default_rng(0)
+        victim = Station(
+            mac=MacAddress("f2:6e:0b:11:22:33"),
+            medium=medium, position=Position(0, 0), rng=rng,
+        )
+        attacker = MonitorDongle(
+            mac=fresh_mac(0x0A), medium=medium, position=Position(5, 0), rng=rng
+        )
+        result = PoliteWiFiProbe(attacker).probe(victim.mac)
+        assert result.responded
+
+        # The capture shows exactly the Figure 2 exchange.
+        records = trace.records
+        nulls = [r for r in records if "Null function" in r.info]
+        acks = [r for r in records if "Acknowledgement" in r.info]
+        assert len(nulls) == 1 and len(acks) == 1
+        assert nulls[0].source == "aa:bb:bb:bb:bb:bb"
+        assert nulls[0].destination == "f2:6e:0b:11:22:33"
+        assert acks[0].destination == "aa:bb:bb:bb:bb:bb"
+        assert acks[0].time > nulls[0].time
+
+
+class TestFigure3:
+    """AP deauths the intruder and still ACKs its fake frames."""
+
+    def test_trace_matches_figure(self):
+        engine = Engine()
+        trace = FrameTrace()
+        medium = Medium(engine, trace=trace)
+        rng = np.random.default_rng(1)
+        ap = AccessPoint(
+            mac=fresh_mac(0x06), medium=medium, position=Position(0, 0), rng=rng,
+            behavior=ApBehavior(deauth_on_unknown=True),
+        )
+        attacker = MonitorDongle(
+            mac=fresh_mac(0x0A), medium=medium, position=Position(6, 0), rng=rng
+        )
+        from repro.core.injector import FakeFrameInjector
+
+        injector = FakeFrameInjector(attacker)
+        injector.inject_null(ap.mac)
+        engine.run_until(1.0)
+        injector.inject_null(ap.mac)
+        engine.run_until(2.0)
+
+        deauths = trace.filter(lambda r: "Deauthentication" in r.info)
+        acks = trace.filter(lambda r: "Acknowledgement" in r.info)
+        # Three copies of the deauth (same SN; the spoofed MAC never ACKs).
+        assert len(deauths) >= 3
+        same_sn = {r.info for r in deauths[:3]}
+        assert len(same_sn) == 1
+        # And the AP acknowledged both fake frames regardless.
+        assert len(acks) == 2
+        assert all(r.destination == str(ATTACKER_FAKE_MAC) for r in acks)
+
+
+class TestTable1:
+    """All five lab chipsets are polite."""
+
+    def test_all_lab_devices_respond(self):
+        from repro.devices.chipsets import TABLE1_DEVICES, build_lab_device
+
+        engine = Engine()
+        medium = Medium(engine)
+        rng = np.random.default_rng(2)
+        devices = [
+            build_lab_device(profile, medium, Position(float(3 * i), 0), rng)
+            for i, profile in enumerate(TABLE1_DEVICES)
+        ]
+        attacker = MonitorDongle(
+            mac=fresh_mac(0x0A), medium=medium, position=Position(6, 3), rng=rng
+        )
+        probe = PoliteWiFiProbe(attacker)
+        outcomes = {
+            device.vendor: probe.probe(device.mac).responded for device in devices
+        }
+        assert all(outcomes.values()), outcomes
+
+
+class TestFigure5Scenario:
+    """The keystroke-inference recording separates activity phases."""
+
+    def test_phase_variances_ordered(self):
+        engine = Engine()
+        csi_model = CsiChannelModel()
+        medium = Medium(engine, csi_model=csi_model)
+        rng = np.random.default_rng(5)
+        victim = Station(
+            mac=MacAddress("f2:6e:0b:11:22:33"),
+            medium=medium, position=Position(0, 0, 1), rng=rng,
+        )
+        esp = Esp32CsiSniffer(
+            mac=fresh_mac(), medium=medium, position=Position(8, 0, 1), rng=rng,
+            expected_ack_ra=ATTACKER_FAKE_MAC,
+        )
+        motion_rng = np.random.default_rng(6)
+        timeline = ScheduledMotion([
+            (0.0, 9.0, "still", StillMotion()),
+            (9.0, 12.0, "pickup", PickupMotion(start=9.0, duration=3.0)),
+            (12.0, 22.0, "hold", HoldMotion(motion_rng)),
+            (22.0, 32.0, "typing", TypingMotion(motion_rng, start=22.0, duration=10.0)),
+        ])
+        csi_model.register_link(
+            str(victim.mac), str(esp.mac),
+            MultipathChannel(
+                Position(0, 0, 1), Position(8, 0, 1),
+                np.random.default_rng(7), motion=timeline,
+            ),
+        )
+        attack = KeystrokeInferenceAttack(esp, victim.mac)
+        result = attack.run(duration_s=32.0)
+        assert result.acks_measured > 4000  # 150 fps x 32 s, minus losses
+
+        series = result.series
+
+        def sigma(lo, hi):
+            window = series.slice(lo, hi)
+            return float(np.std(window.amplitudes))
+
+        def crest(lo, hi):
+            window = series.slice(lo, hi)
+            values = window.amplitudes - np.mean(window.amplitudes)
+            rms = float(np.sqrt(np.mean(values**2))) or 1.0
+            return float(np.max(np.abs(values))) / rms
+
+        still = sigma(1.0, 8.5)
+        pickup = sigma(9.0, 12.0)
+        hold = sigma(13.0, 21.5)
+        typing = sigma(22.5, 31.5)
+        # The paper's qualitative claims, quantified: the ground phase is
+        # flat, pickup fluctuates the most, and typing is clearly distinct
+        # from holding — not in raw variance (keystroke pulses are brief)
+        # but in burstiness, the crest factor the classifier keys on.
+        assert still < hold < pickup
+        assert pickup > 10 * max(still, 1e-9)
+        assert typing > still * 5 or typing > 0.01
+        # (Full classifier-level separation is asserted in
+        # tests/test_sensing_pipeline.py with >70% held-out accuracy.)
+        assert crest(22.5, 31.5) > crest(13.0, 21.5)

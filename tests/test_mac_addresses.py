@@ -1,0 +1,112 @@
+"""MAC address parsing, OUI handling, and random generation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mac.addresses import (
+    ATTACKER_FAKE_MAC,
+    BROADCAST,
+    MacAddress,
+    random_mac,
+    unique_macs,
+)
+
+
+class TestParsing:
+    def test_from_string(self):
+        mac = MacAddress("aa:bb:cc:dd:ee:ff")
+        assert mac.bytes == bytes.fromhex("aabbccddeeff")
+
+    def test_from_bytes(self):
+        mac = MacAddress(bytes(6))
+        assert str(mac) == "00:00:00:00:00:00"
+
+    def test_from_mac(self):
+        mac = MacAddress("aa:bb:cc:dd:ee:ff")
+        assert MacAddress(mac) == mac
+
+    def test_dashes_accepted(self):
+        assert MacAddress("aa-bb-cc-dd-ee-ff") == MacAddress("aa:bb:cc:dd:ee:ff")
+
+    def test_malformed_rejected(self):
+        for bad in ("aa:bb:cc", "aa:bb:cc:dd:ee:gg", "", "aa:bb:cc:dd:ee:ff:00"):
+            with pytest.raises(ValueError):
+                MacAddress(bad)
+
+    def test_wrong_byte_count_rejected(self):
+        with pytest.raises(ValueError):
+            MacAddress(b"\x00" * 5)
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(TypeError):
+            MacAddress(12345)
+
+    @given(st.binary(min_size=6, max_size=6))
+    def test_string_round_trip(self, raw):
+        mac = MacAddress(raw)
+        assert MacAddress(str(mac)) == mac
+
+
+class TestSemantics:
+    def test_broadcast(self):
+        assert BROADCAST.is_broadcast
+        assert BROADCAST.is_multicast
+        assert not BROADCAST.is_unicast
+
+    def test_attacker_fake_mac_matches_paper(self):
+        assert str(ATTACKER_FAKE_MAC) == "aa:bb:bb:bb:bb:bb"
+
+    def test_multicast_bit(self):
+        assert MacAddress("01:00:5e:00:00:01").is_multicast
+        assert MacAddress("02:00:00:00:00:01").is_unicast
+
+    def test_locally_administered_bit(self):
+        assert MacAddress("02:00:00:00:00:01").is_locally_administered
+        assert not MacAddress("00:03:93:00:00:01").is_locally_administered
+
+    def test_oui(self):
+        mac = MacAddress("00:03:93:aa:bb:cc")
+        assert mac.oui == bytes.fromhex("000393")
+        assert mac.oui_str == "00:03:93"
+
+    def test_hashable_and_comparable(self):
+        a = MacAddress("02:00:00:00:00:01")
+        b = MacAddress("02:00:00:00:00:01")
+        assert a == b and hash(a) == hash(b)
+        assert a == "02:00:00:00:00:01"
+        assert a != "02:00:00:00:00:02"
+        assert a != "not a mac"
+        assert MacAddress("02:00:00:00:00:01") < MacAddress("02:00:00:00:00:02")
+
+
+class TestRandomGeneration:
+    def test_random_mac_is_unicast(self):
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            assert random_mac(rng).is_unicast
+
+    def test_random_mac_without_oui_is_local(self):
+        rng = np.random.default_rng(0)
+        assert random_mac(rng).is_locally_administered
+
+    def test_random_mac_with_oui(self):
+        rng = np.random.default_rng(0)
+        oui = bytes.fromhex("000393")
+        mac = random_mac(rng, oui)
+        assert mac.oui == oui
+
+    def test_random_mac_with_string_oui(self):
+        rng = np.random.default_rng(0)
+        mac = random_mac(rng, "00:03:93")
+        assert mac.oui_str == "00:03:93"
+
+    def test_group_oui_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            random_mac(rng, b"\x01\x00\x00")
+
+    def test_unique_macs_are_unique(self):
+        rng = np.random.default_rng(0)
+        macs = list(unique_macs(rng, 500, "00:03:93"))
+        assert len(set(macs)) == 500

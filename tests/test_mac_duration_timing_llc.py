@@ -1,0 +1,98 @@
+"""Duration/NAV math, DCF timing, and LLC/SNAP encapsulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mac import llc
+from repro.mac.duration import (
+    cts_duration_us,
+    data_frame_duration_us,
+    rts_duration_us,
+)
+from repro.mac.timing import CW_MAX, CW_MIN, DcfTimer
+from repro.phy.constants import Band, difs, sifs, slot_time
+from repro.phy.plcp import ack_airtime
+from repro.phy.rates import ack_rate_for
+from repro.sim.engine import Engine
+
+
+class TestDuration:
+    def test_data_duration_covers_sifs_plus_ack(self):
+        duration = data_frame_duration_us(6.0) * 1e-6
+        expected = sifs(Band.GHZ_2_4) + ack_airtime(ack_rate_for(6.0))
+        assert duration == pytest.approx(expected, abs=1e-6)
+
+    def test_rts_duration_covers_whole_exchange(self):
+        rts_nav = rts_duration_us(1500, 24.0)
+        data_nav = data_frame_duration_us(24.0)
+        assert rts_nav > data_nav
+
+    def test_cts_duration_decrements(self):
+        rts_nav = rts_duration_us(1500, 24.0)
+        cts_nav = cts_duration_us(rts_nav, ack_rate_for(24.0))
+        assert 0 < cts_nav < rts_nav
+
+    def test_cts_duration_clamps_at_zero(self):
+        assert cts_duration_us(1, 6.0) == 0
+
+    @given(st.integers(0, 2304), st.sampled_from([6.0, 12.0, 24.0, 54.0]))
+    def test_durations_fit_the_field(self, length, rate):
+        assert 0 <= rts_duration_us(length, rate) <= 0x7FFF
+
+
+class TestDcfTimer:
+    def test_contention_window_doubles(self):
+        timer = DcfTimer(Engine(), np.random.default_rng(0))
+        assert timer.contention_window(0) == CW_MIN
+        assert timer.contention_window(1) == 2 * (CW_MIN + 1) - 1
+        assert timer.contention_window(100) == CW_MAX
+
+    def test_backoff_at_least_difs(self):
+        timer = DcfTimer(Engine(), np.random.default_rng(0))
+        for _ in range(50):
+            assert timer.backoff_delay(0) >= difs(Band.GHZ_2_4)
+
+    def test_backoff_bounded_by_cw(self):
+        timer = DcfTimer(Engine(), np.random.default_rng(0))
+        bound = difs(Band.GHZ_2_4) + CW_MIN * slot_time(Band.GHZ_2_4)
+        for _ in range(200):
+            assert timer.backoff_delay(0) <= bound + 1e-12
+
+    def test_schedule_runs_callback(self):
+        engine = Engine()
+        timer = DcfTimer(engine, np.random.default_rng(0))
+        ran = []
+        timer.schedule(lambda: ran.append(engine.now))
+        engine.run_until(1.0)
+        assert len(ran) == 1
+        assert ran[0] >= difs(Band.GHZ_2_4)
+
+
+class TestLlc:
+    def test_eapol_round_trip(self):
+        body = llc.wrap_eapol(b"handshake message")
+        assert llc.is_eapol(body)
+        assert llc.eapol_payload(body) == b"handshake message"
+
+    def test_ipv4_wrap(self):
+        body = llc.wrap(llc.ETHERTYPE_IPV4, b"packet")
+        ethertype, payload = llc.unwrap(body)
+        assert ethertype == llc.ETHERTYPE_IPV4
+        assert payload == b"packet"
+
+    def test_unwrap_garbage_returns_none(self):
+        assert llc.unwrap(b"short") is None
+        assert llc.unwrap(b"\x00" * 20) is None
+
+    def test_is_eapol_false_for_ip(self):
+        assert not llc.is_eapol(llc.wrap(llc.ETHERTYPE_IPV4, b"x"))
+
+    def test_eapol_payload_raises_on_non_eapol(self):
+        with pytest.raises(ValueError):
+            llc.eapol_payload(b"junk")
+
+    @given(st.binary(max_size=256))
+    def test_wrap_unwrap_round_trip(self, payload):
+        ethertype, back = llc.unwrap(llc.wrap(0x1234, payload))
+        assert ethertype == 0x1234 and back == payload

@@ -1,0 +1,131 @@
+"""Frame model semantics: the needs-ack rule, trace strings, lengths."""
+
+import pytest
+
+from repro.mac.addresses import ATTACKER_FAKE_MAC, BROADCAST, MacAddress
+from repro.mac.frames import (
+    AckFrame,
+    AssocRequestFrame,
+    AuthFrame,
+    BeaconFrame,
+    CtsFrame,
+    DataFrame,
+    DeauthFrame,
+    NullDataFrame,
+    ProbeRequestFrame,
+    QosNullFrame,
+    RtsFrame,
+)
+
+VICTIM = MacAddress("f2:6e:0b:11:22:33")
+
+
+class TestNeedsAck:
+    """The rule whose blind application *is* Polite WiFi."""
+
+    def test_unicast_data_needs_ack(self):
+        frame = DataFrame(addr1=VICTIM, addr2=ATTACKER_FAKE_MAC)
+        assert frame.needs_ack
+
+    def test_fake_null_frame_needs_ack(self):
+        # The paper's frame: nothing valid but the destination address.
+        frame = NullDataFrame(addr1=VICTIM, addr2=ATTACKER_FAKE_MAC)
+        assert frame.needs_ack
+
+    def test_unicast_management_needs_ack(self):
+        frame = DeauthFrame(addr1=VICTIM, addr2=ATTACKER_FAKE_MAC)
+        assert frame.needs_ack
+
+    def test_broadcast_never_acked(self):
+        beacon = BeaconFrame(addr1=BROADCAST, addr2=VICTIM)
+        assert not beacon.needs_ack
+
+    def test_multicast_never_acked(self):
+        frame = DataFrame(addr1=MacAddress("01:00:5e:00:00:01"), addr2=VICTIM)
+        assert not frame.needs_ack
+
+    def test_control_frames_never_acked(self):
+        assert not AckFrame(VICTIM).needs_ack
+        assert not CtsFrame(VICTIM).needs_ack
+        assert not RtsFrame(VICTIM, ATTACKER_FAKE_MAC).needs_ack
+
+    def test_needs_ack_ignores_protection_and_validity(self):
+        # Encrypted or not, valid payload or garbage: ACK either way.
+        protected = DataFrame(addr1=VICTIM, addr2=ATTACKER_FAKE_MAC, protected=True)
+        garbage = DataFrame(addr1=VICTIM, addr2=ATTACKER_FAKE_MAC, body=b"\xff" * 64)
+        assert protected.needs_ack and garbage.needs_ack
+
+
+class TestClassification:
+    def test_type_predicates(self):
+        assert AckFrame(VICTIM).is_ack
+        assert CtsFrame(VICTIM).is_cts
+        assert RtsFrame(VICTIM, ATTACKER_FAKE_MAC).is_rts
+        assert BeaconFrame(addr2=VICTIM).is_beacon
+        assert DeauthFrame(addr1=VICTIM).is_deauth
+        assert NullDataFrame(addr1=VICTIM).is_null_data
+        assert QosNullFrame(addr1=VICTIM).is_null_data
+
+    def test_receiver_is_addr1(self):
+        frame = NullDataFrame(addr1=VICTIM, addr2=ATTACKER_FAKE_MAC)
+        assert frame.receiver == VICTIM
+        assert frame.transmitter == ATTACKER_FAKE_MAC
+
+
+class TestWireLengths:
+    def test_ack_is_14_bytes(self):
+        assert AckFrame(VICTIM).wire_length() == 14
+
+    def test_cts_is_14_bytes(self):
+        assert CtsFrame(VICTIM).wire_length() == 14
+
+    def test_rts_is_20_bytes(self):
+        assert RtsFrame(VICTIM, ATTACKER_FAKE_MAC).wire_length() == 20
+
+    def test_null_frame_is_28_bytes(self):
+        # 24-byte header + FCS, no body.
+        assert NullDataFrame(addr1=VICTIM).wire_length() == 28
+
+    def test_qos_null_adds_qos_control(self):
+        assert QosNullFrame(addr1=VICTIM).wire_length() == 30
+
+    def test_data_frame_length_includes_body(self):
+        frame = DataFrame(addr1=VICTIM, body=b"x" * 100)
+        assert frame.wire_length() == 24 + 100 + 4
+
+
+class TestTraceStrings:
+    def test_null_frame_info_matches_wireshark(self):
+        frame = NullDataFrame(addr1=VICTIM, addr2=ATTACKER_FAKE_MAC)
+        assert "Null function (No data)" in frame.trace_info()
+
+    def test_ack_info(self):
+        assert "Acknowledgement" in AckFrame(VICTIM).trace_info()
+
+    def test_deauth_info_has_sequence(self):
+        frame = DeauthFrame(addr1=VICTIM, addr2=ATTACKER_FAKE_MAC)
+        frame.sequence = 3275
+        assert frame.trace_info() == "Deauthentication, SN=3275"
+
+    def test_beacon_info_has_ssid(self):
+        assert "HomeNet" in BeaconFrame(addr2=VICTIM, ssid="HomeNet").trace_info()
+
+    def test_trace_source_handles_missing_ta(self):
+        assert AckFrame(VICTIM).trace_source() == "(none)"
+
+
+class TestDefaults:
+    def test_beacon_bssid_defaults_to_transmitter(self):
+        beacon = BeaconFrame(addr2=VICTIM)
+        assert beacon.addr3 == VICTIM
+
+    def test_auth_defaults(self):
+        auth = AuthFrame(addr1=VICTIM)
+        assert auth.algorithm == 0 and auth.auth_sequence == 1
+
+    def test_assoc_request_carries_ssid(self):
+        request = AssocRequestFrame(addr1=VICTIM, ssid="HomeNet")
+        assert request.ssid == "HomeNet"
+
+    def test_probe_request_default_wildcard(self):
+        assert ProbeRequestFrame(addr2=VICTIM).ssid == ""

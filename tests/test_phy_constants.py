@@ -1,0 +1,58 @@
+"""PHY timing constants — the numbers the paper's argument hangs on."""
+
+import pytest
+
+from repro.phy.constants import (
+    Band,
+    ack_timeout,
+    band_of_channel,
+    channel_to_frequency_hz,
+    difs,
+    sifs,
+    slot_time,
+)
+
+
+class TestSifs:
+    def test_2g4_is_10us(self):
+        assert sifs(Band.GHZ_2_4) == pytest.approx(10e-6)
+
+    def test_5g_is_16us(self):
+        assert sifs(Band.GHZ_5) == pytest.approx(16e-6)
+
+
+class TestDerivedTimings:
+    def test_difs_is_sifs_plus_two_slots(self):
+        for band in Band:
+            assert difs(band) == pytest.approx(sifs(band) + 2 * slot_time(band))
+
+    def test_ack_timeout_exceeds_sifs(self):
+        for band in Band:
+            assert ack_timeout(band) > sifs(band)
+
+
+class TestChannels:
+    def test_channel_6_is_2437mhz(self):
+        assert channel_to_frequency_hz(6) == pytest.approx(2.437e9)
+
+    def test_channel_1_and_11(self):
+        assert channel_to_frequency_hz(1) == pytest.approx(2.412e9)
+        assert channel_to_frequency_hz(11) == pytest.approx(2.462e9)
+
+    def test_channel_14_special_case(self):
+        assert channel_to_frequency_hz(14) == pytest.approx(2.484e9)
+
+    def test_5ghz_channel_36(self):
+        assert channel_to_frequency_hz(36) == pytest.approx(5.18e9)
+
+    def test_unknown_channel_rejected(self):
+        with pytest.raises(ValueError):
+            channel_to_frequency_hz(0)
+        with pytest.raises(ValueError):
+            channel_to_frequency_hz(200)
+
+    def test_band_of_channel(self):
+        assert band_of_channel(6) is Band.GHZ_2_4
+        assert band_of_channel(36) is Band.GHZ_5
+        with pytest.raises(ValueError):
+            band_of_channel(20)

@@ -1,0 +1,65 @@
+"""PLCP airtime math."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.phy.constants import OFDM_PREAMBLE, OFDM_SYMBOL
+from repro.phy.plcp import (
+    ACK_LENGTH_BYTES,
+    ack_airtime,
+    cts_airtime,
+    frame_airtime,
+    ofdm_symbol_count,
+    rts_airtime,
+)
+
+
+class TestSymbolCount:
+    def test_empty_psdu_still_needs_one_symbol(self):
+        # 16 service + 6 tail bits = 22 bits -> 1 symbol at 6 Mb/s.
+        assert ofdm_symbol_count(0, 24) == 1
+
+    def test_ack_at_6mbps(self):
+        # 16 + 112 + 6 = 134 bits / 24 = 5.58 -> 6 symbols.
+        assert ofdm_symbol_count(ACK_LENGTH_BYTES, 24) == 6
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            ofdm_symbol_count(-1, 24)
+
+    @given(st.integers(0, 3000))
+    def test_monotone_in_length(self, length):
+        assert ofdm_symbol_count(length + 1, 96) >= ofdm_symbol_count(length, 96)
+
+
+class TestFrameAirtime:
+    def test_ack_at_6mbps_is_44us(self):
+        # 20 us preamble + 6 symbols x 4 us.
+        assert ack_airtime(6.0) == pytest.approx(44e-6)
+
+    def test_ack_at_24mbps_is_28us(self):
+        # 134 bits / 96 -> 2 symbols; 20 + 8 = 28 us.
+        assert ack_airtime(24.0) == pytest.approx(28e-6)
+
+    def test_cts_equals_ack_airtime(self):
+        assert cts_airtime(6.0) == ack_airtime(6.0)
+
+    def test_rts_longer_than_cts(self):
+        assert rts_airtime(6.0) > cts_airtime(6.0)
+
+    def test_preamble_dominates_short_frames(self):
+        airtime = frame_airtime(0, 54.0)
+        assert airtime == pytest.approx(OFDM_PREAMBLE + OFDM_SYMBOL)
+
+    def test_dsss_long_preamble(self):
+        # 192 us preamble + 8*100/1e6 s payload.
+        assert frame_airtime(100, 1.0) == pytest.approx(192e-6 + 800e-6)
+
+    @given(st.sampled_from([6.0, 12.0, 24.0, 54.0]), st.integers(0, 2000))
+    def test_airtime_positive_and_monotone(self, rate, length):
+        assert frame_airtime(length, rate) > 0.0
+        assert frame_airtime(length + 10, rate) >= frame_airtime(length, rate)
+
+    @given(st.integers(0, 2000))
+    def test_faster_rate_never_slower(self, length):
+        assert frame_airtime(length, 54.0) <= frame_airtime(length, 6.0)

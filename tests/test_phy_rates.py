@@ -1,0 +1,79 @@
+"""Rate tables and control-response rate selection."""
+
+import pytest
+
+from repro.phy.constants import PhyType
+from repro.phy.rates import (
+    ALL_RATES,
+    BASIC_RATES_DSSS,
+    BASIC_RATES_OFDM,
+    OFDM_RATES,
+    ack_rate_for,
+    is_legacy_rate,
+    min_snr_db,
+    rate_info,
+)
+
+
+class TestRateTables:
+    def test_ofdm_rate_set_complete(self):
+        assert sorted(OFDM_RATES) == [6.0, 9.0, 12.0, 18.0, 24.0, 36.0, 48.0, 54.0]
+
+    def test_bits_per_symbol_match_standard(self):
+        # N_DBPS per IEEE 802.11-2016 Table 17-4.
+        expected = {6.0: 24, 9.0: 36, 12.0: 48, 18.0: 72, 24.0: 96,
+                    36.0: 144, 48.0: 192, 54.0: 216}
+        for rate, n_dbps in expected.items():
+            assert OFDM_RATES[rate].bits_per_symbol == n_dbps
+
+    def test_bits_per_symbol_consistent_with_rate(self):
+        # rate (Mb/s) = N_DBPS / 4 us symbol.
+        for rate, info in OFDM_RATES.items():
+            assert info.bits_per_symbol == pytest.approx(rate * 4.0)
+
+    def test_min_snr_monotone_in_rate(self):
+        rates = sorted(OFDM_RATES)
+        snrs = [OFDM_RATES[r].min_snr_db for r in rates]
+        assert snrs == sorted(snrs)
+
+    def test_unknown_rate_rejected(self):
+        with pytest.raises(ValueError):
+            rate_info(7.5)
+
+
+class TestAckRateSelection:
+    def test_high_ofdm_rate_acked_at_24(self):
+        assert ack_rate_for(54.0) == 24.0
+        assert ack_rate_for(36.0) == 24.0
+
+    def test_mid_rates(self):
+        assert ack_rate_for(24.0) == 24.0
+        assert ack_rate_for(18.0) == 12.0
+        assert ack_rate_for(12.0) == 12.0
+        assert ack_rate_for(9.0) == 6.0
+
+    def test_lowest_rate_acked_at_6(self):
+        assert ack_rate_for(6.0) == 6.0
+
+    def test_dsss_stays_in_family(self):
+        assert ack_rate_for(11.0) == 2.0
+        assert ack_rate_for(2.0) == 2.0
+        assert ack_rate_for(1.0) == 1.0
+
+    def test_ack_rate_never_exceeds_data_rate(self):
+        for rate in ALL_RATES:
+            assert ack_rate_for(rate) <= rate
+
+    def test_ack_rate_is_basic(self):
+        for rate in ALL_RATES:
+            assert ack_rate_for(rate) in BASIC_RATES_OFDM + BASIC_RATES_DSSS
+
+
+class TestLegacyRates:
+    def test_all_table_rates_are_legacy(self):
+        # Footnote 3: ACK rates are legacy — the CSI tool can't see them.
+        for rate in ALL_RATES:
+            assert is_legacy_rate(rate)
+
+    def test_min_snr_accessor(self):
+        assert min_snr_db(6.0) < min_snr_db(54.0)

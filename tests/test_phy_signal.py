@@ -1,0 +1,80 @@
+"""Path loss and SNR→FER models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.phy.signal import LogDistancePathLoss, SnrFerModel, bit_error_rate
+from repro.sim.world import Position
+
+
+class TestPathLoss:
+    def test_loss_grows_with_distance(self):
+        model = LogDistancePathLoss()
+        origin = Position(0, 0)
+        assert model(origin, Position(10, 0)) < model(origin, Position(100, 0))
+
+    def test_reference_loss_at_1m(self):
+        model = LogDistancePathLoss(reference_loss_db=40.0)
+        assert model(Position(0, 0), Position(1, 0)) == pytest.approx(40.0)
+
+    def test_clamps_below_reference_distance(self):
+        model = LogDistancePathLoss()
+        at_10cm = model(Position(0, 0), Position(0.1, 0))
+        at_1m = model(Position(0, 0), Position(1, 0))
+        assert at_10cm == at_1m
+
+    def test_walls_add_loss(self):
+        free = LogDistancePathLoss(walls=0)
+        walled = LogDistancePathLoss(walls=2, wall_loss_db=6.0)
+        p1, p2 = Position(0, 0), Position(10, 0)
+        assert walled(p1, p2) == pytest.approx(free(p1, p2) + 12.0)
+
+    def test_max_range_round_trip(self):
+        model = LogDistancePathLoss()
+        range_m = model.max_range_m(tx_power_dbm=20.0, sensitivity_dbm=-92.0)
+        loss_at_range = model(Position(0, 0), Position(range_m, 0))
+        assert 20.0 - loss_at_range == pytest.approx(-92.0, abs=0.1)
+
+
+class TestBer:
+    def test_ber_decreases_with_snr(self):
+        for modulation in ("BPSK", "QPSK", "16-QAM", "64-QAM"):
+            assert bit_error_rate(20.0, modulation) < bit_error_rate(5.0, modulation)
+
+    def test_higher_order_modulation_worse(self):
+        snr = 10.0
+        assert bit_error_rate(snr, "BPSK") < bit_error_rate(snr, "16-QAM")
+        assert bit_error_rate(snr, "16-QAM") < bit_error_rate(snr, "64-QAM")
+
+    def test_unknown_modulation_rejected(self):
+        with pytest.raises(ValueError):
+            bit_error_rate(10.0, "1024-QAM")
+
+
+class TestFerModel:
+    def test_high_snr_is_lossless(self):
+        model = SnrFerModel()
+        assert model(40.0, 6.0, 1500) == pytest.approx(0.0, abs=1e-9)
+
+    def test_low_snr_is_lossy(self):
+        model = SnrFerModel()
+        assert model(-5.0, 54.0, 1500) > 0.9
+
+    @given(
+        st.floats(-10.0, 40.0),
+        st.sampled_from([6.0, 24.0, 54.0]),
+        st.integers(1, 2000),
+    )
+    def test_probability_bounds(self, snr, rate, length):
+        probability = SnrFerModel()(snr, rate, length)
+        assert 0.0 <= probability <= 1.0
+
+    @given(st.floats(0.0, 30.0), st.integers(10, 1000))
+    def test_longer_frames_no_less_likely_to_fail(self, snr, length):
+        model = SnrFerModel()
+        assert model(snr, 24.0, length + 200) >= model(snr, 24.0, length) - 1e-12
+
+    @given(st.integers(1, 1500))
+    def test_monotone_in_snr(self, length):
+        model = SnrFerModel()
+        assert model(5.0, 24.0, length) >= model(15.0, 24.0, length) - 1e-12

@@ -1,0 +1,84 @@
+"""Property tests: arbitrary frames survive the wire format bit-exactly."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.mac.addresses import MacAddress
+from repro.mac.frames import (
+    SUBTYPE_DATA,
+    SUBTYPE_QOS_DATA,
+    DataFrame,
+    NullDataFrame,
+    QosNullFrame,
+)
+from repro.mac.serialization import deserialize, serialize
+
+nonzero_macs = st.binary(min_size=6, max_size=6).map(
+    lambda raw: MacAddress(bytes([raw[0] & 0xFE]) + raw[1:5] + bytes([raw[5] | 0x01]))
+)
+
+
+@st.composite
+def data_frames(draw):
+    """Arbitrary data frames with random flags, addresses, and bodies."""
+    subtype = draw(st.sampled_from([SUBTYPE_DATA, SUBTYPE_QOS_DATA]))
+    frame = DataFrame(
+        subtype=subtype,
+        addr1=draw(nonzero_macs),
+        addr2=draw(nonzero_macs),
+        addr3=draw(st.one_of(st.none(), nonzero_macs)),
+        body=draw(st.binary(max_size=512)),
+        duration_us=draw(st.integers(0, 0x7FFF)),
+        to_ds=draw(st.booleans()),
+        from_ds=draw(st.booleans()),
+        retry=draw(st.booleans()),
+        power_management=draw(st.booleans()),
+        more_data=draw(st.booleans()),
+        protected=draw(st.booleans()),
+    )
+    frame.sequence = draw(st.integers(0, 4095))
+    frame.fragment = draw(st.integers(0, 15))
+    return frame
+
+
+class TestArbitraryFrames:
+    @settings(max_examples=200)
+    @given(data_frames())
+    def test_full_field_round_trip(self, frame):
+        back = deserialize(serialize(frame))
+        assert back.subtype == frame.subtype
+        assert back.addr1 == frame.addr1
+        assert back.addr2 == frame.addr2
+        assert back.addr3 == frame.addr3
+        assert back.body == frame.body
+        assert back.duration_us == frame.duration_us
+        assert back.sequence == frame.sequence
+        assert back.fragment == frame.fragment
+        for flag in (
+            "to_ds", "from_ds", "retry", "power_management", "more_data", "protected",
+        ):
+            assert getattr(back, flag) == getattr(frame, flag), flag
+
+    @settings(max_examples=200)
+    @given(data_frames())
+    def test_serialization_is_deterministic(self, frame):
+        assert serialize(frame) == serialize(frame)
+
+    @settings(max_examples=200)
+    @given(data_frames())
+    def test_wire_length_exact(self, frame):
+        assert len(serialize(frame)) == frame.wire_length()
+
+    @settings(max_examples=100)
+    @given(data_frames())
+    def test_needs_ack_survives_round_trip(self, frame):
+        assert deserialize(serialize(frame)).needs_ack == frame.needs_ack
+
+    @settings(max_examples=100)
+    @given(st.one_of(nonzero_macs), st.one_of(nonzero_macs))
+    def test_null_variants_classified_after_round_trip(self, ra, ta):
+        for cls in (NullDataFrame, QosNullFrame):
+            frame = cls(addr1=ra, addr2=ta)
+            back = deserialize(serialize(frame))
+            assert back.is_null_data
+            assert back.body == b""

@@ -1,0 +1,113 @@
+"""Keystroke timing extraction against motion-model ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.channel.csi import CsiChannelModel, MultipathChannel
+from repro.channel.motion import StillMotion, TypingMotion
+from repro.core.keystroke import KeystrokeInferenceAttack
+from repro.devices.esp import Esp32CsiSniffer
+from repro.devices.station import Station
+from repro.mac.addresses import ATTACKER_FAKE_MAC, MacAddress
+from repro.sensing.csi_processing import CsiSeries
+from repro.sensing.keystroke_timing import (
+    KeystrokeTimingExtractor,
+    match_keystrokes,
+)
+from repro.sim.engine import Engine
+from repro.sim.medium import Medium
+from repro.sim.world import Position
+
+from tests.conftest import fresh_mac
+
+
+def _attack_recording(motion, duration, seed=0):
+    engine = Engine()
+    csi_model = CsiChannelModel()
+    medium = Medium(engine, csi_model=csi_model)
+    rng = np.random.default_rng(seed)
+    victim = Station(
+        mac=MacAddress("f2:6e:0b:11:22:33"),
+        medium=medium, position=Position(0, 0, 1), rng=rng,
+    )
+    esp = Esp32CsiSniffer(
+        mac=fresh_mac(), medium=medium, position=Position(8, 0, 1), rng=rng,
+        expected_ack_ra=ATTACKER_FAKE_MAC,
+    )
+    csi_model.register_link(
+        str(victim.mac), str(esp.mac),
+        MultipathChannel(
+            Position(0, 0, 1), Position(8, 0, 1),
+            np.random.default_rng(seed + 2), motion=motion,
+        ),
+    )
+    attack = KeystrokeInferenceAttack(esp, victim.mac)
+    return attack.run(duration_s=duration).series
+
+
+class TestExtraction:
+    def test_recovers_all_keystrokes_with_no_false_alarms(self):
+        typing = TypingMotion(
+            np.random.default_rng(4), start=2.0, duration=15.0,
+            keystrokes_per_second=3.0,
+        )
+        series = _attack_recording(typing, duration=18.0)
+        detection = KeystrokeTimingExtractor().detect(series)
+        hits, misses, false_alarms = match_keystrokes(
+            detection.times, typing.keystroke_times, tolerance_s=0.06
+        )
+        assert len(misses) == 0
+        assert len(false_alarms) <= 2
+        errors = [abs(d - t) for t, d in hits]
+        assert np.median(errors) < 0.02  # ~10 ms timing accuracy
+
+    def test_intervals_leak_typing_rhythm(self):
+        """Inter-keystroke (flight) times — the PIN-leaking feature —
+        match the ground truth rhythm."""
+        typing = TypingMotion(
+            np.random.default_rng(9), start=1.0, duration=12.0,
+            keystrokes_per_second=2.5,
+        )
+        series = _attack_recording(typing, duration=14.0, seed=3)
+        detection = KeystrokeTimingExtractor().detect(series)
+        hits, misses, _ = match_keystrokes(
+            detection.times, typing.keystroke_times, tolerance_s=0.06
+        )
+        assert len(misses) <= 1
+        truth_intervals = np.diff(sorted(typing.keystroke_times))
+        detected_intervals = detection.intervals()
+        # Rhythm statistics survive the channel.
+        assert np.median(detected_intervals) == pytest.approx(
+            np.median(truth_intervals), rel=0.15
+        )
+
+    def test_quiet_stream_yields_nothing(self):
+        series = _attack_recording(StillMotion(), duration=10.0, seed=5)
+        detection = KeystrokeTimingExtractor().detect(series)
+        assert detection.count <= 1  # adaptive threshold on a flat stream
+
+    def test_short_stream_handled(self):
+        series = CsiSeries(np.arange(5.0) / 100.0, np.ones(5))
+        detection = KeystrokeTimingExtractor().detect(series)
+        assert detection.count == 0
+        assert len(detection.intervals()) == 0
+
+
+class TestMatching:
+    def test_greedy_matching(self):
+        hits, misses, fas = match_keystrokes(
+            detected=[1.01, 2.5, 3.02],
+            truth=[1.0, 3.0, 4.0],
+            tolerance_s=0.05,
+        )
+        assert len(hits) == 2
+        assert misses == [4.0]
+        assert fas == [2.5]
+
+    def test_each_detection_used_once(self):
+        hits, misses, fas = match_keystrokes(
+            detected=[1.0],
+            truth=[0.98, 1.02],
+            tolerance_s=0.05,
+        )
+        assert len(hits) == 1 and len(misses) == 1 and fas == []

@@ -1,0 +1,132 @@
+"""CSI stream conditioning: series container, filters, resampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sensing.csi_processing import (
+    CsiSeries,
+    hampel_filter,
+    moving_average,
+    moving_std,
+    normalize_series,
+    resample_uniform,
+)
+
+
+def _series(n=100, rate=50.0, subcarrier=17):
+    times = np.arange(n) / rate
+    values = np.sin(2 * np.pi * 1.0 * times) + 2.0
+    return CsiSeries(times, values, subcarrier)
+
+
+class TestCsiSeries:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            CsiSeries(np.arange(5.0), np.arange(4.0))
+
+    def test_unsorted_times_rejected(self):
+        with pytest.raises(ValueError):
+            CsiSeries(np.array([0.0, 2.0, 1.0]), np.zeros(3))
+
+    def test_duration_and_rate(self):
+        series = _series(n=101, rate=50.0)
+        assert series.duration == pytest.approx(2.0)
+        assert series.mean_rate_hz == pytest.approx(50.0)
+
+    def test_empty_series(self):
+        series = CsiSeries(np.array([]), np.array([]))
+        assert series.duration == 0.0
+        assert series.mean_rate_hz == 0.0
+
+    def test_slice(self):
+        series = _series(n=100, rate=50.0)
+        window = series.slice(0.5, 1.0)
+        assert np.all(window.times >= 0.5)
+        assert np.all(window.times < 1.0)
+
+
+class TestHampel:
+    def test_removes_impulse(self):
+        values = np.ones(50)
+        values[25] = 100.0
+        cleaned = hampel_filter(values)
+        assert cleaned[25] == pytest.approx(1.0)
+
+    def test_preserves_clean_signal(self):
+        times = np.arange(200) / 50.0
+        values = np.sin(2 * np.pi * times)
+        cleaned = hampel_filter(values)
+        assert np.max(np.abs(cleaned - values)) < 0.5
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            hampel_filter(np.ones(5), window=0)
+
+    @given(st.lists(st.floats(-10, 10), min_size=1, max_size=60))
+    def test_output_same_length(self, values):
+        array = np.array(values)
+        assert len(hampel_filter(array)) == len(array)
+
+
+class TestResample:
+    def test_uniform_spacing(self):
+        times = np.sort(np.random.default_rng(0).uniform(0, 2, 80))
+        series = CsiSeries(times, np.sin(times))
+        uniform = resample_uniform(series, 50.0)
+        steps = np.diff(uniform.times)
+        assert np.allclose(steps, steps[0])
+
+    def test_preserves_signal(self):
+        series = _series(n=200, rate=100.0)
+        uniform = resample_uniform(series, 50.0)
+        # A 1 Hz sinusoid survives downsampling to 50 Hz.
+        expected = np.sin(2 * np.pi * uniform.times) + 2.0
+        assert np.max(np.abs(uniform.amplitudes - expected)) < 0.05
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            resample_uniform(_series(), 0.0)
+
+    def test_short_series_passthrough(self):
+        series = CsiSeries(np.array([1.0]), np.array([5.0]))
+        assert resample_uniform(series, 50.0) is series
+
+
+class TestMovingStats:
+    def test_moving_average_constant(self):
+        assert np.allclose(moving_average(np.full(20, 7.0), 5), 7.0)
+
+    def test_moving_average_window_one(self):
+        values = np.arange(10.0)
+        assert np.array_equal(moving_average(values, 1), values)
+
+    def test_moving_std_zero_for_constant(self):
+        assert np.allclose(moving_std(np.full(20, 3.0), 5), 0.0)
+
+    def test_moving_std_detects_burst(self):
+        values = np.zeros(100)
+        values[50:55] = 5.0
+        sigma = moving_std(values, 11)
+        assert np.argmax(sigma) in range(45, 60)
+        assert sigma[10] == pytest.approx(0.0, abs=1e-9)
+
+    def test_same_length_output(self):
+        values = np.random.default_rng(0).normal(size=37)
+        assert len(moving_average(values, 8)) == 37
+        assert len(moving_std(values, 8)) == 37
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            moving_average(np.ones(5), 0)
+
+
+class TestNormalize:
+    def test_zero_mean_unit_std(self):
+        values = np.random.default_rng(0).normal(5.0, 3.0, 1000)
+        normalized = normalize_series(values)
+        assert np.mean(normalized) == pytest.approx(0.0, abs=1e-9)
+        assert np.std(normalized) == pytest.approx(1.0, abs=1e-9)
+
+    def test_constant_maps_to_zeros(self):
+        assert np.allclose(normalize_series(np.full(10, 4.2)), 0.0)

@@ -1,0 +1,86 @@
+"""Joint breathing + heart-rate estimation from one CSI stream."""
+
+import numpy as np
+import pytest
+
+from repro.channel.csi import MultipathChannel, Subcarriers
+from repro.channel.motion import (
+    BreathingMotion,
+    CompositeMotion,
+    HeartbeatMotion,
+    StillMotion,
+)
+from repro.sensing.csi_processing import CsiSeries
+from repro.sensing.vitals import VitalSignsEstimator
+
+SUBCARRIER = 17
+INDEX = Subcarriers().array_index(SUBCARRIER)
+
+
+def _recording(motion, duration=60.0, rate=20.0, seed=3, noise_sigma=0.0005):
+    channel = MultipathChannel(
+        tx=Position(0, 0, 1), rx=Position(5, 0, 1),
+        rng=np.random.default_rng(seed), motion=motion, dynamic_gain=0.5,
+    )
+    times = np.arange(0.0, duration, 1.0 / rate)
+    amplitudes = np.array([abs(channel.response(t)[INDEX]) for t in times])
+    noise = np.random.default_rng(seed + 1).normal(0.0, noise_sigma, len(times))
+    return CsiSeries(times, amplitudes + noise, SUBCARRIER)
+
+
+from repro.sim.world import Position  # noqa: E402  (used by _recording)
+
+
+class TestVitalSigns:
+    def test_recovers_both_rates(self):
+        motion = CompositeMotion([
+            BreathingMotion(rate_bpm=15.0, amplitude_m=0.005),
+            HeartbeatMotion(rate_bpm=72.0, amplitude_m=0.0006),
+        ])
+        vitals = VitalSignsEstimator().estimate(_recording(motion))
+        assert vitals.breathing is not None
+        assert vitals.breathing.rate_bpm == pytest.approx(15.0, abs=1.5)
+        assert vitals.heart_rate_bpm is not None
+        assert vitals.heart_rate_bpm == pytest.approx(72.0, abs=4.0)
+        assert vitals.complete
+
+    def test_different_heart_rate(self):
+        motion = CompositeMotion([
+            BreathingMotion(rate_bpm=12.0, amplitude_m=0.005),
+            HeartbeatMotion(rate_bpm=95.0, amplitude_m=0.0006),
+        ])
+        vitals = VitalSignsEstimator().estimate(_recording(motion, seed=9))
+        assert vitals.heart_rate_bpm == pytest.approx(95.0, abs=4.0)
+
+    def test_breathing_only_reports_no_heart_rate(self):
+        motion = BreathingMotion(rate_bpm=15.0, amplitude_m=0.005)
+        vitals = VitalSignsEstimator().estimate(
+            _recording(motion, noise_sigma=0.002, seed=5)
+        )
+        assert vitals.breathing is not None
+        # No cardiac line in the spectrum: estimator declines to guess.
+        assert vitals.heart_rate_bpm is None or vitals.heart_confidence < 50.0
+
+    def test_short_recording_incomplete(self):
+        motion = CompositeMotion([
+            BreathingMotion(rate_bpm=15.0), HeartbeatMotion(rate_bpm=70.0),
+        ])
+        vitals = VitalSignsEstimator().estimate(_recording(motion, duration=8.0))
+        assert not vitals.complete
+
+    def test_empty_room(self):
+        vitals = VitalSignsEstimator().estimate(
+            _recording(StillMotion(), noise_sigma=0.002)
+        )
+        assert vitals.heart_rate_bpm is None or vitals.heart_confidence < 20.0
+
+
+class TestHeartbeatMotion:
+    def test_sub_millimetre(self):
+        motion = HeartbeatMotion()
+        peak = max(abs(motion(t)) for t in np.linspace(0, 5, 500))
+        assert peak <= 0.0005 + 1e-12
+
+    def test_rate_parameter(self):
+        motion = HeartbeatMotion(rate_bpm=60.0)
+        assert motion(0.25) == pytest.approx(motion(1.25), abs=1e-9)

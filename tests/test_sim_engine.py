@@ -1,0 +1,169 @@
+"""Unit tests for the discrete-event engine and clock."""
+
+import pytest
+
+from repro.sim.clock import Clock
+from repro.sim.engine import Engine
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Clock().now == 0.0
+
+    def test_starts_at_given_time(self):
+        assert Clock(5.5).now == 5.5
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError):
+            Clock(-1.0)
+
+    def test_advances(self):
+        clock = Clock()
+        clock.advance(3.0)
+        assert clock.now == 3.0
+
+    def test_advance_to_same_time_allowed(self):
+        clock = Clock(2.0)
+        clock.advance(2.0)
+        assert clock.now == 2.0
+
+    def test_refuses_to_run_backwards(self):
+        clock = Clock(2.0)
+        with pytest.raises(ValueError):
+            clock.advance(1.0)
+
+
+class TestEngineScheduling:
+    def test_call_at_runs_at_time(self, engine):
+        ran = []
+        engine.call_at(1.5, lambda: ran.append(engine.now))
+        engine.run_until(2.0)
+        assert ran == [1.5]
+
+    def test_call_after_is_relative(self, engine):
+        engine.call_at(1.0, lambda: engine.call_after(0.5, lambda: ran.append(engine.now)))
+        ran = []
+        engine.run_until(2.0)
+        assert ran == [1.5]
+
+    def test_cannot_schedule_in_past(self, engine):
+        engine.call_at(1.0, lambda: None)
+        engine.run_until(2.0)
+        with pytest.raises(ValueError):
+            engine.call_at(1.5, lambda: None)
+
+    def test_negative_delay_rejected(self, engine):
+        with pytest.raises(ValueError):
+            engine.call_after(-0.1, lambda: None)
+
+    def test_events_run_in_time_order(self, engine):
+        order = []
+        engine.call_at(3.0, lambda: order.append(3))
+        engine.call_at(1.0, lambda: order.append(1))
+        engine.call_at(2.0, lambda: order.append(2))
+        engine.run_until(5.0)
+        assert order == [1, 2, 3]
+
+    def test_simultaneous_events_run_in_scheduling_order(self, engine):
+        order = []
+        for tag in range(5):
+            engine.call_at(1.0, lambda t=tag: order.append(t))
+        engine.run_until(2.0)
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_cancelled_event_does_not_run(self, engine):
+        ran = []
+        event = engine.call_at(1.0, lambda: ran.append(1))
+        event.cancel()
+        engine.run_until(2.0)
+        assert ran == []
+
+    def test_cancel_is_idempotent(self, engine):
+        event = engine.call_at(1.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        engine.run_until(2.0)
+
+    def test_callback_can_schedule_at_current_time(self, engine):
+        ran = []
+        engine.call_at(1.0, lambda: engine.call_at(1.0, lambda: ran.append(engine.now)))
+        engine.run_until(2.0)
+        assert ran == [1.0]
+
+
+class TestEngineExecution:
+    def test_run_until_leaves_clock_at_end_time(self, engine):
+        engine.call_at(0.5, lambda: None)
+        engine.run_until(10.0)
+        assert engine.now == 10.0
+
+    def test_run_until_does_not_run_later_events(self, engine):
+        ran = []
+        engine.call_at(5.0, lambda: ran.append(5))
+        engine.run_until(2.0)
+        assert ran == []
+        engine.run_until(6.0)
+        assert ran == [5]
+
+    def test_step_returns_false_when_empty(self, engine):
+        assert engine.step() is False
+
+    def test_step_runs_single_event(self, engine):
+        ran = []
+        engine.call_at(1.0, lambda: ran.append(1))
+        engine.call_at(2.0, lambda: ran.append(2))
+        assert engine.step() is True
+        assert ran == [1]
+
+    def test_run_with_max_events(self, engine):
+        ran = []
+        for i in range(10):
+            engine.call_at(float(i + 1), lambda i=i: ran.append(i))
+        engine.run(max_events=3)
+        assert len(ran) == 3
+
+    def test_stop_exits_run_loop(self, engine):
+        ran = []
+
+        def second():
+            ran.append(2)
+            engine.stop()
+
+        engine.call_at(1.0, lambda: ran.append(1))
+        engine.call_at(2.0, second)
+        engine.call_at(3.0, lambda: ran.append(3))
+        engine.run()
+        assert ran == [1, 2]
+
+    def test_events_processed_counter(self, engine):
+        for i in range(4):
+            engine.call_at(float(i), lambda: None)
+        engine.run_until(10.0)
+        assert engine.events_processed == 4
+
+    def test_pending_events_excludes_cancelled(self, engine):
+        keep = engine.call_at(1.0, lambda: None)
+        drop = engine.call_at(2.0, lambda: None)
+        drop.cancel()
+        assert engine.pending_events == 1
+
+    def test_reentrant_run_rejected(self, engine):
+        def nested():
+            with pytest.raises(RuntimeError):
+                engine.run_until(10.0)
+
+        engine.call_at(1.0, nested)
+        engine.run_until(2.0)
+
+
+class TestEngineDeterminism:
+    def test_same_schedule_same_execution(self):
+        def run_once():
+            engine = Engine()
+            log = []
+            for i in range(20):
+                engine.call_at(i * 0.1, lambda i=i: log.append((engine.now, i)))
+            engine.run_until(5.0)
+            return log
+
+        assert run_once() == run_once()

@@ -1,0 +1,97 @@
+"""Frame trace buffer and deterministic RNG derivation."""
+
+import numpy as np
+import pytest
+
+from repro.sim.rng import SeedSequenceFactory, derive_rng
+from repro.sim.trace import FrameTrace, TraceRecord
+
+
+class TestTrace:
+    def test_add_and_length(self):
+        trace = FrameTrace()
+        trace.add(0.0, "a", "b", "Hello")
+        trace.add(1.0, "b", "a", "Reply")
+        assert len(trace) == 2
+
+    def test_capacity_evicts_oldest(self):
+        trace = FrameTrace(capacity=2)
+        for index in range(5):
+            trace.add(float(index), "src", "dst", f"frame {index}")
+        assert len(trace) == 2
+        assert trace[0].info == "frame 3"
+
+    def test_filter_by_attribute(self):
+        trace = FrameTrace()
+        trace.add(0.0, "attacker", "victim", "Null function")
+        trace.add(0.1, "victim", "attacker", "Acknowledgement")
+        assert len(trace.filter(source="victim")) == 1
+
+    def test_filter_by_predicate(self):
+        trace = FrameTrace()
+        trace.add(0.0, "a", "b", "Null function (No data)")
+        trace.add(0.2, "b", "a", "Acknowledgement, Flags=")
+        acks = trace.filter(lambda record: "Acknowledgement" in record.info)
+        assert len(acks) == 1
+
+    def test_between(self):
+        trace = FrameTrace()
+        for index in range(10):
+            trace.add(index * 0.1, "a", "b", "x")
+        assert len(trace.between(0.25, 0.65)) == 4
+
+    def test_count_info(self):
+        trace = FrameTrace()
+        trace.add(0.0, "a", "b", "Deauthentication, SN=3275")
+        trace.add(0.1, "a", "b", "Deauthentication, SN=3275")
+        trace.add(0.2, "a", "b", "Acknowledgement")
+        assert trace.count_info("Deauthentication") == 2
+
+    def test_table_rendering_mirrors_paper_columns(self):
+        trace = FrameTrace()
+        trace.add(0.0, "aa:bb:bb:bb:bb:bb", "f2:6e:0b:11:22:33", "Null function (No data)")
+        trace.add(0.0001, "(none)", "aa:bb:bb:bb:bb:bb", "Acknowledgement, Flags=")
+        table = trace.to_table()
+        assert "Source" in table and "Destination" in table and "Info" in table
+        assert "aa:bb:bb:bb:bb:bb" in table
+
+    def test_clear(self):
+        trace = FrameTrace()
+        trace.add(0.0, "a", "b", "x")
+        trace.clear()
+        assert len(trace) == 0
+
+    def test_record_matches(self):
+        record = TraceRecord(0.0, "a", "b", "info", channel=6)
+        assert record.matches(source="a", channel=6)
+        assert not record.matches(source="b")
+
+
+class TestRng:
+    def test_same_seed_same_stream(self):
+        a = derive_rng(1, "channel")
+        b = derive_rng(1, "channel")
+        assert np.array_equal(a.integers(0, 100, 10), b.integers(0, 100, 10))
+
+    def test_different_labels_differ(self):
+        a = derive_rng(1, "sta-1")
+        b = derive_rng(1, "sta-2")
+        assert not np.array_equal(a.integers(0, 1000, 20), b.integers(0, 1000, 20))
+
+    def test_different_seeds_differ(self):
+        a = derive_rng(1, "x")
+        b = derive_rng(2, "x")
+        assert not np.array_equal(a.integers(0, 1000, 20), b.integers(0, 1000, 20))
+
+    def test_factory_fresh_streams_unique(self):
+        factory = SeedSequenceFactory(7)
+        a = factory.fresh()
+        b = factory.fresh()
+        assert not np.array_equal(a.integers(0, 1000, 20), b.integers(0, 1000, 20))
+
+    def test_factory_labels_iterator(self):
+        factory = SeedSequenceFactory(7)
+        generators = list(factory.labels("ap", 3))
+        assert len(generators) == 3
+        draws = [g.integers(0, 1000, 5).tolist() for g in generators]
+        assert draws[0] != draws[1] != draws[2]
