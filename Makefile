@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench demo examples clean
+.PHONY: install test bench demo examples campaign-smoke clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -24,6 +24,14 @@ examples:
 	$(PYTHON) examples/locate_through_walls.py
 	$(PYTHON) examples/keystroke_sniffer.py
 	$(PYTHON) examples/wardrive_survey.py
+	$(PYTHON) examples/campaign_runner.py
+
+# Fast end-to-end check of the telemetry campaign runner: same campaign
+# serial and parallel, aggregates must match byte-for-byte.
+campaign-smoke:
+	$(PYTHON) -m repro campaign --scenario wardrive --seeds 4 --workers 1 --out /tmp/campaign_w1.json > /dev/null
+	$(PYTHON) -m repro campaign --scenario wardrive --seeds 4 --workers 4 --out /tmp/campaign_w4.json > /dev/null
+	$(PYTHON) -c "import json; a=json.load(open('/tmp/campaign_w1.json'))['aggregate']; b=json.load(open('/tmp/campaign_w4.json'))['aggregate']; assert json.dumps(a,sort_keys=True)==json.dumps(b,sort_keys=True), 'aggregate mismatch'; print('campaign smoke OK:', a['metrics']['counters']['engine.events.executed'], 'events')"
 
 clean:
 	rm -rf .pytest_cache .hypothesis benchmarks/results

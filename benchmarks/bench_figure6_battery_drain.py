@@ -22,6 +22,7 @@ from repro.mac.addresses import MacAddress
 from repro.sim.engine import Engine
 from repro.sim.medium import Medium
 from repro.sim.world import Position
+from repro.telemetry import MetricsRegistry
 
 from benchmarks.conftest import once
 
@@ -29,7 +30,8 @@ RATES = (0, 1, 5, 10, 25, 50, 100, 200, 300, 450, 600, 750, 900)
 
 
 def _run_figure6():
-    engine = Engine()
+    metrics = MetricsRegistry()
+    engine = Engine(metrics=metrics)
     medium = Medium(engine)
     rng = np.random.default_rng(42)
     ap = AccessPoint(
@@ -49,11 +51,11 @@ def _run_figure6():
         medium=medium, position=Position(12, 0, 1), rng=rng,
     )
     attack = BatteryDrainAttack(attacker, victim)
-    return attack.sweep(rates_pps=RATES, duration_s=10.0)
+    return attack.sweep(rates_pps=RATES, duration_s=10.0), metrics
 
 
 def test_figure6_power_vs_rate(benchmark, report):
-    points = once(benchmark, _run_figure6)
+    points, metrics = once(benchmark, _run_figure6)
     by_rate = {p.rate_pps: p for p in points}
 
     # Paper anchor 1: ~10 mW unattacked.
@@ -99,6 +101,14 @@ def test_figure6_power_vs_rate(benchmark, report):
             )
         ],
     )
+    # Telemetry sanity: the victim's ACKs all went through the shared
+    # registry, and the SIFS gap distribution is the 10 us the paper's
+    # root cause depends on.
+    snap = metrics.snapshot()
+    assert snap["counters"]["ack.acks_sent"] >= sum(p.acks_transmitted for p in points)
+    gap = snap["histograms"]["ack.response_gap_us"]
+    assert gap["count"] > 0 and gap["max"] <= 16.0
+
     report(
         "figure6_battery_drain",
         table
@@ -106,5 +116,8 @@ def test_figure6_power_vs_rate(benchmark, report):
         + figure
         + f"\n\namplification at 900 pkt/s: {amplification:.1f}x (paper: ~35x)"
         + f"\nlinear region fit: {slope:.3f} mW per pkt/s, "
-        f"intercept {intercept:.1f} mW, r^2 = {r_squared:.4f}",
+        f"intercept {intercept:.1f} mW, r^2 = {r_squared:.4f}"
+        + f"\ntelemetry: {snap['counters']['medium.frames.transmitted']:.0f} frames "
+        f"on air, {snap['counters']['ack.acks_sent']:.0f} ACKs, "
+        f"SIFS gap mean {gap['mean']:.1f} us over {gap['count']} responses",
     )

@@ -22,6 +22,7 @@ from repro.channel.propagation import ShadowedPathLoss
 from repro.sim.engine import Engine
 from repro.sim.medium import Medium
 from repro.survey.city import CityConfig, SyntheticCity
+from repro.telemetry import MetricsRegistry, SpanTracer
 
 from benchmarks.conftest import once
 
@@ -49,7 +50,9 @@ def _survey_city_config() -> CityConfig:
 
 
 def _run_wardrive():
-    engine = Engine()
+    metrics = MetricsRegistry()
+    tracer = SpanTracer()
+    engine = Engine(metrics=metrics)
     shadowing = ShadowedPathLoss(
         base=LogDistancePathLoss(exponent=2.8, walls=1),
         shadowing_sigma_db=4.0,
@@ -61,17 +64,21 @@ def _run_wardrive():
         fer=SnrFerModel(),
         rng=np.random.default_rng(98),
     )
-    city = SyntheticCity(engine, medium, _survey_city_config())
-    pipeline = WardrivePipeline(
-        city,
-        WardriveConfig(probe_attempts=4, max_probe_rounds=8, vehicle_speed_mps=12.0),
-    )
-    results = pipeline.run()
-    return city, pipeline, results
+    with tracer.span("build-city"):
+        city = SyntheticCity(engine, medium, _survey_city_config())
+        pipeline = WardrivePipeline(
+            city,
+            WardriveConfig(
+                probe_attempts=4, max_probe_rounds=8, vehicle_speed_mps=12.0
+            ),
+        )
+    with tracer.span("drive"):
+        results = pipeline.run()
+    return city, pipeline, results, metrics, tracer
 
 
 def test_table2_wardrive_survey(benchmark, report):
-    city, pipeline, results = once(benchmark, _run_wardrive)
+    city, pipeline, results, metrics, tracer = once(benchmark, _run_wardrive)
 
     # Population matches the paper exactly.
     assert city.population == 5328
@@ -98,6 +105,16 @@ def test_table2_wardrive_survey(benchmark, report):
     assert "Apple" in client_top or "Google" in client_top
     assert "Hitron" in ap_top or "Sagemcom" in ap_top
 
+    # Telemetry sanity: the registry saw the same simulation the results
+    # came from.
+    snap = metrics.snapshot()
+    assert snap["counters"]["ack.acks_sent"] >= results.total_responded
+    assert snap["counters"]["engine.events.executed"] > 0
+
+    counter_lines = "\n".join(
+        f"  {name:<32} {value:>14.6g}"
+        for name, value in snap["counters"].items()
+    )
     report(
         "table2_wardrive",
         results.to_table(top=20)
@@ -106,5 +123,7 @@ def test_table2_wardrive_survey(benchmark, report):
         f"reachable during drive: {reachable}; discovered: "
         f"{results.total_discovered}; probed: {len(results.probed)}; "
         f"responded: {results.total_responded} "
-        f"({100 * results.response_rate:.2f}%)",
+        f"({100 * results.response_rate:.2f}%)"
+        + "\n\ntelemetry counters:\n" + counter_lines
+        + "\n\nwall-clock spans:\n" + tracer.report(),
     )

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Parallel campaign orchestration with the telemetry subsystem.
+
+The single-run examples each build one simulation and look at one
+outcome.  Reproduction-grade claims (Table 2's 100 % response rate, the
+Figure 6 power curve) want *sweeps*: the same scenario re-run across
+seeds and parameter grids, with per-run metrics and a manifest that
+records exactly what ran.  That is what ``repro.telemetry`` provides:
+
+1. every run gets its own seeded RNG tree and private metrics registry;
+2. runs fan out across a ``multiprocessing`` pool;
+3. the parent folds per-run metric snapshots in run order, so the
+   aggregate is byte-identical no matter how many workers executed it.
+
+Run:  python examples/campaign_runner.py
+"""
+
+import json
+import tempfile
+
+from repro.telemetry import CampaignConfig, run_campaign, summarize_manifest
+
+
+def main() -> None:
+    manifest_path = tempfile.mktemp(prefix="polite-wifi-campaign-", suffix=".json")
+
+    print("=== A seed sweep of the miniature wardrive scenario ===\n")
+    print("Every run is an independent synthetic city (same census scale,")
+    print("different seed): different street layout, vendors, and channel")
+    print("assignments — and, if the paper is right, the same 100 % polite")
+    print("response rate in each.\n")
+
+    manifest = run_campaign(
+        CampaignConfig(
+            scenario="wardrive",
+            seeds=[0, 1, 2, 3],
+            workers=2,
+            name="example-wardrive-sweep",
+            output_path=manifest_path,
+        )
+    )
+    print(summarize_manifest(manifest))
+
+    aggregate = manifest["aggregate"]
+    probed = aggregate["outputs"]["probed"]
+    responded = aggregate["outputs"]["responded"]
+    print(
+        f"\nAcross {aggregate['runs']} independent cities: "
+        f"{responded}/{probed} probed devices answered a stranger's frame."
+    )
+
+    print("\n=== The manifest records how the numbers were produced ===\n")
+    with open(manifest_path, encoding="utf-8") as handle:
+        recorded = json.load(handle)
+    first = recorded["runs"][0]
+    print(f"manifest          : {manifest_path}")
+    print(f"git revision      : {recorded['git_rev'][:12]}")
+    print(f"run 0 seed/params : {first['seed']} / {first['params']}")
+    print(
+        "run 0 engine load : "
+        f"{first['metrics']['counters']['engine.events.executed']:.0f} events, "
+        f"{first['metrics']['counters']['medium.frames.transmitted']:.0f} frames"
+    )
+    print(
+        "\nRe-running this campaign with any worker count reproduces the"
+        "\naggregate byte-for-byte — each run owns its seed, and aggregation"
+        "\norder is fixed by run index, not completion order."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -35,6 +35,7 @@ Package map:
 ``repro.sensing``   CSI processing, segmentation, classifiers
 ``repro.baselines`` WindTalker, two-device sensing, Intel 5300 CSI tool
 ``repro.analysis``  tables, figure series, stats
+``repro.telemetry`` metrics registry, span tracing, campaign runner
 ==================  ====================================================
 """
 
@@ -59,6 +60,12 @@ from repro.devices import (
 )
 from repro.mac import ATTACKER_FAKE_MAC, MacAddress
 from repro.sim import Engine, FrameTrace, Medium, Position
+from repro.telemetry import (
+    CampaignConfig,
+    MetricsRegistry,
+    SpanTracer,
+    run_campaign,
+)
 
 __version__ = "1.0.0"
 
@@ -67,6 +74,7 @@ __all__ = [
     "AccessPoint",
     "AckMonitor",
     "BatteryDrainAttack",
+    "CampaignConfig",
     "DefenseAnalysis",
     "Engine",
     "Esp32CsiSniffer",
@@ -76,13 +84,16 @@ __all__ = [
     "KeystrokeInferenceAttack",
     "MacAddress",
     "Medium",
+    "MetricsRegistry",
     "MonitorDongle",
     "PoliteWiFiProbe",
     "Position",
     "ProbeResult",
     "SingleDeviceSensingHub",
+    "SpanTracer",
     "Station",
     "WardriveConfig",
     "WardrivePipeline",
     "__version__",
+    "run_campaign",
 ]

@@ -1,4 +1,4 @@
-"""Command-line demo runner: ``python -m repro [demo]``.
+"""Command-line runner: ``python -m repro [demo|campaign ...]``.
 
 Gives a new user one command per headline result:
 
@@ -6,7 +6,12 @@ Gives a new user one command per headline result:
 * ``deauth``     — Figure 3: the AP barks and ACKs anyway;
 * ``battery``    — a quick Figure 6 power sweep;
 * ``locate``     — ACK-timing localization of a victim device;
-* ``survey``     — a small wardriving survey (Table 2 shape).
+* ``survey``     — a small wardriving survey (Table 2 shape);
+
+plus the campaign orchestrator (see ``docs/telemetry.md``)::
+
+    python -m repro campaign --scenario wardrive --seeds 8 --workers 4 \
+        --out manifest.json
 
 The full, narrated versions live in ``examples/``; the full-scale
 reproductions in ``benchmarks/``.
@@ -179,14 +184,100 @@ _DEMOS = {
 }
 
 
-def main(argv=None) -> int:
+def _parse_seeds(text: str):
+    """``"8"`` means seeds 0..7; ``"3,5,9"`` means exactly those seeds."""
+    try:
+        if "," in text:
+            return [int(part) for part in text.split(",") if part.strip()]
+        count = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a seed count or comma-separated seeds, got {text!r}"
+        ) from None
+    if count < 1:
+        raise argparse.ArgumentTypeError("need at least one seed")
+    return list(range(count))
+
+
+def _parse_param(text: str):
+    """``key=value`` with the value coerced to int/float when it parses."""
+    key, sep, raw = text.partition("=")
+    if not sep or not key:
+        raise argparse.ArgumentTypeError(f"expected key=value, got {text!r}")
+    for cast in (int, float):
+        try:
+            return key, cast(raw)
+        except ValueError:
+            continue
+    return key, raw
+
+
+def _run_campaign(argv) -> int:
+    from repro.telemetry import (
+        CampaignConfig,
+        available_scenarios,
+        run_campaign,
+        summarize_manifest,
+    )
+
     parser = argparse.ArgumentParser(
-        prog="python -m repro",
-        description="Polite WiFi reproduction demos",
+        prog="python -m repro campaign",
+        description="Fan a scenario out across seeds and aggregate metrics",
     )
     parser.add_argument(
-        "demo", nargs="?", default="probe", choices=sorted(_DEMOS),
-        help="which demo to run (default: probe)",
+        "--scenario", default="wardrive", choices=available_scenarios(),
+        help="registered scenario to run (default: wardrive)",
+    )
+    parser.add_argument(
+        "--seeds", type=_parse_seeds, default=[0],
+        help="seed count (N -> seeds 0..N-1) or explicit comma list",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (default: 1 = run inline)",
+    )
+    parser.add_argument(
+        "--param", action="append", type=_parse_param, default=[],
+        metavar="KEY=VALUE", help="scenario parameter (repeatable)",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the JSON run manifest here",
+    )
+    parser.add_argument("--name", default="", help="campaign name for the manifest")
+    args = parser.parse_args(argv)
+    try:
+        config = CampaignConfig(
+            scenario=args.scenario,
+            seeds=args.seeds,
+            params=dict(args.param),
+            workers=args.workers,
+            name=args.name,
+            output_path=args.out,
+        )
+        config.expand()  # surface config errors as usage errors, not tracebacks
+    except ValueError as exc:
+        parser.error(str(exc))
+    manifest = run_campaign(config)
+    print(summarize_manifest(manifest))
+    if args.out:
+        print(f"\n[manifest written to {args.out}]")
+    return 0
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "campaign":
+        return _run_campaign(argv[1:])
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Polite WiFi reproduction demos and campaign runner",
+    )
+    parser.add_argument(
+        "demo", nargs="?", default="probe",
+        choices=sorted(_DEMOS) + ["campaign"],
+        help="which demo to run (default: probe), or 'campaign ...' "
+        "for the parallel campaign orchestrator",
     )
     args = parser.parse_args(argv)
     return _DEMOS[args.demo]()

@@ -95,11 +95,32 @@ class AckEngine:
         radio: Radio,
         mac_address: MacAddress,
         config: Optional[AckEngineConfig] = None,
+        metrics=None,
     ) -> None:
         self.radio = radio
         self.mac_address = MacAddress(mac_address)
         self.config = config if config is not None else AckEngineConfig()
         self.stats = AckEngineStats()
+        # Default to the simulation-wide registry threaded through the
+        # engine/medium, so instrumenting the Engine instruments every
+        # device's ACK automaton with shared counters.
+        self.metrics = metrics if metrics is not None else radio.medium.metrics
+        self._ctr_acks = None
+        self._ctr_cts = None
+        self._hist_gap = None
+        if self.metrics is not None:
+            self._ctr_acks = self.metrics.counter(
+                "ack.acks_sent", "acknowledgements transmitted"
+            )
+            self._ctr_cts = self.metrics.counter(
+                "ack.cts_sent", "clear-to-send responses transmitted"
+            )
+            self._hist_gap = self.metrics.histogram(
+                "ack.response_gap_us",
+                "gap between frame end and the scheduled ACK/CTS (us); "
+                "SIFS unless a validation ablation delays it",
+                buckets=(10.0, 16.0, 25.0, 50.0, 100.0, 250.0, 1000.0),
+            )
         self.mac_handler: Optional[Callable[[Frame, Reception], None]] = None
         self.control_handler: Optional[Callable[[Frame, Reception], None]] = None
         self.sniffer_handler: Optional[Callable[[Frame, Reception], None]] = None
@@ -175,7 +196,11 @@ class AckEngine:
         def send() -> None:
             self.radio.transmit(cts, rate)
             self.stats.cts_sent += 1
+            if self._ctr_cts is not None:
+                self._ctr_cts.inc()
 
+        if self._hist_gap is not None:
+            self._hist_gap.observe(gap * 1e6)
         self.radio.medium.engine.call_after(gap, send)
 
     def _schedule_ack(self, frame: Frame, reception: Reception) -> None:
@@ -205,7 +230,11 @@ class AckEngine:
         def send() -> None:
             self.radio.transmit(ack, rate)
             self.stats.acks_sent += 1
+            if self._ctr_acks is not None:
+                self._ctr_acks.inc()
 
+        if self._hist_gap is not None:
+            self._hist_gap.observe(gap * 1e6)
         self.radio.medium.engine.call_after(gap, send)
 
     # ------------------------------------------------------------------

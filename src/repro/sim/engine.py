@@ -7,16 +7,41 @@ scheduling order, which keeps simulations deterministic.
 
 Callbacks take no arguments — closures capture whatever context they need.
 A callback may schedule further events (including at the current time).
+
+Cancellation is lazy (O(1)): a cancelled event stays in the heap and is
+skipped when popped.  To stop long-running simulations with heavy timer
+churn from accumulating dead entries, the engine counts cancelled-but-
+queued events and compacts the heap whenever they outnumber the live
+ones; :attr:`Engine.pending_events` is O(1) arithmetic over the engine's
+internal tallies instead of a heap scan.
+
+Telemetry: the engine always maintains its tallies (scheduled, executed,
+cancelled, heap high-water, run wall time) as plain ints/floats — a
+handful of machine ops per event, unmeasurable against heap push/pop.
+Attaching a :class:`~repro.telemetry.registry.MetricsRegistry`
+(``Engine(metrics=registry)``) registers a *collector* that publishes
+those tallies into ``engine.*`` metrics at snapshot time, so the hot path
+is identical whether or not telemetry is enabled.  The medium and ACK
+engines pick the registry up from here, so one constructor argument
+instruments a whole simulation.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
+import time
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import TYPE_CHECKING, Callable, List, Optional
 
 from repro.sim.clock import Clock
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.telemetry.registry import MetricsRegistry
+
+#: Heaps smaller than this are never compacted — rebuilding a dozen-entry
+#: list saves nothing and the churny phases of small tests would compact
+#: constantly.
+_COMPACT_MIN_HEAP = 64
 
 
 @dataclass(order=True)
@@ -25,17 +50,26 @@ class Event:
 
     Events sort by ``(time, sequence)``.  ``cancelled`` events stay in the
     heap but are skipped when popped (lazy deletion), which makes
-    cancellation O(1).
+    cancellation O(1); the owning engine is notified so its live-event
+    accounting stays exact and it can compact when dead entries dominate.
     """
 
     time: float
     sequence: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    _engine: Optional["Engine"] = field(
+        default=None, compare=False, repr=False
+    )
 
     def cancel(self) -> None:
         """Mark this event so it is skipped when its time comes."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._engine is not None:
+            self._engine._note_cancelled()
+            self._engine = None
 
 
 class Engine:
@@ -48,13 +82,63 @@ class Engine:
         engine.run_until(10.0)
     """
 
-    def __init__(self, clock: Optional[Clock] = None) -> None:
+    def __init__(
+        self,
+        clock: Optional[Clock] = None,
+        metrics: Optional["MetricsRegistry"] = None,
+    ) -> None:
         self.clock = clock if clock is not None else Clock()
         self._heap: List[Event] = []
-        self._sequence = itertools.count()
+        self._scheduled = 0  # doubles as the tie-breaking sequence counter
         self._processed = 0
+        self._cancelled = 0
+        self._cancelled_pending = 0  # cancelled events still in the heap
+        self._heap_peak = 0
+        self._run_calls = 0
+        self._run_wall_s = 0.0
         self._running = False
         self._stopped = False
+        self.metrics: Optional["MetricsRegistry"] = None
+        if metrics is not None:
+            self.attach_metrics(metrics)
+
+    def attach_metrics(self, metrics: "MetricsRegistry") -> None:
+        """Publish this engine's tallies into ``metrics`` via a collector.
+
+        The collector *sets* the ``engine.*`` metrics from the engine's
+        internal counters whenever the registry snapshots, so attach at
+        most one engine per registry.
+        """
+        self.metrics = metrics
+        ctr_scheduled = metrics.counter(
+            "engine.events.scheduled", "events pushed onto the heap"
+        )
+        ctr_executed = metrics.counter(
+            "engine.events.executed", "callbacks actually run"
+        )
+        ctr_cancelled = metrics.counter(
+            "engine.events.cancelled", "events cancelled before running"
+        )
+        ctr_run_wall = metrics.counter(
+            "engine.run.wall_time_s", "host wall-clock seconds inside run loops"
+        )
+        ctr_run_calls = metrics.counter(
+            "engine.run.calls", "run()/run_until() invocations"
+        )
+        gauge_heap = metrics.gauge(
+            "engine.heap.depth", "event heap size (incl. cancelled entries)"
+        )
+
+        def collect() -> None:
+            ctr_scheduled.value = self._scheduled
+            ctr_executed.value = self._processed
+            ctr_cancelled.value = self._cancelled
+            ctr_run_wall.value = self._run_wall_s
+            ctr_run_calls.value = self._run_calls
+            gauge_heap.value = len(self._heap)
+            gauge_heap.max_value = self._heap_peak
+
+        metrics.add_collector(collect)
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -70,9 +154,19 @@ class Engine:
         return self._processed
 
     @property
+    def events_scheduled(self) -> int:
+        """Number of events ever scheduled (executed, pending, or cancelled)."""
+        return self._scheduled
+
+    @property
+    def events_cancelled(self) -> int:
+        """Number of events cancelled before running."""
+        return self._cancelled
+
+    @property
     def pending_events(self) -> int:
-        """Number of live (non-cancelled) events still queued."""
-        return sum(1 for event in self._heap if not event.cancelled)
+        """Number of live (non-cancelled) events still queued. O(1)."""
+        return self._scheduled - self._processed - self._cancelled
 
     def call_at(self, time: float, callback: Callable[[], None]) -> Event:
         """Schedule ``callback`` to run at absolute time ``time``.
@@ -85,8 +179,13 @@ class Engine:
             raise ValueError(
                 f"cannot schedule event at {time!r}, now is {self.clock.now!r}"
             )
-        event = Event(time=time, sequence=next(self._sequence), callback=callback)
-        heapq.heappush(self._heap, event)
+        sequence = self._scheduled
+        self._scheduled = sequence + 1
+        event = Event(time, sequence, callback, False, self)
+        heap = self._heap
+        heapq.heappush(heap, event)
+        if len(heap) > self._heap_peak:
+            self._heap_peak = len(heap)
         return event
 
     def call_after(self, delay: float, callback: Callable[[], None]) -> Event:
@@ -100,8 +199,33 @@ class Engine:
         self._stopped = True
 
     # ------------------------------------------------------------------
+    # Lazy-deletion bookkeeping
+    # ------------------------------------------------------------------
+    def _note_cancelled(self) -> None:
+        """An in-heap event was cancelled; compact if dead entries dominate."""
+        self._cancelled += 1
+        self._cancelled_pending += 1
+        if (
+            len(self._heap) >= _COMPACT_MIN_HEAP
+            and self._cancelled_pending * 2 > len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify (preserves (time, seq) order)."""
+        self._heap = [event for event in self._heap if not event.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled_pending = 0
+
+    # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
+    # The pop bookkeeping (clearing the engine backref so a late cancel()
+    # cannot skew the pending arithmetic, decrementing the in-heap
+    # cancelled tally) is inlined in step() and run_until() rather than
+    # factored into a helper: these loops execute once per simulated event
+    # and a Python function call per event is measurable at wardrive scale.
+
     def step(self) -> bool:
         """Run the single next live event.
 
@@ -110,7 +234,9 @@ class Engine:
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
+                self._cancelled_pending -= 1
                 continue
+            event._engine = None
             self.clock.advance(event.time)
             event.callback()
             self._processed += 1
@@ -129,15 +255,18 @@ class Engine:
             raise RuntimeError("engine is already running (re-entrant run)")
         self._running = True
         self._stopped = False
+        wall_start = time.perf_counter()
         try:
             while self._heap and not self._stopped:
                 head = self._heap[0]
                 if head.cancelled:
                     heapq.heappop(self._heap)
+                    self._cancelled_pending -= 1
                     continue
                 if head.time > end_time:
                     break
                 heapq.heappop(self._heap)
+                head._engine = None
                 self.clock.advance(head.time)
                 head.callback()
                 self._processed += 1
@@ -145,6 +274,8 @@ class Engine:
                 self.clock.advance(end_time)
         finally:
             self._running = False
+            self._run_calls += 1
+            self._run_wall_s += time.perf_counter() - wall_start
 
     def run(self, max_events: Optional[int] = None) -> None:
         """Run until the event queue drains (or ``max_events`` callbacks).
@@ -156,6 +287,7 @@ class Engine:
             raise RuntimeError("engine is already running (re-entrant run)")
         self._running = True
         self._stopped = False
+        wall_start = time.perf_counter()
         ran = 0
         try:
             while not self._stopped:
@@ -166,3 +298,5 @@ class Engine:
                 ran += 1
         finally:
             self._running = False
+            self._run_calls += 1
+            self._run_wall_s += time.perf_counter() - wall_start

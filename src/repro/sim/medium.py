@@ -140,6 +140,11 @@ class Medium:
         frequency response sampled at the reception instant, or ``None``.
     trace:
         Optional global :class:`FrameTrace` capturing every transmission.
+    metrics:
+        Optional :class:`~repro.telemetry.registry.MetricsRegistry`;
+        defaults to the engine's registry, so instrumenting the engine
+        instruments the medium too.  Maintains ``medium.frames.*``
+        counters and the cumulative ``medium.airtime_s``.
     """
 
     def __init__(
@@ -153,8 +158,30 @@ class Medium:
         noise_floor_dbm: float = DEFAULT_NOISE_FLOOR_DBM,
         capture_threshold_db: float = DEFAULT_CAPTURE_THRESHOLD_DB,
         rng: Optional[np.random.Generator] = None,
+        metrics=None,
     ) -> None:
         self.engine = engine
+        self.metrics = (
+            metrics if metrics is not None else getattr(engine, "metrics", None)
+        )
+        self._ctr_tx = None
+        self._ctr_delivered = None
+        self._ctr_dropped = None
+        self._ctr_airtime = None
+        if self.metrics is not None:
+            self._ctr_tx = self.metrics.counter(
+                "medium.frames.transmitted", "frames put on the air"
+            )
+            self._ctr_delivered = self.metrics.counter(
+                "medium.frames.delivered", "arrivals handed up with FCS ok"
+            )
+            self._ctr_dropped = self.metrics.counter(
+                "medium.frames.dropped",
+                "arrivals corrupted (collision, half-duplex, FER)",
+            )
+            self._ctr_airtime = self.metrics.counter(
+                "medium.airtime_s", "cumulative on-air seconds"
+            )
         self.frequency_hz = frequency_hz
         self.noise_floor_dbm = noise_floor_dbm
         self.capture_threshold_db = capture_threshold_db
@@ -244,6 +271,9 @@ class Medium:
             tx_position=tx_position,
         )
         self.transmission_count += 1
+        if self._ctr_tx is not None:
+            self._ctr_tx.inc()
+            self._ctr_airtime.inc(duration)
         # Half duplex: transmitting deafens the sender's own receiver.
         self._transmitting[sender.name] = max(
             self._transmitting.get(sender.name, 0.0), now + duration
@@ -333,6 +363,8 @@ class Medium:
                 probability = self._fer(snr, transmission.rate_mbps, length or 0)
                 if probability > 0.0 and self._rng.random() < probability:
                     fcs_ok = False
+            if self._ctr_delivered is not None:
+                (self._ctr_delivered if fcs_ok else self._ctr_dropped).inc()
             csi = None
             if self._csi_model is not None:
                 csi = self._csi_model(transmission.sender, radio.name, self.engine.now)

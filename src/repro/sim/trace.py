@@ -13,8 +13,9 @@ from __future__ import annotations
 import csv
 import io
 import json
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Union
 
 
 @dataclass(frozen=True)
@@ -42,7 +43,11 @@ class FrameTrace:
     """Append-only capture buffer with filtering and table rendering."""
 
     def __init__(self, capacity: Optional[int] = None) -> None:
-        self._records: List[TraceRecord] = []
+        # A bounded deque makes capped captures O(1) per append (list
+        # front-deletion was O(n) per frame once the buffer filled up).
+        self._records: Union[List[TraceRecord], "deque[TraceRecord]"] = (
+            [] if capacity is None else deque(maxlen=capacity)
+        )
         self._capacity = capacity
 
     def __len__(self) -> int:
@@ -52,6 +57,8 @@ class FrameTrace:
         return iter(self._records)
 
     def __getitem__(self, index):
+        if isinstance(index, slice):
+            return list(self._records)[index]
         return self._records[index]
 
     @property
@@ -62,8 +69,6 @@ class FrameTrace:
     def record(self, record: TraceRecord) -> None:
         """Append one record, evicting the oldest when over capacity."""
         self._records.append(record)
-        if self._capacity is not None and len(self._records) > self._capacity:
-            del self._records[0 : len(self._records) - self._capacity]
 
     def add(
         self,

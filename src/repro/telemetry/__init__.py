@@ -1,0 +1,52 @@
+"""Observability and orchestration for the simulator.
+
+Three cooperating pieces (see ``docs/telemetry.md``):
+
+* **metrics** — :class:`MetricsRegistry` hands out counters, gauges, and
+  histograms that the engine, medium, and ACK engines update on their hot
+  paths (zero-cost when no registry is attached);
+* **tracing** — :class:`SpanTracer` times simulation phases with span
+  context managers, free when disabled;
+* **campaigns** — :func:`run_campaign` fans a registered scenario out
+  across seeds × parameter grids with ``multiprocessing``, writes a run
+  manifest, and produces worker-count-independent aggregates.
+"""
+
+from repro.telemetry.campaign import (
+    CampaignConfig,
+    available_scenarios,
+    get_scenario,
+    run_campaign,
+    scenario,
+    summarize_manifest,
+)
+from repro.telemetry.export import (
+    snapshot_from_json,
+    snapshot_to_csv,
+    snapshot_to_json,
+    write_snapshot,
+)
+from repro.telemetry.metrics import Counter, Gauge, Histogram
+from repro.telemetry.registry import MetricsRegistry, merge_snapshots
+from repro.telemetry.spans import NULL_TRACER, SpanRecord, SpanTracer
+
+__all__ = [
+    "CampaignConfig",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "SpanRecord",
+    "SpanTracer",
+    "available_scenarios",
+    "get_scenario",
+    "merge_snapshots",
+    "run_campaign",
+    "scenario",
+    "snapshot_from_json",
+    "snapshot_to_csv",
+    "snapshot_to_json",
+    "summarize_manifest",
+    "write_snapshot",
+]

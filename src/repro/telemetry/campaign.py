@@ -1,0 +1,287 @@
+"""Parallel campaign runner: fan a scenario out across seeds × parameters.
+
+A *campaign* runs one registered scenario callable many times — once per
+(seed, parameter-combination) — optionally across a ``multiprocessing``
+pool, and writes a structured **run manifest** capturing everything
+needed to reproduce or audit the sweep: scenario name, git revision,
+per-run seed/params/metrics/duration, and a deterministic aggregate.
+
+Determinism contract
+--------------------
+Every run owns its own ``np.random.default_rng(seed)`` tree (scenarios
+receive the seed and derive all randomness from it) and its own private
+:class:`~repro.telemetry.registry.MetricsRegistry`.  Workers return plain
+snapshot dicts; the parent sorts results by run index and folds them with
+:func:`~repro.telemetry.registry.merge_snapshots`, excluding wall-clock
+metrics.  The ``aggregate`` section of the manifest is therefore
+**byte-identical** for any worker count, which the campaign tests assert
+(1 worker vs 4).
+
+Scenarios are looked up by name in a module-level registry so they can be
+resolved inside spawned workers; register new ones with the
+:func:`scenario` decorator (built-ins live in
+:mod:`repro.telemetry.scenarios`)::
+
+    @scenario("my-sweep")
+    def my_sweep(seed, params, metrics):
+        rng = np.random.default_rng(seed)
+        ...
+        return {"some_count": 42}
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import multiprocessing
+import pathlib
+import subprocess
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.telemetry.registry import (
+    WALL_TIME_MARKER,
+    MetricsRegistry,
+    merge_snapshots,
+)
+
+__all__ = [
+    "CampaignConfig",
+    "ScenarioFn",
+    "available_scenarios",
+    "get_scenario",
+    "run_campaign",
+    "scenario",
+    "summarize_manifest",
+]
+
+#: ``fn(seed, params, metrics) -> outputs`` — outputs must be a flat dict
+#: of JSON-serializable values (numeric outputs are summed into the
+#: aggregate).
+ScenarioFn = Callable[[int, Dict[str, object], MetricsRegistry], Dict[str, object]]
+
+_SCENARIOS: Dict[str, ScenarioFn] = {}
+
+
+def scenario(name: str) -> Callable[[ScenarioFn], ScenarioFn]:
+    """Register a campaign scenario under ``name``."""
+
+    def register(fn: ScenarioFn) -> ScenarioFn:
+        if name in _SCENARIOS:
+            raise ValueError(f"scenario {name!r} already registered")
+        _SCENARIOS[name] = fn
+        return fn
+
+    return register
+
+
+def _ensure_builtins() -> None:
+    # Imported for its registration side effects; deferred to avoid a
+    # circular import (scenarios.py imports this module's decorator).
+    import repro.telemetry.scenarios  # noqa: F401
+
+
+def get_scenario(name: str) -> ScenarioFn:
+    _ensure_builtins()
+    try:
+        return _SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(_SCENARIOS)) or "(none)"
+        raise KeyError(f"unknown scenario {name!r}; registered: {known}") from None
+
+
+def available_scenarios() -> List[str]:
+    _ensure_builtins()
+    return sorted(_SCENARIOS)
+
+
+# ----------------------------------------------------------------------
+# Configuration
+# ----------------------------------------------------------------------
+@dataclass
+class CampaignConfig:
+    """What to run and how wide to fan out.
+
+    ``params`` apply to every run; ``grid`` maps parameter names to value
+    lists and expands to the cross product, each combination run once per
+    seed.  ``workers=1`` runs inline in the calling process (no pool),
+    which is also the reference ordering the parallel path must match.
+    """
+
+    scenario: str
+    seeds: Sequence[int] = (0,)
+    params: Dict[str, object] = field(default_factory=dict)
+    grid: Optional[Dict[str, Sequence[object]]] = None
+    workers: int = 1
+    name: str = ""
+    output_path: Optional[Union[str, pathlib.Path]] = None
+
+    def expand(self) -> List[Dict[str, object]]:
+        """The ordered list of run payloads (index, scenario, seed, params)."""
+        if not self.seeds:
+            raise ValueError("campaign needs at least one seed")
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers!r}")
+        combos: List[Dict[str, object]] = [{}]
+        if self.grid:
+            keys = sorted(self.grid)
+            combos = [
+                dict(zip(keys, values))
+                for values in itertools.product(*(self.grid[k] for k in keys))
+            ]
+        payloads = []
+        for combo in combos:
+            for seed in self.seeds:
+                payloads.append(
+                    {
+                        "index": len(payloads),
+                        "scenario": self.scenario,
+                        "seed": int(seed),
+                        "params": {**self.params, **combo},
+                    }
+                )
+        return payloads
+
+
+# ----------------------------------------------------------------------
+# Run execution (must stay module-level: workers pickle the payloads,
+# not the function's closure)
+# ----------------------------------------------------------------------
+def _execute_run(payload: Dict[str, object]) -> Dict[str, object]:
+    fn = get_scenario(payload["scenario"])  # type: ignore[arg-type]
+    metrics = MetricsRegistry()
+    start = time.perf_counter()
+    outputs = fn(payload["seed"], dict(payload["params"]), metrics)  # type: ignore[arg-type]
+    duration = time.perf_counter() - start
+    return {
+        "index": payload["index"],
+        "seed": payload["seed"],
+        "params": payload["params"],
+        "duration_s": duration,
+        "metrics": metrics.snapshot(),
+        "outputs": dict(outputs or {}),
+    }
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    # fork is markedly cheaper where available (the workers inherit the
+    # already-imported simulator); spawn is the portable fallback.
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def _git_revision() -> str:
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=pathlib.Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=5.0,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    return proc.stdout.strip() if proc.returncode == 0 else "unknown"
+
+
+# ----------------------------------------------------------------------
+# Aggregation
+# ----------------------------------------------------------------------
+def _is_wall_time(name: str) -> bool:
+    return WALL_TIME_MARKER in name
+
+
+def _aggregate(results: List[Dict[str, object]]) -> Dict[str, object]:
+    """Fold per-run results (already sorted by index) into the manifest's
+    deterministic ``aggregate`` section: merged simulation metrics plus
+    summed numeric outputs.  Wall-clock metrics and durations are
+    deliberately excluded — they belong to the host, not the simulation."""
+    metrics = merge_snapshots(
+        (r["metrics"] for r in results), exclude=_is_wall_time
+    )
+    outputs: Dict[str, float] = {}
+    for result in results:
+        for key, value in result["outputs"].items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            outputs[key] = outputs.get(key, 0) + value
+    return {
+        "runs": len(results),
+        "metrics": metrics,
+        "outputs": {key: outputs[key] for key in sorted(outputs)},
+    }
+
+
+# ----------------------------------------------------------------------
+# The campaign itself
+# ----------------------------------------------------------------------
+def run_campaign(config: CampaignConfig) -> Dict[str, object]:
+    """Execute every run of ``config`` and return the manifest dict.
+
+    The manifest is also written to ``config.output_path`` when set.
+    """
+    from repro import __version__  # deferred: repro/__init__ imports telemetry
+
+    payloads = config.expand()
+    get_scenario(config.scenario)  # fail fast before forking workers
+    start = time.perf_counter()
+    if config.workers == 1 or len(payloads) == 1:
+        results = [_execute_run(payload) for payload in payloads]
+    else:
+        workers = min(config.workers, len(payloads))
+        with _pool_context().Pool(processes=workers) as pool:
+            results = pool.map(_execute_run, payloads)
+    results.sort(key=lambda r: r["index"])
+    manifest: Dict[str, object] = {
+        "campaign": config.name or config.scenario,
+        "scenario": config.scenario,
+        "repro_version": __version__,
+        "git_rev": _git_revision(),
+        "created_unix": time.time(),
+        "workers": config.workers,
+        "seeds": [int(seed) for seed in config.seeds],
+        "base_params": dict(config.params),
+        "grid": {k: list(v) for k, v in config.grid.items()} if config.grid else None,
+        "runs": results,
+        "aggregate": _aggregate(results),
+        "total_duration_s": time.perf_counter() - start,
+    }
+    if config.output_path is not None:
+        path = pathlib.Path(config.output_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(manifest, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+    return manifest
+
+
+def summarize_manifest(manifest: Dict[str, object]) -> str:
+    """Human-readable campaign summary (the CLI prints this)."""
+    lines = [
+        f"campaign   : {manifest['campaign']}",
+        f"scenario   : {manifest['scenario']}",
+        f"git rev    : {manifest['git_rev'][:12]}",
+        f"runs       : {manifest['aggregate']['runs']} "
+        f"({manifest['workers']} worker(s), "
+        f"{manifest['total_duration_s']:.2f}s wall)",
+        "",
+        "  run  seed  duration   outputs",
+    ]
+    for run in manifest["runs"]:
+        outputs = ", ".join(
+            f"{key}={value}" for key, value in sorted(run["outputs"].items())
+        )
+        lines.append(
+            f"  {run['index']:>3}  {run['seed']:>4}  {run['duration_s']:>7.2f}s   {outputs}"
+        )
+    lines.append("")
+    lines.append("aggregate outputs:")
+    for key, value in manifest["aggregate"]["outputs"].items():
+        lines.append(f"  {key:<24} {value}")
+    counters = manifest["aggregate"]["metrics"]["counters"]
+    if counters:
+        lines.append("aggregate counters:")
+        for name, value in counters.items():
+            lines.append(f"  {name:<32} {value}")
+    return "\n".join(lines)

@@ -1,0 +1,193 @@
+"""Metric registry and snapshot algebra.
+
+A :class:`MetricsRegistry` is the single object a simulation threads
+through its components (``Engine(metrics=registry)`` propagates it to the
+medium and every ACK engine).  Components call :meth:`counter` /
+:meth:`gauge` / :meth:`histogram` once at construction and hold the
+returned object, so the per-observation cost is a bound attribute update
+with no dict lookup.
+
+``snapshot()`` freezes the registry into plain nested dicts (sorted
+keys), which is the only form that ever crosses process boundaries — the
+campaign runner's workers each own a private registry and ship snapshots
+back to the parent, where :func:`merge_snapshots` folds them in a fixed
+order so the aggregate is byte-identical regardless of worker count.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.telemetry.metrics import Counter, Gauge, Histogram
+
+__all__ = ["MetricsRegistry", "merge_snapshots", "WALL_TIME_MARKER"]
+
+#: Metrics whose name contains this substring measure host wall-clock and
+#: are excluded from determinism-sensitive aggregation.
+WALL_TIME_MARKER = "wall_time"
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named metrics."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._collectors: List[Callable[[], None]] = []
+
+    def add_collector(self, collect: Callable[[], None]) -> None:
+        """Register a callback invoked before every :meth:`snapshot`.
+
+        Components with their own cheap internal counters (the event
+        engine counts events as plain ints on its hot path) publish them
+        into registry metrics lazily via a collector instead of paying a
+        metric update per operation.  A collector *sets* its metrics'
+        values, so attach each component to at most one registry.
+        """
+        self._collectors.append(collect)
+
+    # ------------------------------------------------------------------
+    # Creation / lookup
+    # ------------------------------------------------------------------
+    def counter(self, name: str, description: str = "") -> Counter:
+        """The counter registered under ``name``, created on first use."""
+        metric = self._counters.get(name)
+        if metric is None:
+            self._check_free(name)
+            metric = self._counters[name] = Counter(name, description)
+        return metric
+
+    def gauge(self, name: str, description: str = "") -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            self._check_free(name)
+            metric = self._gauges[name] = Gauge(name, description)
+        return metric
+
+    def histogram(
+        self,
+        name: str,
+        description: str = "",
+        buckets: Optional[Sequence[float]] = None,
+    ) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            self._check_free(name)
+            metric = self._histograms[name] = Histogram(name, description, buckets)
+        return metric
+
+    def _check_free(self, name: str) -> None:
+        for kind, table in (
+            ("counter", self._counters),
+            ("gauge", self._gauges),
+            ("histogram", self._histograms),
+        ):
+            if name in table:
+                raise ValueError(f"metric {name!r} already registered as a {kind}")
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    def names(self) -> List[str]:
+        return sorted([*self._counters, *self._gauges, *self._histograms])
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Freeze current values into plain nested dicts with sorted keys."""
+        for collect in self._collectors:
+            collect()
+        return {
+            "counters": {
+                name: self._counters[name].snapshot()
+                for name in sorted(self._counters)
+            },
+            "gauges": {
+                name: self._gauges[name].snapshot()
+                for name in sorted(self._gauges)
+            },
+            "histograms": {
+                name: self._histograms[name].snapshot()
+                for name in sorted(self._histograms)
+            },
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        from repro.telemetry.export import snapshot_to_json
+
+        return snapshot_to_json(self.snapshot(), indent=indent)
+
+    def to_csv(self) -> str:
+        from repro.telemetry.export import snapshot_to_csv
+
+        return snapshot_to_csv(self.snapshot())
+
+
+def _empty_snapshot() -> Dict[str, Dict[str, object]]:
+    return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+def merge_snapshots(
+    snapshots: Iterable[Dict[str, Dict[str, object]]],
+    exclude: Optional[Callable[[str], bool]] = None,
+) -> Dict[str, Dict[str, object]]:
+    """Fold snapshots into one aggregate, in the order given.
+
+    Counters and histogram counts/sums add; gauges keep the last value and
+    the global high-water mark; histogram min/max widen.  ``exclude``
+    drops metrics by name — the campaign runner uses it to strip
+    wall-clock metrics (see :data:`WALL_TIME_MARKER`) so aggregates stay
+    deterministic.  Callers needing worker-count-independent output must
+    pass snapshots in a stable order (the campaign sorts by run index).
+    """
+    merged = _empty_snapshot()
+    for snap in snapshots:
+        for name, value in snap.get("counters", {}).items():
+            if exclude is not None and exclude(name):
+                continue
+            merged["counters"][name] = merged["counters"].get(name, 0) + value
+        for name, gauge in snap.get("gauges", {}).items():
+            if exclude is not None and exclude(name):
+                continue
+            prior = merged["gauges"].get(name)
+            merged["gauges"][name] = {
+                "value": gauge["value"],
+                "max": gauge["max"] if prior is None else max(prior["max"], gauge["max"]),
+            }
+        for name, hist in snap.get("histograms", {}).items():
+            if exclude is not None and exclude(name):
+                continue
+            prior = merged["histograms"].get(name)
+            if prior is None:
+                merged["histograms"][name] = {
+                    "count": hist["count"],
+                    "sum": hist["sum"],
+                    "min": hist["min"],
+                    "max": hist["max"],
+                    "mean": hist["mean"],
+                    "buckets": dict(hist["buckets"]),
+                }
+                continue
+            prior["count"] += hist["count"]
+            prior["sum"] += hist["sum"]
+            prior["min"] = _widen(prior["min"], hist["min"], min)
+            prior["max"] = _widen(prior["max"], hist["max"], max)
+            prior["mean"] = prior["sum"] / prior["count"] if prior["count"] else 0.0
+            for label, count in hist["buckets"].items():
+                prior["buckets"][label] = prior["buckets"].get(label, 0) + count
+    # Re-sort so the aggregate's key order never depends on which run
+    # introduced a metric first.
+    return {
+        section: {name: merged[section][name] for name in sorted(merged[section])}
+        for section in ("counters", "gauges", "histograms")
+    }
+
+
+def _widen(a: Optional[float], b: Optional[float], pick: Callable) -> Optional[float]:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return pick(a, b)

@@ -156,6 +156,91 @@ class TestEngineExecution:
         engine.run_until(2.0)
 
 
+class TestLazyDeletionCompaction:
+    def test_mass_cancellation_compacts_heap(self, engine):
+        events = [engine.call_at(float(i + 1), lambda: None) for i in range(200)]
+        for event in events[:150]:
+            event.cancel()
+        assert engine.pending_events == 50
+        # Lazy deletion used to leave all 200 entries queued; the engine
+        # now compacts once cancelled entries outnumber live ones.
+        assert len(engine._heap) < 200
+        ran = []
+        engine.call_at(300.0, lambda: ran.append("sentinel"))
+        engine.run_until(400.0)
+        assert engine.events_processed == 51
+        assert ran == ["sentinel"]
+
+    def test_small_heaps_are_not_compacted(self, engine):
+        events = [engine.call_at(float(i + 1), lambda: None) for i in range(10)]
+        for event in events:
+            event.cancel()
+        # Below the compaction floor the dead entries just wait to be popped.
+        assert len(engine._heap) == 10
+        assert engine.pending_events == 0
+        engine.run_until(20.0)
+        assert engine.events_processed == 0
+
+    def test_cancel_after_execution_keeps_counters_exact(self, engine):
+        event = engine.call_at(1.0, lambda: None)
+        engine.run_until(2.0)
+        event.cancel()  # too late; must not corrupt the live count
+        assert engine.pending_events == 0
+        engine.call_at(3.0, lambda: None)
+        assert engine.pending_events == 1
+
+    def test_order_preserved_across_compaction(self, engine):
+        order = []
+        events = []
+        for tag in range(200):
+            events.append(
+                engine.call_at(1.0 + (tag % 7) * 0.1, lambda t=tag: order.append(t))
+            )
+        kept = [e for i, e in enumerate(events) if i % 4 == 0]
+        for event in events:
+            if event not in kept:
+                event.cancel()
+        engine.run_until(5.0)
+        expected = sorted(
+            (i for i in range(200) if i % 4 == 0), key=lambda t: ((t % 7), t)
+        )
+        assert order == expected
+
+    def test_cancellation_inside_callback_is_counted(self, engine):
+        victims = [engine.call_at(float(i + 10), lambda: None) for i in range(100)]
+
+        def cancel_all():
+            for event in victims:
+                event.cancel()
+
+        engine.call_at(1.0, cancel_all)
+        engine.run_until(200.0)
+        assert engine.events_processed == 1
+        assert engine.pending_events == 0
+
+
+class TestEngineMetrics:
+    def test_counters_track_schedule_execute_cancel(self):
+        from repro.telemetry import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        engine = Engine(metrics=metrics)
+        keep = engine.call_at(1.0, lambda: None)
+        drop = engine.call_at(2.0, lambda: None)
+        drop.cancel()
+        engine.run_until(3.0)
+        snap = metrics.snapshot()
+        assert snap["counters"]["engine.events.scheduled"] == 2
+        assert snap["counters"]["engine.events.executed"] == 1
+        assert snap["counters"]["engine.events.cancelled"] == 1
+        assert snap["counters"]["engine.run.calls"] == 1
+        assert snap["counters"]["engine.run.wall_time_s"] > 0.0
+        assert snap["gauges"]["engine.heap.depth"]["max"] == 2
+
+    def test_uninstrumented_engine_has_no_registry(self, engine):
+        assert engine.metrics is None
+
+
 class TestEngineDeterminism:
     def test_same_schedule_same_execution(self):
         def run_once():

@@ -21,6 +21,31 @@ class TestTrace:
         assert len(trace) == 2
         assert trace[0].info == "frame 3"
 
+    def test_capped_trace_preserves_records_and_filter_api(self):
+        trace = FrameTrace(capacity=3)
+        for index in range(10):
+            trace.add(float(index), "src", "dst", f"frame {index}")
+        assert [r.info for r in trace.records] == [
+            "frame 7", "frame 8", "frame 9",
+        ]
+        assert len(trace.filter(source="src")) == 3
+        assert trace.count_info("frame") == 3
+        assert trace.between(8.0, 10.0)[0].info == "frame 8"
+        assert [r.info for r in trace[0:2]] == ["frame 7", "frame 8"]
+        assert trace[-1].info == "frame 9"
+        trace.clear()
+        assert len(trace) == 0
+
+    def test_capped_trace_exports_like_uncapped(self):
+        capped = FrameTrace(capacity=100)
+        plain = FrameTrace()
+        for target in (capped, plain):
+            for index in range(5):
+                target.add(float(index), "a", "b", f"frame {index}", length=10)
+        assert capped.to_csv() == plain.to_csv()
+        assert capped.to_jsonl() == plain.to_jsonl()
+        assert capped.to_table() == plain.to_table()
+
     def test_filter_by_attribute(self):
         trace = FrameTrace()
         trace.add(0.0, "attacker", "victim", "Null function")
