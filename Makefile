@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench demo examples campaign-smoke clean
+.PHONY: install test bench perf perf-full perf-compare demo examples campaign-smoke clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -12,6 +12,22 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
+
+# Perf microbenchmark suite (docs/performance.md): one BENCH_<name>.json
+# per benchmark under benchmarks/perf/results.  quick mode is what CI
+# runs; full mode is the full-scale wardrive/battery reproduction.
+perf:
+	PYTHONPATH=src:. $(PYTHON) benchmarks/perf/run_perf.py --quick
+
+perf-full:
+	PYTHONPATH=src:. $(PYTHON) benchmarks/perf/run_perf.py --full
+
+# Compare the latest results against the checked-in baselines
+# (record-only by default; pass MAX_REGRESSION=1.3 to gate).
+perf-compare:
+	PYTHONPATH=src:. $(PYTHON) benchmarks/perf/compare.py \
+		benchmarks/perf/baselines benchmarks/perf/results \
+		$(if $(MAX_REGRESSION),--max-regression $(MAX_REGRESSION),)
 
 demo:
 	$(PYTHON) -m repro probe

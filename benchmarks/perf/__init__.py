@@ -1,0 +1,18 @@
+"""Perf-regression microbenchmark suite.
+
+Unlike ``benchmarks/bench_*.py`` (which reproduce the paper's tables and
+figures and assert on their *shape*), these benchmarks measure how fast
+the simulator itself runs and emit machine-readable ``BENCH_<name>.json``
+files so the repo carries a tracked perf trajectory across PRs.
+
+Run via ``make perf`` (quick mode) or::
+
+    PYTHONPATH=src python benchmarks/perf/run_perf.py --quick --out benchmarks/perf/results
+
+and compare two result sets with::
+
+    PYTHONPATH=src python benchmarks/perf/compare.py benchmarks/perf/baselines benchmarks/perf/results
+
+See ``docs/performance.md`` for the fast-path design these benchmarks
+guard.
+"""

@@ -1,0 +1,87 @@
+"""Figure 6 flood perf benchmark: fake-frame floods up to 900 frames/s.
+
+The battery-drain attack is the simulator's highest frame *rate*
+workload — at 900 frames/s each fake frame triggers the victim's ACK
+automaton, so the engine sustains thousands of events per simulated
+second through the full PHY/MAC stack (PLCP airtime, half duplex, power
+accounting).  A small bystander population keeps the medium's broadcast
+loop honest: every flood frame is also resolved against the bystanders'
+link budgets, all static.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from benchmarks.perf.harness import BenchOutcome
+
+from repro.core.battery import BatteryDrainAttack
+from repro.devices.access_point import AccessPoint
+from repro.devices.dongle import MonitorDongle
+from repro.devices.esp import Esp8266Device
+from repro.mac.addresses import MacAddress
+from repro.sim.engine import Engine
+from repro.sim.medium import Medium
+from repro.sim.world import Position
+from repro.telemetry import MetricsRegistry
+
+N_BYSTANDERS = 40
+
+
+def bench_figure6_battery(quick: bool) -> BenchOutcome:
+    rates = (0.0, 200.0, 900.0) if quick else (0.0, 50.0, 200.0, 900.0)
+    duration_s = 3.0 if quick else 8.0
+    metrics = MetricsRegistry()
+    setup_start = time.perf_counter()
+    engine = Engine(metrics=metrics)
+    medium = Medium(engine)
+    rng = np.random.default_rng(2020)
+    ap = AccessPoint(
+        mac=MacAddress("0c:00:1e:00:00:02"),
+        medium=medium, position=Position(0, 0, 2), rng=rng,
+        ssid="IoTNet", passphrase="iot network key",
+    )
+    victim = Esp8266Device(
+        mac=MacAddress("02:e8:26:60:00:01"),
+        medium=medium, position=Position(5, 0, 1), rng=rng,
+    )
+    victim.connect(ap.mac, "IoTNet", "iot network key")
+    engine.run_until(1.0)
+    victim.enter_power_save()
+    bystanders = [
+        MonitorDongle(
+            mac=MacAddress(bytes([0x02, 0xBB, 0, 0, 0, i + 1])),
+            medium=medium,
+            position=Position(10.0 + (i * 17) % 60, (i * 29) % 40, 1),
+            rng=rng,
+        )
+        for i in range(N_BYSTANDERS)
+    ]
+    attacker = MonitorDongle(
+        mac=MacAddress("02:dd:00:00:00:02"),
+        medium=medium, position=Position(12, 0, 1), rng=rng,
+    )
+    attack = BatteryDrainAttack(attacker, victim)
+    setup_s = time.perf_counter() - setup_start
+
+    points = attack.sweep(rates_pps=rates, duration_s=duration_s)
+
+    peak = max(points, key=lambda p: p.average_power_mw)
+    return BenchOutcome(
+        outputs={
+            "rates": len(rates),
+            "peak_rate_pps": max(rates),
+            "sim_s": duration_s * len(rates),
+            "bystanders": len(bystanders),
+            "transmissions": medium.transmission_count,
+            "events_executed": engine.events_processed,
+            "frames_received": sum(p.frames_received for p in points),
+            "acks_transmitted": sum(p.acks_transmitted for p in points),
+            "peak_power_mw": peak.average_power_mw,
+            "amplification": BatteryDrainAttack.amplification(points),
+        },
+        metrics=metrics,
+        setup_s=setup_s,
+    )

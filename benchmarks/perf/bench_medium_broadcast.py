@@ -1,0 +1,115 @@
+"""Medium hot-path microbenchmark: many static radios, steady broadcast.
+
+This is the purest measurement of ``Medium.transmit()`` cost: 500 parked
+radios split across channels 1/6/11, a handful of senders per channel
+flooding small frames on a fixed cadence, no MAC stack above the radios.
+Every transmission forces the medium to resolve the link budget to every
+same-channel radio, so the per-(radios × transmissions) cost — the loop
+the per-channel index and link-budget cache exist to kill — dominates
+the wall clock.
+"""
+
+from __future__ import annotations
+
+from benchmarks.perf.harness import BenchOutcome
+
+import time
+
+from repro.phy.signal import LogDistancePathLoss
+from repro.sim.engine import Engine
+from repro.sim.medium import Medium
+from repro.sim.world import Position
+from repro.telemetry import MetricsRegistry
+
+CHANNELS = (1, 6, 11)
+N_RADIOS = 500
+SENDERS_PER_CHANNEL = 8
+FRAME_INTERVAL_S = 2e-3
+FRAME_DURATION_S = 3e-4
+
+
+class _Frame:
+    """Minimal opaque frame: the medium only ever asks for wire_length."""
+
+    __slots__ = ()
+
+    @staticmethod
+    def wire_length() -> int:
+        return 200
+
+
+class _SinkRadio:
+    """Bare RadioPort: static position, counts receptions, no MAC."""
+
+    __slots__ = ("name", "channel", "rx_sensitivity_dbm", "_position",
+                 "static_position", "received")
+
+    def __init__(self, name: str, channel: int, position: Position) -> None:
+        self.name = name
+        self.channel = channel
+        self.rx_sensitivity_dbm = -92.0
+        self._position = position
+        self.static_position = position
+        self.received = 0
+
+    def current_position(self, time: float) -> Position:
+        return self._position
+
+    def on_reception(self, reception) -> None:
+        self.received += 1
+
+
+def bench_medium_broadcast(quick: bool) -> BenchOutcome:
+    sim_duration = 1.0 if quick else 4.0
+    metrics = MetricsRegistry()
+    setup_start = time.perf_counter()
+    engine = Engine(metrics=metrics)
+    medium = Medium(
+        engine, path_loss_db=LogDistancePathLoss(exponent=2.8, walls=1)
+    )
+    radios = []
+    for index in range(N_RADIOS):
+        # Deterministic scatter over ~600 x 420 m (no RNG needed).
+        x = (index * 37) % 600
+        y = (index * 73) % 420
+        radio = _SinkRadio(
+            f"r{index:03d}", CHANNELS[index % len(CHANNELS)], Position(x, y, 3.0)
+        )
+        medium.attach(radio)
+        radios.append(radio)
+
+    frame = _Frame()
+
+    def make_sender(radio: _SinkRadio):
+        def send() -> None:
+            medium.transmit(radio, frame, FRAME_DURATION_S, 20.0, 6.0)
+            engine.call_after(FRAME_INTERVAL_S, send)
+
+        return send
+
+    senders = [
+        radio
+        for channel in CHANNELS
+        for radio in [r for r in radios if r.channel == channel][
+            :SENDERS_PER_CHANNEL
+        ]
+    ]
+    for offset, sender in enumerate(senders):
+        engine.call_after(offset * 11e-6, make_sender(sender))
+    setup_s = time.perf_counter() - setup_start
+
+    engine.run_until(sim_duration)
+
+    receptions = sum(radio.received for radio in radios)
+    return BenchOutcome(
+        outputs={
+            "radios": len(radios),
+            "senders": len(senders),
+            "sim_s": sim_duration,
+            "transmissions": medium.transmission_count,
+            "receptions": receptions,
+            "events_executed": engine.events_processed,
+        },
+        metrics=metrics,
+        setup_s=setup_s,
+    )

@@ -1,0 +1,94 @@
+"""Compare two perf result sets: the tracked trajectory vs a fresh run.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/compare.py BASELINE CANDIDATE \
+        [--max-regression 1.30]
+
+``BASELINE`` and ``CANDIDATE`` are directories of ``BENCH_*.json`` files
+(or single files).  For every benchmark present in both, prints the
+``run_s`` ratio (candidate / baseline; > 1 means slower) and the change
+in events-per-second throughput.  With ``--max-regression`` the exit
+status turns non-zero when any benchmark slows past the factor — CI
+currently runs record-only (no threshold), so the trajectory accumulates
+before a gate is chosen.
+
+Wall-clock comparisons are only meaningful between runs in the same mode
+(quick vs full) on comparable hardware; mismatched modes are flagged.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import Dict
+
+if __package__ in (None, ""):
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent.parent))
+
+from benchmarks.perf.harness import load_result  # noqa: E402
+
+
+def _load_set(path: pathlib.Path) -> Dict[str, dict]:
+    files = [path] if path.is_file() else sorted(path.glob("BENCH_*.json"))
+    results = {}
+    for file in files:
+        record = load_result(file)
+        results[str(record["bench"])] = record
+    if not results:
+        raise SystemExit(f"no BENCH_*.json results under {path}")
+    return results
+
+
+def _events_per_s(record: dict) -> float:
+    events = record.get("outputs", {}).get("events_executed")
+    run_s = record.get("run_s") or 0.0
+    if not events or not run_s:
+        return 0.0
+    return events / run_s
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=pathlib.Path)
+    parser.add_argument("candidate", type=pathlib.Path)
+    parser.add_argument(
+        "--max-regression", type=float, default=None, metavar="FACTOR",
+        help="fail (exit 1) if any bench's run_s ratio exceeds FACTOR",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = _load_set(args.baseline)
+    candidate = _load_set(args.candidate)
+    shared = sorted(set(baseline) & set(candidate))
+    if not shared:
+        raise SystemExit("no benchmarks in common between the two sets")
+
+    print(f"{'bench':<24} {'base run_s':>10} {'cand run_s':>10} "
+          f"{'ratio':>7}  {'base ev/s':>12} {'cand ev/s':>12}")
+    worst = 0.0
+    for name in shared:
+        base, cand = baseline[name], candidate[name]
+        flag = ""
+        if base.get("quick") != cand.get("quick"):
+            flag = "  [mode mismatch: quick vs full]"
+        ratio = (cand["run_s"] / base["run_s"]) if base["run_s"] else float("inf")
+        worst = max(worst, ratio)
+        print(
+            f"{name:<24} {base['run_s']:>10.3f} {cand['run_s']:>10.3f} "
+            f"{ratio:>6.2f}x  {_events_per_s(base):>12,.0f} "
+            f"{_events_per_s(cand):>12,.0f}{flag}"
+        )
+    missing = sorted(set(baseline) ^ set(candidate))
+    if missing:
+        print(f"(not compared — present on one side only: {', '.join(missing)})")
+    if args.max_regression is not None and worst > args.max_regression:
+        print(f"REGRESSION: worst ratio {worst:.2f}x exceeds "
+              f"--max-regression {args.max_regression:.2f}x")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

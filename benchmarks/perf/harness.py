@@ -1,0 +1,129 @@
+"""Shared plumbing for the perf microbenchmarks.
+
+Every benchmark is a function ``fn(quick: bool) -> BenchOutcome``; the
+harness times it, folds in the run's telemetry snapshot (the same
+:class:`~repro.telemetry.registry.MetricsRegistry` machinery the
+simulator uses everywhere), and serializes one ``BENCH_<name>.json`` per
+benchmark.  The JSON schema is additive-only so old baselines stay
+comparable:
+
+``schema``
+    Integer schema version (currently 1).
+``bench`` / ``quick`` / ``created_unix`` / ``env``
+    Identity of the run: benchmark name, quick-vs-full mode, timestamp,
+    and the host environment (python version, platform, git revision).
+``setup_s`` / ``run_s`` / ``wall_s``
+    Scenario construction time, simulation time (the number the perf
+    trajectory tracks), and their sum.
+``outputs``
+    Flat dict of benchmark-specific numbers (event counts, throughput).
+``metrics``
+    The registry snapshot of the simulation, so a regression can be
+    diagnosed (did events get slower, or did we run more of them?).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.telemetry.registry import MetricsRegistry
+
+SCHEMA_VERSION = 1
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent.parent
+DEFAULT_RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+
+@dataclass
+class BenchOutcome:
+    """What a benchmark body hands back to the harness.
+
+    ``setup_s`` covers scenario construction (city generation, device
+    materialization); the harness measures ``run_s`` around the body
+    itself minus ``setup_s``, so benchmarks just report where the split
+    falls.
+    """
+
+    outputs: Dict[str, float] = field(default_factory=dict)
+    metrics: Optional[MetricsRegistry] = None
+    setup_s: float = 0.0
+
+
+def _git_revision() -> str:
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=5.0,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    return proc.stdout.strip() if proc.returncode == 0 else "unknown"
+
+
+def run_bench(
+    name: str, fn: Callable[[bool], BenchOutcome], quick: bool
+) -> Dict[str, object]:
+    """Execute one benchmark and return its result record."""
+    start = time.perf_counter()
+    outcome = fn(quick)
+    wall = time.perf_counter() - start
+    run_s = max(wall - outcome.setup_s, 0.0)
+    result: Dict[str, object] = {
+        "schema": SCHEMA_VERSION,
+        "bench": name,
+        "quick": bool(quick),
+        "created_unix": time.time(),
+        "env": {
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+            "git_rev": _git_revision(),
+        },
+        "setup_s": outcome.setup_s,
+        "run_s": run_s,
+        "wall_s": wall,
+        "outputs": {k: outcome.outputs[k] for k in sorted(outcome.outputs)},
+        "metrics": outcome.metrics.snapshot() if outcome.metrics else None,
+    }
+    return result
+
+
+def result_path(out_dir: pathlib.Path, name: str) -> pathlib.Path:
+    return out_dir / f"BENCH_{name}.json"
+
+
+def write_result(result: Dict[str, object], out_dir: pathlib.Path) -> pathlib.Path:
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = result_path(out_dir, str(result["bench"]))
+    path.write_text(
+        json.dumps(result, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return path
+
+
+def load_result(path: pathlib.Path) -> Dict[str, object]:
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def summarize(result: Dict[str, object]) -> str:
+    """One human-readable line per benchmark for terminal output."""
+    outputs = result.get("outputs", {})
+    hot = ", ".join(
+        f"{key}={outputs[key]:,.0f}" if isinstance(outputs[key], (int, float))
+        else f"{key}={outputs[key]}"
+        for key in list(outputs)[:4]
+    )
+    return (
+        f"{result['bench']:<24} run {result['run_s']:>8.3f}s "
+        f"(setup {result['setup_s']:.2f}s)  {hot}"
+    )

@@ -1,0 +1,80 @@
+"""Perf suite runner: execute the microbenchmarks, emit BENCH_*.json.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python benchmarks/perf/run_perf.py --quick --out benchmarks/perf/results
+    PYTHONPATH=src python benchmarks/perf/run_perf.py --full --only table2_wardrive
+
+``--quick`` (the default, used by ``make perf`` and CI) sizes each
+benchmark for seconds of wall time; ``--full`` runs the sizes the
+checked-in perf trajectory should eventually track on dedicated
+hardware.  Compare two result sets with ``compare.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent.parent
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
+_SRC = REPO_ROOT / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from benchmarks.perf.harness import (  # noqa: E402
+    DEFAULT_RESULTS_DIR,
+    run_bench,
+    summarize,
+    write_result,
+)
+from benchmarks.perf.bench_engine_churn import bench_engine_churn  # noqa: E402
+from benchmarks.perf.bench_figure6_battery import bench_figure6_battery  # noqa: E402
+from benchmarks.perf.bench_medium_broadcast import bench_medium_broadcast  # noqa: E402
+from benchmarks.perf.bench_table2_wardrive import bench_table2_wardrive  # noqa: E402
+
+BENCHES = {
+    "medium_broadcast": bench_medium_broadcast,
+    "engine_churn": bench_engine_churn,
+    "table2_wardrive": bench_table2_wardrive,
+    "figure6_battery": bench_figure6_battery,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument("--quick", action="store_true", default=True,
+                      help="small sizes for CI / local smoke (default)")
+    mode.add_argument("--full", dest="quick", action="store_false",
+                      help="full benchmark sizes")
+    parser.add_argument(
+        "--only", action="append", choices=sorted(BENCHES), default=None,
+        metavar="NAME", help="run only this benchmark (repeatable)",
+    )
+    parser.add_argument(
+        "--out", type=pathlib.Path, default=DEFAULT_RESULTS_DIR,
+        help=f"output directory for BENCH_*.json (default: {DEFAULT_RESULTS_DIR})",
+    )
+    args = parser.parse_args(argv)
+
+    names = args.only if args.only else sorted(BENCHES)
+    print(f"perf suite: {'quick' if args.quick else 'full'} mode, "
+          f"{len(names)} benchmark(s) -> {args.out}")
+    failures = 0
+    for name in names:
+        try:
+            result = run_bench(name, BENCHES[name], quick=args.quick)
+        except Exception as exc:  # keep going; report at the end
+            print(f"{name:<24} FAILED: {exc!r}")
+            failures += 1
+            continue
+        path = write_result(result, args.out)
+        print(summarize(result) + f"  -> {path.name}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -245,7 +245,14 @@ def _run_campaign(argv) -> int:
         help="write the JSON run manifest here",
     )
     parser.add_argument("--name", default="", help="campaign name for the manifest")
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="reuse (seed, params) runs already recorded in the manifest "
+        "at --out instead of re-executing them",
+    )
     args = parser.parse_args(argv)
+    if args.resume and not args.out:
+        parser.error("--resume requires --out (the manifest to resume from)")
     try:
         config = CampaignConfig(
             scenario=args.scenario,
@@ -254,11 +261,17 @@ def _run_campaign(argv) -> int:
             workers=args.workers,
             name=args.name,
             output_path=args.out,
+            resume=args.resume,
         )
         config.expand()  # surface config errors as usage errors, not tracebacks
     except ValueError as exc:
         parser.error(str(exc))
-    manifest = run_campaign(config)
+    try:
+        manifest = run_campaign(config)
+    except ValueError as exc:
+        parser.error(str(exc))
+    if manifest.get("resumed_runs"):
+        print(f"[resumed: {manifest['resumed_runs']} run(s) reused from {args.out}]")
     print(summarize_manifest(manifest))
     if args.out:
         print(f"\n[manifest written to {args.out}]")

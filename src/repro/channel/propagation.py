@@ -51,15 +51,23 @@ class ShadowedPathLoss:
         )
 
     def shadowing_for(self, tx: Position, rx: Position) -> float:
-        key = self._link_key(tx, rx)
-        if key not in self._link_shadowing:
-            self._link_shadowing[key] = float(
-                self._rng.normal(0.0, self.shadowing_sigma_db)
-            )
+        links = self._link_shadowing
+        key = (
+            int(round(tx.x)),
+            int(round(tx.y)),
+            int(round(tx.z)),
+            int(round(rx.x)),
+            int(round(rx.y)),
+            int(round(rx.z)),
+        )
+        offset = links.get(key)
+        if offset is None:
+            offset = float(self._rng.normal(0.0, self.shadowing_sigma_db))
+            links[key] = offset
             # Bound memory: forget the oldest links past 100k entries.
-            if len(self._link_shadowing) > 100_000:
-                self._link_shadowing.pop(next(iter(self._link_shadowing)))
-        return self._link_shadowing[key]
+            if len(links) > 100_000:
+                links.pop(next(iter(links)))
+        return offset
 
     def __call__(self, tx: Position, rx: Position) -> float:
         return self.base(tx, rx) + self.shadowing_for(tx, rx)

@@ -35,18 +35,30 @@ PTK_LENGTH = 48
 
 _PTK_LABEL = b"Pairwise key expansion"
 
+#: PBKDF2 is deliberately slow (~ms per call); the mapping is a pure
+#: function of (passphrase, ssid), so repeated constructions of the same
+#: network across a campaign pay for it once.  FIFO-capped.
+_PMK_CACHE: "dict[tuple[str, str], bytes]" = {}
+_PMK_CACHE_MAX = 4096
+
 
 def derive_pmk(passphrase: str, ssid: str) -> bytes:
     """Pairwise master key from a passphrase and SSID (IEEE 802.11 J.4)."""
     if not 8 <= len(passphrase) <= 63:
         raise ValueError("WPA2 passphrases are 8..63 characters")
-    return hashlib.pbkdf2_hmac(
-        "sha1",
-        passphrase.encode("utf-8"),
-        ssid.encode("utf-8"),
-        PBKDF2_ITERATIONS,
-        dklen=32,
-    )
+    key = (passphrase, ssid)
+    pmk = _PMK_CACHE.get(key)
+    if pmk is None:
+        if len(_PMK_CACHE) >= _PMK_CACHE_MAX:
+            _PMK_CACHE.pop(next(iter(_PMK_CACHE)))
+        pmk = _PMK_CACHE[key] = hashlib.pbkdf2_hmac(
+            "sha1",
+            passphrase.encode("utf-8"),
+            ssid.encode("utf-8"),
+            PBKDF2_ITERATIONS,
+            dklen=32,
+        )
+    return pmk
 
 
 def _prf(key: bytes, label: bytes, data: bytes, length: int) -> bytes:

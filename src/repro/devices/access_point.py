@@ -82,7 +82,10 @@ class AccessPoint(Device):
         self.ssid = ssid
         self._passphrase = passphrase
         self.behavior = behavior if behavior is not None else ApBehavior()
-        self._pmk = derive_pmk(passphrase, ssid) if passphrase is not None else b""
+        # PMK derivation (PBKDF2, ~ms of real work) is deferred until a
+        # station actually reaches the 4-way handshake: a wardrive city
+        # materializes hundreds of APs nobody ever associates with.
+        self._pmk_bytes: Optional[bytes] = b"" if passphrase is None else None
         self._gtk = bytes(int(b) for b in self.rng.integers(0, 256, size=16))
         self._associations: Dict[MacAddress, _Association] = {}
         self._next_aid = 1
@@ -93,6 +96,14 @@ class AccessPoint(Device):
         self.data_received = 0
         #: Optional application hook: (payload, frame) per delivered payload.
         self.data_handler = None
+
+    @property
+    def _pmk(self) -> bytes:
+        pmk = self._pmk_bytes
+        if pmk is None:
+            assert self._passphrase is not None
+            pmk = self._pmk_bytes = derive_pmk(self._passphrase, self.ssid)
+        return pmk
 
     # ------------------------------------------------------------------
     # Beaconing / discovery

@@ -25,7 +25,8 @@ import numpy as np
 from repro.devices.power_model import EnergyAccountant, PowerProfile
 from repro.mac.ack_engine import AckEngine, AckEngineConfig
 from repro.mac.addresses import MacAddress
-from repro.mac.frames import Frame
+from repro.mac import frames as frame_types
+from repro.mac.frames import Frame, FrameType
 from repro.mac.powersave import PowerSaveConfig, PowerSaveController
 from repro.mac.transmitter import MacTransmitter, TxAttempt
 from repro.phy.constants import Band
@@ -120,7 +121,7 @@ class Device:
     # Receive-side accounting (every decoded frame, ours or not)
     # ------------------------------------------------------------------
     def _account_frame(self, frame: Frame, reception: Reception) -> None:
-        addressed_to_us = frame.addr1 == self.mac
+        addressed_to_us = frame.addr1._value == self.mac._value
         if self.accountant is not None:
             self.accountant.note_frame_received(reception.airtime, addressed_to_us)
         if self.power_save is not None and addressed_to_us:
@@ -130,26 +131,26 @@ class Device:
     # Frame dispatch (unicast-to-us and group frames, post-ACK)
     # ------------------------------------------------------------------
     def _dispatch_frame(self, frame: Frame, reception: Reception) -> None:
-        if frame.is_beacon:
-            self.on_beacon(frame, reception)
-        elif frame.is_management:
-            from repro.mac import frames as frame_types
-
-            if frame.subtype == frame_types.SUBTYPE_PROBE_REQUEST:
+        ftype = frame.ftype
+        if ftype is FrameType.MANAGEMENT:
+            subtype = frame.subtype
+            if subtype == frame_types.SUBTYPE_BEACON:
+                self.on_beacon(frame, reception)
+            elif subtype == frame_types.SUBTYPE_PROBE_REQUEST:
                 self.on_probe_request(frame, reception)
-            elif frame.subtype == frame_types.SUBTYPE_PROBE_RESPONSE:
+            elif subtype == frame_types.SUBTYPE_PROBE_RESPONSE:
                 self.on_probe_response(frame, reception)
-            elif frame.subtype == frame_types.SUBTYPE_AUTH:
+            elif subtype == frame_types.SUBTYPE_AUTH:
                 self.on_auth(frame, reception)
-            elif frame.subtype == frame_types.SUBTYPE_ASSOC_REQUEST:
+            elif subtype == frame_types.SUBTYPE_ASSOC_REQUEST:
                 self.on_assoc_request(frame, reception)
-            elif frame.subtype == frame_types.SUBTYPE_ASSOC_RESPONSE:
+            elif subtype == frame_types.SUBTYPE_ASSOC_RESPONSE:
                 self.on_assoc_response(frame, reception)
-            elif frame.subtype == frame_types.SUBTYPE_DEAUTH:
+            elif subtype == frame_types.SUBTYPE_DEAUTH:
                 self.on_deauth(frame, reception)
             else:
                 self.on_management(frame, reception)
-        elif frame.is_data:
+        elif ftype is FrameType.DATA:
             self.on_data(frame, reception)
 
     # ------------------------------------------------------------------

@@ -27,7 +27,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple
 
 from repro.mac.addresses import MacAddress
-from repro.mac.frames import AckFrame, CtsFrame, Frame
+from repro.mac.frames import AckFrame, CtsFrame, Frame, FrameType
 from repro.mac.serialization import FrameFormatError, deserialize
 from repro.phy.constants import Band, sifs
 from repro.phy.plcp import cts_airtime
@@ -131,29 +131,51 @@ class AckEngine:
     # Receive path
     # ------------------------------------------------------------------
     def _on_reception(self, reception: Reception) -> None:
-        self.stats.frames_seen += 1
+        stats = self.stats
+        stats.frames_seen += 1
         if not reception.fcs_ok:
             # The PHY silently discards frames that fail the CRC; nothing
             # above ever learns they existed, and no ACK is generated.
-            self.stats.fcs_failures += 1
+            stats.fcs_failures += 1
             return
-        frame = self._as_frame(reception.frame)
+        payload = reception.frame
+        if isinstance(payload, Frame):
+            frame = payload
+        else:
+            # Raw PSDU bytes: the CRC check + parse is identical for every
+            # receiver of this transmission, so the first arrival caches
+            # the decoded frame on the shared Transmission record and the
+            # other N-1 receivers reuse it.  Received frames are treated
+            # as immutable everywhere, so sharing one instance is safe.
+            cache = reception.transmission.rx_cache
+            if cache is None:
+                cache = reception.transmission.rx_cache = {}
+            try:
+                frame = cache["frame"]
+            except KeyError:
+                frame = cache["frame"] = self._as_frame(payload)
         if frame is None:
-            self.stats.fcs_failures += 1
+            stats.fcs_failures += 1
             return
         if self.sniffer_handler is not None:
             self.sniffer_handler(frame, reception)
         if self.config.promiscuous:
             # Monitor-mode interfaces capture everything and answer nothing.
             return
-        if frame.addr1 != self.mac_address:
-            if frame.addr1.is_multicast:
-                self._pass_up(frame, reception)
+        addr1 = frame.addr1
+        if addr1._value != self.mac_address._value:
+            if addr1._value[0] & 0x01:  # group bit: multicast/broadcast
+                # _pass_up inlined: group frames dominate the wardrive
+                # receive path (beacons/probes heard by hundreds of radios).
+                stats.passed_up += 1
+                handler = self.mac_handler
+                if handler is not None:
+                    handler(frame, reception)
             return
 
         # --- From here on the frame is addressed to us and passed the FCS.
         # This is the entirety of what fits inside SIFS.
-        if frame.is_control:
+        if frame.ftype is FrameType.CONTROL:
             self._handle_control(frame, reception)
             return
         self._schedule_ack(frame, reception)
@@ -253,7 +275,9 @@ class AckEngine:
             self._duplicate_cache[key] = None
             while len(self._duplicate_cache) > _DUPLICATE_CACHE_SIZE:
                 self._duplicate_cache.pop(next(iter(self._duplicate_cache)))
-        self._pass_up(frame, reception)
+        self.stats.passed_up += 1
+        if self.mac_handler is not None:
+            self.mac_handler(frame, reception)
 
     def _pass_up(self, frame: Frame, reception: Reception) -> None:
         self.stats.passed_up += 1

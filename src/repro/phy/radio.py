@@ -33,6 +33,11 @@ class RadioState(enum.Enum):
     TX = "tx"
 
 
+#: Module-level alias: the sleep check runs once per finished arrival, and
+#: an enum-member attribute lookup there is measurable at wardrive scale.
+_SLEEP = RadioState.SLEEP
+
+
 class Radio:
     """One 802.11 radio attached to a medium.
 
@@ -62,10 +67,10 @@ class Radio:
     ) -> None:
         self.name = name
         self.medium = medium
-        self.channel = channel
+        self._channel = int(channel)
         self.tx_power_dbm = tx_power_dbm
         self.rx_sensitivity_dbm = rx_sensitivity_dbm
-        self._position = position
+        self._position = position  # property setter fills static_position
         self._state = RadioState.IDLE
         self._state_listeners: List[Callable[[RadioState, float], None]] = []
         self.frame_handler: Optional[Callable[[Reception], None]] = None
@@ -77,19 +82,58 @@ class Radio:
     # ------------------------------------------------------------------
     # RadioPort protocol
     # ------------------------------------------------------------------
+    @property
+    def channel(self) -> int:
+        return self._channel
+
+    @channel.setter
+    def channel(self, channel: int) -> None:
+        """Retune; the medium's per-channel index is kept in sync."""
+        channel = int(channel)
+        if channel == self._channel:
+            return
+        self._channel = channel
+        self.medium.retune(self.name, channel)
+
+    @property
+    def _position(self) -> PositionProvider:
+        return self._position_provider
+
+    @_position.setter
+    def _position(self, provider: PositionProvider) -> None:
+        """Swapping the provider re-classifies the radio with the medium.
+
+        ``static_position`` is the fast-path promise to the medium: a
+        non-None value means ``current_position`` returns this exact
+        Position until the provider is replaced again, so the medium can
+        cache the radio's link budgets.  Code that takes over a radio's
+        position mid-simulation (the localization attack walking its
+        dongle between anchors) assigns ``_position`` and the caches are
+        invalidated here.
+        """
+        self._position_provider = provider
+        static = None if callable(provider) else provider
+        self.static_position: Optional[Position] = static
+        medium = getattr(self, "medium", None)
+        if medium is not None:
+            # No-op during __init__ (attach happens last).
+            medium.reposition(self.name, static)
+
     def current_position(self, time: float) -> Position:
-        if callable(self._position):
-            return self._position(time)
-        return self._position
+        provider = self._position_provider
+        if callable(provider):
+            return provider(time)
+        return provider
 
     def on_reception(self, reception: Reception) -> None:
         """Medium callback: route a finished arrival to the MAC."""
-        if self._state is RadioState.SLEEP:
+        if self._state is _SLEEP:
             self.frames_dropped_asleep += 1
             return
         self.frames_delivered += 1
-        if self.frame_handler is not None:
-            self.frame_handler(reception)
+        handler = self.frame_handler
+        if handler is not None:
+            handler(reception)
 
     # ------------------------------------------------------------------
     # State machine

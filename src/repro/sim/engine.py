@@ -5,6 +5,15 @@ events.  Events are ``(time, sequence, callback)`` triples; the sequence
 number breaks ties so that two events scheduled for the same instant run in
 scheduling order, which keeps simulations deterministic.
 
+The heap stores plain ``(time, sequence, item)`` tuples so every sift
+comparison during push/pop is a C-level tuple comparison that never
+reaches the payload (sequence numbers are unique, so the third element
+is never compared).  ``item`` is either an :class:`Event` — the stable
+handle callers keep for cancellation — or, for :meth:`Engine.post`, the
+bare callback: fire-and-forget events skip the Event allocation
+entirely, which is worth it at hundreds of thousands of arrivals per
+simulated second.
+
 Callbacks take no arguments — closures capture whatever context they need.
 A callback may schedule further events (including at the current time).
 
@@ -28,10 +37,9 @@ instruments a whole simulation.
 
 from __future__ import annotations
 
-import heapq
 import time
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, List, Optional
+from heapq import heapify, heappop, heappush
+from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
 
 from repro.sim.clock import Clock
 
@@ -44,23 +52,37 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
 _COMPACT_MIN_HEAP = 64
 
 
-@dataclass(order=True)
 class Event:
-    """A scheduled callback.
+    """A scheduled callback and its cancellation handle.
 
-    Events sort by ``(time, sequence)``.  ``cancelled`` events stay in the
-    heap but are skipped when popped (lazy deletion), which makes
-    cancellation O(1); the owning engine is notified so its live-event
-    accounting stays exact and it can compact when dead entries dominate.
+    The heap orders events by their ``(time, sequence)`` tuple entry;
+    ``cancelled`` events stay in the heap but are skipped when popped
+    (lazy deletion), which makes cancellation O(1); the owning engine is
+    notified so its live-event accounting stays exact and it can compact
+    when dead entries dominate.
     """
 
-    time: float
-    sequence: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    _engine: Optional["Engine"] = field(
-        default=None, compare=False, repr=False
-    )
+    __slots__ = ("time", "sequence", "callback", "cancelled", "_engine")
+
+    def __init__(
+        self,
+        time: float,
+        sequence: int,
+        callback: Callable[[], None],
+        cancelled: bool = False,
+        engine: Optional["Engine"] = None,
+    ) -> None:
+        self.time = time
+        self.sequence = sequence
+        self.callback = callback
+        self.cancelled = cancelled
+        self._engine = engine
+
+    def __repr__(self) -> str:
+        return (
+            f"Event(time={self.time!r}, sequence={self.sequence!r}, "
+            f"callback={self.callback!r}, cancelled={self.cancelled!r})"
+        )
 
     def cancel(self) -> None:
         """Mark this event so it is skipped when its time comes."""
@@ -88,7 +110,7 @@ class Engine:
         metrics: Optional["MetricsRegistry"] = None,
     ) -> None:
         self.clock = clock if clock is not None else Clock()
-        self._heap: List[Event] = []
+        self._heap: List[Tuple[float, int, Event]] = []
         self._scheduled = 0  # doubles as the tie-breaking sequence counter
         self._processed = 0
         self._cancelled = 0
@@ -175,7 +197,7 @@ class Engine:
         current instant is allowed and runs after already-queued events for
         that instant.
         """
-        if time < self.clock.now:
+        if time < self.clock._now:
             raise ValueError(
                 f"cannot schedule event at {time!r}, now is {self.clock.now!r}"
             )
@@ -183,7 +205,7 @@ class Engine:
         self._scheduled = sequence + 1
         event = Event(time, sequence, callback, False, self)
         heap = self._heap
-        heapq.heappush(heap, event)
+        heappush(heap, (time, sequence, event))
         if len(heap) > self._heap_peak:
             self._heap_peak = len(heap)
         return event
@@ -192,7 +214,26 @@ class Engine:
         """Schedule ``callback`` to run ``delay`` seconds from now."""
         if delay < 0.0:
             raise ValueError(f"delay must be non-negative, got {delay!r}")
-        return self.call_at(self.clock.now + delay, callback)
+        return self.call_at(self.clock._now + delay, callback)
+
+    def post(self, time: float, callback: Callable[[], None]) -> None:
+        """Schedule a fire-and-forget callback at absolute time ``time``.
+
+        The hot-path sibling of :meth:`call_at`: no :class:`Event` handle
+        is created, so the callback cannot be cancelled.  Ordering
+        semantics are identical (same sequence-number tie-breaking).  The
+        medium uses this for frame arrivals, which are never cancelled.
+        """
+        if time < self.clock._now:
+            raise ValueError(
+                f"cannot schedule event at {time!r}, now is {self.clock.now!r}"
+            )
+        sequence = self._scheduled
+        self._scheduled = sequence + 1
+        heap = self._heap
+        heappush(heap, (time, sequence, callback))
+        if len(heap) > self._heap_peak:
+            self._heap_peak = len(heap)
 
     def stop(self) -> None:
         """Request the current :meth:`run_until`/:meth:`run` loop to exit."""
@@ -212,9 +253,17 @@ class Engine:
             self._compact()
 
     def _compact(self) -> None:
-        """Drop cancelled entries and re-heapify (preserves (time, seq) order)."""
-        self._heap = [event for event in self._heap if not event.cancelled]
-        heapq.heapify(self._heap)
+        """Drop cancelled entries and re-heapify (preserves (time, seq) order).
+
+        In-place (slice assignment) so that run loops and the medium's
+        inlined scheduling, which hold a reference to the heap list across
+        callbacks, never observe a stale binding.
+        """
+        heap = self._heap
+        heap[:] = [
+            item for item in heap if item[2].__class__ is not Event or not item[2].cancelled
+        ]
+        heapify(heap)
         self._cancelled_pending = 0
 
     # ------------------------------------------------------------------
@@ -231,14 +280,20 @@ class Engine:
 
         Returns ``True`` if an event ran, ``False`` if the queue was empty.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
-                self._cancelled_pending -= 1
-                continue
-            event._engine = None
-            self.clock.advance(event.time)
-            event.callback()
+        heap = self._heap
+        while heap:
+            head_time, _, event = heappop(heap)
+            if event.__class__ is Event:
+                if event.cancelled:
+                    self._cancelled_pending -= 1
+                    continue
+                event._engine = None
+                self.clock.advance(head_time)
+                event.callback()
+            else:
+                # A bare post() callback — never cancellable.
+                self.clock.advance(head_time)
+                event()
             self._processed += 1
             return True
         return False
@@ -256,19 +311,33 @@ class Engine:
         self._running = True
         self._stopped = False
         wall_start = time.perf_counter()
+        clock = self.clock
+        heap = self._heap  # _compact() mutates in place, so this stays valid
+        pop = heappop
         try:
-            while self._heap and not self._stopped:
-                head = self._heap[0]
-                if head.cancelled:
-                    heapq.heappop(self._heap)
-                    self._cancelled_pending -= 1
-                    continue
-                if head.time > end_time:
-                    break
-                heapq.heappop(self._heap)
-                head._engine = None
-                self.clock.advance(head.time)
-                head.callback()
+            while heap and not self._stopped:
+                head_time, _, head = heap[0]
+                # Direct clock assignment instead of clock.advance(): the
+                # call_at not-in-the-past guard plus heap ordering already
+                # make head_time monotone, so the advance() check is
+                # redundant here and this runs once per event.
+                if head.__class__ is Event:
+                    if head.cancelled:
+                        pop(heap)
+                        self._cancelled_pending -= 1
+                        continue
+                    if head_time > end_time:
+                        break
+                    pop(heap)
+                    head._engine = None
+                    clock._now = head_time
+                    head.callback()
+                else:
+                    if head_time > end_time:
+                        break
+                    pop(heap)
+                    clock._now = head_time
+                    head()
                 self._processed += 1
             if end_time > self.clock.now:
                 self.clock.advance(end_time)

@@ -19,12 +19,42 @@ pluggable path-loss model.  The medium also implements:
 The medium knows nothing about 802.11 semantics; frames are opaque objects.
 It only reads three optional cosmetic hooks (``trace_source``,
 ``trace_destination``, ``trace_info``) to feed the capture trace.
+
+Fast path
+---------
+``transmit()`` is the simulator's hottest loop (it runs once per frame
+per attached radio), so the medium maintains two structures that make the
+common city-scale case — thousands of *stationary* radios — cheap:
+
+* a **per-channel radio index**: radios are bucketed by channel, in
+  attachment order, so a transmission only ever touches same-channel
+  radios.  Radios that retune must notify the medium (:meth:`retune`);
+  :class:`~repro.phy.radio.Radio` does this automatically through its
+  ``channel`` property.
+* a **link-budget cache**: per ``(tx, rx)`` pair the path loss and
+  propagation delay are cached and keyed on each endpoint's *position
+  epoch*.  A radio that advertises a ``static_position`` never bumps its
+  epoch, so static↔static links are computed exactly once; mobile radios
+  (``static_position is None``) are re-read every transmission and bump
+  their epoch whenever the observed position changes, invalidating every
+  cached link through them.
+
+The cache requires ``path_loss_db`` to be a pure function of the two
+positions, which all built-in models are.  Note one deliberate behaviour
+refinement for *stateful* models with bounded memory (e.g.
+:class:`~repro.channel.propagation.ShadowedPathLoss` past its eviction
+bound): the medium now re-uses the first computed link budget instead of
+re-invoking the model after it evicted the link, so shadowing stays
+consistent for as long as the link stays cached.
 """
 
 from __future__ import annotations
 
+import enum
+import math
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Protocol
+from heapq import heappush
+from typing import Callable, Dict, List, Optional, Protocol, Tuple
 
 import numpy as np
 
@@ -40,9 +70,40 @@ DEFAULT_NOISE_FLOOR_DBM = -95.0
 #: captured successfully.
 DEFAULT_CAPTURE_THRESHOLD_DB = 10.0
 
+#: Upper bound on cached (tx, rx) link budgets; beyond it the oldest entry
+#: is dropped (FIFO), mirroring ShadowedPathLoss's own memory bound.
+LINK_CACHE_MAX_ENTRIES = 1_000_000
+
+
+class CorruptionReason(enum.Enum):
+    """Why an in-flight arrival was corrupted.
+
+    Replaces the old free-form reason strings; the values keep the old
+    wording so debug output stays readable.
+    """
+
+    RECEIVER_TRANSMITTING = "receiver was transmitting"
+    CAPTURED_BY_STRONGER = "captured by stronger frame"
+    LOCKED_ON_STRONGER = "receiver locked on stronger frame"
+    COLLISION = "collision"
+
 
 class RadioPort(Protocol):
-    """What the medium requires of an attached radio."""
+    """What the medium requires of an attached radio.
+
+    Two optional attributes unlock the medium's fast path:
+
+    ``static_position``
+        A :class:`Position` promising that ``current_position`` returns
+        this exact position forever (or ``None``/absent for mobile
+        radios).  Static radios skip the per-transmission position read
+        and their link budgets are cached permanently.
+    ``channel`` **changes** must be reported via
+        :meth:`Medium.retune`; a radio that silently mutates a plain
+        ``channel`` attribute after attaching will be indexed under its
+        old channel.  :class:`~repro.phy.radio.Radio` wraps ``channel``
+        in a property that notifies its medium automatically.
+    """
 
     name: str
     channel: int
@@ -59,12 +120,18 @@ def free_space_path_loss_db(tx: Position, rx: Position, frequency_hz: float) -> 
     """Friis free-space path loss, clamped below 1 m to avoid singularity."""
     distance = max(tx.distance_to(rx), 1.0)
     wavelength = 299_792_458.0 / frequency_hz
-    return 20.0 * np.log10(4.0 * np.pi * distance / wavelength)
+    return 20.0 * math.log10(4.0 * math.pi * distance / wavelength)
 
 
-@dataclass
+@dataclass(slots=True)
 class Transmission:
-    """An on-air frame as the medium sees it."""
+    """An on-air frame as the medium sees it.
+
+    ``rx_cache`` is a lazily-created scratch dict shared by every receiver
+    of this transmission: pure per-frame derivations (wire length, parsed
+    MAC frame) are computed once by the first arrival and reused by the
+    other N−1, instead of once per receiver.
+    """
 
     sender: str
     frame: object
@@ -74,13 +141,14 @@ class Transmission:
     rate_mbps: float
     channel: int
     tx_position: Position
+    rx_cache: Optional[dict] = None
 
     @property
     def end(self) -> float:
         return self.start + self.duration
 
 
-@dataclass
+@dataclass(slots=True)
 class Reception:
     """A finished arrival handed to a radio.
 
@@ -109,14 +177,68 @@ class Reception:
         return self.end - self.start
 
 
-@dataclass
 class _Arrival:
-    """Book-keeping for an in-flight frame at one receiver."""
+    """An in-flight frame at one receiver — and its own event callback.
 
-    transmission: Transmission
-    rssi_dbm: float
-    corrupted: bool = False
-    corrupt_reason: str = ""
+    The instance is scheduled directly on the engine (:meth:`Engine.post`)
+    for *both* phases of its life: the first call is the arrival start
+    (first symbol at the antenna), which re-posts the same object for the
+    arrival end one frame-duration later.  One allocation per arrival,
+    no closures, no Event handles.
+    """
+
+    __slots__ = (
+        "medium",
+        "radio",
+        "transmission",
+        "rssi_dbm",
+        "corrupted",
+        "corrupt_reason",
+        "_started",
+        "ongoing",
+    )
+
+    def __init__(
+        self,
+        medium: "Medium",
+        radio: RadioPort,
+        transmission: Transmission,
+        rssi_dbm: float,
+    ) -> None:
+        self.medium = medium
+        self.radio = radio
+        self.transmission = transmission
+        self.rssi_dbm = rssi_dbm
+        self.corrupted = False
+        self.corrupt_reason: Optional[CorruptionReason] = None
+        self._started = False
+        #: Receiver's live-arrival list, set at arrival start so the end
+        #: phase needn't repeat the dict lookup.
+        self.ongoing: Optional[List["_Arrival"]] = None
+
+    def __call__(self) -> None:
+        if self._started:
+            self.medium._arrival_end(self)
+        else:
+            self._started = True
+            self.medium._arrival_start(self)
+
+
+class _RadioEntry:
+    """Per-radio index record: channel bucket membership + position epoch."""
+
+    __slots__ = ("radio", "name", "seq", "channel", "epoch", "static_pos", "last_pos")
+
+    def __init__(
+        self, radio: RadioPort, name: str, seq: int, channel: int, epoch: int
+    ) -> None:
+        self.radio = radio
+        self.name = name
+        self.seq = seq  # attachment order; buckets stay sorted by it
+        self.channel = channel
+        self.epoch = epoch
+        self.static_pos: Optional[Position] = getattr(radio, "static_position", None)
+        self.last_pos: Optional[Position] = self.static_pos
 
 
 class Medium:
@@ -131,7 +253,8 @@ class Medium:
         models (2.437 GHz = channel 6 by default).
     path_loss_db:
         ``f(tx_pos, rx_pos) -> dB``.  Defaults to free space at
-        ``frequency_hz``.
+        ``frequency_hz``.  Must be a pure function of the two positions
+        (the link-budget cache memoizes it per position epoch).
     fer:
         ``f(snr_db, rate_mbps, length_bytes) -> probability``; defaults to
         lossless above sensitivity.
@@ -193,6 +316,36 @@ class Medium:
         self._csi_model = csi_model
         self._rng = rng if rng is not None else np.random.default_rng(0)
         self._radios: Dict[str, RadioPort] = {}
+        self._entries: Dict[str, _RadioEntry] = {}
+        self._channels: Dict[int, List[_RadioEntry]] = {}
+        self._attach_seq = 0
+        #: Next epoch to hand a (re-)attaching radio of a given name; kept
+        #: across detach so a re-attached radio never aliases stale cache
+        #: entries computed for its previous life.
+        self._epoch_reserve: Dict[str, int] = {}
+        #: (tx_name, rx_name) -> (tx_epoch, rx_epoch, path_loss_db, delay_s)
+        self._link_cache: Dict[Tuple[str, str], Tuple[int, int, float, float]] = {}
+        #: Per-channel version counter: bumped on attach/detach/retune and
+        #: whenever a member radio's position epoch bumps.  Guards the
+        #: delivery-list cache below.
+        self._bucket_version: Dict[int, int] = {}
+        #: Per-channel list of *mobile* member entries (static_pos None),
+        #: re-read every transmission to detect movement.
+        self._mobiles: Dict[int, List[_RadioEntry]] = {}
+        #: (sender, power_dbm) -> (bucket_version, tx_epoch,
+        #: [(radio, rssi_dbm, delay_s), ...]) — the fully-resolved in-range
+        #: receiver list of the sender's last transmission at that power.
+        #: While nothing in the bucket changes, a repeat transmission
+        #: skips the whole per-receiver scan.
+        self._delivery_cache: Dict[
+            Tuple[str, float], Tuple[int, int, List[Tuple[RadioPort, float, float]]]
+        ] = {}
+        self.link_cache_hits = 0
+        self.link_cache_misses = 0
+        #: (snr, rate, length) -> frame-error probability.  Assumes the
+        #: FER model is a pure function of its arguments (all built-ins
+        #: are); cached link budgets make SNR values repeat exactly.
+        self._fer_cache: Dict[Tuple[float, float, int], float] = {}
         self._ongoing: Dict[str, List[_Arrival]] = {}
         self._transmitting: Dict[str, float] = {}  # radio name -> tx end time
         self.transmission_count = 0
@@ -202,22 +355,157 @@ class Medium:
     # ------------------------------------------------------------------
     def attach(self, radio: RadioPort) -> None:
         """Connect a radio; its name must be unique on this medium."""
-        if radio.name in self._radios:
-            raise ValueError(f"radio {radio.name!r} already attached")
-        self._radios[radio.name] = radio
-        self._ongoing[radio.name] = []
+        name = radio.name
+        if name in self._radios:
+            raise ValueError(f"radio {name!r} already attached")
+        self._radios[name] = radio
+        self._ongoing[name] = []
+        entry = _RadioEntry(
+            radio,
+            name,
+            self._attach_seq,
+            int(radio.channel),
+            self._epoch_reserve.get(name, 0),
+        )
+        self._attach_seq += 1
+        self._entries[name] = entry
+        # Attach sequence numbers only grow, so appending keeps each
+        # bucket sorted by attachment order — the iteration order the
+        # pre-index medium had (dict insertion order filtered by channel).
+        self._channels.setdefault(entry.channel, []).append(entry)
+        if entry.static_pos is None:
+            self._mobiles.setdefault(entry.channel, []).append(entry)
+        self._bump_bucket(entry.channel)
+
+    def _bump_bucket(self, channel: int) -> None:
+        """Invalidate cached delivery lists targeting ``channel``."""
+        self._bucket_version[channel] = self._bucket_version.get(channel, 0) + 1
 
     def detach(self, radio_name: str) -> None:
+        entry = self._entries.pop(radio_name, None)
+        if entry is not None:
+            bucket = self._channels.get(entry.channel)
+            if bucket is not None:
+                bucket.remove(entry)
+            mobiles = self._mobiles.get(entry.channel)
+            if mobiles is not None and entry in mobiles:
+                mobiles.remove(entry)
+            self._bump_bucket(entry.channel)
+            # Reserve a fresh epoch for any future radio with this name so
+            # cached link budgets from this life can never be reused.
+            self._epoch_reserve[radio_name] = entry.epoch + 1
+            for key in [k for k in self._delivery_cache if k[0] == radio_name]:
+                del self._delivery_cache[key]
         self._radios.pop(radio_name, None)
         self._ongoing.pop(radio_name, None)
         self._transmitting.pop(radio_name, None)
+
+    def retune(self, radio_name: str, channel: int) -> None:
+        """Move a radio between channel buckets (no-op when unattached).
+
+        Must be called whenever an attached radio's channel changes;
+        :class:`~repro.phy.radio.Radio` calls it from its ``channel``
+        setter.  The radio keeps its attachment order in the new bucket.
+        """
+        entry = self._entries.get(radio_name)
+        if entry is None:
+            return
+        channel = int(channel)
+        if entry.channel == channel:
+            return
+        old_channel = entry.channel
+        old_bucket = self._channels.get(old_channel)
+        if old_bucket is not None:
+            old_bucket.remove(entry)
+        mobile = entry.static_pos is None
+        if mobile:
+            old_mobiles = self._mobiles.get(old_channel)
+            if old_mobiles is not None and entry in old_mobiles:
+                old_mobiles.remove(entry)
+        entry.channel = channel
+        bucket = self._channels.setdefault(channel, [])
+        # Insert preserving attachment order (retunes are rare; scans hot).
+        lo, hi = 0, len(bucket)
+        seq = entry.seq
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if bucket[mid].seq < seq:
+                lo = mid + 1
+            else:
+                hi = mid
+        bucket.insert(lo, entry)
+        if mobile:
+            mobiles = self._mobiles.setdefault(channel, [])
+            lo, hi = 0, len(mobiles)
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if mobiles[mid].seq < seq:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            mobiles.insert(lo, entry)
+        self._bump_bucket(old_channel)
+        self._bump_bucket(channel)
+
+    def reposition(
+        self, radio_name: str, static: Optional[Position]
+    ) -> None:
+        """Re-classify a radio whose position *provider* was replaced.
+
+        ``static`` is the new fixed position, or ``None`` if the radio
+        became mobile.  Cached link budgets and delivery lists involving
+        the radio are invalidated; mobility-tracking membership is kept
+        in sync.  No-op when unattached.
+        :class:`~repro.phy.radio.Radio` calls this from its ``_position``
+        setter, so code that swaps a radio's provider mid-simulation
+        (e.g. the localization attack walking its dongle between anchors)
+        never observes stale budgets.
+        """
+        entry = self._entries.get(radio_name)
+        if entry is None:
+            return
+        entry.static_pos = static
+        entry.last_pos = static
+        entry.epoch += 1
+        mobiles = self._mobiles.setdefault(entry.channel, [])
+        if static is None:
+            if entry not in mobiles:
+                lo, hi = 0, len(mobiles)
+                seq = entry.seq
+                while lo < hi:
+                    mid = (lo + hi) // 2
+                    if mobiles[mid].seq < seq:
+                        lo = mid + 1
+                    else:
+                        hi = mid
+                mobiles.insert(lo, entry)
+        elif entry in mobiles:
+            mobiles.remove(entry)
+        self._bump_bucket(entry.channel)
 
     @property
     def radio_names(self) -> List[str]:
         return sorted(self._radios)
 
+    def has_radio(self, name: str) -> bool:
+        """O(1) membership check (``radio_names`` sorts the whole set)."""
+        return name in self._radios
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._radios
+
     def radio(self, name: str) -> RadioPort:
         return self._radios[name]
+
+    @property
+    def link_cache_size(self) -> int:
+        return len(self._link_cache)
+
+    def invalidate_link_cache(self) -> None:
+        """Drop every cached link budget (e.g. after swapping models)."""
+        self._link_cache.clear()
+        self._delivery_cache.clear()
+        self._fer_cache.clear()
 
     # ------------------------------------------------------------------
     # Channel state queries
@@ -258,73 +546,203 @@ class Medium:
         """
         if duration <= 0.0:
             raise ValueError(f"duration must be positive, got {duration!r}")
-        now = self.engine.now
-        tx_position = sender.current_position(now)
+        engine = self.engine
+        now = engine.clock.now
+        sender_name = sender.name
+        channel = sender.channel
+        entry = self._entries.get(sender_name)
+        if entry is not None and entry.channel != channel:
+            # Self-heal for RadioPorts that mutate a plain channel
+            # attribute instead of calling retune().
+            self.retune(sender_name, channel)
+        if entry is None:
+            # Unattached senders are legal (they just cannot receive);
+            # their links bypass the cache since they have no epoch.
+            tx_position = sender.current_position(now)
+            tx_epoch = -1
+            cacheable = False
+        else:
+            static = entry.static_pos
+            if static is not None:
+                tx_position = static
+            else:
+                tx_position = sender.current_position(now)
+                last = entry.last_pos
+                if tx_position is not last and tx_position != last:
+                    entry.last_pos = tx_position
+                    entry.epoch += 1
+                    # The sender appears as a receiver in other radios'
+                    # delivery lists on this channel — invalidate them.
+                    self._bump_bucket(entry.channel)
+            tx_epoch = entry.epoch
+            cacheable = True
         transmission = Transmission(
-            sender=sender.name,
+            sender=sender_name,
             frame=frame,
             start=now,
             duration=duration,
             power_dbm=power_dbm,
             rate_mbps=rate_mbps,
-            channel=sender.channel,
+            channel=channel,
             tx_position=tx_position,
         )
         self.transmission_count += 1
-        if self._ctr_tx is not None:
-            self._ctr_tx.inc()
-            self._ctr_airtime.inc(duration)
+        ctr = self._ctr_tx
+        if ctr is not None:
+            ctr.value += 1
+        ctr = self._ctr_airtime
+        if ctr is not None:
+            ctr.value += duration
         # Half duplex: transmitting deafens the sender's own receiver.
-        self._transmitting[sender.name] = max(
-            self._transmitting.get(sender.name, 0.0), now + duration
+        self._transmitting[sender_name] = max(
+            self._transmitting.get(sender_name, 0.0), now + duration
         )
-        for arrival in self._ongoing.get(sender.name, []):
+        for arrival in self._ongoing.get(sender_name, []):
             arrival.corrupted = True
-            arrival.corrupt_reason = "receiver was transmitting"
+            arrival.corrupt_reason = CorruptionReason.RECEIVER_TRANSMITTING
 
         if self.trace is not None:
             self.trace.add(
                 time=now,
-                source=str(getattr(frame, "trace_source", lambda: sender.name)()),
+                source=str(getattr(frame, "trace_source", lambda: sender_name)()),
                 destination=str(getattr(frame, "trace_destination", lambda: "?")()),
                 info=str(getattr(frame, "trace_info", lambda: type(frame).__name__)()),
-                channel=sender.channel,
+                channel=channel,
                 length=getattr(frame, "wire_length", lambda: None)(),
             )
 
-        for name, radio in self._radios.items():
-            if name == sender.name or radio.channel != sender.channel:
-                continue
-            rx_position = radio.current_position(now)
-            rssi = power_dbm - self._path_loss(tx_position, rx_position)
-            if rssi < radio.rx_sensitivity_dbm:
-                continue
-            delay = tx_position.propagation_delay_to(rx_position)
-            self.engine.call_at(
-                now + delay,
-                self._make_arrival_start(radio, transmission, rssi),
-            )
+        bucket = self._channels.get(channel)
+        if bucket:
+            # Arrival scheduling inlines Engine.post: arrival times are
+            # never in the past (delay >= 0) so the guard is redundant,
+            # and the per-call overhead is measurable at ~10^6 arrivals
+            # per wardrive run.  Sequence numbers advance exactly as the
+            # post() calls would, so event ordering is unchanged.
+            heap = engine._heap
+            if cacheable:
+                # Re-read every mobile member: movement bumps its epoch
+                # and the bucket version, invalidating stale budgets.
+                mobiles = self._mobiles.get(channel)
+                if mobiles:
+                    bumped = False
+                    for rx in mobiles:
+                        if rx.name == sender_name:
+                            continue
+                        pos = rx.radio.current_position(now)
+                        last = rx.last_pos
+                        if pos is not last and pos != last:
+                            rx.last_pos = pos
+                            rx.epoch += 1
+                            bumped = True
+                    if bumped:
+                        self._bump_bucket(channel)
+                version = self._bucket_version.get(channel, 0)
+                delivery_key = (sender_name, power_dbm)
+                cached_delivery = self._delivery_cache.get(delivery_key)
+                if (
+                    cached_delivery is not None
+                    and cached_delivery[0] == version
+                    and cached_delivery[1] == tx_epoch
+                ):
+                    targets = cached_delivery[2]
+                    self.link_cache_hits += len(targets)
+                    seq = engine._scheduled
+                    for radio, rssi, delay in targets:
+                        heappush(
+                            heap,
+                            (now + delay, seq, _Arrival(self, radio, transmission, rssi)),
+                        )
+                        seq += 1
+                    engine._scheduled = seq
+                    if len(heap) > engine._heap_peak:
+                        engine._heap_peak = len(heap)
+                    return transmission
+            cache = self._link_cache
+            path_loss = self._path_loss
+            targets: List[Tuple[RadioPort, float, float]] = []
+            hits = misses = 0
+            for rx in bucket:
+                rx_name = rx.name
+                if rx_name == sender_name:
+                    continue
+                radio = rx.radio
+                static = rx.static_pos
+                if static is not None:
+                    rx_position = static
+                elif cacheable:
+                    # Mobile members were just re-read above.
+                    rx_position = rx.last_pos
+                else:
+                    rx_position = radio.current_position(now)
+                    last = rx.last_pos
+                    if rx_position is not last and rx_position != last:
+                        rx.last_pos = rx_position
+                        rx.epoch += 1
+                if cacheable:
+                    key = (sender_name, rx_name)
+                    cached = cache.get(key)
+                    if (
+                        cached is not None
+                        and cached[0] == tx_epoch
+                        and cached[1] == rx.epoch
+                    ):
+                        loss = cached[2]
+                        delay = cached[3]
+                        hits += 1
+                    else:
+                        loss = path_loss(tx_position, rx_position)
+                        delay = tx_position.propagation_delay_to(rx_position)
+                        if len(cache) >= LINK_CACHE_MAX_ENTRIES:
+                            cache.pop(next(iter(cache)))
+                        cache[key] = (tx_epoch, rx.epoch, loss, delay)
+                        misses += 1
+                else:
+                    loss = path_loss(tx_position, rx_position)
+                    delay = tx_position.propagation_delay_to(rx_position)
+                rssi = power_dbm - loss
+                if rssi < radio.rx_sensitivity_dbm:
+                    continue
+                targets.append((radio, rssi, delay))
+                seq = engine._scheduled
+                engine._scheduled = seq + 1
+                heappush(
+                    heap, (now + delay, seq, _Arrival(self, radio, transmission, rssi))
+                )
+            if len(heap) > engine._heap_peak:
+                engine._heap_peak = len(heap)
+            self.link_cache_hits += hits
+            self.link_cache_misses += misses
+            if cacheable:
+                self._delivery_cache[delivery_key] = (version, tx_epoch, targets)
         return transmission
 
     # ------------------------------------------------------------------
     # Arrival lifecycle
     # ------------------------------------------------------------------
-    def _make_arrival_start(
-        self, radio: RadioPort, transmission: Transmission, rssi: float
-    ) -> Callable[[], None]:
-        def start() -> None:
-            arrival = _Arrival(transmission=transmission, rssi_dbm=rssi)
-            ongoing = self._ongoing.setdefault(radio.name, [])
-            if self.is_transmitting(radio.name):
-                arrival.corrupted = True
-                arrival.corrupt_reason = "receiver was transmitting"
+    def _arrival_start(self, arrival: _Arrival) -> None:
+        """First symbol reaches the antenna: join the receiver's air state."""
+        name = arrival.radio.name
+        ongoing = self._ongoing.get(name)
+        if ongoing is None:
+            ongoing = self._ongoing[name] = []
+        engine = self.engine
+        now = engine.clock._now
+        tx_end = self._transmitting.get(name)
+        if tx_end is not None and tx_end > now:
+            arrival.corrupted = True
+            arrival.corrupt_reason = CorruptionReason.RECEIVER_TRANSMITTING
+        if ongoing:
             self._resolve_overlap(ongoing, arrival)
-            ongoing.append(arrival)
-            self.engine.call_after(
-                transmission.duration, self._make_arrival_end(radio, arrival)
-            )
-
-        return start
+        ongoing.append(arrival)
+        arrival.ongoing = ongoing
+        # Inlined Engine.post (see transmit()): the end-phase callback is
+        # always in the future and never cancelled.
+        seq = engine._scheduled
+        engine._scheduled = seq + 1
+        heap = engine._heap
+        heappush(heap, (now + arrival.transmission.duration, seq, arrival))
+        if len(heap) > engine._heap_peak:
+            engine._heap_peak = len(heap)
 
     def _resolve_overlap(self, ongoing: List[_Arrival], new: _Arrival) -> None:
         """Apply the capture model between ``new`` and live arrivals."""
@@ -335,51 +753,82 @@ class Medium:
         if new.rssi_dbm >= strongest.rssi_dbm + self.capture_threshold_db:
             for arrival in live:
                 arrival.corrupted = True
-                arrival.corrupt_reason = "captured by stronger frame"
+                arrival.corrupt_reason = CorruptionReason.CAPTURED_BY_STRONGER
         elif new.rssi_dbm <= strongest.rssi_dbm - self.capture_threshold_db:
             new.corrupted = True
-            new.corrupt_reason = "receiver locked on stronger frame"
+            new.corrupt_reason = CorruptionReason.LOCKED_ON_STRONGER
         else:
             new.corrupted = True
-            new.corrupt_reason = "collision"
+            new.corrupt_reason = CorruptionReason.COLLISION
             for arrival in live:
                 arrival.corrupted = True
-                arrival.corrupt_reason = "collision"
+                arrival.corrupt_reason = CorruptionReason.COLLISION
 
-    def _make_arrival_end(
-        self, radio: RadioPort, arrival: _Arrival
-    ) -> Callable[[], None]:
-        def end() -> None:
-            ongoing = self._ongoing.get(radio.name, [])
-            if arrival in ongoing:
+    def _arrival_end(self, arrival: _Arrival) -> None:
+        """Last symbol received: resolve FER, build the Reception, hand up."""
+        radio = arrival.radio
+        name = radio.name
+        ongoing = arrival.ongoing
+        if ongoing:
+            try:
                 ongoing.remove(arrival)
-            if radio.name not in self._radios:
-                return  # detached mid-flight
-            transmission = arrival.transmission
-            snr = arrival.rssi_dbm - self.noise_floor_dbm
-            fcs_ok = not arrival.corrupted
-            if fcs_ok and self._fer is not None:
-                length = getattr(transmission.frame, "wire_length", lambda: 0)()
-                probability = self._fer(snr, transmission.rate_mbps, length or 0)
-                if probability > 0.0 and self._rng.random() < probability:
-                    fcs_ok = False
-            if self._ctr_delivered is not None:
-                (self._ctr_delivered if fcs_ok else self._ctr_dropped).inc()
-            csi = None
-            if self._csi_model is not None:
-                csi = self._csi_model(transmission.sender, radio.name, self.engine.now)
-            reception = Reception(
-                frame=transmission.frame,
-                transmission=transmission,
-                rssi_dbm=arrival.rssi_dbm,
-                snr_db=snr,
-                start=transmission.start,
-                end=self.engine.now,
-                fcs_ok=fcs_ok,
-                collided=arrival.corrupted and "transmitting" not in arrival.corrupt_reason,
-                while_transmitting="transmitting" in arrival.corrupt_reason,
-                csi=csi,
+            except ValueError:
+                pass
+        if name not in self._radios:
+            return  # detached mid-flight
+        transmission = arrival.transmission
+        rssi = arrival.rssi_dbm
+        snr = rssi - self.noise_floor_dbm
+        corrupted = arrival.corrupted
+        fcs_ok = not corrupted
+        if fcs_ok and self._fer is not None:
+            cache = transmission.rx_cache
+            if cache is None:
+                cache = transmission.rx_cache = {}
+            length = cache.get("len")
+            if length is None:
+                getter = getattr(transmission.frame, "wire_length", None)
+                length = (getter() or 0) if getter is not None else 0
+                cache["len"] = length
+            rate = transmission.rate_mbps
+            fer_cache = self._fer_cache
+            fer_key = (snr, rate, length)
+            probability = fer_cache.get(fer_key)
+            if probability is None:
+                probability = self._fer(snr, rate, length)
+                if len(fer_cache) >= LINK_CACHE_MAX_ENTRIES:
+                    fer_cache.pop(next(iter(fer_cache)))
+                fer_cache[fer_key] = probability
+            if probability > 0.0 and self._rng.random() < probability:
+                fcs_ok = False
+        if fcs_ok:
+            ctr = self._ctr_delivered
+            if ctr is not None:
+                ctr.value += 1
+        else:
+            ctr = self._ctr_dropped
+            if ctr is not None:
+                ctr.value += 1
+        now = self.engine.clock._now
+        csi = None
+        if self._csi_model is not None:
+            csi = self._csi_model(transmission.sender, name, now)
+        while_transmitting = (
+            arrival.corrupt_reason is CorruptionReason.RECEIVER_TRANSMITTING
+        )
+        # Positional construction: 10 keyword arguments per Reception is
+        # measurable at wardrive arrival rates.
+        radio.on_reception(
+            Reception(
+                transmission.frame,
+                transmission,
+                rssi,
+                snr,
+                transmission.start,
+                now,
+                fcs_ok,
+                corrupted and not while_transmitting,
+                while_transmitting,
+                csi,
             )
-            radio.on_reception(reception)
-
-        return end
+        )

@@ -28,11 +28,13 @@ class Position:
 
     def distance_to(self, other: "Position") -> float:
         """Euclidean distance in metres."""
-        return math.sqrt(
-            (self.x - other.x) ** 2
-            + (self.y - other.y) ** 2
-            + (self.z - other.z) ** 2
-        )
+        # ``** 2`` (not ``d * d``): libm pow is off by 1 ULP from the
+        # rounded product for some inputs here, and seeded-run traces are
+        # bit-compared across revisions.
+        dx = self.x - other.x
+        dy = self.y - other.y
+        dz = self.z - other.z
+        return math.sqrt(dx ** 2 + dy ** 2 + dz ** 2)
 
     def propagation_delay_to(self, other: "Position") -> float:
         """Free-space propagation delay in seconds."""

@@ -257,7 +257,7 @@ class SyntheticCity:
     def _activate(self, spec: DeviceSpec) -> None:
         if spec.device is None:
             spec.device = self._materialize(spec)
-        elif spec.device.radio.name not in self.medium.radio_names:
+        elif not self.medium.has_radio(spec.device.radio.name):
             self.medium.attach(spec.device.radio)
         spec.active = True
         spec.ever_activated = True

@@ -38,7 +38,7 @@ import pathlib
 import subprocess
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.telemetry.registry import (
     WALL_TIME_MARKER,
@@ -116,6 +116,12 @@ class CampaignConfig:
     workers: int = 1
     name: str = ""
     output_path: Optional[Union[str, pathlib.Path]] = None
+    #: Reuse results from an existing manifest at ``output_path``: runs
+    #: whose (seed, params) already appear there are not re-executed.
+    #: Runs are re-keyed to the current expansion order, so interrupting
+    #: and resuming a campaign converges on the same manifest as one
+    #: uninterrupted execution (modulo host wall-clock fields).
+    resume: bool = False
 
     def expand(self) -> List[Dict[str, object]]:
         """The ordered list of run payloads (index, scenario, seed, params)."""
@@ -214,6 +220,53 @@ def _aggregate(results: List[Dict[str, object]]) -> Dict[str, object]:
 
 
 # ----------------------------------------------------------------------
+# Resume support
+# ----------------------------------------------------------------------
+def _run_key(seed: object, params: Dict[str, object]) -> Tuple[int, str]:
+    """Identity of one run: the seed plus its canonicalized parameters.
+
+    Indices are *not* part of the key — a resumed campaign may expand to
+    a different run order (more seeds, a widened grid) and prior results
+    are re-keyed into the new plan wherever they fit.
+    """
+    return (int(seed), json.dumps(params, sort_keys=True, default=str))
+
+
+def _split_resumable(
+    config: CampaignConfig, payloads: List[Dict[str, object]]
+) -> Tuple[List[Dict[str, object]], List[Dict[str, object]]]:
+    """Partition payloads into (still to run, reused prior results)."""
+    if config.output_path is None:
+        raise ValueError("resume requires output_path (the manifest to resume)")
+    path = pathlib.Path(config.output_path)
+    if not path.exists():
+        return payloads, []
+    try:
+        previous = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ValueError(f"cannot resume from {path}: {exc}") from exc
+    if previous.get("scenario") != config.scenario:
+        raise ValueError(
+            f"cannot resume from {path}: it ran scenario "
+            f"{previous.get('scenario')!r}, not {config.scenario!r}"
+        )
+    prior: Dict[Tuple[int, str], Dict[str, object]] = {}
+    for run in previous.get("runs", []):
+        prior[_run_key(run["seed"], run["params"])] = run
+    remaining: List[Dict[str, object]] = []
+    reused: List[Dict[str, object]] = []
+    for payload in payloads:
+        run = prior.get(_run_key(payload["seed"], payload["params"]))
+        if run is None:
+            remaining.append(payload)
+        else:
+            run = dict(run)
+            run["index"] = payload["index"]
+            reused.append(run)
+    return remaining, reused
+
+
+# ----------------------------------------------------------------------
 # The campaign itself
 # ----------------------------------------------------------------------
 def run_campaign(config: CampaignConfig) -> Dict[str, object]:
@@ -226,12 +279,18 @@ def run_campaign(config: CampaignConfig) -> Dict[str, object]:
     payloads = config.expand()
     get_scenario(config.scenario)  # fail fast before forking workers
     start = time.perf_counter()
-    if config.workers == 1 or len(payloads) == 1:
+    reused: List[Dict[str, object]] = []
+    if config.resume:
+        payloads, reused = _split_resumable(config, payloads)
+    if not payloads:
+        results = []
+    elif config.workers == 1 or len(payloads) == 1:
         results = [_execute_run(payload) for payload in payloads]
     else:
         workers = min(config.workers, len(payloads))
         with _pool_context().Pool(processes=workers) as pool:
             results = pool.map(_execute_run, payloads)
+    results.extend(reused)
     results.sort(key=lambda r: r["index"])
     manifest: Dict[str, object] = {
         "campaign": config.name or config.scenario,
@@ -244,6 +303,7 @@ def run_campaign(config: CampaignConfig) -> Dict[str, object]:
         "base_params": dict(config.params),
         "grid": {k: list(v) for k, v in config.grid.items()} if config.grid else None,
         "runs": results,
+        "resumed_runs": len(reused),
         "aggregate": _aggregate(results),
         "total_duration_s": time.perf_counter() - start,
     }

@@ -1,0 +1,92 @@
+"""Perf harness smoke tests: schema, serialization, and the comparison
+gate — fast enough for tier-1 (no real benchmark bodies run here)."""
+
+import json
+
+from benchmarks.perf import compare as compare_mod
+from benchmarks.perf.harness import (
+    SCHEMA_VERSION,
+    BenchOutcome,
+    load_result,
+    result_path,
+    run_bench,
+    summarize,
+    write_result,
+)
+from repro.telemetry.registry import MetricsRegistry
+
+
+def _toy_bench(quick):
+    metrics = MetricsRegistry()
+    metrics.counter("toy.iterations").inc(3)
+    total = sum(range(1000 if quick else 100000))
+    return BenchOutcome(
+        outputs={"total": float(total), "events_executed": 1000.0},
+        metrics=metrics,
+        setup_s=0.0,
+    )
+
+
+class TestRunBench:
+    def test_result_schema(self):
+        result = run_bench("toy", _toy_bench, quick=True)
+        assert result["schema"] == SCHEMA_VERSION
+        assert result["bench"] == "toy"
+        assert result["quick"] is True
+        assert result["run_s"] >= 0.0
+        assert result["wall_s"] >= result["run_s"]
+        assert result["outputs"]["total"] == float(sum(range(1000)))
+        assert result["metrics"]["counters"]["toy.iterations"] == 3
+        assert set(result["env"]) == {"python", "platform", "git_rev"}
+
+    def test_outputs_sorted_for_stable_diffs(self):
+        result = run_bench("toy", _toy_bench, quick=True)
+        assert list(result["outputs"]) == sorted(result["outputs"])
+
+
+class TestSerialization:
+    def test_write_load_roundtrip(self, tmp_path):
+        result = run_bench("toy", _toy_bench, quick=True)
+        path = write_result(result, tmp_path)
+        assert path == result_path(tmp_path, "toy")
+        assert path.name == "BENCH_toy.json"
+        assert load_result(path) == result
+        # File is deterministic modulo timing fields: valid sorted JSON.
+        parsed = json.loads(path.read_text(encoding="utf-8"))
+        assert list(parsed) == sorted(parsed)
+
+    def test_summarize_mentions_name_and_runtime(self):
+        result = run_bench("toy", _toy_bench, quick=True)
+        line = summarize(result)
+        assert "toy" in line
+        assert "s" in line
+
+
+class TestCompare:
+    def _write_pair(self, tmp_path, base_run_s, cand_run_s):
+        base_dir = tmp_path / "base"
+        cand_dir = tmp_path / "cand"
+        base = run_bench("toy", _toy_bench, quick=True)
+        cand = dict(base)
+        base = dict(base)
+        base["run_s"] = base_run_s
+        cand["run_s"] = cand_run_s
+        write_result(base, base_dir)
+        write_result(cand, cand_dir)
+        return base_dir, cand_dir
+
+    def test_speedup_passes_gate(self, tmp_path, capsys):
+        base_dir, cand_dir = self._write_pair(tmp_path, 10.0, 5.0)
+        code = compare_mod.main(
+            [str(base_dir), str(cand_dir), "--max-regression", "1.10"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "toy" in out
+
+    def test_regression_fails_gate(self, tmp_path, capsys):
+        base_dir, cand_dir = self._write_pair(tmp_path, 5.0, 10.0)
+        code = compare_mod.main(
+            [str(base_dir), str(cand_dir), "--max-regression", "1.10"]
+        )
+        assert code != 0

@@ -178,3 +178,101 @@ class TestWardriveDeterminism:
         # straight from the campaign aggregate.
         outputs = manifest["aggregate"]["outputs"]
         assert outputs["responded"] == outputs["probed"] > 0
+
+
+_RESUME_EXECUTIONS = []
+
+
+@scenario("unit-test-resume-probe")
+def _unit_test_resume_probe(seed, params, metrics):
+    """Deterministic scenario that records which (seed, params) executed,
+    so the resume tests can prove completed runs are not re-run."""
+    import numpy as np
+
+    _RESUME_EXECUTIONS.append((seed, json.dumps(params, sort_keys=True)))
+    rng = np.random.default_rng(seed)
+    metrics.counter("test.runs").inc()
+    return {"value": int(rng.integers(0, 1000))}
+
+
+class TestResume:
+    def test_resume_requires_output_path(self):
+        with pytest.raises(ValueError, match="output_path"):
+            run_campaign(
+                CampaignConfig(scenario="unit-test-sum", seeds=[0], resume=True)
+            )
+
+    def test_resume_without_existing_manifest_runs_everything(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        manifest = run_campaign(
+            CampaignConfig(
+                scenario="unit-test-sum", seeds=[0, 1],
+                output_path=path, resume=True,
+            )
+        )
+        assert manifest["resumed_runs"] == 0
+        assert manifest["aggregate"]["runs"] == 2
+
+    def test_resume_skips_completed_seed_params_runs(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        run_campaign(
+            CampaignConfig(
+                scenario="unit-test-resume-probe", seeds=[0, 1],
+                output_path=path,
+            )
+        )
+        _RESUME_EXECUTIONS.clear()
+        resumed = run_campaign(
+            CampaignConfig(
+                scenario="unit-test-resume-probe", seeds=[0, 1, 2, 3],
+                output_path=path, resume=True,
+            )
+        )
+        # Only the two new seeds executed; seeds 0 and 1 were reused.
+        assert sorted(seed for seed, _ in _RESUME_EXECUTIONS) == [2, 3]
+        assert resumed["resumed_runs"] == 2
+        assert resumed["aggregate"]["runs"] == 4
+        # The merged manifest equals one uninterrupted execution.
+        _RESUME_EXECUTIONS.clear()
+        full = run_campaign(
+            CampaignConfig(scenario="unit-test-resume-probe", seeds=[0, 1, 2, 3])
+        )
+        assert json.dumps(resumed["aggregate"], sort_keys=True) == json.dumps(
+            full["aggregate"], sort_keys=True
+        )
+        assert [r["index"] for r in resumed["runs"]] == [0, 1, 2, 3]
+        assert [r["outputs"] for r in resumed["runs"]] == [
+            r["outputs"] for r in full["runs"]
+        ]
+
+    def test_resume_distinguishes_params(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        run_campaign(
+            CampaignConfig(
+                scenario="unit-test-sum", seeds=[0],
+                params={"draws": 3}, output_path=path,
+            )
+        )
+        # Same seed, different params: must NOT be treated as complete.
+        manifest = run_campaign(
+            CampaignConfig(
+                scenario="unit-test-sum", seeds=[0],
+                params={"draws": 7}, output_path=path, resume=True,
+            )
+        )
+        assert manifest["resumed_runs"] == 0
+
+    def test_resume_rejects_scenario_mismatch(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        run_campaign(
+            CampaignConfig(
+                scenario="unit-test-sum", seeds=[0], output_path=path
+            )
+        )
+        with pytest.raises(ValueError, match="scenario"):
+            run_campaign(
+                CampaignConfig(
+                    scenario="unit-test-resume-probe", seeds=[0],
+                    output_path=path, resume=True,
+                )
+            )
