@@ -77,6 +77,10 @@ class AccessPoint(Device):
     ) -> None:
         """``passphrase=None`` runs an *open* network (no WPA2) — the
         configuration a WindTalker-style rogue AP uses to lure victims."""
+        if passphrase is not None and not 8 <= len(passphrase) <= 63:
+            # Fail fast at setup: only the PBKDF2 work is deferred, not
+            # the 802.11i passphrase validity check.
+            raise ValueError("WPA2 passphrases are 8..63 characters")
         kwargs.setdefault("kind", DeviceKind.ACCESS_POINT)
         super().__init__(*args, **kwargs)
         self.ssid = ssid

@@ -332,13 +332,18 @@ class Medium:
         #: Per-channel list of *mobile* member entries (static_pos None),
         #: re-read every transmission to detect movement.
         self._mobiles: Dict[int, List[_RadioEntry]] = {}
-        #: (sender, power_dbm) -> (bucket_version, tx_epoch,
+        #: (sender, channel, power_dbm) -> (bucket_version, tx_epoch,
         #: [(radio, rssi_dbm, delay_s), ...]) — the fully-resolved in-range
-        #: receiver list of the sender's last transmission at that power.
-        #: While nothing in the bucket changes, a repeat transmission
-        #: skips the whole per-receiver scan.
+        #: receiver list of the sender's last transmission on that channel
+        #: at that power.  The channel is part of the key because each
+        #: channel's version counter is independent: a retuned sender must
+        #: never validate an old channel's list against the new channel's
+        #: counter.  While nothing in the bucket changes, a repeat
+        #: transmission skips the whole per-receiver scan.  FIFO-capped at
+        #: ``LINK_CACHE_MAX_ENTRIES`` like the link and FER caches.
         self._delivery_cache: Dict[
-            Tuple[str, float], Tuple[int, int, List[Tuple[RadioPort, float, float]]]
+            Tuple[str, int, float],
+            Tuple[int, int, List[Tuple[RadioPort, float, float]]],
         ] = {}
         self.link_cache_hits = 0
         self.link_cache_misses = 0
@@ -637,7 +642,7 @@ class Medium:
                     if bumped:
                         self._bump_bucket(channel)
                 version = self._bucket_version.get(channel, 0)
-                delivery_key = (sender_name, power_dbm)
+                delivery_key = (sender_name, channel, power_dbm)
                 cached_delivery = self._delivery_cache.get(delivery_key)
                 if (
                     cached_delivery is not None
@@ -678,6 +683,12 @@ class Medium:
                     if rx_position is not last and rx_position != last:
                         rx.last_pos = rx_position
                         rx.epoch += 1
+                        # Mirror the mobiles pre-scan: a moved receiver
+                        # invalidates every attached sender's warm
+                        # delivery list on this channel, even when the
+                        # movement was first observed by an unattached
+                        # sender's (non-cacheable) transmission.
+                        self._bump_bucket(channel)
                 if cacheable:
                     key = (sender_name, rx_name)
                     cached = cache.get(key)
@@ -713,7 +724,10 @@ class Medium:
             self.link_cache_hits += hits
             self.link_cache_misses += misses
             if cacheable:
-                self._delivery_cache[delivery_key] = (version, tx_epoch, targets)
+                delivery_cache = self._delivery_cache
+                if len(delivery_cache) >= LINK_CACHE_MAX_ENTRIES:
+                    delivery_cache.pop(next(iter(delivery_cache)))
+                delivery_cache[delivery_key] = (version, tx_epoch, targets)
         return transmission
 
     # ------------------------------------------------------------------

@@ -46,6 +46,15 @@ class TestAssociation:
         engine.run_until(engine.now + 0.5)
         assert payloads == [b"push notification"]
 
+    def test_bad_passphrase_fails_fast_at_construction(self, make_ap):
+        """Lazy PMK derivation must not defer the 802.11i length check: a
+        misconfigured scenario should die at setup, not mid-handshake."""
+        with pytest.raises(ValueError, match="8..63"):
+            make_ap(passphrase="short")
+        with pytest.raises(ValueError, match="8..63"):
+            make_ap(passphrase="x" * 64)
+        make_ap(passphrase=None)  # open network stays legal
+
     def test_open_network_join(self, engine, make_station, make_ap):
         ap = make_ap(ssid="OpenNet", passphrase=None)
         station = make_station(x=3.0)

@@ -66,6 +66,67 @@ class TestChannelIndex:
         engine.run_until(0.02)
         assert len(heard) == 1
 
+    def test_retuned_sender_does_not_reuse_old_channel_delivery_list(self, engine):
+        """Regression: the delivery cache is keyed per channel.
+
+        Channel version counters are independent, so after a retune the
+        old channel's cached list can carry a version numerically equal
+        to the new channel's counter.  With the exact attach/retune
+        sequence below the counters collide (both at 2), and a cache key
+        without the channel would deliver the retuned sender's frame to
+        the *old* channel's receiver.
+        """
+        medium = Medium(engine)
+        tx = Radio("tx", medium, Position(0, 0), channel=1)
+        rx1 = Radio("rx1", medium, Position(5, 0), channel=1)
+        rx6 = Radio("rx6", medium, Position(6, 0), channel=6)
+        heard = []
+        rx1.frame_handler = lambda r: heard.append("rx1")
+        rx6.frame_handler = lambda r: heard.append("rx6")
+        tx.transmit(_frame(), 6.0)  # warms (tx, ch1) delivery list
+        engine.run_until(0.01)
+        assert heard == ["rx1"]
+        tx.channel = 6
+        tx.transmit(_frame(), 6.0)
+        engine.run_until(0.02)
+        assert heard == ["rx1", "rx6"]
+
+    def test_unattached_sender_observing_movement_invalidates_lists(self, engine):
+        """Regression: the non-cacheable (unattached-sender) bucket walk
+        must bump the channel version when it observes a mobile receiver
+        moved, or an attached sender's warm delivery list keeps serving
+        the old RSSI."""
+        medium = Medium(engine)
+        tx = Radio("tx", medium, Position(0, 0))
+        where = {"pos": Position(10, 0)}
+        rx = Radio("rx", medium, lambda t: where["pos"])
+        ghost = Radio("ghost", medium, Position(0, 3))
+        medium.detach("ghost")  # unattached: transmits bypass the caches
+        seen = []
+        rx.frame_handler = lambda r: seen.append(r.rssi_dbm)
+        tx.transmit(_frame(), 6.0)  # warms tx's delivery list at 10 m
+        engine.run_until(0.01)
+        where["pos"] = Position(1000, 0)
+        # The unattached sender's transmission is what first observes the
+        # move (it re-reads every receiver position).
+        ghost.transmit(_frame(src="02:00:00:00:00:03"), 6.0)
+        engine.run_until(0.02)
+        tx.transmit(_frame(), 6.0)
+        engine.run_until(0.03)
+        assert len(seen) == 3  # tx@10m, ghost@1000m, tx@1000m
+        assert seen[2] < seen[0] - 30.0  # ~-80 dBm, not the stale ~-40 dBm
+        assert seen[2] == pytest.approx(seen[1], abs=1.0)
+
+    def test_delivery_cache_is_fifo_capped(self, engine, monkeypatch):
+        monkeypatch.setattr("repro.sim.medium.LINK_CACHE_MAX_ENTRIES", 2)
+        medium = Medium(engine)
+        Radio("rx", medium, Position(5, 0))
+        senders = [Radio(f"tx{i}", medium, Position(0, i)) for i in range(4)]
+        for i, sender in enumerate(senders):
+            sender.transmit(_frame(src=f"02:00:00:00:02:0{i}"), 6.0)
+            engine.run_until(engine.now + 0.01)
+        assert len(medium._delivery_cache) <= 2
+
     def test_attach_mid_run_invalidates_delivery_lists(self, engine):
         medium = Medium(engine)
         tx = Radio("tx", medium, Position(0, 0))
