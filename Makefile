@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench perf perf-full perf-compare demo examples campaign-smoke clean
+.PHONY: install test bench perf perf-full perf-compare demo examples examples-smoke campaign-smoke clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -41,6 +41,16 @@ examples:
 	$(PYTHON) examples/keystroke_sniffer.py
 	$(PYTHON) examples/wardrive_survey.py
 	$(PYTHON) examples/campaign_runner.py
+
+# Headless smoke pass over every example: REPRO_SMOKE=1 makes the heavy
+# ones (battery sweep, keystroke calibration, wardrive) run truncated
+# variants so the whole set finishes in a couple of minutes.  CI runs
+# this so the examples cannot rot.
+examples-smoke:
+	@set -e; for ex in examples/*.py; do \
+		echo "== $$ex"; \
+		REPRO_SMOKE=1 $(PYTHON) $$ex > /dev/null; \
+	done; echo "examples smoke OK"
 
 # Fast end-to-end check of the telemetry campaign runner: same campaign
 # serial and parallel, aggregates must match byte-for-byte.

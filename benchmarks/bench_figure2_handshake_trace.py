@@ -6,37 +6,31 @@ addressed to the fake MAC.  We regenerate the capture and check the
 timing: the ACK starts exactly one SIFS (10 µs) after the frame ends.
 """
 
-import numpy as np
 import pytest
 
-from repro import Engine, FrameTrace, MacAddress, Medium, MonitorDongle, Position, Station
 from repro.core.probe import PoliteWiFiProbe
 from repro.mac.addresses import ATTACKER_FAKE_MAC
 from repro.phy.constants import Band, sifs
 from repro.phy.plcp import frame_airtime
+from repro.scenario import PlacementSpec
 
-from benchmarks.conftest import once
+from benchmarks.conftest import once, sim_context
+
+FIGURE2_PLACEMENTS = [
+    PlacementSpec(kind="station", mac="f2:6e:0b:11:22:33", role="victim", x=0, y=0),
+    PlacementSpec(
+        kind="monitor_dongle", mac="02:dd:00:00:00:01", role="attacker", x=5, y=0
+    ),
+]
 
 
 def _run_figure2():
-    rng = np.random.default_rng(2020)
-    engine = Engine()
-    trace = FrameTrace()
-    medium = Medium(engine, trace=trace)
-    victim = Station(
-        mac=MacAddress("f2:6e:0b:11:22:33"),
-        medium=medium,
-        position=Position(0, 0),
-        rng=rng,
+    ctx = sim_context(
+        seed=2020, trace=True, metrics=False, placements=FIGURE2_PLACEMENTS
     )
-    attacker = MonitorDongle(
-        mac=MacAddress("02:dd:00:00:00:01"),
-        medium=medium,
-        position=Position(5, 0),
-        rng=rng,
-    )
-    result = PoliteWiFiProbe(attacker).probe(victim.mac)
-    return trace, result
+    devices = ctx.place_devices()
+    result = PoliteWiFiProbe(devices["attacker"]).probe(devices["victim"].mac)
+    return ctx.trace, result
 
 
 def test_figure2_fake_frame_elicits_ack(benchmark, report):

@@ -6,50 +6,49 @@ spoofed MAC never acknowledges them), and *still* acknowledge the next
 fake frame.  Blocklisting the attacker's MAC changes nothing.
 """
 
-import numpy as np
-
-from repro import Engine, FrameTrace, MacAddress, Medium, MonitorDongle, Position
+from repro import FrameTrace
 from repro.core.injector import FakeFrameInjector
-from repro.devices.access_point import AccessPoint, ApBehavior
 from repro.mac.addresses import ATTACKER_FAKE_MAC
+from repro.scenario import PlacementSpec
 
-from benchmarks.conftest import once
+from benchmarks.conftest import once, sim_context
+
+FIGURE3_PLACEMENTS = [
+    PlacementSpec(
+        kind="access_point",
+        mac="0c:00:1e:00:00:01",
+        role="ap",
+        x=0, y=0, z=2,
+        options={"behavior": {"deauth_on_unknown": True}},
+    ),
+    PlacementSpec(
+        kind="monitor_dongle", mac="02:dd:00:00:00:01", role="attacker", x=8, y=0
+    ),
+]
 
 
 def _run_figure3():
-    rng = np.random.default_rng(3)
-    engine = Engine()
-    trace = FrameTrace()
-    medium = Medium(engine, trace=trace)
-    ap = AccessPoint(
-        mac=MacAddress("0c:00:1e:00:00:01"),
-        medium=medium,
-        position=Position(0, 0, 2),
-        rng=rng,
-        behavior=ApBehavior(deauth_on_unknown=True),
+    ctx = sim_context(
+        seed=3, trace=True, metrics=False, placements=FIGURE3_PLACEMENTS
     )
-    attacker = MonitorDongle(
-        mac=MacAddress("02:dd:00:00:00:01"),
-        medium=medium,
-        position=Position(8, 0),
-        rng=rng,
-    )
+    devices = ctx.place_devices()
+    ap, attacker = devices["ap"], devices["attacker"]
     injector = FakeFrameInjector(attacker)
 
     # Phase 1: two fake frames, AP barks and ACKs.
     injector.inject_null(ap.mac)
-    engine.run_until(1.0)
+    ctx.run(until=1.0)
     injector.inject_null(ap.mac)
-    engine.run_until(2.0)
-    phase1 = trace.records
+    ctx.run(until=2.0)
+    phase1 = ctx.trace.records
 
     # Phase 2: operator blocklists the attacker; the ACK comes anyway.
     ap.block(ATTACKER_FAKE_MAC)
-    trace.clear()
+    ctx.trace.clear()
     injector.inject_null(ap.mac)
-    engine.run_until(3.0)
-    phase2 = trace.records
-    return ap, phase1, phase2, trace
+    ctx.run(until=3.0)
+    phase2 = ctx.trace.records
+    return ap, phase1, phase2, ctx.trace
 
 
 def test_figure3_deauth_and_blocklist_do_not_stop_acks(benchmark, report):

@@ -9,8 +9,6 @@ We run both attacks against the same victim under three conditions and
 tabulate who succeeds.
 """
 
-import numpy as np
-
 from repro.analysis.tables import render_table
 from repro.baselines.windtalker import RogueApAttack
 from repro.core.probe import PoliteWiFiProbe
@@ -18,42 +16,38 @@ from repro.devices.access_point import AccessPoint
 from repro.devices.dongle import MonitorDongle
 from repro.devices.station import Station
 from repro.mac.addresses import MacAddress
-from repro.sim.engine import Engine
-from repro.sim.medium import Medium
 from repro.sim.world import Position
 
-from benchmarks.conftest import once
+from benchmarks.conftest import once, sim_context
 
 
 def _scenario(condition, seed):
-    engine = Engine()
-    medium = Medium(engine)
-    rng = np.random.default_rng(seed)
+    ctx = sim_context(seed=seed, metrics=False)
     rogue = AccessPoint(
         mac=MacAddress("0c:00:1e:00:00:09"),
-        medium=medium, position=Position(0, 0), rng=rng,
+        medium=ctx.medium, position=Position(0, 0), rng=ctx.rng,
         ssid="Free WiFi", passphrase=None,
     )
     victim = Station(
         mac=MacAddress("f2:6e:0b:11:22:33"),
-        medium=medium, position=Position(4, 0), rng=rng,
+        medium=ctx.medium, position=Position(4, 0), rng=ctx.rng,
     )
     if condition == "on own WPA2 network":
         home = AccessPoint(
             mac=MacAddress("0c:00:1e:00:00:08"),
-            medium=medium, position=Position(8, 0), rng=rng,
+            medium=ctx.medium, position=Position(8, 0), rng=ctx.rng,
             ssid="HomeNet", passphrase="private key material",
         )
         victim.connect(home.mac, "HomeNet", "private key material")
-        engine.run_until(1.0)
+        ctx.run(until=1.0)
 
     lured = condition == "lured to rogue AP"
-    windtalker = RogueApAttack(rogue, engine, request_rate_pps=50.0)
+    windtalker = RogueApAttack(rogue, ctx.engine, request_rate_pps=50.0)
     baseline = windtalker.run(victim, duration_s=3.0, victim_lured=lured)
 
     attacker = MonitorDongle(
         mac=MacAddress("02:dd:00:00:00:04"),
-        medium=medium, position=Position(6, 2), rng=rng,
+        medium=ctx.medium, position=Position(6, 2), rng=ctx.rng,
     )
     polite = PoliteWiFiProbe(attacker).probe(victim.mac)
     return baseline, polite

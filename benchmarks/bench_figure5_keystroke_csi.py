@@ -15,8 +15,7 @@ import numpy as np
 
 from repro.analysis.figures import FigureSeries, ascii_plot
 from repro.analysis.tables import render_table
-from repro.channel.csi import CsiChannelModel, MultipathChannel
-from repro.channel.noise import CsiMeasurementNoise
+from repro.channel.csi import MultipathChannel
 from repro.channel.motion import (
     HoldMotion,
     PickupMotion,
@@ -25,38 +24,37 @@ from repro.channel.motion import (
     TypingMotion,
 )
 from repro.core.keystroke import KeystrokeInferenceAttack
-from repro.devices.esp import Esp32CsiSniffer
-from repro.devices.station import Station
-from repro.mac.addresses import ATTACKER_FAKE_MAC, MacAddress
+from repro.mac.addresses import ATTACKER_FAKE_MAC
+from repro.scenario import PlacementSpec
 from repro.sensing.keystroke_classifier import ActivityClassifier
-from repro.sim.engine import Engine
-from repro.sim.medium import Medium
 from repro.sim.world import Position
 
-from benchmarks.conftest import once
+from benchmarks.conftest import once, sim_context
 
 
 def _build(motion, seed):
-    engine = Engine()
     # Realistic measurement noise: ~35 dB CSI estimation SNR with 8-bit
     # I/Q quantization (ESP32-class export).  Keeps the ground phase
     # "very stable" but not identically zero.
-    noise = CsiMeasurementNoise(
-        snr_db=35.0, rng=np.random.default_rng(seed + 5000)
+    ctx = sim_context(
+        seed=seed,
+        metrics=False,
+        csi_noise={"snr_db": 35.0, "seed": seed + 5000},
+        placements=[
+            PlacementSpec(
+                kind="station", mac="f2:6e:0b:11:22:33", role="victim",
+                x=0, y=0, z=1,
+            ),
+            PlacementSpec(
+                kind="esp32_sniffer", mac="02:e5:93:20:00:01", role="esp",
+                x=8, y=3, z=1,
+                options={"expected_ack_ra": str(ATTACKER_FAKE_MAC)},
+            ),
+        ],
     )
-    csi_model = CsiChannelModel(noise=noise)
-    medium = Medium(engine, csi_model=csi_model)
-    rng = np.random.default_rng(seed)
-    victim = Station(
-        mac=MacAddress("f2:6e:0b:11:22:33"),
-        medium=medium, position=Position(0, 0, 1), rng=rng,
-    )
-    esp = Esp32CsiSniffer(
-        mac=MacAddress("02:e5:93:20:00:01"),
-        medium=medium, position=Position(8, 3, 1), rng=rng,
-        expected_ack_ra=ATTACKER_FAKE_MAC,
-    )
-    csi_model.register_link(
+    devices = ctx.place_devices()
+    victim, esp = devices["victim"], devices["esp"]
+    ctx.csi_model.register_link(
         str(victim.mac), str(esp.mac),
         MultipathChannel(
             Position(0, 0, 1), Position(8, 3, 1),

@@ -15,43 +15,37 @@ from repro.analysis.figures import FigureSeries, ascii_plot
 from repro.analysis.stats import linear_fit
 from repro.analysis.tables import render_table
 from repro.core.battery import BatteryDrainAttack
-from repro.devices.access_point import AccessPoint
-from repro.devices.dongle import MonitorDongle
-from repro.devices.esp import Esp8266Device
-from repro.mac.addresses import MacAddress
-from repro.sim.engine import Engine
-from repro.sim.medium import Medium
-from repro.sim.world import Position
-from repro.telemetry import MetricsRegistry
+from repro.scenario import PlacementSpec
 
-from benchmarks.conftest import once
+from benchmarks.conftest import once, sim_context
 
 RATES = (0, 1, 5, 10, 25, 50, 100, 200, 300, 450, 600, 750, 900)
 
+FIGURE6_PLACEMENTS = [
+    PlacementSpec(
+        kind="access_point", mac="0c:00:1e:00:00:02", role="ap",
+        x=0, y=0, z=2,
+        options={"ssid": "IoTNet", "passphrase": "iot network key"},
+    ),
+    PlacementSpec(
+        kind="esp8266", mac="02:e8:26:60:00:01", role="victim", x=5, y=0, z=1
+    ),
+    PlacementSpec(
+        kind="monitor_dongle", mac="02:dd:00:00:00:02", role="attacker",
+        x=12, y=0, z=1,
+    ),
+]
+
 
 def _run_figure6():
-    metrics = MetricsRegistry()
-    engine = Engine(metrics=metrics)
-    medium = Medium(engine)
-    rng = np.random.default_rng(42)
-    ap = AccessPoint(
-        mac=MacAddress("0c:00:1e:00:00:02"),
-        medium=medium, position=Position(0, 0, 2), rng=rng,
-        ssid="IoTNet", passphrase="iot network key",
-    )
-    victim = Esp8266Device(
-        mac=MacAddress("02:e8:26:60:00:01"),
-        medium=medium, position=Position(5, 0, 1), rng=rng,
-    )
+    ctx = sim_context(seed=42, placements=FIGURE6_PLACEMENTS)
+    devices = ctx.place_devices()
+    ap, victim, attacker = devices["ap"], devices["victim"], devices["attacker"]
     victim.connect(ap.mac, "IoTNet", "iot network key")
-    engine.run_until(1.0)
+    ctx.run(until=1.0)
     victim.enter_power_save()
-    attacker = MonitorDongle(
-        mac=MacAddress("02:dd:00:00:00:02"),
-        medium=medium, position=Position(12, 0, 1), rng=rng,
-    )
     attack = BatteryDrainAttack(attacker, victim)
-    return attack.sweep(rates_pps=RATES, duration_s=10.0), metrics
+    return attack.sweep(rates_pps=RATES, duration_s=10.0), ctx.metrics
 
 
 def test_figure6_power_vs_rate(benchmark, report):

@@ -13,18 +13,11 @@ This is the heaviest benchmark (~5,300 radios, several simulated minutes
 of city traffic); expect a few minutes of wall time.
 """
 
-import numpy as np
-
 from repro.core.wardrive import WardriveConfig, WardrivePipeline
 from repro.devices.base import DeviceKind
-from repro.phy.signal import LogDistancePathLoss, SnrFerModel
-from repro.channel.propagation import ShadowedPathLoss
-from repro.sim.engine import Engine
-from repro.sim.medium import Medium
 from repro.survey.city import CityConfig, SyntheticCity
-from repro.telemetry import MetricsRegistry, SpanTracer
 
-from benchmarks.conftest import once
+from benchmarks.conftest import once, sim_context
 
 
 def _survey_city_config() -> CityConfig:
@@ -50,31 +43,27 @@ def _survey_city_config() -> CityConfig:
 
 
 def _run_wardrive():
-    metrics = MetricsRegistry()
-    tracer = SpanTracer()
-    engine = Engine(metrics=metrics)
-    shadowing = ShadowedPathLoss(
-        base=LogDistancePathLoss(exponent=2.8, walls=1),
-        shadowing_sigma_db=4.0,
-        rng=np.random.default_rng(99),
+    ctx = sim_context(
+        seed=2020,
+        spans=True,
+        medium_seed=98,
+        path_loss={
+            "kind": "shadowed", "exponent": 2.8, "walls": 1,
+            "sigma_db": 4.0, "seed": 99,
+        },
+        fer="snr",
     )
-    medium = Medium(
-        engine,
-        path_loss_db=shadowing,
-        fer=SnrFerModel(),
-        rng=np.random.default_rng(98),
-    )
-    with tracer.span("build-city"):
-        city = SyntheticCity(engine, medium, _survey_city_config())
+    with ctx.tracer.span("build-city"):
+        city = SyntheticCity(ctx.engine, ctx.medium, _survey_city_config())
         pipeline = WardrivePipeline(
             city,
             WardriveConfig(
                 probe_attempts=4, max_probe_rounds=8, vehicle_speed_mps=12.0
             ),
         )
-    with tracer.span("drive"):
+    with ctx.tracer.span("drive"):
         results = pipeline.run()
-    return city, pipeline, results, metrics, tracer
+    return city, pipeline, results, ctx.metrics, ctx.tracer
 
 
 def test_table2_wardrive_survey(benchmark, report):

@@ -13,7 +13,20 @@ import pathlib
 
 import pytest
 
+from repro.scenario import ScenarioSpec, SimContext
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def sim_context(**spec_fields) -> SimContext:
+    """Build a :class:`SimContext` from inline :class:`ScenarioSpec` fields.
+
+    The benchmarks describe their wiring declaratively through the same
+    spec/context layer as the CLI demos and campaign scenarios, so the
+    seeding contract (and the seeded traces) cannot drift between the
+    front ends.
+    """
+    return SimContext(ScenarioSpec(**spec_fields))
 
 
 @pytest.fixture

@@ -9,53 +9,64 @@ linearly to ~360 mW at 900 packets/s — a 35x increase that would drain a
 Logitech Circle 2 in about 6.7 hours and a Blink XT2 in about 16.7 hours.
 
 Run:  python examples/battery_drain_attack.py
+(set REPRO_SMOKE=1 for a fast, truncated sweep)
 """
+
+import os
 
 import numpy as np
 
-from repro import Engine, MacAddress, Medium, MonitorDongle, Position
 from repro.analysis.figures import FigureSeries, ascii_plot
 from repro.analysis.tables import render_table
 from repro.core.battery import BatteryDrainAttack
-from repro.devices.access_point import AccessPoint
 from repro.devices.battery import BLINK_XT2, LOGITECH_CIRCLE2
-from repro.devices.esp import Esp8266Device
+from repro.scenario import PlacementSpec, ScenarioSpec, SimContext
+
+SMOKE = os.environ.get("REPRO_SMOKE") == "1"
+
+SPEC = ScenarioSpec(
+    seed=42,
+    placements=[
+        PlacementSpec(
+            kind="access_point",
+            mac="0c:00:1e:00:00:02",
+            role="ap",
+            x=0, y=0, z=2,
+            options={"ssid": "IoTNet", "passphrase": "iot network key"},
+        ),
+        PlacementSpec(
+            kind="esp8266",
+            mac="02:e8:26:60:00:01",
+            role="victim",
+            x=5, y=0, z=1,
+        ),
+        PlacementSpec(
+            kind="monitor_dongle",
+            mac="02:dd:00:00:00:02",
+            role="attacker",
+            x=12, y=0, z=1,
+        ),
+    ],
+)
 
 
 def main() -> None:
-    rng = np.random.default_rng(42)
-    engine = Engine()
-    medium = Medium(engine)
+    ctx = SimContext(SPEC)
+    devices = ctx.place_devices()
+    ap, victim, attacker = devices["ap"], devices["victim"], devices["attacker"]
 
-    ap = AccessPoint(
-        mac=MacAddress("0c:00:1e:00:00:02"),
-        medium=medium,
-        position=Position(0, 0, 2),
-        rng=rng,
-        ssid="IoTNet",
-        passphrase="iot network key",
-    )
-    victim = Esp8266Device(
-        mac=MacAddress("02:e8:26:60:00:01"),
-        medium=medium,
-        position=Position(5, 0, 1),
-        rng=rng,
-    )
     victim.connect(ap.mac, "IoTNet", "iot network key")
-    engine.run_until(1.0)
+    ctx.run(until=1.0)
     victim.enter_power_save()
 
-    attacker = MonitorDongle(
-        mac=MacAddress("02:dd:00:00:00:02"),
-        medium=medium,
-        position=Position(12, 0, 1),
-        rng=rng,
-    )
     attack = BatteryDrainAttack(attacker, victim)
 
-    rates = (0, 1, 5, 10, 25, 50, 100, 200, 400, 600, 900)
-    print("Sweeping fake-frame rates (10 simulated seconds per point)...")
-    points = attack.sweep(rates_pps=rates, duration_s=10.0)
+    if SMOKE:
+        rates, duration_s = (0, 50, 900), 2.0
+    else:
+        rates, duration_s = (0, 1, 5, 10, 25, 50, 100, 200, 400, 600, 900), 10.0
+    print(f"Sweeping fake-frame rates ({duration_s:.0f} simulated seconds per point)...")
+    points = attack.sweep(rates_pps=rates, duration_s=duration_s)
 
     rows = [
         (

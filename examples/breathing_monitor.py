@@ -8,59 +8,69 @@ ACK CSI of the bedroom smart thermostat, and detects motion near the
 living-room TV, with zero changes to either device.
 
 Run:  python examples/breathing_monitor.py
+(set REPRO_SMOKE=1 for a shorter recording)
 """
+
+import os
 
 import numpy as np
 
-from repro import Engine, MacAddress, Medium, Position, Station
-from repro.channel.csi import CsiChannelModel, MultipathChannel
+from repro import Position
+from repro.channel.csi import MultipathChannel
 from repro.channel.motion import (
     BreathingMotion,
     CompositeMotion,
     HeartbeatMotion,
-    StillMotion,
     WalkingMotion,
 )
 from repro.core.sensing_app import SingleDeviceSensingHub
-from repro.devices.esp import Esp32CsiSniffer
 from repro.mac.addresses import ATTACKER_FAKE_MAC
+from repro.scenario import PlacementSpec, ScenarioSpec, SimContext
 from repro.sensing.occupancy import OccupancyDetector
+
+SMOKE = os.environ.get("REPRO_SMOKE") == "1"
+
+SPEC = ScenarioSpec(
+    seed=11,
+    csi=True,
+    placements=[
+        # Two ordinary, *unmodified* household devices.
+        PlacementSpec(
+            kind="station",
+            mac="0c:00:3e:00:00:01",  # an ecobee-style OUI
+            role="thermostat",
+            x=0, y=0, z=1.5,
+            options={"vendor": "ecobee"},
+        ),
+        PlacementSpec(
+            kind="station",
+            mac="0c:00:9e:00:00:02",
+            role="smart_tv",
+            x=9, y=4, z=1.0,
+            options={"vendor": "Samsung"},
+        ),
+        # The one modified device: the hub.
+        PlacementSpec(
+            kind="esp32_sniffer",
+            mac="02:e5:93:20:00:02",
+            role="hub",
+            x=4, y=2, z=2.0,
+            options={"expected_ack_ra": str(ATTACKER_FAKE_MAC)},
+        ),
+    ],
+)
 
 
 def main() -> None:
-    rng = np.random.default_rng(11)
-    engine = Engine()
-    csi_model = CsiChannelModel()
-    medium = Medium(engine, csi_model=csi_model)
-
-    # Two ordinary, *unmodified* household devices.
-    thermostat = Station(
-        mac=MacAddress("0c:00:3e:00:00:01"),  # an ecobee-style OUI
-        medium=medium,
-        position=Position(0, 0, 1.5),
-        rng=rng,
-        vendor="ecobee",
-    )
-    smart_tv = Station(
-        mac=MacAddress("0c:00:9e:00:00:02"),
-        medium=medium,
-        position=Position(9, 4, 1.0),
-        rng=rng,
-        vendor="Samsung",
-    )
-
-    # The one modified device: the hub.
-    hub = Esp32CsiSniffer(
-        mac=MacAddress("02:e5:93:20:00:02"),
-        medium=medium,
-        position=Position(4, 2, 2.0),
-        rng=rng,
-        expected_ack_ra=ATTACKER_FAKE_MAC,
+    ctx = SimContext(SPEC)
+    devices = ctx.place_devices()
+    thermostat, smart_tv, hub = (
+        devices["thermostat"], devices["smart_tv"], devices["hub"],
     )
 
     # Physical channels: a sleeper breathing at 14 bpm near the thermostat
     # link; someone walking through the living room crosses the TV link.
-    csi_model.register_link(
+    ctx.csi_model.register_link(
         str(thermostat.mac), str(hub.mac),
         MultipathChannel(
             Position(0, 0, 1.5), Position(4, 2, 2.0),
@@ -72,7 +82,7 @@ def main() -> None:
             ]),
         ),
     )
-    csi_model.register_link(
+    ctx.csi_model.register_link(
         str(smart_tv.mac), str(hub.mac),
         MultipathChannel(
             Position(9, 4, 1.0), Position(4, 2, 2.0),
@@ -85,12 +95,13 @@ def main() -> None:
     sensing.add_anchor(thermostat.mac)
     sensing.add_anchor(smart_tv.mac)
 
+    duration_s = 30.0 if SMOKE else 60.0
     print(
         f"Hub sensing through {len(sensing.anchors)} unmodified anchors "
         f"(modified devices: {sensing.modified_devices})."
     )
-    print("Collecting 60 s of ACK CSI at 50 frames/s per anchor...")
-    sensing.sense(duration_s=60.0)
+    print(f"Collecting {duration_s:.0f} s of ACK CSI at 50 frames/s per anchor...")
+    sensing.sense(duration_s=duration_s)
 
     vitals = sensing.vital_signs(thermostat.mac)
     if vitals.breathing is None:
@@ -112,7 +123,7 @@ def main() -> None:
     detector = OccupancyDetector()
     tv_series = sensing.stream_for(smart_tv.mac).series()
     detector.calibrate(tv_series.slice(0.0, 15.0))
-    active = detector.occupancy_fraction(tv_series.slice(20.0, 60.0))
+    active = detector.occupancy_fraction(tv_series.slice(20.0, duration_s))
     print(
         f"Living room (via smart-TV ACKs): motion detected in "
         f"{100 * active:.0f}% of intervals after t=20 s (someone walks in then)"

@@ -5,20 +5,28 @@ The single-run examples each build one simulation and look at one
 outcome.  Reproduction-grade claims (Table 2's 100 % response rate, the
 Figure 6 power curve) want *sweeps*: the same scenario re-run across
 seeds and parameter grids, with per-run metrics and a manifest that
-records exactly what ran.  That is what ``repro.telemetry`` provides:
+records exactly what ran.  That is what ``repro.telemetry`` provides,
+on top of the scenario registry (``repro.scenario``):
 
-1. every run gets its own seeded RNG tree and private metrics registry;
-2. runs fan out across a ``multiprocessing`` pool;
+1. every run derives a :class:`ScenarioSpec` from the registered
+   scenario, with its own seeded RNG tree and private metrics registry;
+2. runs fan out across a ``multiprocessing`` pool, and each finished
+   run is immediately appended to a ``<manifest>.runs.jsonl`` sidecar
+   (crash-safe progress; ``--resume`` picks up from it);
 3. the parent folds per-run metric snapshots in run order, so the
    aggregate is byte-identical no matter how many workers executed it.
 
 Run:  python examples/campaign_runner.py
+(set REPRO_SMOKE=1 for a two-seed sweep)
 """
 
 import json
+import os
 import tempfile
 
 from repro.telemetry import CampaignConfig, run_campaign, summarize_manifest
+
+SMOKE = os.environ.get("REPRO_SMOKE") == "1"
 
 
 def main() -> None:
@@ -33,7 +41,7 @@ def main() -> None:
     manifest = run_campaign(
         CampaignConfig(
             scenario="wardrive",
-            seeds=[0, 1, 2, 3],
+            seeds=[0, 1] if SMOKE else [0, 1, 2, 3],
             workers=2,
             name="example-wardrive-sweep",
             output_path=manifest_path,
@@ -54,6 +62,7 @@ def main() -> None:
         recorded = json.load(handle)
     first = recorded["runs"][0]
     print(f"manifest          : {manifest_path}")
+    print(f"run-record stream : {recorded['runs_jsonl']}")
     print(f"git revision      : {recorded['git_rev'][:12]}")
     print(f"run 0 seed/params : {first['seed']} / {first['params']}")
     print(

@@ -10,43 +10,47 @@ the AP doesn't help either: the filter runs above the ACK engine.
 Run:  python examples/deauth_wont_help.py
 """
 
-import numpy as np
-
-from repro import Engine, FrameTrace, MacAddress, Medium, MonitorDongle, Position
 from repro.core.injector import FakeFrameInjector
-from repro.devices.access_point import AccessPoint, ApBehavior
 from repro.mac.addresses import ATTACKER_FAKE_MAC
+from repro.scenario import PlacementSpec, ScenarioSpec, SimContext
+
+SPEC = ScenarioSpec(
+    seed=3,
+    trace=True,
+    placements=[
+        PlacementSpec(
+            kind="access_point",
+            mac="0c:00:1e:00:00:03",
+            role="ap",
+            x=0, y=0, z=2,
+            options={
+                "ssid": "GrumpyNet",
+                "behavior": {"deauth_on_unknown": True},
+            },
+        ),
+        PlacementSpec(
+            kind="monitor_dongle",
+            mac="02:dd:00:00:00:03",
+            role="attacker",
+            x=8, y=0, z=1,
+        ),
+    ],
+)
 
 
 def main() -> None:
-    rng = np.random.default_rng(3)
-    engine = Engine()
-    trace = FrameTrace()
-    medium = Medium(engine, trace=trace)
-
-    ap = AccessPoint(
-        mac=MacAddress("0c:00:1e:00:00:03"),
-        medium=medium,
-        position=Position(0, 0, 2),
-        rng=rng,
-        ssid="GrumpyNet",
-        behavior=ApBehavior(deauth_on_unknown=True),
-    )
-    attacker = MonitorDongle(
-        mac=MacAddress("02:dd:00:00:00:03"),
-        medium=medium,
-        position=Position(8, 0, 1),
-        rng=rng,
-    )
+    ctx = SimContext(SPEC)
+    devices = ctx.place_devices()
+    ap, attacker = devices["ap"], devices["attacker"]
     injector = FakeFrameInjector(attacker)
 
     print("Phase 1 — fake frames at an AP that deauths intruders:")
     for index in range(2):
-        engine.call_at(index * 0.6, lambda: injector.inject_null(ap.mac))
-    engine.run_until(2.0)
-    print(trace.to_table())
-    deauths = trace.count_info("Deauthentication")
-    acks = trace.count_info("Acknowledgement")
+        ctx.engine.call_at(index * 0.6, lambda: injector.inject_null(ap.mac))
+    ctx.run(until=2.0)
+    print(ctx.trace.to_table())
+    deauths = ctx.trace.count_info("Deauthentication")
+    acks = ctx.trace.count_info("Acknowledgement")
     print(
         f"\nThe AP sent {deauths} deauthentication frames (same SN repeated "
         f"— never ACKed by the monitor-mode attacker, so it retransmits), "
@@ -55,13 +59,13 @@ def main() -> None:
 
     print("\nPhase 2 — the operator blocklists the attacker's MAC:")
     ap.block(ATTACKER_FAKE_MAC)
-    trace.clear()
+    ctx.trace.clear()
     injector.inject_null(ap.mac)
-    engine.run_until(engine.now + 1.0)
-    print(trace.to_table())
+    ctx.run(until=ctx.engine.now + 1.0)
+    print(ctx.trace.to_table())
     print(
         f"\nBlocked frames dropped at the MAC filter: {ap.blocked_frames_dropped}; "
-        f"ACKs sent anyway: {trace.count_info('Acknowledgement')}."
+        f"ACKs sent anyway: {ctx.trace.count_info('Acknowledgement')}."
     )
     print("'This experiment destroyed the last hope of preventing this attack.'")
 

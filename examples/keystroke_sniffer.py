@@ -8,14 +8,15 @@ pickup, wobbles while held, and bursts during typing — and a small
 classifier trained on a calibration recording labels the activity windows.
 
 Run:  python examples/keystroke_sniffer.py
+(set REPRO_SMOKE=1 to skip classifier training and shorten the capture)
 """
 
+import os
 
 import numpy as np
 
-from repro import Engine, MacAddress, Medium, Position, Station
-from repro.analysis.figures import FigureSeries, ascii_plot
-from repro.channel.csi import CsiChannelModel, MultipathChannel
+from repro import Position
+from repro.channel.csi import MultipathChannel
 from repro.channel.motion import (
     HoldMotion,
     PickupMotion,
@@ -24,30 +25,37 @@ from repro.channel.motion import (
     TypingMotion,
 )
 from repro.core.keystroke import KeystrokeInferenceAttack
-from repro.devices.esp import Esp32CsiSniffer
 from repro.mac.addresses import ATTACKER_FAKE_MAC
+from repro.scenario import PlacementSpec, ScenarioSpec, SimContext
+
+SMOKE = os.environ.get("REPRO_SMOKE") == "1"
 
 
 def build_scenario(motion, seed=0):
     """Victim tablet + ESP32 attacker behind a wall, physical CSI model."""
-    engine = Engine()
-    csi_model = CsiChannelModel()
-    medium = Medium(engine, csi_model=csi_model)
-    rng = np.random.default_rng(seed)
-    victim = Station(
-        mac=MacAddress("f2:6e:0b:11:22:33"),
-        medium=medium,
-        position=Position(0, 0, 1),
-        rng=rng,
+    spec = ScenarioSpec(
+        seed=seed,
+        csi=True,
+        placements=[
+            PlacementSpec(
+                kind="station",
+                mac="f2:6e:0b:11:22:33",
+                role="victim",
+                x=0, y=0, z=1,
+            ),
+            PlacementSpec(
+                kind="esp32_sniffer",
+                mac="02:e5:93:20:00:01",
+                role="esp32",
+                x=8, y=3, z=1,  # a different room
+                options={"expected_ack_ra": str(ATTACKER_FAKE_MAC)},
+            ),
+        ],
     )
-    esp32 = Esp32CsiSniffer(
-        mac=MacAddress("02:e5:93:20:00:01"),
-        medium=medium,
-        position=Position(8, 3, 1),  # a different room
-        rng=rng,
-        expected_ack_ra=ATTACKER_FAKE_MAC,
-    )
-    csi_model.register_link(
+    ctx = SimContext(spec)
+    devices = ctx.place_devices()
+    victim, esp32 = devices["victim"], devices["esp32"]
+    ctx.csi_model.register_link(
         str(victim.mac),
         str(esp32.mac),
         MultipathChannel(
@@ -57,7 +65,7 @@ def build_scenario(motion, seed=0):
             motion=motion,
         ),
     )
-    return engine, KeystrokeInferenceAttack(esp32, victim.mac)
+    return ctx, KeystrokeInferenceAttack(esp32, victim.mac)
 
 
 def figure5_timeline(rng):
@@ -87,20 +95,25 @@ def train_classifier():
 
 
 def main() -> None:
-    print("Training the activity classifier on calibration recordings...")
-    classifier = train_classifier()
+    classifier = None
+    if not SMOKE:
+        print("Training the activity classifier on calibration recordings...")
+        classifier = train_classifier()
 
     print("Running the attack against the Figure 5 scenario (32 s)...")
     timeline = figure5_timeline(np.random.default_rng(7))
     _, attack = build_scenario(timeline, seed=7)
     result = attack.run(duration_s=32.0)
-    KeystrokeInferenceAttack.analyze(result, classifier)
+    if classifier is not None:
+        KeystrokeInferenceAttack.analyze(result, classifier)
 
     print(
         f"\nInjected {result.frames_injected} fake frames at 150/s; measured "
         f"CSI on {result.acks_measured} ACKs "
         f"({100 * result.ack_yield:.1f}% yield)."
     )
+
+    from repro.analysis.figures import FigureSeries, ascii_plot
 
     series = FigureSeries(
         label="|CSI| subcarrier 17",
@@ -111,19 +124,20 @@ def main() -> None:
     print()
     print(ascii_plot([series.downsample(400)], title="Figure 5 — CSI amplitude of ACKs"))
 
-    print("\nPredicted activity per 2 s window (truth in brackets):")
-    for start, end, label in result.window_labels:
-        truth = timeline.label_at((start + end) / 2.0)
-        marker = "+" if label.value == truth else " "
-        print(f"  {start:5.1f}-{end:5.1f}s  {label.value:<8} [{truth}] {marker}")
+    if classifier is not None:
+        print("\nPredicted activity per 2 s window (truth in brackets):")
+        for start, end, label in result.window_labels:
+            truth = timeline.label_at((start + end) / 2.0)
+            marker = "+" if label.value == truth else " "
+            print(f"  {start:5.1f}-{end:5.1f}s  {label.value:<8} [{truth}] {marker}")
 
-    correct = sum(
-        1
-        for start, end, label in result.window_labels
-        if label.value == timeline.label_at((start + end) / 2.0)
-    )
-    total = len(result.window_labels) or 1
-    print(f"\nWindow accuracy vs ground truth: {correct}/{total}")
+        correct = sum(
+            1
+            for start, end, label in result.window_labels
+            if label.value == timeline.label_at((start + end) / 2.0)
+        )
+        total = len(result.window_labels) or 1
+        print(f"\nWindow accuracy vs ground truth: {correct}/{total}")
 
     # Zoom in on the typing phase: recover individual keystroke instants.
     from repro.sensing.keystroke_timing import (

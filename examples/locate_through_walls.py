@@ -9,35 +9,50 @@ no association, no keys, no cooperation. Ranging from several positions
 (a walk around the building, or a drone pass) trilaterates the victim.
 
 Run:  python examples/locate_through_walls.py
+(set REPRO_SMOKE=1 for a fast, low-probe-count pass)
 """
+
+import os
 
 import numpy as np
 
-from repro import Engine, MacAddress, Medium, MonitorDongle, Position, Station
+from repro import Position
 from repro.core.localization import AckRangingSensor, LocalizationAttack
+from repro.scenario import PlacementSpec, ScenarioSpec, SimContext
+
+SMOKE = os.environ.get("REPRO_SMOKE") == "1"
+
+SPEC = ScenarioSpec(
+    seed=2023,
+    placements=[
+        # Devices inside a building the attacker never enters.
+        PlacementSpec(
+            kind="station",
+            mac="0c:00:0e:00:00:01",
+            role="bedroom camera",
+            x=22.0, y=15.0, z=2.5,
+        ),
+        PlacementSpec(
+            kind="station",
+            mac="0c:00:9e:00:00:02",
+            role="kitchen speaker",
+            x=8.0, y=20.0, z=1.0,
+        ),
+        PlacementSpec(
+            kind="monitor_dongle",
+            mac="02:dd:00:00:00:07",
+            role="dongle",
+            x=0, y=0, z=1,
+        ),
+    ],
+)
 
 
 def main() -> None:
-    rng = np.random.default_rng(2023)
-    engine = Engine()
-    medium = Medium(engine)
+    ctx = SimContext(SPEC)
+    devices = ctx.place_devices()
+    dongle = devices.pop("dongle")
 
-    # Devices inside a building the attacker never enters.
-    devices = {
-        "bedroom camera": Station(
-            mac=MacAddress("0c:00:0e:00:00:01"),
-            medium=medium, position=Position(22.0, 15.0, 2.5), rng=rng,
-        ),
-        "kitchen speaker": Station(
-            mac=MacAddress("0c:00:9e:00:00:02"),
-            medium=medium, position=Position(8.0, 20.0, 1.0), rng=rng,
-        ),
-    }
-
-    dongle = MonitorDongle(
-        mac=MacAddress("02:dd:00:00:00:07"),
-        medium=medium, position=Position(0, 0, 1), rng=rng,
-    )
     sensor = AckRangingSensor(
         dongle, timestamp_jitter_s=25e-9, rng=np.random.default_rng(5)
     )
@@ -48,11 +63,14 @@ def main() -> None:
         Position(0, 0, 1), Position(40, 0, 1),
         Position(0, 40, 1), Position(40, 40, 1),
     ]
-    print("Ranging every device from 4 outdoor positions (60 probes each)...\n")
+    probes = 12 if SMOKE else 60
+    print(
+        f"Ranging every device from 4 outdoor positions ({probes} probes each)...\n"
+    )
     for name, device in devices.items():
         truth = device.radio.current_position(0.0)
         result = attack.locate(
-            device.mac, anchors, probes_per_anchor=60, truth=truth
+            device.mac, anchors, probes_per_anchor=probes, truth=truth
         )
         print(f"{name} ({device.mac}):")
         for m in result.measurements:

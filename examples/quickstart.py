@@ -7,66 +7,68 @@ dongle — who has never been part of that network and holds no keys — sends a
 fake, unencrypted null-function frame whose only valid field is the victim's
 MAC address.  The victim acknowledges it within one SIFS.
 
+The world is described declaratively by a :class:`ScenarioSpec` and built
+by :class:`SimContext` — the same wiring every demo, benchmark, and
+campaign scenario uses (see ``docs/scenarios.md``).
+
 Run:  python examples/quickstart.py
 """
 
-import numpy as np
+from repro import ATTACKER_FAKE_MAC, PoliteWiFiProbe
+from repro.scenario import PlacementSpec, ScenarioSpec, SimContext
 
-from repro import (
-    ATTACKER_FAKE_MAC,
-    AccessPoint,
-    Engine,
-    FrameTrace,
-    MacAddress,
-    Medium,
-    MonitorDongle,
-    PoliteWiFiProbe,
-    Position,
-    Station,
+SPEC = ScenarioSpec(
+    seed=2020,
+    trace=True,
+    placements=[
+        PlacementSpec(
+            kind="access_point",
+            mac="0c:00:1e:00:00:01",
+            role="home_ap",
+            x=0, y=0, z=2,
+            options={
+                "ssid": "HomeNet",
+                "passphrase": "a secret the attacker never learns",
+            },
+        ),
+        PlacementSpec(
+            kind="station",
+            mac="f2:6e:0b:11:22:33",
+            role="victim",
+            x=3, y=1, z=1,
+        ),
+        PlacementSpec(
+            kind="monitor_dongle",
+            mac="02:dd:00:00:00:01",
+            role="attacker",
+            x=10, y=0, z=1,
+        ),
+    ],
 )
 
 
 def main() -> None:
-    rng = np.random.default_rng(2020)
-    engine = Engine()
-    trace = FrameTrace()
-    medium = Medium(engine, trace=trace)
+    ctx = SimContext(SPEC)
+    devices = ctx.place_devices()
+    home_ap, victim, attacker = (
+        devices["home_ap"], devices["victim"], devices["attacker"],
+    )
 
     # --- The victim's world: a private, WPA2-protected home network. ----
-    home_ap = AccessPoint(
-        mac=MacAddress("0c:00:1e:00:00:01"),
-        medium=medium,
-        position=Position(0, 0, 2),
-        rng=rng,
-        ssid="HomeNet",
-        passphrase="a secret the attacker never learns",
-    )
-    victim = Station(
-        mac=MacAddress("f2:6e:0b:11:22:33"),
-        medium=medium,
-        position=Position(3, 1, 1),
-        rng=rng,
-    )
     victim.connect(home_ap.mac, "HomeNet", "a secret the attacker never learns")
-    engine.run_until(1.0)
+    ctx.run(until=1.0)
     print(f"victim association state: {victim.state.value}")
     print(f"victim holds a CCMP session key: {victim.session is not None}")
 
     # --- The attacker: a monitor-mode dongle outside the network. -------
-    attacker = MonitorDongle(
-        mac=MacAddress("02:dd:00:00:00:01"),
-        medium=medium,
-        position=Position(10, 0, 1),
-        rng=rng,
-    )
-    trace.clear()  # capture only the attack exchange, like Figure 2
+    ctx.trace.clear()  # capture only the attack exchange, like Figure 2
 
     probe = PoliteWiFiProbe(attacker, fake_source=ATTACKER_FAKE_MAC)
     result = probe.probe(victim.mac)
 
     print()
     print("Figure 2 — frames exchanged between attacker and victim:")
-    print(trace.to_table())
+    print(ctx.trace.to_table())
     print()
     if result.responded:
         print(

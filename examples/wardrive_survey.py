@@ -11,16 +11,19 @@ finishes in well under a minute; pass ``--full`` for the paper-scale
 5,328-node city (this is what the Table 2 benchmark runs).
 
 Run:  python examples/wardrive_survey.py [--full]
+(set REPRO_SMOKE=1 for a tiny city)
 """
 
 import argparse
+import os
 import time
 
 from repro.core.wardrive import WardriveConfig, WardrivePipeline
 from repro.devices.base import DeviceKind
-from repro.sim.engine import Engine
-from repro.sim.medium import Medium
+from repro.scenario import ScenarioSpec, SimContext
 from repro.survey.city import CityConfig, SyntheticCity
+
+SMOKE = os.environ.get("REPRO_SMOKE") == "1"
 
 
 def main() -> None:
@@ -33,16 +36,21 @@ def main() -> None:
     parser.add_argument("--seed", type=int, default=2020)
     args = parser.parse_args()
 
-    scale = 1.0 if args.full else 0.10
+    if args.full:
+        scale, blocks = 1.0, (12, 8)
+    elif SMOKE:
+        scale, blocks = 0.02, (3, 2)
+    else:
+        scale, blocks = 0.10, (5, 3)
     config = CityConfig(
         seed=args.seed,
         population_scale=scale,
-        blocks_x=12 if args.full else 5,
-        blocks_y=8 if args.full else 3,
+        keep_all_vendors=not SMOKE,
+        blocks_x=blocks[0],
+        blocks_y=blocks[1],
     )
-    engine = Engine()
-    medium = Medium(engine)
-    city = SyntheticCity(engine, medium, config)
+    ctx = SimContext(ScenarioSpec(seed=args.seed))
+    city = SyntheticCity(ctx.engine, ctx.medium, config)
     print(
         f"Synthetic city: {city.population} devices "
         f"({len(city.ap_specs)} APs, {len(city.client_specs)} clients) "

@@ -1,4 +1,4 @@
-"""Command-line runner: ``python -m repro [demo|campaign ...]``.
+"""Command-line runner: ``python -m repro [demo|run ...|campaign ...]``.
 
 Gives a new user one command per headline result:
 
@@ -8,170 +8,68 @@ Gives a new user one command per headline result:
 * ``locate``     — ACK-timing localization of a victim device;
 * ``survey``     — a small wardriving survey (Table 2 shape);
 
-plus the campaign orchestrator (see ``docs/telemetry.md``)::
+plus the scenario runner (any registered scenario, see
+``docs/scenarios.md``)::
+
+    python -m repro run wardrive --seed 7 --param population_scale=0.05
+    python -m repro run --list
+
+and the campaign orchestrator (see ``docs/telemetry.md``)::
 
     python -m repro campaign --scenario wardrive --seeds 8 --workers 4 \
         --out manifest.json
 
 The full, narrated versions live in ``examples/``; the full-scale
 reproductions in ``benchmarks/``.
+
+The demos are themselves registered scenarios — each demo command is
+just ``run <scenario>`` with the demo's historical seed and parameters.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
-import numpy as np
-
-from repro import (
-    ATTACKER_FAKE_MAC,
-    Engine,
-    FrameTrace,
-    MacAddress,
-    Medium,
-    MonitorDongle,
-    PoliteWiFiProbe,
-    Position,
-    Station,
-)
+from repro.scenario import available_scenarios, run_scenario
 
 
 def _demo_probe() -> int:
-    engine = Engine()
-    trace = FrameTrace()
-    medium = Medium(engine, trace=trace)
-    rng = np.random.default_rng(0)
-    victim = Station(
-        mac=MacAddress("f2:6e:0b:11:22:33"),
-        medium=medium, position=Position(0, 0), rng=rng,
-    )
-    attacker = MonitorDongle(
-        mac=MacAddress("02:dd:00:00:00:01"),
-        medium=medium, position=Position(5, 0), rng=rng,
-    )
-    result = PoliteWiFiProbe(attacker).probe(victim.mac)
-    print(trace.to_table())
-    print(
-        f"\nPolite WiFi: responded={result.responded}, "
-        f"ACK after {result.ack_latency_s * 1e6:.0f} us"
-    )
-    return 0 if result.responded else 1
+    result = run_scenario("probe")
+    return 0 if result.outputs["responded"] else 1
 
 
 def _demo_deauth() -> int:
-    from repro.core.injector import FakeFrameInjector
-    from repro.devices.access_point import AccessPoint, ApBehavior
-
-    engine = Engine()
-    trace = FrameTrace()
-    medium = Medium(engine, trace=trace)
-    rng = np.random.default_rng(1)
-    ap = AccessPoint(
-        mac=MacAddress("0c:00:1e:00:00:01"), medium=medium,
-        position=Position(0, 0, 2), rng=rng,
-        behavior=ApBehavior(deauth_on_unknown=True),
-    )
-    attacker = MonitorDongle(
-        mac=MacAddress("02:dd:00:00:00:01"),
-        medium=medium, position=Position(8, 0), rng=rng,
-    )
-    FakeFrameInjector(attacker).inject_null(ap.mac)
-    engine.run_until(1.0)
-    print(trace.to_table())
-    print(
-        f"\ndeauth frames: {trace.count_info('Deauthentication')}, "
-        f"ACKs to the fake frame: {trace.count_info('Acknowledgement')}"
-    )
+    run_scenario("deauth")
     return 0
 
 
 def _demo_battery() -> int:
-    from repro.core.battery import BatteryDrainAttack
-    from repro.devices.access_point import AccessPoint
-    from repro.devices.esp import Esp8266Device
-
-    engine = Engine()
-    medium = Medium(engine)
-    rng = np.random.default_rng(42)
-    ap = AccessPoint(
-        mac=MacAddress("0c:00:1e:00:00:02"), medium=medium,
-        position=Position(0, 0, 2), rng=rng,
-        ssid="IoTNet", passphrase="iot network key",
+    run_scenario(
+        "battery",
+        params={"rates_pps": (0, 10, 50, 200, 900), "duration_s": 5.0},
     )
-    victim = Esp8266Device(
-        mac=MacAddress("02:e8:26:60:00:01"), medium=medium,
-        position=Position(5, 0, 1), rng=rng,
-    )
-    victim.connect(ap.mac, "IoTNet", "iot network key")
-    engine.run_until(1.0)
-    victim.enter_power_save()
-    attacker = MonitorDongle(
-        mac=MacAddress("02:dd:00:00:00:02"), medium=medium,
-        position=Position(12, 0, 1), rng=rng,
-    )
-    attack = BatteryDrainAttack(attacker, victim)
-    print("rate (pkt/s)  power (mW)")
-    for rate in (0, 10, 50, 200, 900):
-        point = attack.measure_power(float(rate), duration_s=5.0)
-        print(f"{rate:>11}  {point.average_power_mw:>9.1f}")
     return 0
 
 
 def _demo_locate() -> int:
-    from repro.core.localization import AckRangingSensor, LocalizationAttack
-
-    engine = Engine()
-    medium = Medium(engine)
-    rng = np.random.default_rng(7)
-    truth = Position(18.0, 12.0, 1.0)
-    victim = Station(
-        mac=MacAddress("f2:6e:0b:11:22:33"),
-        medium=medium, position=truth, rng=rng,
-    )
-    dongle = MonitorDongle(
-        mac=MacAddress("02:dd:00:00:00:03"),
-        medium=medium, position=Position(0, 0, 1), rng=rng,
-    )
-    attack = LocalizationAttack(AckRangingSensor(dongle))
-    result = attack.locate(
-        victim.mac,
-        anchor_positions=[
-            Position(0, 0, 1), Position(40, 0, 1),
-            Position(0, 40, 1), Position(40, 40, 1),
-        ],
-        probes_per_anchor=60,
-        truth=truth,
-    )
-    for m in result.measurements:
-        print(
-            f"anchor ({m.anchor.x:4.0f},{m.anchor.y:4.0f})  "
-            f"range {m.distance_m:6.2f} m  (+/-{m.standard_error_m:.2f})"
-        )
-    print(
-        f"\nvictim at ({truth.x:.1f}, {truth.y:.1f}); "
-        f"estimated ({result.estimated.x:.1f}, {result.estimated.y:.1f}); "
-        f"error {result.error_m:.2f} m"
-    )
+    run_scenario("locate")
     return 0
 
 
 def _demo_survey() -> int:
-    from repro.core.wardrive import WardriveConfig, WardrivePipeline
-    from repro.survey.city import CityConfig, SyntheticCity
-
-    engine = Engine()
-    medium = Medium(engine)
-    city = SyntheticCity(
-        engine, medium,
-        CityConfig(
-            population_scale=0.05, keep_all_vendors=False,
-            blocks_x=4, blocks_y=3,
-        ),
+    run_scenario(
+        "wardrive",
+        params={
+            "population_scale": 0.05,
+            "keep_all_vendors": False,
+            "blocks_x": 4,
+            "blocks_y": 3,
+            "beacon_interval": 0.35,
+            "vehicle_speed_mps": 11.0,
+        },
     )
-    pipeline = WardrivePipeline(city, WardriveConfig())
-    results = pipeline.run()
-    print(results.to_table(top=10))
     return 0
 
 
@@ -212,10 +110,66 @@ def _parse_param(text: str):
     return key, raw
 
 
+def _run_one(argv) -> int:
+    """``python -m repro run <scenario>`` — launch any registered scenario."""
+    from repro.scenario import REGISTRY
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro run",
+        description="Run one registered scenario, narrated",
+    )
+    parser.add_argument(
+        "scenario", nargs="?", default=None,
+        help="registered scenario name (see --list)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list registered scenarios and exit"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="override the scenario's default seed",
+    )
+    parser.add_argument(
+        "--param", action="append", type=_parse_param, default=[],
+        metavar="KEY=VALUE", help="scenario parameter (repeatable)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="print the outputs dict as JSON (narration still precedes it)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress scenario narration"
+    )
+    args = parser.parse_args(argv)
+    if args.list:
+        for entry in REGISTRY.describe():
+            print(f"{entry['name']:<12} {entry['description']}")
+        return 0
+    if args.scenario is None:
+        parser.error("a scenario name is required (or --list)")
+    if args.scenario not in available_scenarios():
+        parser.error(
+            f"unknown scenario {args.scenario!r}; "
+            f"registered: {', '.join(available_scenarios())}"
+        )
+    result = run_scenario(
+        args.scenario,
+        seed=args.seed,
+        params=dict(args.param),
+        quiet=args.quiet,
+    )
+    if args.json:
+        print(json.dumps(result.outputs, sort_keys=True, default=str))
+    else:
+        print()
+        for key, value in sorted(result.outputs.items()):
+            print(f"  {key:<20} {value}")
+    return 0
+
+
 def _run_campaign(argv) -> int:
     from repro.telemetry import (
         CampaignConfig,
-        available_scenarios,
         run_campaign,
         summarize_manifest,
     )
@@ -242,13 +196,14 @@ def _run_campaign(argv) -> int:
     )
     parser.add_argument(
         "--out", default=None, metavar="PATH",
-        help="write the JSON run manifest here",
+        help="write the JSON run manifest here (per-run records stream "
+        "to PATH.runs.jsonl as runs complete)",
     )
     parser.add_argument("--name", default="", help="campaign name for the manifest")
     parser.add_argument(
         "--resume", action="store_true",
-        help="reuse (seed, params) runs already recorded in the manifest "
-        "at --out instead of re-executing them",
+        help="reuse (seed, params) runs already recorded in the JSONL "
+        "sidecar (or manifest) at --out instead of re-executing them",
     )
     args = parser.parse_args(argv)
     if args.resume and not args.out:
@@ -282,15 +237,18 @@ def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "campaign":
         return _run_campaign(argv[1:])
+    if argv and argv[0] == "run":
+        return _run_one(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
-        description="Polite WiFi reproduction demos and campaign runner",
+        description="Polite WiFi reproduction demos and scenario/campaign runner",
     )
     parser.add_argument(
         "demo", nargs="?", default="probe",
-        choices=sorted(_DEMOS) + ["campaign"],
-        help="which demo to run (default: probe), or 'campaign ...' "
-        "for the parallel campaign orchestrator",
+        choices=sorted(_DEMOS) + ["run", "campaign"],
+        help="which demo to run (default: probe), 'run <scenario>' for "
+        "any registered scenario, or 'campaign ...' for the parallel "
+        "campaign orchestrator",
     )
     args = parser.parse_args(argv)
     return _DEMOS[args.demo]()

@@ -1,0 +1,257 @@
+"""Built-in scenarios: the paper's headline results as registry entries.
+
+Each scenario is the declarative successor of a hand-wired entry point:
+the five ``python -m repro`` demos and the two campaign scenarios that
+used to live in ``repro/telemetry/scenarios.py`` all collapse onto the
+five entries here.  Every one is seeded, sized to finish in roughly a
+second at its default parameters, campaign-safe (narration goes through
+``ctx.say`` so workers stay silent), and parameterizable via
+``--param k=v``.
+
+* ``probe``    — Figure 2: fake null frame → ACK within one SIFS;
+* ``deauth``   — Figure 3: the AP barks deauths and ACKs anyway;
+* ``battery``  — Figure 6: power vs fake-frame rate on the ESP8266
+  (parameters: ``rates_pps``, ``duration_s``, ``distance_m``);
+* ``locate``   — ACK-timing trilateration of a victim device
+  (parameters: ``probes_per_anchor``, ``area_m``);
+* ``wardrive`` — Table 2 shape: synthetic city, discover → inject →
+  verify (parameters: ``population_scale``, ``blocks_x``, ``blocks_y``,
+  ``beacon_interval``, ``vehicle_speed_mps``, ``probe_attempts``, …).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.scenario.context import SimContext
+from repro.scenario.registry import scenario
+from repro.scenario.spec import PlacementSpec, ScenarioSpec
+
+__all__ = ["probe", "deauth", "battery", "locate", "wardrive"]
+
+
+@scenario(
+    "probe",
+    spec=ScenarioSpec(
+        seed=0,
+        trace=True,
+        placements=[
+            PlacementSpec(
+                kind="station", role="victim", mac="f2:6e:0b:11:22:33", x=0, y=0
+            ),
+            PlacementSpec(
+                kind="monitor_dongle", role="attacker",
+                mac="02:dd:00:00:00:01", x=5, y=0,
+            ),
+        ],
+    ),
+    description="Figure 2 — a fake frame from a stranger is ACKed in one SIFS",
+)
+def probe(ctx: SimContext) -> Dict[str, object]:
+    """The Figure 2 fake-frame → ACK exchange."""
+    from repro.core.probe import PoliteWiFiProbe
+
+    devices = ctx.place_devices()
+    result = PoliteWiFiProbe(devices["attacker"]).probe(devices["victim"].mac)
+    if ctx.verbose:
+        ctx.say(ctx.trace.to_table())
+        ctx.say(
+            f"\nPolite WiFi: responded={result.responded}, "
+            f"ACK after {result.ack_latency_s * 1e6:.0f} us"
+        )
+    return {
+        "responded": int(result.responded),
+        "attempts": result.attempts,
+        "ack_latency_us": result.ack_latency_s * 1e6,
+    }
+
+
+@scenario(
+    "deauth",
+    spec=ScenarioSpec(
+        seed=1,
+        trace=True,
+        duration_s=1.0,
+        placements=[
+            PlacementSpec(
+                kind="access_point", role="ap", mac="0c:00:1e:00:00:01",
+                x=0, y=0, z=2, options={"behavior": {"deauth_on_unknown": True}},
+            ),
+            PlacementSpec(
+                kind="monitor_dongle", role="attacker",
+                mac="02:dd:00:00:00:01", x=8, y=0,
+            ),
+        ],
+    ),
+    description="Figure 3 — the AP deauths the intruder yet still ACKs",
+)
+def deauth(ctx: SimContext) -> Dict[str, object]:
+    """Figure 3: deauthentication bursts don't stop the ACKs."""
+    from repro.core.injector import FakeFrameInjector
+
+    devices = ctx.place_devices()
+    FakeFrameInjector(devices["attacker"]).inject_null(devices["ap"].mac)
+    ctx.run()
+    deauths = ctx.trace.count_info("Deauthentication")
+    acks = ctx.trace.count_info("Acknowledgement")
+    if ctx.verbose:
+        ctx.say(ctx.trace.to_table())
+        ctx.say(
+            f"\ndeauth frames: {deauths}, ACKs to the fake frame: {acks}"
+        )
+    return {"deauth_frames": deauths, "acks": acks}
+
+
+@scenario(
+    "battery",
+    spec=ScenarioSpec(seed=42),
+    description="Figure 6 — battery-drain sweep against one ESP8266",
+)
+def battery(ctx: SimContext) -> Dict[str, object]:
+    """Figure 6: power vs fake-frame rate on a power-save IoT device."""
+    from repro.core.battery import BatteryDrainAttack
+    from repro.devices.access_point import AccessPoint
+    from repro.devices.dongle import MonitorDongle
+    from repro.devices.esp import Esp8266Device
+    from repro.mac.addresses import MacAddress
+    from repro.sim.world import Position
+
+    params = ctx.params
+    rates = tuple(float(r) for r in params.get("rates_pps", (0, 50, 200)))
+    duration_s = float(params.get("duration_s", 3.0))
+    distance_m = float(params.get("distance_m", 12.0))
+
+    # The attacker's distance is a parameter, so these placements stay in
+    # code; all wiring still comes from the context.
+    engine, medium, rng = ctx.engine, ctx.medium, ctx.rng
+    ap = AccessPoint(
+        mac=MacAddress("0c:00:1e:00:00:02"),
+        medium=medium, position=Position(0, 0, 2), rng=rng,
+        ssid="IoTNet", passphrase="iot network key",
+    )
+    victim = Esp8266Device(
+        mac=MacAddress("02:e8:26:60:00:01"),
+        medium=medium, position=Position(5, 0, 1), rng=rng,
+    )
+    victim.connect(ap.mac, "IoTNet", "iot network key")
+    engine.run_until(1.0)
+    victim.enter_power_save()
+    attacker = MonitorDongle(
+        mac=MacAddress("02:dd:00:00:00:02"),
+        medium=medium, position=Position(distance_m, 0, 1), rng=rng,
+    )
+    attack = BatteryDrainAttack(attacker, victim)
+    points = attack.sweep(rates_pps=rates, duration_s=duration_s)
+    if ctx.verbose:
+        ctx.say("rate (pkt/s)  power (mW)")
+        for point in points:
+            ctx.say(f"{point.rate_pps:>11.0f}  {point.average_power_mw:>9.1f}")
+    peak = max(points, key=lambda p: p.average_power_mw)
+    return {
+        "baseline_power_mw": points[0].average_power_mw,
+        "peak_power_mw": peak.average_power_mw,
+        "amplification": BatteryDrainAttack.amplification(points),
+        "acks_transmitted": sum(p.acks_transmitted for p in points),
+        "frames_received": sum(p.frames_received for p in points),
+    }
+
+
+@scenario(
+    "locate",
+    spec=ScenarioSpec(
+        seed=7,
+        placements=[
+            PlacementSpec(
+                kind="station", role="victim", mac="f2:6e:0b:11:22:33",
+                x=18.0, y=12.0, z=1.0,
+            ),
+            PlacementSpec(
+                kind="monitor_dongle", role="attacker",
+                mac="02:dd:00:00:00:03", x=0, y=0, z=1,
+            ),
+        ],
+    ),
+    description="ACK-timing trilateration of an uncooperative device",
+)
+def locate(ctx: SimContext) -> Dict[str, object]:
+    """Localization through ACK time-of-flight from four anchors."""
+    from repro.core.localization import AckRangingSensor, LocalizationAttack
+    from repro.sim.world import Position
+
+    params = ctx.params
+    probes = int(params.get("probes_per_anchor", 60))
+    area = float(params.get("area_m", 40.0))
+
+    devices = ctx.place_devices()
+    victim = devices["victim"]
+    truth = victim.radio.current_position(0.0)
+    attack = LocalizationAttack(AckRangingSensor(devices["attacker"]))
+    result = attack.locate(
+        victim.mac,
+        anchor_positions=[
+            Position(0, 0, 1), Position(area, 0, 1),
+            Position(0, area, 1), Position(area, area, 1),
+        ],
+        probes_per_anchor=probes,
+        truth=truth,
+    )
+    if ctx.verbose:
+        for m in result.measurements:
+            ctx.say(
+                f"anchor ({m.anchor.x:4.0f},{m.anchor.y:4.0f})  "
+                f"range {m.distance_m:6.2f} m  (+/-{m.standard_error_m:.2f})"
+            )
+        ctx.say(
+            f"\nvictim at ({truth.x:.1f}, {truth.y:.1f}); "
+            f"estimated ({result.estimated.x:.1f}, {result.estimated.y:.1f}); "
+            f"error {result.error_m:.2f} m"
+        )
+    return {
+        "error_m": result.error_m,
+        "estimated_x": result.estimated.x,
+        "estimated_y": result.estimated.y,
+    }
+
+
+@scenario(
+    "wardrive",
+    spec=ScenarioSpec(seed=2020, seed_medium=True, spans=True),
+    description="Table 2 shape — wardrive a seeded synthetic city",
+)
+def wardrive(ctx: SimContext) -> Dict[str, object]:
+    """Miniature Section 3 wardrive over a seeded synthetic city."""
+    from repro.core.wardrive import WardriveConfig, WardrivePipeline
+    from repro.survey.city import CityConfig, SyntheticCity
+
+    params = ctx.params
+    with ctx.tracer.span("build-city"):
+        city = SyntheticCity(
+            ctx.engine,
+            ctx.medium,
+            CityConfig(
+                seed=ctx.spec.seed,
+                population_scale=float(params.get("population_scale", 0.01)),
+                keep_all_vendors=bool(params.get("keep_all_vendors", False)),
+                blocks_x=int(params.get("blocks_x", 2)),
+                blocks_y=int(params.get("blocks_y", 2)),
+                beacon_interval=float(params.get("beacon_interval", 0.5)),
+            ),
+        )
+        pipeline = WardrivePipeline(
+            city,
+            WardriveConfig(
+                probe_attempts=int(params.get("probe_attempts", 4)),
+                vehicle_speed_mps=float(params.get("vehicle_speed_mps", 14.0)),
+            ),
+        )
+    with ctx.tracer.span("drive"):
+        results = pipeline.run()
+    if ctx.verbose:
+        ctx.say(results.to_table(top=int(params.get("table_top", 10))))
+    return {
+        "population": city.population,
+        "discovered": results.total_discovered,
+        "probed": len(results.probed),
+        "responded": results.total_responded,
+        "response_rate": results.response_rate,
+    }

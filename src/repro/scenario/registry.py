@@ -1,0 +1,219 @@
+"""Named scenario registry and the one-call runner.
+
+A *scenario* is a callable ``fn(ctx) -> outputs`` plus a template
+:class:`~repro.scenario.spec.ScenarioSpec`.  Registering it gives every
+front end the same handle on it:
+
+* ``python -m repro run <name> --param k=v`` runs it narrated;
+* ``python -m repro campaign --scenario <name>`` fans it across seeds;
+* tests and benchmarks call :func:`run_scenario` directly.
+
+Register with the decorator::
+
+    @scenario("my-sweep", spec=ScenarioSpec(seed=7, trace=True),
+              description="one-line summary")
+    def my_sweep(ctx):
+        devices = ctx.place_devices()
+        ...
+        ctx.say("narration, silenced inside campaign workers")
+        return {"some_count": 42}
+
+Outputs must be a flat dict of JSON-serializable values (campaigns sum
+the numeric ones into their aggregate).  This registry subsumes the old
+``repro.telemetry.campaign.scenario`` decorator, which now adapts
+legacy ``fn(seed, params, metrics)`` callables onto it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.scenario.context import SimContext
+from repro.scenario.spec import ScenarioSpec
+
+__all__ = [
+    "DuplicateScenarioError",
+    "RegisteredScenario",
+    "ScenarioRegistry",
+    "ScenarioResult",
+    "UnknownScenarioError",
+    "REGISTRY",
+    "scenario",
+    "available_scenarios",
+    "run_scenario",
+]
+
+#: ``fn(ctx) -> outputs``; flat JSON-serializable outputs dict.
+ScenarioFn = Callable[[SimContext], Dict[str, object]]
+
+
+class DuplicateScenarioError(ValueError):
+    """A scenario name was registered twice."""
+
+
+class UnknownScenarioError(KeyError):
+    """Lookup of a name nobody registered (message lists known names)."""
+
+    def __init__(self, name: str, known: List[str]) -> None:
+        listing = ", ".join(known) or "(none)"
+        super().__init__(f"unknown scenario {name!r}; registered: {listing}")
+        self.name = name
+        self.known = known
+
+
+@dataclass(frozen=True)
+class RegisteredScenario:
+    """One registry entry: the callable plus its template spec."""
+
+    name: str
+    fn: ScenarioFn
+    spec: ScenarioSpec
+    description: str = ""
+
+    def build_spec(
+        self,
+        seed: Optional[int] = None,
+        params: Optional[Dict[str, object]] = None,
+        **overrides: object,
+    ) -> ScenarioSpec:
+        """The template spec with per-run seed/params/overrides applied."""
+        if seed is not None:
+            overrides["seed"] = seed
+        if params:
+            overrides["params"] = params
+        return self.spec.derive(**overrides) if overrides else self.spec
+
+
+@dataclass
+class ScenarioResult:
+    """What one scenario run produced."""
+
+    name: str
+    outputs: Dict[str, object]
+    ctx: SimContext = field(repr=False)
+
+    @property
+    def spec(self) -> ScenarioSpec:
+        return self.ctx.spec
+
+
+class ScenarioRegistry:
+    """Decorator-based name → scenario mapping."""
+
+    def __init__(self) -> None:
+        self._scenarios: Dict[str, RegisteredScenario] = {}
+        self._builtins_loaded = False
+
+    # ------------------------------------------------------------------
+    # Registration / lookup
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        name: str,
+        spec: Optional[ScenarioSpec] = None,
+        description: str = "",
+    ) -> Callable[[ScenarioFn], ScenarioFn]:
+        """Register ``fn(ctx) -> outputs`` under ``name`` (decorator)."""
+
+        def decorator(fn: ScenarioFn) -> ScenarioFn:
+            if name in self._scenarios:
+                raise DuplicateScenarioError(
+                    f"scenario {name!r} already registered"
+                )
+            summary = description
+            if not summary and fn.__doc__:
+                summary = fn.__doc__.strip().splitlines()[0]
+            self._scenarios[name] = RegisteredScenario(
+                name=name,
+                fn=fn,
+                spec=spec if spec is not None else ScenarioSpec(),
+                description=summary,
+            )
+            return fn
+
+        return decorator
+
+    def _ensure_builtins(self) -> None:
+        if self._builtins_loaded:
+            return
+        self._builtins_loaded = True
+        # Imported for registration side effects.  The telemetry module
+        # is the legacy home of the campaign scenarios and re-exports the
+        # library's, so loading the library covers both.
+        import repro.scenario.library  # noqa: F401
+
+    def get(self, name: str) -> RegisteredScenario:
+        self._ensure_builtins()
+        try:
+            return self._scenarios[name]
+        except KeyError:
+            raise UnknownScenarioError(name, self.names()) from None
+
+    def __contains__(self, name: str) -> bool:
+        self._ensure_builtins()
+        return name in self._scenarios
+
+    def names(self) -> List[str]:
+        self._ensure_builtins()
+        return sorted(self._scenarios)
+
+    def describe(self) -> List[Dict[str, str]]:
+        """Name + description rows for ``python -m repro run --list``."""
+        self._ensure_builtins()
+        return [
+            {"name": entry.name, "description": entry.description}
+            for entry in (self._scenarios[n] for n in self.names())
+        ]
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        name: str,
+        seed: Optional[int] = None,
+        params: Optional[Dict[str, object]] = None,
+        metrics=None,
+        quiet: bool = False,
+        **spec_overrides: object,
+    ) -> ScenarioResult:
+        """Build the context and run the named scenario once."""
+        entry = self.get(name)
+        spec = entry.build_spec(seed=seed, params=params, **spec_overrides)
+        ctx = SimContext(spec, metrics=metrics, quiet=quiet)
+        outputs = entry.fn(ctx)
+        return ScenarioResult(name=name, outputs=dict(outputs or {}), ctx=ctx)
+
+
+#: The process-wide registry every front end shares.
+REGISTRY = ScenarioRegistry()
+
+
+def scenario(
+    name: str,
+    spec: Optional[ScenarioSpec] = None,
+    description: str = "",
+) -> Callable[[ScenarioFn], ScenarioFn]:
+    """Register a scenario in the shared :data:`REGISTRY` (decorator)."""
+    return REGISTRY.register(name, spec=spec, description=description)
+
+
+def available_scenarios() -> List[str]:
+    """Sorted names of every registered scenario."""
+    return REGISTRY.names()
+
+
+def run_scenario(
+    name: str,
+    seed: Optional[int] = None,
+    params: Optional[Dict[str, object]] = None,
+    metrics=None,
+    quiet: bool = False,
+    **spec_overrides: object,
+) -> ScenarioResult:
+    """Run a registered scenario once via the shared registry."""
+    return REGISTRY.run(
+        name, seed=seed, params=params, metrics=metrics, quiet=quiet,
+        **spec_overrides,
+    )

@@ -1,32 +1,40 @@
 """Parallel campaign runner: fan a scenario out across seeds × parameters.
 
-A *campaign* runs one registered scenario callable many times — once per
+A *campaign* runs one registered scenario many times — once per
 (seed, parameter-combination) — optionally across a ``multiprocessing``
 pool, and writes a structured **run manifest** capturing everything
 needed to reproduce or audit the sweep: scenario name, git revision,
 per-run seed/params/metrics/duration, and a deterministic aggregate.
 
+Scenarios come from :data:`repro.scenario.REGISTRY` — the declarative
+scenario layer (see ``docs/scenarios.md``).  Each run derives the
+scenario's template :class:`~repro.scenario.spec.ScenarioSpec` with its
+own seed and parameters, builds a quiet
+:class:`~repro.scenario.context.SimContext` around the run's private
+:class:`~repro.telemetry.registry.MetricsRegistry`, and executes the
+scenario callable.  The legacy :func:`scenario` decorator still accepts
+``fn(seed, params, metrics)`` callables and adapts them onto the
+registry.
+
 Determinism contract
 --------------------
-Every run owns its own ``np.random.default_rng(seed)`` tree (scenarios
-receive the seed and derive all randomness from it) and its own private
-:class:`~repro.telemetry.registry.MetricsRegistry`.  Workers return plain
-snapshot dicts; the parent sorts results by run index and folds them with
+Every run's randomness descends from its spec seed (the context's root
+RNG, the medium RNG, every derived stream) and every run owns a private
+metrics registry.  Workers return plain snapshot dicts; the parent sorts
+results by run index and folds them with
 :func:`~repro.telemetry.registry.merge_snapshots`, excluding wall-clock
 metrics.  The ``aggregate`` section of the manifest is therefore
 **byte-identical** for any worker count, which the campaign tests assert
 (1 worker vs 4).
 
-Scenarios are looked up by name in a module-level registry so they can be
-resolved inside spawned workers; register new ones with the
-:func:`scenario` decorator (built-ins live in
-:mod:`repro.telemetry.scenarios`)::
-
-    @scenario("my-sweep")
-    def my_sweep(seed, params, metrics):
-        rng = np.random.default_rng(seed)
-        ...
-        return {"some_count": 42}
+Streaming sidecar
+-----------------
+When ``output_path`` is set, per-run records are streamed to an
+append-only JSONL sidecar (``<output_path>.runs.jsonl``) *as runs
+complete*, so a killed campaign loses nothing: ``--resume`` reads the
+sidecar (falling back to a prior manifest), reuses every completed
+(seed, params) run, and the final manifest is assembled from the
+combined records.
 """
 
 from __future__ import annotations
@@ -40,6 +48,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.scenario.context import SimContext
+from repro.scenario.registry import REGISTRY
 from repro.telemetry.registry import (
     WALL_TIME_MARKER,
     MetricsRegistry,
@@ -53,47 +63,56 @@ __all__ = [
     "get_scenario",
     "run_campaign",
     "scenario",
+    "sidecar_path",
     "summarize_manifest",
 ]
 
-#: ``fn(seed, params, metrics) -> outputs`` — outputs must be a flat dict
-#: of JSON-serializable values (numeric outputs are summed into the
-#: aggregate).
+#: Legacy scenario signature: ``fn(seed, params, metrics) -> outputs``.
+#: New code should register ``fn(ctx)`` callables with
+#: :func:`repro.scenario.scenario` instead.
 ScenarioFn = Callable[[int, Dict[str, object], MetricsRegistry], Dict[str, object]]
-
-_SCENARIOS: Dict[str, ScenarioFn] = {}
 
 
 def scenario(name: str) -> Callable[[ScenarioFn], ScenarioFn]:
-    """Register a campaign scenario under ``name``."""
+    """Register a legacy ``fn(seed, params, metrics)`` campaign scenario.
+
+    Kept for backward compatibility; the callable is adapted onto
+    :data:`repro.scenario.REGISTRY` so it is visible to every front end
+    (``python -m repro run`` included).  Raises ``ValueError`` on a
+    duplicate name, exactly as before.
+    """
 
     def register(fn: ScenarioFn) -> ScenarioFn:
-        if name in _SCENARIOS:
-            raise ValueError(f"scenario {name!r} already registered")
-        _SCENARIOS[name] = fn
+        def adapter(ctx: SimContext) -> Dict[str, object]:
+            metrics = ctx.metrics
+            if metrics is None:  # pragma: no cover - spec.metrics defaults on
+                metrics = MetricsRegistry()
+            return fn(ctx.spec.seed, dict(ctx.params), metrics)
+
+        adapter.__name__ = getattr(fn, "__name__", name)
+        adapter.__doc__ = fn.__doc__
+        REGISTRY.register(name)(adapter)
         return fn
 
     return register
 
 
-def _ensure_builtins() -> None:
-    # Imported for its registration side effects; deferred to avoid a
-    # circular import (scenarios.py imports this module's decorator).
-    import repro.telemetry.scenarios  # noqa: F401
-
-
 def get_scenario(name: str) -> ScenarioFn:
-    _ensure_builtins()
-    try:
-        return _SCENARIOS[name]
-    except KeyError:
-        known = ", ".join(sorted(_SCENARIOS)) or "(none)"
-        raise KeyError(f"unknown scenario {name!r}; registered: {known}") from None
+    """A legacy-shaped ``fn(seed, params, metrics)`` view of a registered
+    scenario.  Raises ``KeyError`` (listing known names) when unknown."""
+    entry = REGISTRY.get(name)
+
+    def runner(
+        seed: int, params: Dict[str, object], metrics: MetricsRegistry
+    ) -> Dict[str, object]:
+        spec = entry.spec.derive(seed=int(seed), params=dict(params))
+        return entry.fn(SimContext(spec, metrics=metrics, quiet=True))
+
+    return runner
 
 
 def available_scenarios() -> List[str]:
-    _ensure_builtins()
-    return sorted(_SCENARIOS)
+    return REGISTRY.names()
 
 
 # ----------------------------------------------------------------------
@@ -116,11 +135,12 @@ class CampaignConfig:
     workers: int = 1
     name: str = ""
     output_path: Optional[Union[str, pathlib.Path]] = None
-    #: Reuse results from an existing manifest at ``output_path``: runs
-    #: whose (seed, params) already appear there are not re-executed.
-    #: Runs are re-keyed to the current expansion order, so interrupting
-    #: and resuming a campaign converges on the same manifest as one
-    #: uninterrupted execution (modulo host wall-clock fields).
+    #: Reuse results from the JSONL sidecar (or a prior manifest) at
+    #: ``output_path``: runs whose (seed, params) already appear there
+    #: are not re-executed.  Runs are re-keyed to the current expansion
+    #: order, so interrupting and resuming a campaign converges on the
+    #: same manifest as one uninterrupted execution (modulo host
+    #: wall-clock fields).
     resume: bool = False
 
     def expand(self) -> List[Dict[str, object]]:
@@ -155,10 +175,15 @@ class CampaignConfig:
 # not the function's closure)
 # ----------------------------------------------------------------------
 def _execute_run(payload: Dict[str, object]) -> Dict[str, object]:
-    fn = get_scenario(payload["scenario"])  # type: ignore[arg-type]
+    entry = REGISTRY.get(payload["scenario"])  # type: ignore[arg-type]
     metrics = MetricsRegistry()
+    spec = entry.spec.derive(
+        seed=int(payload["seed"]),  # type: ignore[arg-type]
+        params=dict(payload["params"]),  # type: ignore[arg-type]
+    )
+    ctx = SimContext(spec, metrics=metrics, quiet=True)
     start = time.perf_counter()
-    outputs = fn(payload["seed"], dict(payload["params"]), metrics)  # type: ignore[arg-type]
+    outputs = entry.fn(ctx)
     duration = time.perf_counter() - start
     return {
         "index": payload["index"],
@@ -220,6 +245,74 @@ def _aggregate(results: List[Dict[str, object]]) -> Dict[str, object]:
 
 
 # ----------------------------------------------------------------------
+# JSONL sidecar (streaming per-run records)
+# ----------------------------------------------------------------------
+def sidecar_path(output_path: Union[str, pathlib.Path]) -> pathlib.Path:
+    """The JSONL sidecar that rides next to a campaign manifest."""
+    return pathlib.Path(f"{output_path}.runs.jsonl")
+
+
+class _SidecarWriter:
+    """Streams per-run records to the JSONL sidecar as they complete.
+
+    The file is rewritten at campaign start (meta line, then any reused
+    runs) and appended to — with a flush per record — for the rest of
+    the execution, so a killed campaign leaves every completed run on
+    disk for ``--resume``.
+    """
+
+    def __init__(
+        self, config: CampaignConfig, reused: List[Dict[str, object]]
+    ) -> None:
+        self.path = sidecar_path(config.output_path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "w", encoding="utf-8")
+        self._emit(
+            {
+                "kind": "campaign-meta",
+                "scenario": config.scenario,
+                "campaign": config.name or config.scenario,
+                "created_unix": time.time(),
+            }
+        )
+        for run in reused:
+            self.write(run)
+
+    def _emit(self, record: Dict[str, object]) -> None:
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def write(self, record: Dict[str, object]) -> None:
+        self._emit(record)
+
+    def close(self) -> None:
+        self._handle.close()
+
+
+def _read_sidecar(
+    path: pathlib.Path,
+) -> Tuple[List[Dict[str, object]], Optional[str]]:
+    """Parse sidecar lines into (run records, scenario name).
+
+    A truncated trailing line — the signature of a killed campaign —
+    is tolerated and skipped."""
+    runs: List[Dict[str, object]] = []
+    scenario_name: Optional[str] = None
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if record.get("kind") == "campaign-meta":
+            scenario_name = record.get("scenario")
+        else:
+            runs.append(record)
+    return runs, scenario_name
+
+
+# ----------------------------------------------------------------------
 # Resume support
 # ----------------------------------------------------------------------
 def _run_key(seed: object, params: Dict[str, object]) -> Tuple[int, str]:
@@ -232,26 +325,40 @@ def _run_key(seed: object, params: Dict[str, object]) -> Tuple[int, str]:
     return (int(seed), json.dumps(params, sort_keys=True, default=str))
 
 
+def _load_prior_runs(
+    config: CampaignConfig,
+) -> Tuple[List[Dict[str, object]], Optional[str]]:
+    """Completed runs recorded at ``output_path``: the JSONL sidecar when
+    present (it survives kills), else the manifest itself."""
+    path = pathlib.Path(config.output_path)
+    sidecar = sidecar_path(path)
+    if sidecar.exists():
+        return _read_sidecar(sidecar)
+    if not path.exists():
+        return [], None
+    try:
+        previous = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ValueError(f"cannot resume from {path}: {exc}") from exc
+    return list(previous.get("runs", [])), previous.get("scenario")
+
+
 def _split_resumable(
     config: CampaignConfig, payloads: List[Dict[str, object]]
 ) -> Tuple[List[Dict[str, object]], List[Dict[str, object]]]:
     """Partition payloads into (still to run, reused prior results)."""
     if config.output_path is None:
         raise ValueError("resume requires output_path (the manifest to resume)")
-    path = pathlib.Path(config.output_path)
-    if not path.exists():
+    prior_runs, prior_scenario = _load_prior_runs(config)
+    if not prior_runs and prior_scenario is None:
         return payloads, []
-    try:
-        previous = json.loads(path.read_text(encoding="utf-8"))
-    except (OSError, json.JSONDecodeError) as exc:
-        raise ValueError(f"cannot resume from {path}: {exc}") from exc
-    if previous.get("scenario") != config.scenario:
+    if prior_scenario != config.scenario:
         raise ValueError(
-            f"cannot resume from {path}: it ran scenario "
-            f"{previous.get('scenario')!r}, not {config.scenario!r}"
+            f"cannot resume from {config.output_path}: it ran scenario "
+            f"{prior_scenario!r}, not {config.scenario!r}"
         )
     prior: Dict[Tuple[int, str], Dict[str, object]] = {}
-    for run in previous.get("runs", []):
+    for run in prior_runs:
         prior[_run_key(run["seed"], run["params"])] = run
     remaining: List[Dict[str, object]] = []
     reused: List[Dict[str, object]] = []
@@ -272,24 +379,43 @@ def _split_resumable(
 def run_campaign(config: CampaignConfig) -> Dict[str, object]:
     """Execute every run of ``config`` and return the manifest dict.
 
-    The manifest is also written to ``config.output_path`` when set.
+    With ``output_path`` set, per-run records stream to the JSONL
+    sidecar as they complete and the manifest is written at the end.
     """
     from repro import __version__  # deferred: repro/__init__ imports telemetry
 
     payloads = config.expand()
-    get_scenario(config.scenario)  # fail fast before forking workers
+    REGISTRY.get(config.scenario)  # fail fast before forking workers
     start = time.perf_counter()
     reused: List[Dict[str, object]] = []
     if config.resume:
         payloads, reused = _split_resumable(config, payloads)
-    if not payloads:
-        results = []
-    elif config.workers == 1 or len(payloads) == 1:
-        results = [_execute_run(payload) for payload in payloads]
-    else:
-        workers = min(config.workers, len(payloads))
-        with _pool_context().Pool(processes=workers) as pool:
-            results = pool.map(_execute_run, payloads)
+    writer: Optional[_SidecarWriter] = None
+    if config.output_path is not None:
+        writer = _SidecarWriter(config, reused)
+    try:
+        results: List[Dict[str, object]] = []
+        if not payloads:
+            pass
+        elif config.workers == 1 or len(payloads) == 1:
+            for payload in payloads:
+                record = _execute_run(payload)
+                if writer is not None:
+                    writer.write(record)
+                results.append(record)
+        else:
+            workers = min(config.workers, len(payloads))
+            with _pool_context().Pool(processes=workers) as pool:
+                # Unordered so the sidecar sees each record the moment
+                # its run completes; the deterministic order is restored
+                # by the index sort below.
+                for record in pool.imap_unordered(_execute_run, payloads):
+                    if writer is not None:
+                        writer.write(record)
+                    results.append(record)
+    finally:
+        if writer is not None:
+            writer.close()
     results.extend(reused)
     results.sort(key=lambda r: r["index"])
     manifest: Dict[str, object] = {
@@ -310,6 +436,7 @@ def run_campaign(config: CampaignConfig) -> Dict[str, object]:
     if config.output_path is not None:
         path = pathlib.Path(config.output_path)
         path.parent.mkdir(parents=True, exist_ok=True)
+        manifest["runs_jsonl"] = str(sidecar_path(path))
         path.write_text(
             json.dumps(manifest, indent=2, sort_keys=True) + "\n", encoding="utf-8"
         )

@@ -1,117 +1,17 @@
-"""Built-in campaign scenarios.
+"""Compatibility shim: the campaign scenarios moved to
+:mod:`repro.scenario.library`.
 
-Each scenario is one seeded, self-contained simulation sized so a single
-run finishes in about a second — campaigns get their statistical weight
-from fanning out over seeds and parameter grids, not from monolithic
-runs.  All randomness descends from the run's seed (the campaign
-determinism contract), and the run's :class:`MetricsRegistry` is threaded
-through the engine so the manifest captures event/frame/ACK counts per
-run.
-
-* ``wardrive`` — a scaled-down Table 2 survey: synthetic city, 3-dongle
-  rig, discover → inject → verify.  Parameters: ``population_scale``,
-  ``blocks_x``, ``blocks_y``, ``vehicle_speed_mps``, ``probe_attempts``.
-* ``battery`` — a scaled-down Figure 6 power sweep on the ESP8266 model.
-  Parameters: ``rates_pps``, ``duration_s``, ``distance_m``.
+``wardrive`` and ``battery`` are now registered in the declarative
+scenario layer (specs + ``fn(ctx)`` callables, see ``docs/scenarios.md``)
+alongside the CLI demos, so every front end — ``python -m repro run``,
+``python -m repro campaign``, examples, benchmarks — shares one
+definition.  This module re-exports them under their historical names
+for older imports.
 """
 
 from __future__ import annotations
 
-from typing import Dict
-
-import numpy as np
-
-from repro.telemetry.campaign import scenario
-from repro.telemetry.registry import MetricsRegistry
+from repro.scenario.library import battery as battery_scenario
+from repro.scenario.library import wardrive as wardrive_scenario
 
 __all__ = ["wardrive_scenario", "battery_scenario"]
-
-
-@scenario("wardrive")
-def wardrive_scenario(
-    seed: int, params: Dict[str, object], metrics: MetricsRegistry
-) -> Dict[str, object]:
-    """Miniature Section 3 wardrive over a seeded synthetic city."""
-    from repro.core.wardrive import WardriveConfig, WardrivePipeline
-    from repro.sim.engine import Engine
-    from repro.sim.medium import Medium
-    from repro.survey.city import CityConfig, SyntheticCity
-
-    engine = Engine(metrics=metrics)
-    medium = Medium(engine, rng=np.random.default_rng(seed))
-    city = SyntheticCity(
-        engine,
-        medium,
-        CityConfig(
-            seed=seed,
-            population_scale=float(params.get("population_scale", 0.01)),
-            keep_all_vendors=bool(params.get("keep_all_vendors", False)),
-            blocks_x=int(params.get("blocks_x", 2)),
-            blocks_y=int(params.get("blocks_y", 2)),
-            beacon_interval=float(params.get("beacon_interval", 0.5)),
-        ),
-    )
-    pipeline = WardrivePipeline(
-        city,
-        WardriveConfig(
-            probe_attempts=int(params.get("probe_attempts", 4)),
-            vehicle_speed_mps=float(params.get("vehicle_speed_mps", 14.0)),
-        ),
-    )
-    results = pipeline.run()
-    return {
-        "population": city.population,
-        "discovered": results.total_discovered,
-        "probed": len(results.probed),
-        "responded": results.total_responded,
-        "response_rate": results.response_rate,
-    }
-
-
-@scenario("battery")
-def battery_scenario(
-    seed: int, params: Dict[str, object], metrics: MetricsRegistry
-) -> Dict[str, object]:
-    """Miniature Figure 6 battery-drain sweep against one ESP8266."""
-    from repro.core.battery import BatteryDrainAttack
-    from repro.devices.access_point import AccessPoint
-    from repro.devices.dongle import MonitorDongle
-    from repro.devices.esp import Esp8266Device
-    from repro.mac.addresses import MacAddress
-    from repro.sim.engine import Engine
-    from repro.sim.medium import Medium
-    from repro.sim.world import Position
-
-    rates = tuple(float(r) for r in params.get("rates_pps", (0, 50, 200)))
-    duration_s = float(params.get("duration_s", 3.0))
-    distance_m = float(params.get("distance_m", 12.0))
-
-    engine = Engine(metrics=metrics)
-    medium = Medium(engine)
-    rng = np.random.default_rng(seed)
-    ap = AccessPoint(
-        mac=MacAddress("0c:00:1e:00:00:02"),
-        medium=medium, position=Position(0, 0, 2), rng=rng,
-        ssid="IoTNet", passphrase="iot network key",
-    )
-    victim = Esp8266Device(
-        mac=MacAddress("02:e8:26:60:00:01"),
-        medium=medium, position=Position(5, 0, 1), rng=rng,
-    )
-    victim.connect(ap.mac, "IoTNet", "iot network key")
-    engine.run_until(1.0)
-    victim.enter_power_save()
-    attacker = MonitorDongle(
-        mac=MacAddress("02:dd:00:00:00:02"),
-        medium=medium, position=Position(distance_m, 0, 1), rng=rng,
-    )
-    attack = BatteryDrainAttack(attacker, victim)
-    points = attack.sweep(rates_pps=rates, duration_s=duration_s)
-    peak = max(points, key=lambda p: p.average_power_mw)
-    return {
-        "baseline_power_mw": points[0].average_power_mw,
-        "peak_power_mw": peak.average_power_mw,
-        "amplification": BatteryDrainAttack.amplification(points),
-        "acks_transmitted": sum(p.acks_transmitted for p in points),
-        "frames_received": sum(p.frames_received for p in points),
-    }

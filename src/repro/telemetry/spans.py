@@ -108,6 +108,33 @@ class SpanTracer:
             entry["total_s"] += record.duration_s
         return out
 
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """JSON-ready per-name totals (what manifests embed)."""
+        return {name: dict(entry) for name, entry in self.totals().items()}
+
+    def bind(self, registry) -> None:
+        """Export span totals into ``registry`` at snapshot time.
+
+        Registers a collector that publishes, per span name, two
+        counters: ``span.<name>.wall_time_s`` (total seconds — the
+        ``wall_time`` marker keeps host timing out of deterministic
+        campaign aggregates) and ``span.<name>.count`` (how often the
+        phase ran, which *is* deterministic).  With this bound, spans
+        ride the same snapshot/manifest artifact as every other metric.
+        """
+
+        def collect() -> None:
+            for name, entry in self.totals().items():
+                registry.counter(
+                    f"span.{name}.wall_time_s",
+                    "host wall-clock seconds inside this span",
+                ).value = entry["total_s"]
+                registry.counter(
+                    f"span.{name}.count", "completed spans under this name"
+                ).value = entry["count"]
+
+        registry.add_collector(collect)
+
     def report(self) -> str:
         """Chronological indented tree of recorded spans."""
         if not self.records:

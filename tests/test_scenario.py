@@ -1,0 +1,265 @@
+"""The declarative scenario layer: spec round-trips, registry behaviour,
+context determinism, and the city's activation-grid equivalence."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.scenario import (
+    REGISTRY,
+    DuplicateScenarioError,
+    PlacementSpec,
+    ScenarioRegistry,
+    ScenarioSpec,
+    SimContext,
+    UnknownScenarioError,
+    available_scenarios,
+    run_scenario,
+)
+
+
+class TestScenarioSpec:
+    def test_json_round_trip(self):
+        spec = ScenarioSpec(
+            seed=99,
+            band="5GHz",
+            duration_s=4.5,
+            trace=True,
+            trace_capacity=128,
+            csi=True,
+            csi_noise={"snr_db": 30.0, "seed": 7},
+            spans=True,
+            medium_seed=98,
+            path_loss={"kind": "shadowed", "exponent": 2.8, "sigma_db": 4.0},
+            fer="snr",
+            placements=[
+                PlacementSpec(
+                    kind="station", mac="f2:6e:0b:11:22:33", role="victim",
+                    x=1, y=2, z=3, options={"vendor": "Apple"},
+                )
+            ],
+            params={"rate": 50},
+        )
+        rebuilt = ScenarioSpec.from_json(spec.to_json())
+        assert rebuilt == spec
+        # And through a plain json.dumps/loads cycle, as a manifest would.
+        assert ScenarioSpec.from_dict(json.loads(json.dumps(spec.to_dict()))) == spec
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown ScenarioSpec field"):
+            ScenarioSpec.from_dict({"seed": 1, "bogus": True})
+
+    def test_unknown_band_rejected(self):
+        with pytest.raises(ValueError, match="unknown band"):
+            ScenarioSpec(band="60GHz")
+
+    def test_derive_merges_params(self):
+        spec = ScenarioSpec(seed=1, params={"a": 1, "b": 2})
+        derived = spec.derive(seed=7, params={"b": 3})
+        assert derived.seed == 7
+        assert derived.params == {"a": 1, "b": 3}
+        # The template is untouched.
+        assert spec.seed == 1 and spec.params == {"a": 1, "b": 2}
+
+
+class TestRegistry:
+    def test_duplicate_name_rejected(self):
+        registry = ScenarioRegistry()
+
+        @registry.register("twice")
+        def first(ctx):
+            return {}
+
+        with pytest.raises(DuplicateScenarioError):
+            @registry.register("twice")
+            def second(ctx):
+                return {}
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(UnknownScenarioError) as excinfo:
+            REGISTRY.get("no-such-scenario")
+        message = str(excinfo.value)
+        assert "no-such-scenario" in message
+        assert "wardrive" in message
+        # It is a KeyError subclass, for legacy callers.
+        assert isinstance(excinfo.value, KeyError)
+
+    def test_builtins_registered(self):
+        names = available_scenarios()
+        for expected in ("probe", "deauth", "battery", "locate", "wardrive"):
+            assert expected in names
+
+    def test_description_defaults_to_docstring(self):
+        registry = ScenarioRegistry()
+
+        @registry.register("documented")
+        def documented(ctx):
+            """First line wins.
+
+            Second line does not."""
+            return {}
+
+        registry._builtins_loaded = True
+        assert registry.get("documented").description == "First line wins."
+
+    def test_run_returns_outputs_and_ctx(self):
+        result = run_scenario("probe", quiet=True)
+        assert result.name == "probe"
+        assert result.outputs["responded"]
+        assert result.spec.seed == 0
+        assert result.ctx.snapshot() is not None
+
+
+class TestSimContextDeterminism:
+    """The refactor's core promise: a context wires exactly what the
+    pre-refactor call sites hand-wired, so seeded traces are identical."""
+
+    def _hand_wired_figure2(self):
+        # Verbatim pre-refactor construction of the Figure 2 benchmark.
+        from repro import MacAddress, Medium, MonitorDongle, Position, Station
+        from repro.core.probe import PoliteWiFiProbe
+        from repro.sim.engine import Engine
+        from repro.sim.trace import FrameTrace
+
+        rng = np.random.default_rng(2020)
+        engine = Engine()
+        trace = FrameTrace()
+        medium = Medium(engine, trace=trace)
+        victim = Station(
+            mac=MacAddress("f2:6e:0b:11:22:33"),
+            medium=medium, position=Position(0, 0), rng=rng,
+        )
+        attacker = MonitorDongle(
+            mac=MacAddress("02:dd:00:00:00:01"),
+            medium=medium, position=Position(5, 0), rng=rng,
+        )
+        result = PoliteWiFiProbe(attacker).probe(victim.mac)
+        return trace, result
+
+    def _context_figure2(self):
+        from repro.core.probe import PoliteWiFiProbe
+
+        ctx = SimContext(
+            ScenarioSpec(
+                seed=2020,
+                trace=True,
+                metrics=False,
+                placements=[
+                    PlacementSpec(
+                        kind="station", mac="f2:6e:0b:11:22:33",
+                        role="victim", x=0, y=0,
+                    ),
+                    PlacementSpec(
+                        kind="monitor_dongle", mac="02:dd:00:00:00:01",
+                        role="attacker", x=5, y=0,
+                    ),
+                ],
+            )
+        )
+        devices = ctx.place_devices()
+        result = PoliteWiFiProbe(devices["attacker"]).probe(devices["victim"].mac)
+        return ctx.trace, result
+
+    def test_figure2_trace_byte_identical(self):
+        old_trace, old_result = self._hand_wired_figure2()
+        new_trace, new_result = self._context_figure2()
+        assert new_trace.to_table() == old_trace.to_table()
+        assert new_result.responded == old_result.responded
+        assert new_result.attempts == old_result.attempts
+        assert new_result.ack_latency_s == old_result.ack_latency_s
+
+    def test_same_spec_same_trace(self):
+        first, _ = self._context_figure2()
+        second, _ = self._context_figure2()
+        assert first.to_table() == second.to_table()
+
+    def test_derive_rng_streams_are_stable_and_distinct(self):
+        ctx = SimContext(ScenarioSpec(seed=5))
+        a1 = ctx.derive_rng("alpha").integers(0, 1 << 30, 8)
+        a2 = ctx.derive_rng("alpha").integers(0, 1 << 30, 8)
+        b = ctx.derive_rng("beta").integers(0, 1 << 30, 8)
+        assert (a1 == a2).all()
+        assert not (a1 == b).all()
+
+    def test_medium_seeding_modes(self):
+        seeded = SimContext(ScenarioSpec(seed=3, seed_medium=True))
+        pinned = SimContext(ScenarioSpec(seed=3, medium_seed=77))
+        expected_seeded = np.random.default_rng(3).integers(0, 1 << 30, 4)
+        expected_pinned = np.random.default_rng(77).integers(0, 1 << 30, 4)
+        assert (
+            seeded.medium._rng.integers(0, 1 << 30, 4) == expected_seeded
+        ).all()
+        assert (
+            pinned.medium._rng.integers(0, 1 << 30, 4) == expected_pinned
+        ).all()
+
+    def test_span_counts_exported_into_snapshot(self):
+        ctx = SimContext(ScenarioSpec(seed=0, spans=True))
+        with ctx.tracer.span("phase"):
+            pass
+        snap = ctx.snapshot()
+        assert snap["counters"]["span.phase.count"] == 1
+        assert "span.phase.wall_time_s" in snap["counters"]
+
+    def test_placement_duplicate_role_rejected(self):
+        ctx = SimContext(
+            ScenarioSpec(
+                placements=[
+                    PlacementSpec(kind="station", mac="02:00:00:00:00:01", role="x"),
+                    PlacementSpec(kind="station", mac="02:00:00:00:00:02", role="x"),
+                ]
+            )
+        )
+        with pytest.raises(ValueError, match="duplicate placement role"):
+            ctx.place_devices()
+
+    def test_unknown_placement_kind_rejected(self):
+        ctx = SimContext(
+            ScenarioSpec(
+                placements=[
+                    PlacementSpec(kind="toaster", mac="02:00:00:00:00:01", role="x")
+                ]
+            )
+        )
+        with pytest.raises(ValueError, match="unknown placement kind"):
+            ctx.place_devices()
+
+
+class TestActivationGrid:
+    """S3: the spatial grid is a pure optimisation — activation and
+    deactivation sequences are unchanged on the seeded survey."""
+
+    def _drive(self, grid: bool):
+        from repro.sim.engine import Engine
+        from repro.sim.medium import Medium
+        from repro.survey.city import CityConfig, SyntheticCity
+
+        engine = Engine()
+        medium = Medium(engine)
+        config = CityConfig(
+            seed=2020, blocks_x=3, blocks_y=2, block_m=80.0,
+            population_scale=0.05, keep_all_vendors=False,
+            beacon_interval=0.3, client_probe_interval=1.5,
+            activation_grid=grid,
+        )
+        city = SyntheticCity(engine, medium, config)
+        route = city.survey_route(speed_mps=10.0)
+        city.start(route)
+        engine.run_until(route.duration + 5.0)
+        city.stop()
+        return city
+
+    def test_grid_matches_full_scan(self):
+        with_grid = self._drive(grid=True)
+        without_grid = self._drive(grid=False)
+        assert with_grid.activations == without_grid.activations
+        assert with_grid.deactivations == without_grid.deactivations
+        assert [s.ever_activated for s in with_grid.specs] == [
+            s.ever_activated for s in without_grid.specs
+        ]
+        assert [s.active for s in with_grid.specs] == [
+            s.active for s in without_grid.specs
+        ]
+        # The grid genuinely narrowed the scan (sanity that it was on).
+        assert with_grid._grid is not None and without_grid._grid is None

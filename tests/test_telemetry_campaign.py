@@ -276,3 +276,93 @@ class TestResume:
                     output_path=path, resume=True,
                 )
             )
+
+
+class TestSidecar:
+    """S1: per-run records stream to an append-only JSONL sidecar."""
+
+    def test_sidecar_written_alongside_manifest(self, tmp_path):
+        from repro.telemetry.campaign import sidecar_path
+
+        path = tmp_path / "manifest.json"
+        manifest = run_campaign(
+            CampaignConfig(
+                scenario="unit-test-sum", seeds=[0, 1, 2], output_path=path
+            )
+        )
+        sidecar = sidecar_path(path)
+        assert manifest["runs_jsonl"] == str(sidecar)
+        lines = sidecar.read_text().splitlines()
+        meta = json.loads(lines[0])
+        assert meta["kind"] == "campaign-meta"
+        assert meta["scenario"] == "unit-test-sum"
+        records = [json.loads(line) for line in lines[1:]]
+        assert sorted(r["index"] for r in records) == [0, 1, 2]
+        # Sidecar records carry the full run payload the manifest has.
+        by_index = {r["index"]: r for r in records}
+        for run in manifest["runs"]:
+            assert by_index[run["index"]]["outputs"] == run["outputs"]
+
+    def test_sidecar_streams_with_workers(self, tmp_path):
+        from repro.telemetry.campaign import sidecar_path
+
+        path = tmp_path / "manifest.json"
+        manifest = run_campaign(
+            CampaignConfig(
+                scenario="unit-test-sum", seeds=[0, 1, 2, 3],
+                workers=2, output_path=path,
+            )
+        )
+        records = [
+            json.loads(line)
+            for line in sidecar_path(path).read_text().splitlines()[1:]
+        ]
+        # Completion order may differ, but every run is present and the
+        # manifest stays index-ordered.
+        assert sorted(r["index"] for r in records) == [0, 1, 2, 3]
+        assert [r["index"] for r in manifest["runs"]] == [0, 1, 2, 3]
+
+    def test_resume_from_sidecar_without_manifest(self, tmp_path):
+        from repro.telemetry.campaign import sidecar_path
+
+        path = tmp_path / "manifest.json"
+        run_campaign(
+            CampaignConfig(
+                scenario="unit-test-sum", seeds=[0, 1], output_path=path
+            )
+        )
+        # Simulate a crash after the sidecar streamed but before the
+        # manifest was assembled.
+        path.unlink()
+        manifest = run_campaign(
+            CampaignConfig(
+                scenario="unit-test-sum", seeds=[0, 1, 2],
+                output_path=path, resume=True,
+            )
+        )
+        assert manifest["resumed_runs"] == 2
+        assert manifest["aggregate"]["runs"] == 3
+
+    def test_resume_tolerates_truncated_last_line(self, tmp_path):
+        from repro.telemetry.campaign import sidecar_path
+
+        path = tmp_path / "manifest.json"
+        run_campaign(
+            CampaignConfig(
+                scenario="unit-test-sum", seeds=[0, 1], output_path=path
+            )
+        )
+        path.unlink()
+        sidecar = sidecar_path(path)
+        # Chop the final record mid-JSON, as a kill -9 would.
+        text = sidecar.read_text()
+        sidecar.write_text(text[: len(text) - 25])
+        manifest = run_campaign(
+            CampaignConfig(
+                scenario="unit-test-sum", seeds=[0, 1],
+                output_path=path, resume=True,
+            )
+        )
+        # The intact run was reused; the truncated one re-executed.
+        assert manifest["resumed_runs"] == 1
+        assert manifest["aggregate"]["runs"] == 2
