@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench perf perf-full perf-compare demo examples examples-smoke campaign-smoke clean
+.PHONY: install test bench perf perf-full perf-compare demo examples examples-smoke campaign-smoke docs-check clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -51,6 +51,11 @@ examples-smoke:
 		echo "== $$ex"; \
 		REPRO_SMOKE=1 $(PYTHON) $$ex > /dev/null; \
 	done; echo "examples smoke OK"
+
+# Execute every fenced ```python block in docs/*.md headless so the
+# documentation snippets cannot rot (CI runs this in the tests job).
+docs-check:
+	PYTHONPATH=src $(PYTHON) tools/docs_check.py
 
 # Fast end-to-end check of the telemetry campaign runner: same campaign
 # serial and parallel, aggregates must match byte-for-byte.

@@ -1,0 +1,37 @@
+"""The full-scale Table 2 wardrive: 5,328 devices, 186 vendors, one drive.
+
+Runs the ``wardrive-full`` scenario exactly as
+``python -m repro run wardrive-full`` does — the full census with lazy
+activation, the 3-dongle rig driving the serpentine route, and the
+medium's batched arrival scheduling.  This is the benchmark the batching
+work exists for: the city cannot complete at interactive speed without
+it.
+
+Quick mode caps the population (``CityConfig.max_devices``) so CI's
+record-only perf job exercises the identical configuration in a few
+seconds; full mode (``make perf-full``) drives all 5,328 devices.
+"""
+
+from __future__ import annotations
+
+from benchmarks.perf.harness import BenchOutcome
+
+from repro.scenario import run_scenario
+from repro.telemetry import MetricsRegistry
+
+#: Quick-mode population cap (full city is 5,328).
+QUICK_MAX_DEVICES = 1000
+
+
+def bench_wardrive_full(quick: bool) -> BenchOutcome:
+    metrics = MetricsRegistry()
+    params = {"max_devices": QUICK_MAX_DEVICES} if quick else {}
+    result = run_scenario(
+        "wardrive-full", seed=0, params=params, metrics=metrics, quiet=True
+    )
+    outputs = dict(result.outputs)
+    outputs["events_executed"] = result.ctx.engine.events_processed
+    outputs["transmissions"] = result.ctx.medium.transmission_count
+    # The scenario builds and drives the city itself (city generation is
+    # ~0.15 s of a multi-second run), so the whole body counts as run_s.
+    return BenchOutcome(outputs=outputs, metrics=metrics, setup_s=0.0)

@@ -34,12 +34,14 @@ from benchmarks.perf.bench_engine_churn import bench_engine_churn  # noqa: E402
 from benchmarks.perf.bench_figure6_battery import bench_figure6_battery  # noqa: E402
 from benchmarks.perf.bench_medium_broadcast import bench_medium_broadcast  # noqa: E402
 from benchmarks.perf.bench_table2_wardrive import bench_table2_wardrive  # noqa: E402
+from benchmarks.perf.bench_wardrive_full import bench_wardrive_full  # noqa: E402
 
 BENCHES = {
     "medium_broadcast": bench_medium_broadcast,
     "engine_churn": bench_engine_churn,
     "table2_wardrive": bench_table2_wardrive,
     "figure6_battery": bench_figure6_battery,
+    "wardrive_full": bench_wardrive_full,
 }
 
 

@@ -152,12 +152,17 @@ def _run_one(argv) -> int:
             f"unknown scenario {args.scenario!r}; "
             f"registered: {', '.join(available_scenarios())}"
         )
-    result = run_scenario(
-        args.scenario,
-        seed=args.seed,
-        params=dict(args.param),
-        quiet=args.quiet,
-    )
+    from repro.scenario import UnknownParameterError
+
+    try:
+        result = run_scenario(
+            args.scenario,
+            seed=args.seed,
+            params=dict(args.param),
+            quiet=args.quiet,
+        )
+    except UnknownParameterError as exc:
+        parser.error(str(exc))
     if args.json:
         print(json.dumps(result.outputs, sort_keys=True, default=str))
     else:

@@ -19,6 +19,7 @@ from repro.scenario.registry import (
     RegisteredScenario,
     ScenarioRegistry,
     ScenarioResult,
+    UnknownParameterError,
     UnknownScenarioError,
     available_scenarios,
     run_scenario,
@@ -36,6 +37,7 @@ __all__ = [
     "ScenarioResult",
     "ScenarioSpec",
     "SimContext",
+    "UnknownParameterError",
     "UnknownScenarioError",
     "available_scenarios",
     "run_scenario",

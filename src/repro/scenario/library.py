@@ -16,6 +16,9 @@ second at its default parameters, campaign-safe (narration goes through
   (parameters: ``probes_per_anchor``, ``area_m``);
 * ``wardrive`` — Table 2 shape: synthetic city, discover → inject →
   verify (parameters: ``population_scale``, ``blocks_x``, ``blocks_y``,
+  ``beacon_interval``, ``vehicle_speed_mps``, ``probe_attempts``, …);
+* ``wardrive-full`` — Table 2 at full scale: all 5,328 devices from the
+  186-vendor census (parameters: ``max_devices``, ``activate_radius_m``,
   ``beacon_interval``, ``vehicle_speed_mps``, ``probe_attempts``, …).
 """
 
@@ -27,11 +30,12 @@ from repro.scenario.context import SimContext
 from repro.scenario.registry import scenario
 from repro.scenario.spec import PlacementSpec, ScenarioSpec
 
-__all__ = ["probe", "deauth", "battery", "locate", "wardrive"]
+__all__ = ["probe", "deauth", "battery", "locate", "wardrive", "wardrive_full"]
 
 
 @scenario(
     "probe",
+    param_names=(),
     spec=ScenarioSpec(
         seed=0,
         trace=True,
@@ -68,6 +72,7 @@ def probe(ctx: SimContext) -> Dict[str, object]:
 
 @scenario(
     "deauth",
+    param_names=(),
     spec=ScenarioSpec(
         seed=1,
         trace=True,
@@ -104,6 +109,7 @@ def deauth(ctx: SimContext) -> Dict[str, object]:
 
 @scenario(
     "battery",
+    param_names=("rates_pps", "duration_s", "distance_m"),
     spec=ScenarioSpec(seed=42),
     description="Figure 6 — battery-drain sweep against one ESP8266",
 )
@@ -158,6 +164,7 @@ def battery(ctx: SimContext) -> Dict[str, object]:
 
 @scenario(
     "locate",
+    param_names=("probes_per_anchor", "area_m"),
     spec=ScenarioSpec(
         seed=7,
         placements=[
@@ -215,6 +222,10 @@ def locate(ctx: SimContext) -> Dict[str, object]:
 
 @scenario(
     "wardrive",
+    param_names=(
+        "population_scale", "keep_all_vendors", "blocks_x", "blocks_y",
+        "beacon_interval", "probe_attempts", "vehicle_speed_mps", "table_top",
+    ),
     spec=ScenarioSpec(seed=2020, seed_medium=True, spans=True),
     description="Table 2 shape — wardrive a seeded synthetic city",
 )
@@ -253,5 +264,81 @@ def wardrive(ctx: SimContext) -> Dict[str, object]:
         "discovered": results.total_discovered,
         "probed": len(results.probed),
         "responded": results.total_responded,
+        "response_rate": results.response_rate,
+    }
+
+
+@scenario(
+    "wardrive-full",
+    param_names=(
+        "max_devices", "beacon_interval", "client_probe_interval",
+        "activate_radius_m", "deactivate_radius_m", "probe_attempts",
+        "max_probe_rounds", "vehicle_speed_mps", "table_top",
+    ),
+    spec=ScenarioSpec(seed=2020, seed_medium=True, spans=True),
+    description="Table 2 at full scale — 5,328 devices, 186 vendors, one city",
+)
+def wardrive_full(ctx: SimContext) -> Dict[str, object]:
+    """The paper's full Section 3 survey: every Table 2 device, one drive.
+
+    The full census (3,805 APs / 1,523 clients across 186 vendors) is
+    generated up front; lazy activation keeps only devices near the
+    vehicle attached, and the medium's batched arrival scheduling keeps
+    the beacon fan-out to two heap entries per transmission, which is
+    what makes the full city interactive.  ``max_devices`` caps the
+    population for quick modes (CI) without changing the configuration.
+    """
+    from repro.core.wardrive import WardriveConfig, WardrivePipeline
+    from repro.survey.city import CityConfig, SyntheticCity
+
+    params = ctx.params
+    max_devices = params.get("max_devices")
+    with ctx.tracer.span("build-city"):
+        city = SyntheticCity(
+            ctx.engine,
+            ctx.medium,
+            CityConfig(
+                seed=ctx.spec.seed,
+                population_scale=1.0,
+                keep_all_vendors=True,
+                max_devices=int(max_devices) if max_devices is not None else None,
+                beacon_interval=float(params.get("beacon_interval", 0.6)),
+                client_probe_interval=float(
+                    params.get("client_probe_interval", 2.5)
+                ),
+                activate_radius_m=float(params.get("activate_radius_m", 75.0)),
+                deactivate_radius_m=float(params.get("deactivate_radius_m", 110.0)),
+            ),
+        )
+        pipeline = WardrivePipeline(
+            city,
+            WardriveConfig(
+                probe_attempts=int(params.get("probe_attempts", 4)),
+                max_probe_rounds=int(params.get("max_probe_rounds", 8)),
+                vehicle_speed_mps=float(params.get("vehicle_speed_mps", 14.0)),
+            ),
+        )
+    vendors = len({spec.vendor for spec in city.specs})
+    route = city.survey_route(pipeline.config.vehicle_speed_mps)
+    ctx.say(
+        f"city: {city.population} devices across {vendors} vendors; "
+        f"route {route.duration:.0f} sim-seconds at "
+        f"{pipeline.config.vehicle_speed_mps:g} m/s"
+    )
+    with ctx.tracer.span("drive"):
+        results = pipeline.run()
+    acked = results.responded & results.probed
+    vendors_responded = len(
+        {city.spec_of(mac).vendor for mac in acked if city.spec_of(mac) is not None}
+    )
+    if ctx.verbose:
+        ctx.say(results.to_table(top=int(params.get("table_top", 15))))
+    return {
+        "population": city.population,
+        "vendors": vendors,
+        "discovered": results.total_discovered,
+        "probed": len(results.probed),
+        "responded": results.total_responded,
+        "vendors_responded": vendors_responded,
         "response_rate": results.response_rate,
     }

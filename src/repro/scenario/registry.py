@@ -37,6 +37,7 @@ __all__ = [
     "RegisteredScenario",
     "ScenarioRegistry",
     "ScenarioResult",
+    "UnknownParameterError",
     "UnknownScenarioError",
     "REGISTRY",
     "scenario",
@@ -62,6 +63,25 @@ class UnknownScenarioError(KeyError):
         self.known = known
 
 
+class UnknownParameterError(ValueError):
+    """A run passed a parameter the scenario never reads.
+
+    Raised before the scenario executes, so ``--param`` typos fail fast
+    instead of silently running the scenario at its defaults.  The
+    message lists the scenario's valid keys.
+    """
+
+    def __init__(self, scenario: str, unknown: List[str], valid: List[str]) -> None:
+        listing = ", ".join(sorted(valid)) or "(this scenario takes no parameters)"
+        super().__init__(
+            f"unknown parameter(s) {', '.join(sorted(unknown))} for scenario "
+            f"{scenario!r}; valid: {listing}"
+        )
+        self.scenario = scenario
+        self.unknown = sorted(unknown)
+        self.valid = sorted(valid)
+
+
 @dataclass(frozen=True)
 class RegisteredScenario:
     """One registry entry: the callable plus its template spec."""
@@ -70,6 +90,19 @@ class RegisteredScenario:
     fn: ScenarioFn
     spec: ScenarioSpec
     description: str = ""
+    #: Parameter names the scenario reads from ``ctx.params``, or ``None``
+    #: to skip validation (legacy scenarios that never declared them).
+    param_names: Optional[tuple] = None
+
+    def validate_params(self, params: Optional[Dict[str, object]]) -> None:
+        """Raise :class:`UnknownParameterError` on undeclared keys."""
+        if not params or self.param_names is None:
+            return
+        unknown = [key for key in params if key not in self.param_names]
+        if unknown:
+            raise UnknownParameterError(
+                self.name, unknown, list(self.param_names)
+            )
 
     def build_spec(
         self,
@@ -113,8 +146,15 @@ class ScenarioRegistry:
         name: str,
         spec: Optional[ScenarioSpec] = None,
         description: str = "",
+        param_names: Optional[tuple] = None,
     ) -> Callable[[ScenarioFn], ScenarioFn]:
-        """Register ``fn(ctx) -> outputs`` under ``name`` (decorator)."""
+        """Register ``fn(ctx) -> outputs`` under ``name`` (decorator).
+
+        ``param_names`` declares every key the scenario reads from
+        ``ctx.params``; runs passing any other key fail fast with
+        :class:`UnknownParameterError`.  ``None`` (the default) skips the
+        check for legacy scenarios that never declared their surface.
+        """
 
         def decorator(fn: ScenarioFn) -> ScenarioFn:
             if name in self._scenarios:
@@ -129,6 +169,7 @@ class ScenarioRegistry:
                 fn=fn,
                 spec=spec if spec is not None else ScenarioSpec(),
                 description=summary,
+                param_names=tuple(param_names) if param_names is not None else None,
             )
             return fn
 
@@ -180,6 +221,7 @@ class ScenarioRegistry:
     ) -> ScenarioResult:
         """Build the context and run the named scenario once."""
         entry = self.get(name)
+        entry.validate_params(params)
         spec = entry.build_spec(seed=seed, params=params, **spec_overrides)
         ctx = SimContext(spec, metrics=metrics, quiet=quiet)
         outputs = entry.fn(ctx)
@@ -194,9 +236,12 @@ def scenario(
     name: str,
     spec: Optional[ScenarioSpec] = None,
     description: str = "",
+    param_names: Optional[tuple] = None,
 ) -> Callable[[ScenarioFn], ScenarioFn]:
     """Register a scenario in the shared :data:`REGISTRY` (decorator)."""
-    return REGISTRY.register(name, spec=spec, description=description)
+    return REGISTRY.register(
+        name, spec=spec, description=description, param_names=param_names
+    )
 
 
 def available_scenarios() -> List[str]:

@@ -37,6 +37,7 @@ instruments a whole simulation.
 
 from __future__ import annotations
 
+import math
 import time
 from heapq import heapify, heappop, heappush
 from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
@@ -94,6 +95,88 @@ class Event:
             self._engine = None
 
 
+class EventBatch:
+    """One heap entry streaming many timestamped payloads to one handler.
+
+    Holds parallel lists of ``offsets`` (seconds after ``base``, sorted
+    ascending) and ``payloads``.  Item ``i`` fires at
+    ``base + offsets[i] + shift`` — left-associated on purpose, so a
+    batch with ``shift=duration`` produces bit-identical floats to the
+    per-payload expression ``(base + offset) + duration``.
+
+    The batch occupies a single heap slot: when it fires it processes
+    every payload due at the current instant, then **drains inline** —
+    while the next payload is due strictly before the heap head (and
+    within the active run limit), the batch advances the clock itself and
+    keeps processing, exactly as the run loop would after popping a
+    re-posted entry.  Only when another event interleaves (or the run
+    limit / a stop request intervenes) does the batch re-post itself at
+    the next pending time.  Payloads sharing a fire time run in list
+    order, as if pushed individually with consecutive sequence numbers.
+    The medium uses two of these per transmission (arrival starts and
+    arrival ends): per-receiver propagation delays differ by nanoseconds
+    while unrelated events are microseconds apart, so a transmission with
+    hundreds of receivers usually costs two heap round-trips total.
+
+    Batches are fire-and-forget like :meth:`Engine.post` callbacks: no
+    cancellation, and :meth:`Engine._compact` leaves them in the heap.
+    """
+
+    __slots__ = ("engine", "handler", "base", "shift", "offsets", "payloads", "index")
+
+    def __init__(self, engine, handler, base, shift, offsets, payloads) -> None:
+        self.engine = engine
+        self.handler = handler
+        self.base = base
+        self.shift = shift
+        self.offsets = offsets
+        self.payloads = payloads
+        self.index = 0
+
+    def next_time(self) -> float:
+        """Fire time of the next pending payload."""
+        return self.base + self.offsets[self.index] + self.shift
+
+    def __call__(self) -> None:
+        engine = self.engine
+        heap = engine._heap
+        clock = engine.clock
+        limit = engine._run_limit
+        offsets = self.offsets
+        payloads = self.payloads
+        handler = self.handler
+        base = self.base
+        shift = self.shift
+        i = self.index
+        n = len(offsets)
+        while True:
+            handler(payloads[i])
+            i += 1
+            if i == n:
+                self.index = i
+                return
+            t = base + offsets[i] + shift
+            if t > clock._now:
+                # A handler may have scheduled new events, so the heap
+                # head is re-read every iteration.  ``t >= head`` (not
+                # ``>``) mirrors re-posting: a re-posted batch draws a
+                # fresh sequence number and loses exact-time ties to
+                # anything already queued.
+                if (
+                    t > limit
+                    or engine._stopped
+                    or (heap and t >= heap[0][0])
+                ):
+                    break
+                clock._now = t
+        self.index = i
+        sequence = engine._scheduled
+        engine._scheduled = sequence + 1
+        heappush(heap, (t, sequence, self))
+        if len(heap) > engine._heap_peak:
+            engine._heap_peak = len(heap)
+
+
 class Engine:
     """Discrete-event simulation engine.
 
@@ -120,6 +203,9 @@ class Engine:
         self._run_wall_s = 0.0
         self._running = False
         self._stopped = False
+        #: Horizon an in-flight EventBatch may drain up to inline; set by
+        #: run_until() for its duration, +inf otherwise.
+        self._run_limit = math.inf
         self.metrics: Optional["MetricsRegistry"] = None
         if metrics is not None:
             self.attach_metrics(metrics)
@@ -235,6 +321,25 @@ class Engine:
         if len(heap) > self._heap_peak:
             self._heap_peak = len(heap)
 
+    def post_batch(self, batch: EventBatch) -> None:
+        """Schedule an :class:`EventBatch` at its next pending time.
+
+        Fire-and-forget like :meth:`post` — one heap entry regardless of
+        how many payloads the batch carries; the batch re-posts itself
+        until drained.
+        """
+        time = batch.next_time()
+        if time < self.clock._now:
+            raise ValueError(
+                f"cannot schedule event at {time!r}, now is {self.clock.now!r}"
+            )
+        sequence = self._scheduled
+        self._scheduled = sequence + 1
+        heap = self._heap
+        heappush(heap, (time, sequence, batch))
+        if len(heap) > self._heap_peak:
+            self._heap_peak = len(heap)
+
     def stop(self) -> None:
         """Request the current :meth:`run_until`/:meth:`run` loop to exit."""
         self._stopped = True
@@ -310,6 +415,7 @@ class Engine:
             raise RuntimeError("engine is already running (re-entrant run)")
         self._running = True
         self._stopped = False
+        self._run_limit = end_time
         wall_start = time.perf_counter()
         clock = self.clock
         heap = self._heap  # _compact() mutates in place, so this stays valid
@@ -343,6 +449,7 @@ class Engine:
                 self.clock.advance(end_time)
         finally:
             self._running = False
+            self._run_limit = math.inf
             self._run_calls += 1
             self._run_wall_s += time.perf_counter() - wall_start
 

@@ -58,7 +58,7 @@ from typing import Callable, Dict, List, Optional, Protocol, Tuple
 
 import numpy as np
 
-from repro.sim.engine import Engine
+from repro.sim.engine import Engine, EventBatch
 from repro.sim.trace import FrameTrace
 from repro.sim.world import Position
 
@@ -282,6 +282,7 @@ class Medium:
         capture_threshold_db: float = DEFAULT_CAPTURE_THRESHOLD_DB,
         rng: Optional[np.random.Generator] = None,
         metrics=None,
+        batch_arrivals: bool = True,
     ) -> None:
         self.engine = engine
         self.metrics = (
@@ -333,17 +334,22 @@ class Medium:
         #: re-read every transmission to detect movement.
         self._mobiles: Dict[int, List[_RadioEntry]] = {}
         #: (sender, channel, power_dbm) -> (bucket_version, tx_epoch,
-        #: [(radio, rssi_dbm, delay_s), ...]) — the fully-resolved in-range
-        #: receiver list of the sender's last transmission on that channel
-        #: at that power.  The channel is part of the key because each
-        #: channel's version counter is independent: a retuned sender must
-        #: never validate an old channel's list against the new channel's
-        #: counter.  While nothing in the bucket changes, a repeat
-        #: transmission skips the whole per-receiver scan.  FIFO-capped at
+        #: [(delay_s, attach_seq, radio, rssi_dbm), ...]) — the resolved
+        #: in-range *static* receiver list of the sender's last
+        #: transmission on that channel at that power, sorted by arrival
+        #: order (delay, then attachment order).  Mobile receivers are
+        #: deliberately excluded: they are re-resolved every transmission
+        #: from the link-budget cache, so a moving receiver (the wardrive
+        #: rig) no longer invalidates every sender's warm list.  The
+        #: channel is part of the key because each channel's version
+        #: counter is independent: a retuned sender must never validate an
+        #: old channel's list against the new channel's counter.  While
+        #: nothing in the bucket changes, a repeat transmission skips the
+        #: whole per-receiver scan.  FIFO-capped at
         #: ``LINK_CACHE_MAX_ENTRIES`` like the link and FER caches.
         self._delivery_cache: Dict[
             Tuple[str, int, float],
-            Tuple[int, int, List[Tuple[RadioPort, float, float]]],
+            Tuple[int, int, List[Tuple[float, int, RadioPort, float]]],
         ] = {}
         self.link_cache_hits = 0
         self.link_cache_misses = 0
@@ -354,6 +360,11 @@ class Medium:
         self._ongoing: Dict[str, List[_Arrival]] = {}
         self._transmitting: Dict[str, float] = {}  # radio name -> tx end time
         self.transmission_count = 0
+        #: Batched arrival scheduling: one pair of EventBatch heap entries
+        #: per transmission instead of one heap entry per (transmission,
+        #: receiver) pair.  ``False`` restores per-receiver scheduling
+        #: (the regression tests pin both modes to identical traces).
+        self._batch_arrivals = batch_arrivals
 
     # ------------------------------------------------------------------
     # Attachment
@@ -574,11 +585,12 @@ class Medium:
                 tx_position = sender.current_position(now)
                 last = entry.last_pos
                 if tx_position is not last and tx_position != last:
+                    # Mobile radios never appear in cached (static-only)
+                    # delivery lists, so movement only bumps the epoch —
+                    # invalidating cached link budgets through this radio
+                    # — and leaves every warm delivery list valid.
                     entry.last_pos = tx_position
                     entry.epoch += 1
-                    # The sender appears as a receiver in other radios'
-                    # delivery lists on this channel — invalidate them.
-                    self._bump_bucket(entry.channel)
             tx_epoch = entry.epoch
             cacheable = True
         transmission = Transmission(
@@ -618,29 +630,11 @@ class Medium:
 
         bucket = self._channels.get(channel)
         if bucket:
-            # Arrival scheduling inlines Engine.post: arrival times are
-            # never in the past (delay >= 0) so the guard is redundant,
-            # and the per-call overhead is measurable at ~10^6 arrivals
-            # per wardrive run.  Sequence numbers advance exactly as the
-            # post() calls would, so event ordering is unchanged.
-            heap = engine._heap
+            cache = self._link_cache
+            path_loss = self._path_loss
+            targets: List[Tuple[float, int, RadioPort, float]]
             if cacheable:
-                # Re-read every mobile member: movement bumps its epoch
-                # and the bucket version, invalidating stale budgets.
-                mobiles = self._mobiles.get(channel)
-                if mobiles:
-                    bumped = False
-                    for rx in mobiles:
-                        if rx.name == sender_name:
-                            continue
-                        pos = rx.radio.current_position(now)
-                        last = rx.last_pos
-                        if pos is not last and pos != last:
-                            rx.last_pos = pos
-                            rx.epoch += 1
-                            bumped = True
-                    if bumped:
-                        self._bump_bucket(channel)
+                hits = misses = 0
                 version = self._bucket_version.get(channel, 0)
                 delivery_key = (sender_name, channel, power_dbm)
                 cached_delivery = self._delivery_cache.get(delivery_key)
@@ -649,10 +643,140 @@ class Medium:
                     and cached_delivery[0] == version
                     and cached_delivery[1] == tx_epoch
                 ):
-                    targets = cached_delivery[2]
-                    self.link_cache_hits += len(targets)
+                    static_targets = cached_delivery[2]
+                    hits += len(static_targets)
+                else:
+                    # Cold: resolve every in-range *static* same-channel
+                    # member and cache the sorted list.  Mobile members are
+                    # never in this list — they are re-resolved fresh below,
+                    # so their movement cannot stale it.
+                    static_targets = []
+                    for rx in bucket:
+                        rx_position = rx.static_pos
+                        if rx_position is None:
+                            continue
+                        rx_name = rx.name
+                        if rx_name == sender_name:
+                            continue
+                        radio = rx.radio
+                        key = (sender_name, rx_name)
+                        cached = cache.get(key)
+                        if (
+                            cached is not None
+                            and cached[0] == tx_epoch
+                            and cached[1] == rx.epoch
+                        ):
+                            loss = cached[2]
+                            delay = cached[3]
+                            hits += 1
+                        else:
+                            loss = path_loss(tx_position, rx_position)
+                            delay = tx_position.propagation_delay_to(rx_position)
+                            if len(cache) >= LINK_CACHE_MAX_ENTRIES:
+                                cache.pop(next(iter(cache)))
+                            cache[key] = (tx_epoch, rx.epoch, loss, delay)
+                            misses += 1
+                        rssi = power_dbm - loss
+                        if rssi < radio.rx_sensitivity_dbm:
+                            continue
+                        static_targets.append((delay, rx.seq, radio, rssi))
+                    static_targets.sort()
+                    delivery_cache = self._delivery_cache
+                    if len(delivery_cache) >= LINK_CACHE_MAX_ENTRIES:
+                        delivery_cache.pop(next(iter(delivery_cache)))
+                    delivery_cache[delivery_key] = (version, tx_epoch, static_targets)
+                # Mobile members: re-read the position every transmission
+                # (bumping the epoch on movement, so cached budgets through
+                # them invalidate) and resolve through the link cache.
+                targets = static_targets
+                mobiles = self._mobiles.get(channel)
+                if mobiles:
+                    mobile_targets = []
+                    for rx in mobiles:
+                        rx_name = rx.name
+                        if rx_name == sender_name:
+                            continue
+                        radio = rx.radio
+                        rx_position = radio.current_position(now)
+                        last = rx.last_pos
+                        if rx_position is not last and rx_position != last:
+                            rx.last_pos = rx_position
+                            rx.epoch += 1
+                        key = (sender_name, rx_name)
+                        cached = cache.get(key)
+                        if (
+                            cached is not None
+                            and cached[0] == tx_epoch
+                            and cached[1] == rx.epoch
+                        ):
+                            loss = cached[2]
+                            delay = cached[3]
+                            hits += 1
+                        else:
+                            loss = path_loss(tx_position, rx_position)
+                            delay = tx_position.propagation_delay_to(rx_position)
+                            if len(cache) >= LINK_CACHE_MAX_ENTRIES:
+                                cache.pop(next(iter(cache)))
+                            cache[key] = (tx_epoch, rx.epoch, loss, delay)
+                            misses += 1
+                        rssi = power_dbm - loss
+                        if rssi < radio.rx_sensitivity_dbm:
+                            continue
+                        mobile_targets.append((delay, rx.seq, radio, rssi))
+                    if mobile_targets:
+                        targets = static_targets + mobile_targets
+                        targets.sort()
+                self.link_cache_hits += hits
+                self.link_cache_misses += misses
+            else:
+                # Unattached sender: fresh walk, bypassing every cache
+                # (the sender has no epoch to key on).
+                targets = []
+                for rx in bucket:
+                    rx_name = rx.name
+                    if rx_name == sender_name:
+                        continue
+                    radio = rx.radio
+                    rx_position = rx.static_pos
+                    if rx_position is None:
+                        rx_position = radio.current_position(now)
+                        last = rx.last_pos
+                        if rx_position is not last and rx_position != last:
+                            rx.last_pos = rx_position
+                            rx.epoch += 1
+                    loss = path_loss(tx_position, rx_position)
+                    delay = tx_position.propagation_delay_to(rx_position)
+                    rssi = power_dbm - loss
+                    if rssi < radio.rx_sensitivity_dbm:
+                        continue
+                    targets.append((delay, rx.seq, radio, rssi))
+                targets.sort()
+            if targets:
+                if self._batch_arrivals:
+                    # Two heap entries per transmission — one batch walks
+                    # the arrival starts, the other the arrival ends —
+                    # regardless of receiver count.  End times are
+                    # (now + delay) + duration, the exact floats the
+                    # per-receiver path produces.
+                    offsets = []
+                    arrivals = []
+                    for delay, _seq, radio, rssi in targets:
+                        offsets.append(delay)
+                        arrivals.append(_Arrival(self, radio, transmission, rssi))
+                    engine.post_batch(
+                        EventBatch(engine, self._arrival_begin, now, 0.0, offsets, arrivals)
+                    )
+                    engine.post_batch(
+                        EventBatch(engine, self._arrival_end, now, duration, offsets, arrivals)
+                    )
+                else:
+                    # Per-receiver scheduling, inlining Engine.post:
+                    # arrival times are never in the past (delay >= 0) so
+                    # the guard is redundant.  Sequence numbers advance
+                    # exactly as post() calls would, so ordering matches.
+                    heap = engine._heap
                     seq = engine._scheduled
-                    for radio, rssi, delay in targets:
+                    for delay, _seq, radio, rssi in targets:
                         heappush(
                             heap,
                             (now + delay, seq, _Arrival(self, radio, transmission, rssi)),
@@ -661,100 +785,43 @@ class Medium:
                     engine._scheduled = seq
                     if len(heap) > engine._heap_peak:
                         engine._heap_peak = len(heap)
-                    return transmission
-            cache = self._link_cache
-            path_loss = self._path_loss
-            targets: List[Tuple[RadioPort, float, float]] = []
-            hits = misses = 0
-            for rx in bucket:
-                rx_name = rx.name
-                if rx_name == sender_name:
-                    continue
-                radio = rx.radio
-                static = rx.static_pos
-                if static is not None:
-                    rx_position = static
-                elif cacheable:
-                    # Mobile members were just re-read above.
-                    rx_position = rx.last_pos
-                else:
-                    rx_position = radio.current_position(now)
-                    last = rx.last_pos
-                    if rx_position is not last and rx_position != last:
-                        rx.last_pos = rx_position
-                        rx.epoch += 1
-                        # Mirror the mobiles pre-scan: a moved receiver
-                        # invalidates every attached sender's warm
-                        # delivery list on this channel, even when the
-                        # movement was first observed by an unattached
-                        # sender's (non-cacheable) transmission.
-                        self._bump_bucket(channel)
-                if cacheable:
-                    key = (sender_name, rx_name)
-                    cached = cache.get(key)
-                    if (
-                        cached is not None
-                        and cached[0] == tx_epoch
-                        and cached[1] == rx.epoch
-                    ):
-                        loss = cached[2]
-                        delay = cached[3]
-                        hits += 1
-                    else:
-                        loss = path_loss(tx_position, rx_position)
-                        delay = tx_position.propagation_delay_to(rx_position)
-                        if len(cache) >= LINK_CACHE_MAX_ENTRIES:
-                            cache.pop(next(iter(cache)))
-                        cache[key] = (tx_epoch, rx.epoch, loss, delay)
-                        misses += 1
-                else:
-                    loss = path_loss(tx_position, rx_position)
-                    delay = tx_position.propagation_delay_to(rx_position)
-                rssi = power_dbm - loss
-                if rssi < radio.rx_sensitivity_dbm:
-                    continue
-                targets.append((radio, rssi, delay))
-                seq = engine._scheduled
-                engine._scheduled = seq + 1
-                heappush(
-                    heap, (now + delay, seq, _Arrival(self, radio, transmission, rssi))
-                )
-            if len(heap) > engine._heap_peak:
-                engine._heap_peak = len(heap)
-            self.link_cache_hits += hits
-            self.link_cache_misses += misses
-            if cacheable:
-                delivery_cache = self._delivery_cache
-                if len(delivery_cache) >= LINK_CACHE_MAX_ENTRIES:
-                    delivery_cache.pop(next(iter(delivery_cache)))
-                delivery_cache[delivery_key] = (version, tx_epoch, targets)
         return transmission
 
     # ------------------------------------------------------------------
     # Arrival lifecycle
     # ------------------------------------------------------------------
-    def _arrival_start(self, arrival: _Arrival) -> None:
+    def _arrival_begin(self, arrival: _Arrival) -> None:
         """First symbol reaches the antenna: join the receiver's air state."""
         name = arrival.radio.name
         ongoing = self._ongoing.get(name)
         if ongoing is None:
             ongoing = self._ongoing[name] = []
-        engine = self.engine
-        now = engine.clock._now
         tx_end = self._transmitting.get(name)
-        if tx_end is not None and tx_end > now:
+        if tx_end is not None and tx_end > self.engine.clock._now:
             arrival.corrupted = True
             arrival.corrupt_reason = CorruptionReason.RECEIVER_TRANSMITTING
         if ongoing:
             self._resolve_overlap(ongoing, arrival)
         ongoing.append(arrival)
         arrival.ongoing = ongoing
+
+    def _arrival_start(self, arrival: _Arrival) -> None:
+        """Per-receiver path: join the air state, then self-post the end.
+
+        Batched scheduling never calls this — the end batch already
+        carries every arrival — so only the ``batch_arrivals=False``
+        two-phase :class:`_Arrival` callback reaches it.
+        """
+        self._arrival_begin(arrival)
         # Inlined Engine.post (see transmit()): the end-phase callback is
         # always in the future and never cancelled.
+        engine = self.engine
         seq = engine._scheduled
         engine._scheduled = seq + 1
         heap = engine._heap
-        heappush(heap, (now + arrival.transmission.duration, seq, arrival))
+        heappush(
+            heap, (engine.clock._now + arrival.transmission.duration, seq, arrival)
+        )
         if len(heap) > engine._heap_peak:
             engine._heap_peak = len(heap)
 

@@ -70,6 +70,12 @@ class CityConfig:
     #: the vendor diversity; False lets small vendors drop out, which
     #: makes unit-test cities much smaller).
     keep_all_vendors: bool = True
+    #: Hard cap on the generated population (``None`` = no cap).  Applied
+    #: after census scaling by evenly subsampling the spec list, so a
+    #: capped city keeps the full city's AP/client mix and spatial spread
+    #: — the quick-mode knob the CI perf job uses to exercise the
+    #: full-scale wardrive configuration without the full device count.
+    max_devices: Optional[int] = None
 
 
 @dataclass
@@ -205,7 +211,14 @@ class SyntheticCity:
                         bssid=home.mac,
                     )
                 )
-        self.specs = ap_specs + client_specs
+        specs = ap_specs + client_specs
+        cap = cfg.max_devices
+        if cap is not None and len(specs) > cap:
+            # Evenly-spaced subsample: deterministic, and it preserves the
+            # AP/client ratio and the spatial spread of the full city.
+            step = len(specs) / cap
+            specs = [specs[int(i * step)] for i in range(cap)]
+        self.specs = specs
         for order, spec in enumerate(self.specs):
             spec.order = order
         self._by_mac: Dict[MacAddress, DeviceSpec] = {

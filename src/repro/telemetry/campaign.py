@@ -385,7 +385,10 @@ def run_campaign(config: CampaignConfig) -> Dict[str, object]:
     from repro import __version__  # deferred: repro/__init__ imports telemetry
 
     payloads = config.expand()
-    REGISTRY.get(config.scenario)  # fail fast before forking workers
+    # Fail fast before forking workers: unknown scenario, then unknown
+    # parameter names (base params and every swept grid key).
+    entry = REGISTRY.get(config.scenario)
+    entry.validate_params({**config.params, **{k: None for k in (config.grid or ())}})
     start = time.perf_counter()
     reused: List[Dict[str, object]] = []
     if config.resume:

@@ -1,0 +1,252 @@
+"""Batched arrival scheduling and the full-scale Table 2 city.
+
+Three contracts pinned here:
+
+* :class:`~repro.sim.engine.EventBatch` — one heap entry streaming many
+  payloads, draining inline only while nothing else interleaves;
+* the batched medium (`batch_arrivals=True`, the default) produces
+  **byte-identical seeded traces** to the legacy per-receiver path for
+  both the Figure 2 exchange and a Table 2-shaped wardrive, while
+  executing far fewer heap events;
+* the full-scale city draws the paper's exact census — 5,328 devices
+  across 186 vendors — deterministically for a fixed seed, and the
+  ``max_devices`` quick-mode cap subsamples it evenly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.devices.vendors import TOTAL_VENDOR_COUNT, VendorDatabase
+from repro.scenario import UnknownParameterError, run_scenario
+from repro.sim.engine import Engine, EventBatch
+from repro.sim.medium import Medium
+from repro.survey.city import CityConfig, DeviceKind, SyntheticCity
+
+
+# ----------------------------------------------------------------------
+# EventBatch
+# ----------------------------------------------------------------------
+class TestEventBatch:
+    def test_payloads_fire_in_order_at_their_times(self, engine):
+        fired = []
+        batch = EventBatch(
+            engine, lambda p: fired.append((engine.now, p)),
+            base=1.0, shift=0.0, offsets=[0.0, 1e-6, 5e-6], payloads=["a", "b", "c"],
+        )
+        engine.post_batch(batch)
+        engine.run_until(2.0)
+        assert fired == [(1.0, "a"), (1.0 + 1e-6, "b"), (1.0 + 5e-6, "c")]
+
+    def test_interleaving_event_preempts_the_drain(self, engine):
+        order = []
+        batch = EventBatch(
+            engine, lambda p: order.append(p),
+            base=0.0, shift=0.0, offsets=[1.0, 3.0], payloads=["p0", "p1"],
+        )
+        engine.post_batch(batch)
+        engine.call_at(2.0, lambda: order.append("evt"))
+        engine.run_until(4.0)
+        assert order == ["p0", "evt", "p1"]
+
+    def test_repost_loses_exact_time_ties(self, engine):
+        # A re-posted batch draws a fresh sequence number, so an event
+        # already queued at the same instant runs first — exactly as if
+        # the payload had been posted individually at that moment.
+        order = []
+        batch = EventBatch(
+            engine, lambda p: order.append(p),
+            base=0.0, shift=0.0, offsets=[1.0, 2.0], payloads=["p0", "p1"],
+        )
+        engine.post_batch(batch)
+        engine.call_at(2.0, lambda: order.append("evt"))
+        engine.run_until(3.0)
+        assert order == ["p0", "evt", "p1"]
+
+    def test_run_until_limit_pauses_and_resumes_the_batch(self, engine):
+        fired = []
+        batch = EventBatch(
+            engine, lambda p: fired.append((engine.now, p)),
+            base=0.0, shift=0.0, offsets=[1.0, 5.0], payloads=["early", "late"],
+        )
+        engine.post_batch(batch)
+        engine.run_until(2.0)
+        assert fired == [(1.0, "early")]
+        assert engine.now == 2.0
+        engine.run_until(6.0)
+        assert fired == [(1.0, "early"), (5.0, "late")]
+
+    def test_stop_inside_a_handler_halts_the_drain(self, engine):
+        fired = []
+
+        def handler(payload):
+            fired.append(payload)
+            engine.stop()
+
+        batch = EventBatch(
+            engine, handler,
+            base=0.0, shift=0.0, offsets=[1.0, 1.1], payloads=["a", "b"],
+        )
+        engine.post_batch(batch)
+        engine.run_until(2.0)
+        assert fired == ["a"]
+        engine.run_until(2.0)  # resuming picks the batch back up
+        assert fired == ["a", "b"]
+
+    def test_shift_is_left_associated(self, engine):
+        # shift=duration must reproduce the per-payload expression
+        # ``(base + offset) + duration`` bit-for-bit.
+        base, offset, shift = 12.345678, 3.7e-8, 0.00123
+        fired = []
+        batch = EventBatch(
+            engine, lambda p: fired.append(engine.now),
+            base=base, shift=shift, offsets=[offset], payloads=[None],
+        )
+        engine.post_batch(batch)
+        engine.run_until(base + 1.0)
+        assert fired == [(base + offset) + shift]
+
+    def test_post_batch_rejects_times_in_the_past(self, engine):
+        engine.call_at(1.0, lambda: None)
+        engine.run_until(1.0)
+        batch = EventBatch(
+            engine, lambda p: None,
+            base=0.5, shift=0.0, offsets=[0.0], payloads=[None],
+        )
+        with pytest.raises(ValueError):
+            engine.post_batch(batch)
+
+
+# ----------------------------------------------------------------------
+# Batched medium == per-receiver medium, byte for byte
+# ----------------------------------------------------------------------
+def _force_legacy_medium(monkeypatch):
+    """Every Medium built while patched schedules per-receiver arrivals."""
+    original = Medium.__init__
+
+    def legacy_init(self, *args, **kwargs):
+        kwargs["batch_arrivals"] = False
+        original(self, *args, **kwargs)
+
+    monkeypatch.setattr(Medium, "__init__", legacy_init)
+
+
+WARDRIVE_PARAMS = {
+    "population_scale": 0.01,
+    "keep_all_vendors": False,
+    "blocks_x": 4,
+    "blocks_y": 3,
+}
+
+
+class TestBatchedMediumEquivalence:
+    def test_figure2_trace_byte_identical(self, monkeypatch):
+        batched = run_scenario("probe", quiet=True)
+        with monkeypatch.context() as patched:
+            _force_legacy_medium(patched)
+            legacy = run_scenario("probe", quiet=True)
+        assert batched.ctx.trace.to_jsonl() == legacy.ctx.trace.to_jsonl()
+        assert batched.outputs == legacy.outputs
+
+    def test_wardrive_trace_byte_identical(self, monkeypatch):
+        # A Table 2-shaped run: static city, driving 3-dongle rig, so
+        # both the static delivery cache and the per-transmission mobile
+        # path are exercised in both modes.
+        batched = run_scenario(
+            "wardrive", quiet=True, trace=True, params=dict(WARDRIVE_PARAMS)
+        )
+        with monkeypatch.context() as patched:
+            _force_legacy_medium(patched)
+            legacy = run_scenario(
+                "wardrive", quiet=True, trace=True, params=dict(WARDRIVE_PARAMS)
+            )
+        assert int(batched.outputs["discovered"]) > 0
+        assert batched.ctx.trace.to_jsonl() == legacy.ctx.trace.to_jsonl()
+        assert batched.outputs == legacy.outputs
+
+    def test_batching_actually_reduces_heap_traffic(self, monkeypatch):
+        # Guard against the default silently reverting to per-receiver
+        # scheduling: same run, far fewer events through the heap.
+        batched = run_scenario("wardrive", quiet=True, params=dict(WARDRIVE_PARAMS))
+        with monkeypatch.context() as patched:
+            _force_legacy_medium(patched)
+            legacy = run_scenario(
+                "wardrive", quiet=True, params=dict(WARDRIVE_PARAMS)
+            )
+        assert batched.ctx.engine.events_processed < legacy.ctx.engine.events_processed
+
+
+# ----------------------------------------------------------------------
+# The full-scale Table 2 city
+# ----------------------------------------------------------------------
+def _city(**overrides):
+    engine = Engine()
+    medium = Medium(engine)
+    return SyntheticCity(engine, medium, CityConfig(**overrides))
+
+
+class TestFullScaleCity:
+    def test_full_census_is_5328_devices_from_186_vendors(self):
+        city = _city(population_scale=1.0)
+        assert len(city.specs) == 5328
+        macs = {str(spec.mac) for spec in city.specs}
+        assert len(macs) == 5328  # every device gets a distinct MAC
+        vendors = {spec.vendor for spec in city.specs}
+        assert len(vendors) == TOTAL_VENDOR_COUNT == 186
+
+    def test_every_mac_carries_its_vendors_oui(self):
+        db = VendorDatabase()
+        city = _city(population_scale=1.0)
+        for spec in city.specs:
+            assert db.vendor_of(spec.mac) == spec.vendor
+
+    def test_population_is_deterministic_for_a_seed(self):
+        def identity(city):
+            return [
+                (str(s.mac), s.vendor, s.kind, s.channel,
+                 s.position.x, s.position.y)
+                for s in city.specs
+            ]
+
+        assert identity(_city(population_scale=1.0)) == identity(
+            _city(population_scale=1.0)
+        )
+
+    def test_max_devices_subsamples_evenly(self):
+        capped = _city(population_scale=1.0, max_devices=100)
+        assert len(capped.specs) == 100
+        kinds = {spec.kind for spec in capped.specs}
+        # An even subsample keeps the AP/client mix.
+        assert DeviceKind.ACCESS_POINT in kinds
+        assert DeviceKind.CLIENT in kinds
+        full_macs = [str(s.mac) for s in _city(population_scale=1.0).specs]
+        capped_macs = [str(s.mac) for s in capped.specs]
+        # The cap selects from the full census in order, it never invents.
+        assert set(capped_macs) <= set(full_macs)
+
+    def test_max_devices_noop_when_population_is_smaller(self):
+        city = _city(
+            population_scale=0.01, keep_all_vendors=False, max_devices=10_000
+        )
+        assert len(city.specs) < 10_000
+
+
+# ----------------------------------------------------------------------
+# The wardrive-full scenario
+# ----------------------------------------------------------------------
+class TestWardriveFullScenario:
+    def test_smoke_with_a_tiny_cap(self):
+        result = run_scenario(
+            "wardrive-full", seed=0, params={"max_devices": 60}, quiet=True
+        )
+        outputs = result.outputs
+        assert outputs["population"] == 60
+        assert 0 < outputs["discovered"] <= 60
+        assert outputs["probed"] >= outputs["responded"] > 0
+        assert 0.0 < outputs["response_rate"] <= 1.0
+        assert 0 < outputs["vendors_responded"] <= outputs["vendors"]
+
+    def test_rejects_unknown_parameters(self):
+        with pytest.raises(UnknownParameterError) as excinfo:
+            run_scenario("wardrive-full", params={"max_device": 10}, quiet=True)
+        assert "max_devices" in str(excinfo.value)  # the fix is in the message

@@ -1,0 +1,109 @@
+"""``--param`` typos fail fast, on every front end.
+
+Scenarios declare their parameter surface at registration
+(``param_names=...``); a run passing any undeclared key raises
+:class:`UnknownParameterError` *before* the scenario executes —
+previously a typo'd key was silently ignored and the scenario ran at
+its defaults, which is the worst possible failure mode for a sweep.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenario import (
+    REGISTRY,
+    ScenarioRegistry,
+    ScenarioSpec,
+    UnknownParameterError,
+    run_scenario,
+)
+from repro.telemetry import CampaignConfig, run_campaign
+
+
+class TestRegistryValidation:
+    def test_typo_fails_fast_with_the_valid_keys(self):
+        with pytest.raises(UnknownParameterError) as excinfo:
+            run_scenario(
+                "wardrive", params={"population_scal": 0.1}, quiet=True
+            )
+        message = str(excinfo.value)
+        assert "population_scal" in message
+        assert "population_scale" in message  # the fix is in the message
+
+    def test_declared_params_still_pass(self):
+        entry = REGISTRY.get("wardrive")
+        entry.validate_params({"population_scale": 0.1, "table_top": 3})
+
+    def test_parameterless_scenario_says_so(self):
+        with pytest.raises(UnknownParameterError) as excinfo:
+            run_scenario("probe", params={"anything": 1}, quiet=True)
+        assert "takes no parameters" in str(excinfo.value)
+
+    def test_every_builtin_declares_its_surface(self):
+        # Other tests may register legacy scenarios (param_names=None)
+        # into the shared REGISTRY, so pin the library's built-ins by
+        # name rather than iterating everything registered.
+        builtins = ("probe", "deauth", "battery", "locate",
+                    "wardrive", "wardrive-full")
+        for name in builtins:
+            assert REGISTRY.get(name).param_names is not None, (
+                f"builtin scenario {name!r} must declare param_names"
+            )
+
+    def test_undeclared_legacy_scenarios_skip_the_check(self):
+        registry = ScenarioRegistry()
+
+        @registry.register("legacy", spec=ScenarioSpec(seed=1))
+        def legacy(ctx):
+            return {"got": dict(ctx.params)}
+
+        result = registry.run("legacy", params={"whatever": 1}, quiet=True)
+        assert result.outputs["got"] == {"whatever": 1}
+
+    def test_error_carries_structured_fields(self):
+        with pytest.raises(UnknownParameterError) as excinfo:
+            run_scenario("battery", params={"ratez": [1]}, quiet=True)
+        err = excinfo.value
+        assert err.scenario == "battery"
+        assert err.unknown == ["ratez"]
+        assert "rates_pps" in err.valid
+
+
+class TestCampaignValidation:
+    def test_base_params_validated_before_forking(self):
+        config = CampaignConfig(
+            scenario="wardrive", seeds=[0], params={"bogus": 1}
+        )
+        with pytest.raises(UnknownParameterError):
+            run_campaign(config)
+
+    def test_grid_keys_validated_before_forking(self):
+        config = CampaignConfig(
+            scenario="wardrive", seeds=[0], grid={"bogus_sweep": [1, 2]}
+        )
+        with pytest.raises(UnknownParameterError):
+            run_campaign(config)
+
+
+class TestCliValidation:
+    def test_run_exits_with_a_usage_error(self, capsys):
+        from repro.__main__ import _run_one
+
+        with pytest.raises(SystemExit) as excinfo:
+            _run_one(["wardrive", "--quiet", "--param", "population_scal=0.1"])
+        assert excinfo.value.code == 2
+        stderr = capsys.readouterr().err
+        assert "population_scal" in stderr
+        assert "population_scale" in stderr
+
+    def test_campaign_exits_with_a_usage_error(self, capsys):
+        from repro.__main__ import _run_campaign
+
+        with pytest.raises(SystemExit) as excinfo:
+            _run_campaign(
+                ["--scenario", "wardrive", "--seeds", "1",
+                 "--param", "bogus=1"]
+            )
+        assert excinfo.value.code == 2
+        assert "bogus" in capsys.readouterr().err

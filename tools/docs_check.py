@@ -1,0 +1,117 @@
+"""Execute the fenced Python blocks in docs/*.md so the docs can't rot.
+
+Every ` ```python ` fence in the docs is treated as a runnable snippet:
+the blocks of each file are concatenated (in order, sharing one
+namespace, like a REPL session) and executed headless in a subprocess
+with ``REPRO_SMOKE=1`` set, the same truncation switch the examples
+smoke pass uses.  A fence that is illustrative rather than runnable
+(an attribute listing, pseudocode) opts out with an HTML comment on the
+line directly above it::
+
+    <!-- docs-check: skip -->
+    ```python
+    ctx.anything  # never executed
+    ```
+
+Usage (from the repo root; ``make docs-check`` wraps it)::
+
+    PYTHONPATH=src python tools/docs_check.py [docs/scenarios.md ...]
+
+Exit status is the number of failing files.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import subprocess
+import sys
+from typing import List, Tuple
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DOCS_DIR = REPO_ROOT / "docs"
+SKIP_MARKER = "<!-- docs-check: skip -->"
+TIMEOUT_S = 300.0
+
+
+def extract_blocks(path: pathlib.Path) -> List[Tuple[int, str]]:
+    """``(first_code_line, code)`` for every runnable python fence."""
+    lines = path.read_text(encoding="utf-8").splitlines()
+    blocks: List[Tuple[int, str]] = []
+    i = 0
+    while i < len(lines):
+        stripped = lines[i].strip()
+        if stripped.startswith("```python"):
+            skipped = i > 0 and lines[i - 1].strip() == SKIP_MARKER
+            start = i + 1
+            j = start
+            while j < len(lines) and lines[j].strip() != "```":
+                j += 1
+            if not skipped:
+                blocks.append((start + 1, "\n".join(lines[start:j])))
+            i = j + 1
+        else:
+            i += 1
+    return blocks
+
+
+def build_script(path: pathlib.Path, blocks: List[Tuple[int, str]]) -> str:
+    """One module: the file's blocks in order, sharing a namespace."""
+    parts = []
+    for lineno, code in blocks:
+        parts.append(f"# --- {path.name}:{lineno} ---")
+        parts.append(code)
+    return "\n".join(parts) + "\n"
+
+
+def run_file(path: pathlib.Path) -> bool:
+    blocks = extract_blocks(path)
+    rel = path.relative_to(REPO_ROOT)
+    if not blocks:
+        print(f"{rel}: no python blocks")
+        return True
+    env = dict(os.environ)
+    env["REPRO_SMOKE"] = "1"
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    script = build_script(path, blocks)
+    try:
+        proc = subprocess.run(
+            [sys.executable, "-"],
+            input=script,
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env=env,
+            timeout=TIMEOUT_S,
+        )
+    except subprocess.TimeoutExpired:
+        print(f"{rel}: TIMEOUT after {TIMEOUT_S:.0f}s ({len(blocks)} block(s))")
+        return False
+    if proc.returncode != 0:
+        print(f"{rel}: FAILED ({len(blocks)} block(s))")
+        sys.stdout.write(proc.stdout)
+        sys.stdout.write(proc.stderr)
+        return False
+    print(f"{rel}: ok ({len(blocks)} block(s))")
+    return True
+
+
+def main(argv: List[str]) -> int:
+    paths = (
+        [pathlib.Path(arg).resolve() for arg in argv]
+        if argv
+        else sorted(DOCS_DIR.glob("*.md"))
+    )
+    failures = sum(0 if run_file(path) else 1 for path in paths)
+    if failures:
+        print(f"docs-check: {failures} file(s) failed")
+    else:
+        print("docs-check OK")
+    return failures
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
