@@ -19,6 +19,14 @@ and the campaign orchestrator (see ``docs/telemetry.md``)::
     python -m repro campaign --scenario wardrive --seeds 8 --workers 4 \
         --out manifest.json
 
+which shards across machines and merges the results::
+
+    python -m repro campaign --scenario wardrive --seeds 8 --shard 1/2 \
+        --out manifest.json        # on box 1 (writes manifest.shard1of2.json)
+    python -m repro campaign --scenario wardrive --seeds 8 --shard 2/2 \
+        --out manifest.json        # on box 2
+    python -m repro campaign merge manifest.shard*.json --out manifest.json
+
 The full, narrated versions live in ``examples/``; the full-scale
 reproductions in ``benchmarks/``.
 
@@ -110,6 +118,24 @@ def _parse_param(text: str):
     return key, raw
 
 
+def _parse_shard(text: str):
+    """``i/N`` (1-based, as printed by the docs) -> (0-based index, count)."""
+    index_text, sep, count_text = text.partition("/")
+    try:
+        if not sep:
+            raise ValueError
+        index, count = int(index_text), int(count_text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected i/N (e.g. 1/4), got {text!r}"
+        ) from None
+    if count < 1 or not 1 <= index <= count:
+        raise argparse.ArgumentTypeError(
+            f"shard index must be in 1..{count}, got {text!r}"
+        )
+    return index - 1, count
+
+
 def _run_one(argv) -> int:
     """``python -m repro run <scenario>`` — launch any registered scenario."""
     from repro.scenario import REGISTRY
@@ -172,16 +198,63 @@ def _run_one(argv) -> int:
     return 0
 
 
+def _merge_campaign(argv) -> int:
+    """``python -m repro campaign merge`` — combine shard manifests."""
+    from repro.telemetry import (
+        MissingShardsError,
+        ShardMismatchError,
+        merge_manifest_files,
+        summarize_manifest,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro campaign merge",
+        description="Merge shard manifests into one campaign manifest "
+        "(aggregate byte-identical to the unsharded run)",
+    )
+    parser.add_argument(
+        "manifests", nargs="+", metavar="SHARD_MANIFEST",
+        help="shard manifest files written by `campaign --shard i/N --out ...`",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the merged JSON manifest here",
+    )
+    parser.add_argument(
+        "--allow-missing", action="store_true",
+        help="aggregate even if shards are missing; the merged manifest "
+        "reports the gap (shards.missing, complete: false) instead of "
+        "this command failing",
+    )
+    args = parser.parse_args(argv)
+    try:
+        merged = merge_manifest_files(
+            args.manifests, output_path=args.out,
+            allow_missing=args.allow_missing,
+        )
+    except (MissingShardsError, ShardMismatchError, ValueError) as exc:
+        parser.error(str(exc))
+    print(summarize_manifest(merged))
+    if args.out:
+        print(f"\n[merged manifest written to {args.out}]")
+    return 0 if merged["complete"] and not merged["failed_runs"] else 1
+
+
 def _run_campaign(argv) -> int:
+    if argv and argv[0] == "merge":
+        return _merge_campaign(argv[1:])
     from repro.telemetry import (
         CampaignConfig,
+        CampaignRunError,
         run_campaign,
+        shard_manifest_path,
         summarize_manifest,
     )
 
     parser = argparse.ArgumentParser(
         prog="python -m repro campaign",
-        description="Fan a scenario out across seeds and aggregate metrics",
+        description="Fan a scenario out across seeds and aggregate metrics "
+        "(`campaign merge` combines shard manifests)",
     )
     parser.add_argument(
         "--scenario", default="wardrive", choices=available_scenarios(),
@@ -202,17 +275,49 @@ def _run_campaign(argv) -> int:
     parser.add_argument(
         "--out", default=None, metavar="PATH",
         help="write the JSON run manifest here (per-run records stream "
-        "to PATH.runs.jsonl as runs complete)",
+        "to PATH.runs.jsonl as runs complete); with --shard i/N the "
+        "manifest lands at PATH's shard sibling (out.shardIofN.json)",
     )
     parser.add_argument("--name", default="", help="campaign name for the manifest")
     parser.add_argument(
         "--resume", action="store_true",
         help="reuse (seed, params) runs already recorded in the JSONL "
-        "sidecar (or manifest) at --out instead of re-executing them",
+        "sidecar (or manifest) at --out instead of re-executing them "
+        "(per shard when --shard is given)",
+    )
+    parser.add_argument(
+        "--shard", type=_parse_shard, default=None, metavar="I/N",
+        help="run only shard I of an N-way deterministic split of the "
+        "run plan (1-based; run the other shards elsewhere, then "
+        "`campaign merge`)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-attempt wall-clock budget for one run (default: none)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="extra attempts for a run that raises or times out "
+        "(default: 0)",
+    )
+    parser.add_argument(
+        "--retry-backoff", type=float, default=0.0, metavar="SECONDS",
+        help="sleep SECONDS * attempt between retries (default: 0)",
+    )
+    parser.add_argument(
+        "--on-error", choices=("raise", "record"), default="raise",
+        help="after retries are exhausted: abort the campaign ('raise', "
+        "default) or record the failed run in the manifest ('record')",
+    )
+    parser.add_argument(
+        "--heartbeat", type=float, default=30.0, metavar="SECONDS",
+        help="interval between liveness records in the sidecar "
+        "(default: 30; 0 disables)",
     )
     args = parser.parse_args(argv)
     if args.resume and not args.out:
         parser.error("--resume requires --out (the manifest to resume from)")
+    shard_index, shard_count = args.shard if args.shard else (None, 1)
     try:
         config = CampaignConfig(
             scenario=args.scenario,
@@ -222,20 +327,39 @@ def _run_campaign(argv) -> int:
             name=args.name,
             output_path=args.out,
             resume=args.resume,
+            shard_index=shard_index,
+            shard_count=shard_count,
+            run_timeout_s=args.timeout,
+            retries=args.retries,
+            retry_backoff_s=args.retry_backoff,
+            on_error=args.on_error,
+            heartbeat_s=args.heartbeat if args.heartbeat > 0 else None,
         )
-        config.expand()  # surface config errors as usage errors, not tracebacks
+        config.validate()  # surface config errors as usage errors
     except ValueError as exc:
         parser.error(str(exc))
     try:
         manifest = run_campaign(config)
+    except CampaignRunError as exc:
+        print(f"campaign aborted: {exc}", file=sys.stderr)
+        if args.out:
+            print(
+                "[completed runs are preserved in the sidecar; re-run with "
+                "--resume to continue]",
+                file=sys.stderr,
+            )
+        return 1
     except ValueError as exc:
         parser.error(str(exc))
+    out_path = args.out
+    if out_path and shard_index is not None:
+        out_path = shard_manifest_path(out_path, shard_index, shard_count)
     if manifest.get("resumed_runs"):
-        print(f"[resumed: {manifest['resumed_runs']} run(s) reused from {args.out}]")
+        print(f"[resumed: {manifest['resumed_runs']} run(s) reused from {out_path}]")
     print(summarize_manifest(manifest))
-    if args.out:
-        print(f"\n[manifest written to {args.out}]")
-    return 0
+    if out_path:
+        print(f"\n[manifest written to {out_path}]")
+    return 0 if not manifest["failed_runs"] else 1
 
 
 def main(argv=None) -> int:

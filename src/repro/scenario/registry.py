@@ -26,6 +26,8 @@ legacy ``fn(seed, params, metrics)`` callables onto it.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
@@ -116,6 +118,34 @@ class RegisteredScenario:
         if params:
             overrides["params"] = params
         return self.spec.derive(**overrides) if overrides else self.spec
+
+    def derive_spec(
+        self, seed: int, params: Optional[Dict[str, object]] = None
+    ) -> ScenarioSpec:
+        """The concrete spec one campaign run executes: the template with
+        the run's seed and parameters stamped on.  The campaign runner
+        embeds ``derive_spec(...).to_dict()`` in every run record so a
+        manifest (or a shard of one) is auditable without the registry."""
+        return self.spec.derive(seed=int(seed), params=dict(params or {}))
+
+    def fingerprint(self) -> str:
+        """Stable identity of *what this scenario is*: a SHA-256 over the
+        name, the template spec, and the declared parameter surface.
+
+        Shard manifests record this so ``campaign merge`` can refuse to
+        combine shards that were produced by different scenario
+        definitions (same name, different template) — the silent way a
+        sharded sweep goes wrong.
+        """
+        payload = {
+            "name": self.name,
+            "spec": self.spec.to_dict(),
+            "param_names": (
+                sorted(self.param_names) if self.param_names is not None else None
+            ),
+        }
+        canonical = json.dumps(payload, sort_keys=True, default=str)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 @dataclass

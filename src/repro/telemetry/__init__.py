@@ -14,16 +14,26 @@ Three cooperating pieces (see ``docs/telemetry.md``):
 
 from repro.telemetry.campaign import (
     CampaignConfig,
+    CampaignRunError,
+    MissingShardsError,
+    RunTimeoutError,
+    ShardMismatchError,
     available_scenarios,
     get_scenario,
+    merge_manifest_files,
+    merge_manifests,
     run_campaign,
     scenario,
+    shard_manifest_path,
     summarize_manifest,
 )
 from repro.telemetry.export import (
+    load_manifest,
+    manifest_to_json,
     snapshot_from_json,
     snapshot_to_csv,
     snapshot_to_json,
+    write_manifest,
     write_snapshot,
 )
 from repro.telemetry.metrics import Counter, Gauge, Histogram
@@ -32,21 +42,31 @@ from repro.telemetry.spans import NULL_TRACER, SpanRecord, SpanTracer
 
 __all__ = [
     "CampaignConfig",
+    "CampaignRunError",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "MissingShardsError",
     "NULL_TRACER",
+    "RunTimeoutError",
+    "ShardMismatchError",
     "SpanRecord",
     "SpanTracer",
     "available_scenarios",
     "get_scenario",
+    "load_manifest",
+    "manifest_to_json",
+    "merge_manifest_files",
+    "merge_manifests",
     "merge_snapshots",
     "run_campaign",
     "scenario",
+    "shard_manifest_path",
     "snapshot_from_json",
     "snapshot_to_csv",
     "snapshot_to_json",
     "summarize_manifest",
+    "write_manifest",
     "write_snapshot",
 ]

@@ -1,10 +1,12 @@
-"""Parallel campaign runner: fan a scenario out across seeds × parameters.
+"""Sharded, fault-tolerant campaign runner: fan a scenario out across
+seeds × parameters, across processes, across machines.
 
 A *campaign* runs one registered scenario many times — once per
 (seed, parameter-combination) — optionally across a ``multiprocessing``
 pool, and writes a structured **run manifest** capturing everything
-needed to reproduce or audit the sweep: scenario name, git revision,
-per-run seed/params/metrics/duration, and a deterministic aggregate.
+needed to reproduce or audit the sweep: scenario name + fingerprint, git
+revision, per-run seed/params/spec/metrics/duration, and a
+deterministic aggregate.
 
 Scenarios come from :data:`repro.scenario.REGISTRY` — the declarative
 scenario layer (see ``docs/scenarios.md``).  Each run derives the
@@ -24,17 +26,41 @@ metrics registry.  Workers return plain snapshot dicts; the parent sorts
 results by run index and folds them with
 :func:`~repro.telemetry.registry.merge_snapshots`, excluding wall-clock
 metrics.  The ``aggregate`` section of the manifest is therefore
-**byte-identical** for any worker count, which the campaign tests assert
-(1 worker vs 4).
+**byte-identical** for any worker count *and any shard count*, which the
+campaign tests assert (1 vs 2 vs 4 workers × 1 vs 2 vs 3 shards).
 
-Streaming sidecar
------------------
-When ``output_path`` is set, per-run records are streamed to an
-append-only JSONL sidecar (``<output_path>.runs.jsonl``) *as runs
-complete*, so a killed campaign loses nothing: ``--resume`` reads the
-sidecar (falling back to a prior manifest), reuses every completed
-(seed, params) run, and the final manifest is assembled from the
-combined records.
+Sharding
+--------
+``CampaignConfig(shard_index=i, shard_count=N)`` — the CLI spelling is
+``--shard i+1/N`` — deterministically partitions the expanded run plan:
+run *k* belongs to shard ``k % N``.  Each shard executes only its slice,
+writes its own manifest at :func:`shard_manifest_path` (plus its own
+JSONL sidecar, so ``--resume`` works per shard), and embeds enough
+identity — scenario fingerprint, repro version, git revision, seeds,
+params, grid — for :func:`merge_manifests` to refuse shards that did not
+run the same campaign.  ``campaign merge`` combines shard manifests into
+an aggregate byte-identical to the unsharded run, regardless of shard
+count or completion order; a missing shard is an error (or an explicit
+``missing`` gap report with ``allow_missing``), never a silent
+under-count.
+
+Fault tolerance
+---------------
+Three failure modes are first-class:
+
+* **a run hangs** — ``run_timeout_s`` arms a per-attempt alarm inside
+  the worker; a timed-out attempt raises :class:`RunTimeoutError` and is
+  retried like any other failure;
+* **a run raises** — each run gets ``retries`` extra attempts (with
+  ``retry_backoff_s`` linear backoff between them); an exhausted run is
+  either re-raised (``on_error="raise"``) or recorded in the manifest as
+  a ``status: "failed"`` run with the error surfaced
+  (``on_error="record"``), never swallowed;
+* **the whole worker box dies** — per-run records stream to an
+  append-only JSONL sidecar as runs complete, with periodic
+  ``heartbeat`` records so a stalled worker is distinguishable from a
+  slow one; ``--resume`` replays the sidecar (tolerating the torn final
+  line a SIGKILL leaves) and re-executes only what is missing.
 """
 
 from __future__ import annotations
@@ -43,13 +69,25 @@ import itertools
 import json
 import multiprocessing
 import pathlib
+import signal
 import subprocess
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.scenario.context import SimContext
 from repro.scenario.registry import REGISTRY
+from repro.telemetry.export import load_manifest, write_manifest
 from repro.telemetry.registry import (
     WALL_TIME_MARKER,
     MetricsRegistry,
@@ -58,11 +96,18 @@ from repro.telemetry.registry import (
 
 __all__ = [
     "CampaignConfig",
+    "CampaignRunError",
+    "MissingShardsError",
+    "RunTimeoutError",
     "ScenarioFn",
+    "ShardMismatchError",
     "available_scenarios",
     "get_scenario",
+    "merge_manifest_files",
+    "merge_manifests",
     "run_campaign",
     "scenario",
+    "shard_manifest_path",
     "sidecar_path",
     "summarize_manifest",
 ]
@@ -71,6 +116,43 @@ __all__ = [
 #: New code should register ``fn(ctx)`` callables with
 #: :func:`repro.scenario.scenario` instead.
 ScenarioFn = Callable[[int, Dict[str, object], MetricsRegistry], Dict[str, object]]
+
+
+class RunTimeoutError(RuntimeError):
+    """A single campaign run exceeded its ``run_timeout_s`` budget."""
+
+
+class CampaignRunError(RuntimeError):
+    """A run failed every attempt and the campaign is set to re-raise.
+
+    The message carries the run identity (index, seed, params) and the
+    final error; kept to a single string so it pickles cleanly across
+    the pool boundary.
+    """
+
+
+class ShardMismatchError(ValueError):
+    """``campaign merge`` was handed shards of different campaigns."""
+
+
+class MissingShardsError(ValueError):
+    """``campaign merge`` found gaps in the shard set.
+
+    ``missing`` lists the absent 0-based shard indices; pass
+    ``allow_missing=True`` (CLI ``--allow-missing``) to merge anyway
+    with the gap reported in the manifest instead.
+    """
+
+    def __init__(self, missing: List[int], count: int) -> None:
+        super().__init__(
+            f"missing shard(s) {', '.join(str(i + 1) for i in missing)} of "
+            f"{count} (have you run and collected every "
+            f"`--shard i/{count}`?); pass allow_missing (CLI: --allow-missing) "
+            f"to aggregate the "
+            f"partial set with the gap reported"
+        )
+        self.missing = list(missing)
+        self.count = count
 
 
 def scenario(name: str) -> Callable[[ScenarioFn], ScenarioFn]:
@@ -105,7 +187,7 @@ def get_scenario(name: str) -> ScenarioFn:
     def runner(
         seed: int, params: Dict[str, object], metrics: MetricsRegistry
     ) -> Dict[str, object]:
-        spec = entry.spec.derive(seed=int(seed), params=dict(params))
+        spec = entry.derive_spec(seed, params)
         return entry.fn(SimContext(spec, metrics=metrics, quiet=True))
 
     return runner
@@ -120,7 +202,7 @@ def available_scenarios() -> List[str]:
 # ----------------------------------------------------------------------
 @dataclass
 class CampaignConfig:
-    """What to run and how wide to fan out.
+    """What to run, how wide to fan out, and how to survive failures.
 
     ``params`` apply to every run; ``grid`` maps parameter names to value
     lists and expands to the cross product, each combination run once per
@@ -136,19 +218,84 @@ class CampaignConfig:
     name: str = ""
     output_path: Optional[Union[str, pathlib.Path]] = None
     #: Reuse results from the JSONL sidecar (or a prior manifest) at
-    #: ``output_path``: runs whose (seed, params) already appear there
-    #: are not re-executed.  Runs are re-keyed to the current expansion
-    #: order, so interrupting and resuming a campaign converges on the
-    #: same manifest as one uninterrupted execution (modulo host
-    #: wall-clock fields).
+    #: the effective output path: runs whose (seed, params) already
+    #: appear there are not re-executed.  Runs are re-keyed to the
+    #: current expansion order, so interrupting and resuming a campaign
+    #: converges on the same manifest as one uninterrupted execution
+    #: (modulo host wall-clock fields).  Failed prior runs are *not*
+    #: reused — resume retries them.
     resume: bool = False
+    #: This process's shard (0-based) of a ``shard_count``-way split, or
+    #: ``None`` to run the whole plan.  Run *k* of the expanded plan
+    #: belongs to shard ``k % shard_count``, so every shard sees every
+    #: parameter combination at roughly equal cost.
+    shard_index: Optional[int] = None
+    shard_count: int = 1
+    #: Per-attempt wall-clock budget for one run; ``None`` = unlimited.
+    #: Enforced with ``SIGALRM`` inside the executing process (no-op on
+    #: platforms without ``signal.setitimer``).
+    run_timeout_s: Optional[float] = None
+    #: Extra attempts after a run raises (or times out); attempt *k*
+    #: sleeps ``retry_backoff_s * k`` before retrying.
+    retries: int = 0
+    retry_backoff_s: float = 0.0
+    #: What to do with a run that fails every attempt: ``"raise"``
+    #: aborts the campaign with :class:`CampaignRunError` (the sidecar
+    #: still holds every completed run); ``"record"`` keeps going and
+    #: writes the run into the manifest with ``status: "failed"`` and
+    #: the error surfaced.
+    on_error: str = "raise"
+    #: Interval between ``heartbeat`` records in the sidecar while runs
+    #: are in flight (``None`` = no heartbeats).  A sidecar whose last
+    #: heartbeat is stale is a stalled worker; one whose heartbeats are
+    #: fresh but whose run count is static is a slow run.
+    heartbeat_s: Optional[float] = None
 
-    def expand(self) -> List[Dict[str, object]]:
-        """The ordered list of run payloads (index, scenario, seed, params)."""
+    def validate(self) -> None:
+        """Raise ``ValueError`` on inconsistent knobs (checked before any
+        worker forks, so bad configs fail fast and cheap)."""
         if not self.seeds:
             raise ValueError("campaign needs at least one seed")
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers!r}")
+        if self.shard_count < 1:
+            raise ValueError(
+                f"shard_count must be >= 1, got {self.shard_count!r}"
+            )
+        if self.shard_index is None:
+            if self.shard_count != 1:
+                raise ValueError(
+                    "shard_count > 1 requires shard_index (which shard is "
+                    "this process?)"
+                )
+        elif not 0 <= self.shard_index < self.shard_count:
+            raise ValueError(
+                f"shard_index must be in [0, {self.shard_count}), got "
+                f"{self.shard_index!r}"
+            )
+        if self.run_timeout_s is not None and self.run_timeout_s <= 0:
+            raise ValueError(
+                f"run_timeout_s must be positive, got {self.run_timeout_s!r}"
+            )
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries!r}")
+        if self.retry_backoff_s < 0:
+            raise ValueError(
+                f"retry_backoff_s must be >= 0, got {self.retry_backoff_s!r}"
+            )
+        if self.on_error not in ("raise", "record"):
+            raise ValueError(
+                f"on_error must be 'raise' or 'record', got {self.on_error!r}"
+            )
+        if self.heartbeat_s is not None and self.heartbeat_s <= 0:
+            raise ValueError(
+                f"heartbeat_s must be positive, got {self.heartbeat_s!r}"
+            )
+
+    def expand(self) -> List[Dict[str, object]]:
+        """The ordered **full** run plan (index, scenario, seed, params),
+        identical for every shard of the same campaign."""
+        self.validate()
         combos: List[Dict[str, object]] = [{}]
         if self.grid:
             keys = sorted(self.grid)
@@ -169,6 +316,28 @@ class CampaignConfig:
                 )
         return payloads
 
+    def shard_payloads(self) -> List[Dict[str, object]]:
+        """This shard's slice of :meth:`expand` (the whole plan when
+        unsharded).  Indices stay *global*, so shard manifests merge by
+        plain index sort."""
+        payloads = self.expand()
+        if self.shard_index is None:
+            return payloads
+        return [
+            p for p in payloads
+            if p["index"] % self.shard_count == self.shard_index
+        ]
+
+    def run_policy(self) -> Dict[str, object]:
+        """The retry/timeout policy shipped to workers (and recorded in
+        the manifest)."""
+        return {
+            "timeout_s": self.run_timeout_s,
+            "retries": self.retries,
+            "backoff_s": self.retry_backoff_s,
+            "on_error": self.on_error,
+        }
+
 
 # ----------------------------------------------------------------------
 # Run execution (must stay module-level: workers pickle the payloads,
@@ -177,9 +346,9 @@ class CampaignConfig:
 def _execute_run(payload: Dict[str, object]) -> Dict[str, object]:
     entry = REGISTRY.get(payload["scenario"])  # type: ignore[arg-type]
     metrics = MetricsRegistry()
-    spec = entry.spec.derive(
-        seed=int(payload["seed"]),  # type: ignore[arg-type]
-        params=dict(payload["params"]),  # type: ignore[arg-type]
+    spec = entry.derive_spec(
+        payload["seed"],  # type: ignore[arg-type]
+        payload["params"],  # type: ignore[arg-type]
     )
     ctx = SimContext(spec, metrics=metrics, quiet=True)
     start = time.perf_counter()
@@ -189,10 +358,90 @@ def _execute_run(payload: Dict[str, object]) -> Dict[str, object]:
         "index": payload["index"],
         "seed": payload["seed"],
         "params": payload["params"],
+        "spec": spec.to_dict(),
         "duration_s": duration,
         "metrics": metrics.snapshot(),
         "outputs": dict(outputs or {}),
     }
+
+
+@contextmanager
+def _attempt_alarm(timeout_s: Optional[float]) -> Iterator[None]:
+    """Arm a wall-clock alarm around one run attempt.
+
+    Uses ``SIGALRM``/``setitimer`` — available in the main thread of
+    POSIX processes, which is exactly where campaign runs execute (the
+    calling process inline, or the main thread of a forked pool
+    worker).  Elsewhere (Windows, or an embedding that runs campaigns
+    off the main thread) the timeout degrades to a no-op rather than
+    crashing; the retry and record machinery still applies to runs that
+    raise on their own.
+    """
+    if timeout_s is None or not hasattr(signal, "setitimer"):
+        yield
+        return
+
+    def _on_alarm(signum, frame):  # pragma: no cover - trivial closure
+        raise RunTimeoutError(f"run exceeded its {timeout_s}s timeout")
+
+    try:
+        previous = signal.signal(signal.SIGALRM, _on_alarm)
+    except ValueError:  # not in the main thread: degrade to no timeout
+        yield
+        return
+    signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _execute_run_guarded(
+    payload: Dict[str, object], policy: Dict[str, object]
+) -> Dict[str, object]:
+    """One run under the campaign's fault policy: per-attempt timeout,
+    ``retries`` extra attempts with linear backoff, and — when the
+    policy records instead of raising — a ``status: "failed"`` record
+    that carries the final error and the attempt count."""
+    timeout_s = policy.get("timeout_s")
+    attempts_allowed = int(policy.get("retries", 0)) + 1
+    backoff_s = float(policy.get("backoff_s", 0.0))
+    start = time.perf_counter()
+    last_error: Optional[BaseException] = None
+    for attempt in range(1, attempts_allowed + 1):
+        try:
+            with _attempt_alarm(timeout_s):
+                record = _execute_run(payload)
+            record["status"] = "ok"
+            record["attempts"] = attempt
+            return record
+        except Exception as exc:
+            last_error = exc
+            if attempt < attempts_allowed and backoff_s > 0.0:
+                time.sleep(backoff_s * attempt)
+    if policy.get("on_error") == "record":
+        return {
+            "index": payload["index"],
+            "seed": payload["seed"],
+            "params": payload["params"],
+            "spec": None,
+            "duration_s": time.perf_counter() - start,
+            "metrics": MetricsRegistry().snapshot(),
+            "outputs": {},
+            "status": "failed",
+            "attempts": attempts_allowed,
+            "error": {
+                "type": type(last_error).__name__,
+                "message": str(last_error),
+            },
+        }
+    raise CampaignRunError(
+        f"run {payload['index']} (seed={payload['seed']}, "
+        f"params={json.dumps(payload['params'], sort_keys=True, default=str)}) "
+        f"failed after {attempts_allowed} attempt(s): "
+        f"{type(last_error).__name__}: {last_error}"
+    ) from last_error
 
 
 def _pool_context() -> multiprocessing.context.BaseContext:
@@ -227,44 +476,82 @@ def _aggregate(results: List[Dict[str, object]]) -> Dict[str, object]:
     """Fold per-run results (already sorted by index) into the manifest's
     deterministic ``aggregate`` section: merged simulation metrics plus
     summed numeric outputs.  Wall-clock metrics and durations are
-    deliberately excluded — they belong to the host, not the simulation."""
+    deliberately excluded — they belong to the host, not the simulation.
+    Failed runs are counted, not folded: their (empty) metrics and
+    outputs would otherwise silently dilute nothing, but counting them
+    keeps "5,328 devices" honest when 12 runs died."""
+    completed = [r for r in results if r.get("status", "ok") == "ok"]
     metrics = merge_snapshots(
-        (r["metrics"] for r in results), exclude=_is_wall_time
+        (r["metrics"] for r in completed), exclude=_is_wall_time
     )
     outputs: Dict[str, float] = {}
-    for result in results:
+    for result in completed:
         for key, value in result["outputs"].items():
             if isinstance(value, bool) or not isinstance(value, (int, float)):
                 continue
             outputs[key] = outputs.get(key, 0) + value
     return {
-        "runs": len(results),
+        "runs": len(completed),
+        "failed": len(results) - len(completed),
         "metrics": metrics,
         "outputs": {key: outputs[key] for key in sorted(outputs)},
     }
 
 
+def _failed_indices(results: List[Dict[str, object]]) -> List[int]:
+    return sorted(
+        int(r["index"]) for r in results if r.get("status", "ok") != "ok"
+    )
+
+
 # ----------------------------------------------------------------------
-# JSONL sidecar (streaming per-run records)
+# Output paths
 # ----------------------------------------------------------------------
 def sidecar_path(output_path: Union[str, pathlib.Path]) -> pathlib.Path:
     """The JSONL sidecar that rides next to a campaign manifest."""
     return pathlib.Path(f"{output_path}.runs.jsonl")
 
 
+def shard_manifest_path(
+    output_path: Union[str, pathlib.Path], index: int, count: int
+) -> pathlib.Path:
+    """Where shard ``index`` (0-based) of ``count`` writes its manifest:
+    ``out.json`` becomes ``out.shard1of4.json`` (1-based in the name,
+    matching the CLI's ``--shard 1/4`` spelling).  Every shard derives
+    its path from the *same* ``--out``, so N machines can share one
+    command line apart from the shard argument."""
+    path = pathlib.Path(output_path)
+    suffix = path.suffix or ".json"
+    return path.with_name(f"{path.stem}.shard{index + 1}of{count}{suffix}")
+
+
+def _effective_output_path(config: CampaignConfig) -> Optional[pathlib.Path]:
+    if config.output_path is None:
+        return None
+    if config.shard_index is None:
+        return pathlib.Path(config.output_path)
+    return shard_manifest_path(
+        config.output_path, config.shard_index, config.shard_count
+    )
+
+
+# ----------------------------------------------------------------------
+# JSONL sidecar (streaming per-run records + heartbeats)
+# ----------------------------------------------------------------------
 class _SidecarWriter:
     """Streams per-run records to the JSONL sidecar as they complete.
 
     The file is rewritten at campaign start (meta line, then any reused
     runs) and appended to — with a flush per record — for the rest of
     the execution, so a killed campaign leaves every completed run on
-    disk for ``--resume``.
+    disk for ``--resume``.  Construction only opens the file and writes
+    the meta line; every subsequent write happens inside the campaign's
+    ``try/finally``, so a crash anywhere — a pool worker raising
+    included — still closes the handle and leaves a replayable sidecar.
     """
 
-    def __init__(
-        self, config: CampaignConfig, reused: List[Dict[str, object]]
-    ) -> None:
-        self.path = sidecar_path(config.output_path)
+    def __init__(self, config: CampaignConfig, path: pathlib.Path) -> None:
+        self.path = sidecar_path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._handle = open(self.path, "w", encoding="utf-8")
         self._emit(
@@ -272,11 +559,17 @@ class _SidecarWriter:
                 "kind": "campaign-meta",
                 "scenario": config.scenario,
                 "campaign": config.name or config.scenario,
+                "shard": (
+                    None
+                    if config.shard_index is None
+                    else {
+                        "index": config.shard_index,
+                        "count": config.shard_count,
+                    }
+                ),
                 "created_unix": time.time(),
             }
         )
-        for run in reused:
-            self.write(run)
 
     def _emit(self, record: Dict[str, object]) -> None:
         self._handle.write(json.dumps(record, sort_keys=True) + "\n")
@@ -285,8 +578,27 @@ class _SidecarWriter:
     def write(self, record: Dict[str, object]) -> None:
         self._emit(record)
 
+    def heartbeat(self, completed: int, pending: int) -> None:
+        """A liveness record: the campaign process was alive at
+        ``unix`` with ``pending`` runs still in flight.  Progress plus a
+        fresh heartbeat = slow; no fresh heartbeat = stalled/dead."""
+        self._emit(
+            {
+                "kind": "heartbeat",
+                "unix": time.time(),
+                "completed": completed,
+                "pending": pending,
+            }
+        )
+
     def close(self) -> None:
         self._handle.close()
+
+    def __enter__(self) -> "_SidecarWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
 
 def _read_sidecar(
@@ -295,7 +607,8 @@ def _read_sidecar(
     """Parse sidecar lines into (run records, scenario name).
 
     A truncated trailing line — the signature of a killed campaign —
-    is tolerated and skipped."""
+    is tolerated and skipped, as are heartbeat and other non-run
+    records."""
     runs: List[Dict[str, object]] = []
     scenario_name: Optional[str] = None
     for line in path.read_text(encoding="utf-8").splitlines():
@@ -305,9 +618,12 @@ def _read_sidecar(
             record = json.loads(line)
         except json.JSONDecodeError:
             continue
-        if record.get("kind") == "campaign-meta":
+        if not isinstance(record, dict):
+            continue
+        kind = record.get("kind")
+        if kind == "campaign-meta":
             scenario_name = record.get("scenario")
-        else:
+        elif kind is None and "seed" in record and "params" in record:
             runs.append(record)
     return runs, scenario_name
 
@@ -319,18 +635,18 @@ def _run_key(seed: object, params: Dict[str, object]) -> Tuple[int, str]:
     """Identity of one run: the seed plus its canonicalized parameters.
 
     Indices are *not* part of the key — a resumed campaign may expand to
-    a different run order (more seeds, a widened grid) and prior results
-    are re-keyed into the new plan wherever they fit.
+    a different run order (more seeds, a widened grid, a different shard
+    split) and prior results are re-keyed into the new plan wherever
+    they fit.
     """
     return (int(seed), json.dumps(params, sort_keys=True, default=str))
 
 
 def _load_prior_runs(
-    config: CampaignConfig,
+    config: CampaignConfig, path: pathlib.Path
 ) -> Tuple[List[Dict[str, object]], Optional[str]]:
-    """Completed runs recorded at ``output_path``: the JSONL sidecar when
-    present (it survives kills), else the manifest itself."""
-    path = pathlib.Path(config.output_path)
+    """Completed runs recorded at the effective output path: the JSONL
+    sidecar when present (it survives kills), else the manifest itself."""
     sidecar = sidecar_path(path)
     if sidecar.exists():
         return _read_sidecar(sidecar)
@@ -344,21 +660,27 @@ def _load_prior_runs(
 
 
 def _split_resumable(
-    config: CampaignConfig, payloads: List[Dict[str, object]]
+    config: CampaignConfig,
+    payloads: List[Dict[str, object]],
+    path: pathlib.Path,
 ) -> Tuple[List[Dict[str, object]], List[Dict[str, object]]]:
-    """Partition payloads into (still to run, reused prior results)."""
-    if config.output_path is None:
-        raise ValueError("resume requires output_path (the manifest to resume)")
-    prior_runs, prior_scenario = _load_prior_runs(config)
+    """Partition payloads into (still to run, reused prior results).
+
+    Failed prior runs are deliberately not reusable: resuming a
+    campaign retries them (their failure may have been the dying worker
+    this resume is recovering from)."""
+    prior_runs, prior_scenario = _load_prior_runs(config, path)
     if not prior_runs and prior_scenario is None:
         return payloads, []
     if prior_scenario != config.scenario:
         raise ValueError(
-            f"cannot resume from {config.output_path}: it ran scenario "
+            f"cannot resume from {path}: it ran scenario "
             f"{prior_scenario!r}, not {config.scenario!r}"
         )
     prior: Dict[Tuple[int, str], Dict[str, object]] = {}
     for run in prior_runs:
+        if run.get("status", "ok") != "ok":
+            continue
         prior[_run_key(run["seed"], run["params"])] = run
     remaining: List[Dict[str, object]] = []
     reused: List[Dict[str, object]] = []
@@ -376,46 +698,129 @@ def _split_resumable(
 # ----------------------------------------------------------------------
 # The campaign itself
 # ----------------------------------------------------------------------
+def _drain_pool(
+    pool,
+    payloads: List[Dict[str, object]],
+    policy: Dict[str, object],
+    writer: Optional[_SidecarWriter],
+    heartbeat_s: Optional[float],
+    results: List[Dict[str, object]],
+) -> None:
+    """Submit every payload and collect results as they complete.
+
+    ``apply_async`` + polling rather than ``imap_unordered`` so the
+    parent can interleave heartbeat records while runs are in flight;
+    each record still streams to the sidecar the moment its run
+    finishes, and a worker exception (``on_error="raise"``) surfaces at
+    the matching ``.get()``."""
+    pending = {
+        p["index"]: pool.apply_async(_execute_run_guarded, (p, policy))
+        for p in payloads
+    }
+    completed = 0
+    next_heartbeat = (
+        time.monotonic() + heartbeat_s if heartbeat_s is not None else None
+    )
+    while pending:
+        progressed = False
+        for index in list(pending):
+            handle = pending[index]
+            if not handle.ready():
+                continue
+            del pending[index]
+            record = handle.get()  # re-raises CampaignRunError from workers
+            if writer is not None:
+                writer.write(record)
+            results.append(record)
+            completed += 1
+            progressed = True
+        if not pending:
+            break
+        if next_heartbeat is not None and time.monotonic() >= next_heartbeat:
+            if writer is not None:
+                writer.heartbeat(completed=completed, pending=len(pending))
+            next_heartbeat = time.monotonic() + heartbeat_s
+        if not progressed:
+            time.sleep(0.02)
+
+
 def run_campaign(config: CampaignConfig) -> Dict[str, object]:
-    """Execute every run of ``config`` and return the manifest dict.
+    """Execute this shard's runs of ``config`` and return the manifest.
 
     With ``output_path`` set, per-run records stream to the JSONL
-    sidecar as they complete and the manifest is written at the end.
+    sidecar as they complete and the manifest is written at the end — to
+    ``output_path`` itself when unsharded, to
+    :func:`shard_manifest_path` for a shard.
     """
     from repro import __version__  # deferred: repro/__init__ imports telemetry
 
-    payloads = config.expand()
-    # Fail fast before forking workers: unknown scenario, then unknown
-    # parameter names (base params and every swept grid key).
+    # Fail fast before forking workers: config consistency, unknown
+    # scenario, then unknown parameter names (base params and every
+    # swept grid key).
+    config.validate()
     entry = REGISTRY.get(config.scenario)
     entry.validate_params({**config.params, **{k: None for k in (config.grid or ())}})
+    full_plan = config.expand()
+    payloads = config.shard_payloads()
+    shard_meta = (
+        None
+        if config.shard_index is None
+        else {
+            "index": config.shard_index,
+            "count": config.shard_count,
+            "plan_runs": len(full_plan),
+            "shard_runs": len(payloads),
+        }
+    )
+    output_path = _effective_output_path(config)
+    if config.resume and output_path is None:
+        raise ValueError("resume requires output_path (the manifest to resume)")
     start = time.perf_counter()
     reused: List[Dict[str, object]] = []
     if config.resume:
-        payloads, reused = _split_resumable(config, payloads)
+        payloads, reused = _split_resumable(config, payloads, output_path)
     writer: Optional[_SidecarWriter] = None
-    if config.output_path is not None:
-        writer = _SidecarWriter(config, reused)
+    policy = config.run_policy()
+    results: List[Dict[str, object]] = []
+    if output_path is not None:
+        writer = _SidecarWriter(config, output_path)
     try:
-        results: List[Dict[str, object]] = []
+        # Reused records are re-streamed first so the sidecar is always
+        # the complete picture of this campaign, even if it crashes on
+        # the very first fresh run.  This (and everything below) sits
+        # inside the try/finally: a raising worker must still leave a
+        # closed, replayable sidecar behind.
+        if writer is not None:
+            for run in reused:
+                writer.write(run)
         if not payloads:
             pass
         elif config.workers == 1 or len(payloads) == 1:
-            for payload in payloads:
-                record = _execute_run(payload)
+            next_heartbeat = (
+                time.monotonic() + config.heartbeat_s
+                if config.heartbeat_s is not None
+                else None
+            )
+            for position, payload in enumerate(payloads):
+                record = _execute_run_guarded(payload, policy)
                 if writer is not None:
                     writer.write(record)
+                    if (
+                        next_heartbeat is not None
+                        and time.monotonic() >= next_heartbeat
+                    ):
+                        writer.heartbeat(
+                            completed=position + 1,
+                            pending=len(payloads) - position - 1,
+                        )
+                        next_heartbeat = time.monotonic() + config.heartbeat_s
                 results.append(record)
         else:
             workers = min(config.workers, len(payloads))
             with _pool_context().Pool(processes=workers) as pool:
-                # Unordered so the sidecar sees each record the moment
-                # its run completes; the deterministic order is restored
-                # by the index sort below.
-                for record in pool.imap_unordered(_execute_run, payloads):
-                    if writer is not None:
-                        writer.write(record)
-                    results.append(record)
+                _drain_pool(
+                    pool, payloads, policy, writer, config.heartbeat_s, results
+                )
     finally:
         if writer is not None:
             writer.close()
@@ -424,6 +829,7 @@ def run_campaign(config: CampaignConfig) -> Dict[str, object]:
     manifest: Dict[str, object] = {
         "campaign": config.name or config.scenario,
         "scenario": config.scenario,
+        "scenario_fingerprint": entry.fingerprint(),
         "repro_version": __version__,
         "git_rev": _git_revision(),
         "created_unix": time.time(),
@@ -431,39 +837,212 @@ def run_campaign(config: CampaignConfig) -> Dict[str, object]:
         "seeds": [int(seed) for seed in config.seeds],
         "base_params": dict(config.params),
         "grid": {k: list(v) for k, v in config.grid.items()} if config.grid else None,
+        "shard": shard_meta,
+        "run_policy": policy,
         "runs": results,
         "resumed_runs": len(reused),
+        "failed_runs": _failed_indices(results),
         "aggregate": _aggregate(results),
         "total_duration_s": time.perf_counter() - start,
     }
-    if config.output_path is not None:
-        path = pathlib.Path(config.output_path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        manifest["runs_jsonl"] = str(sidecar_path(path))
-        path.write_text(
-            json.dumps(manifest, indent=2, sort_keys=True) + "\n", encoding="utf-8"
-        )
+    if output_path is not None:
+        manifest["runs_jsonl"] = str(sidecar_path(output_path))
+        write_manifest(manifest, output_path)
     return manifest
+
+
+# ----------------------------------------------------------------------
+# Merging shard manifests
+# ----------------------------------------------------------------------
+#: Manifest fields that must agree across every shard being merged: the
+#: campaign identity (what ran) and the code identity (what ran it).
+_SHARD_IDENTITY_FIELDS = (
+    "campaign",
+    "scenario",
+    "scenario_fingerprint",
+    "repro_version",
+    "git_rev",
+    "seeds",
+    "base_params",
+    "grid",
+)
+
+
+def _shard_section(manifest: Dict[str, object], label: str) -> Dict[str, object]:
+    shard = manifest.get("shard")
+    if not isinstance(shard, dict):
+        raise ShardMismatchError(
+            f"{label} is not a shard manifest (no 'shard' section); only "
+            f"manifests produced with --shard can be merged"
+        )
+    return shard
+
+
+def merge_manifests(
+    manifests: Sequence[Dict[str, object]],
+    allow_missing: bool = False,
+) -> Dict[str, object]:
+    """Combine shard manifests into one campaign manifest.
+
+    The merged ``aggregate`` is byte-identical to the one an unsharded
+    run of the same campaign produces, regardless of how many shards
+    the plan was split into or the order their manifests are supplied.
+
+    Shards must all describe the same campaign — same scenario
+    fingerprint, repro version, git revision, seeds, params, and grid —
+    else :class:`ShardMismatchError` names the offending field.  A gap
+    in the shard set raises :class:`MissingShardsError` unless
+    ``allow_missing`` is set, in which case the merged manifest reports
+    the missing shard indices (``shards.missing``) and sets
+    ``complete: false`` instead of silently under-aggregating.
+    """
+    if not manifests:
+        raise ValueError("merge needs at least one shard manifest")
+    labels = [
+        f"shard manifest #{i + 1}" for i in range(len(manifests))
+    ]
+    sections = [
+        _shard_section(m, label) for m, label in zip(manifests, labels)
+    ]
+    counts = {int(s["count"]) for s in sections}
+    if len(counts) != 1:
+        raise ShardMismatchError(
+            f"shard manifests disagree on the shard count: "
+            f"{sorted(counts)} — they are from different campaign splits"
+        )
+    count = counts.pop()
+    reference = manifests[0]
+    for manifest, label in zip(manifests[1:], labels[1:]):
+        for field_name in _SHARD_IDENTITY_FIELDS:
+            left = reference.get(field_name)
+            right = manifest.get(field_name)
+            if left != right:
+                raise ShardMismatchError(
+                    f"{label} does not match {labels[0]}: field "
+                    f"{field_name!r} differs ({right!r} != {left!r}); "
+                    f"shards must come from the same campaign at the same "
+                    f"revision"
+                )
+    seen: Dict[int, str] = {}
+    for section, label in zip(sections, labels):
+        index = int(section["index"])
+        if not 0 <= index < count:
+            raise ShardMismatchError(
+                f"{label} claims shard index {index} of {count}"
+            )
+        if index in seen:
+            raise ShardMismatchError(
+                f"{label} and {seen[index]} are both shard "
+                f"{index + 1}/{count}; refusing to double-count its runs"
+            )
+        seen[index] = label
+    missing = sorted(set(range(count)) - set(seen))
+    if missing and not allow_missing:
+        raise MissingShardsError(missing, count)
+    runs: List[Dict[str, object]] = []
+    for manifest, section, label in zip(manifests, sections, labels):
+        index = int(section["index"])
+        for run in manifest.get("runs", []):
+            if int(run["index"]) % count != index:
+                raise ShardMismatchError(
+                    f"{label} contains run {run['index']}, which belongs to "
+                    f"shard {int(run['index']) % count + 1}/{count}, not "
+                    f"{index + 1}/{count}; the shard split is inconsistent"
+                )
+            runs.append(run)
+    runs.sort(key=lambda r: r["index"])
+    merged: Dict[str, object] = {
+        "campaign": reference.get("campaign"),
+        "scenario": reference.get("scenario"),
+        "scenario_fingerprint": reference.get("scenario_fingerprint"),
+        "repro_version": reference.get("repro_version"),
+        "git_rev": reference.get("git_rev"),
+        "created_unix": time.time(),
+        "workers": None,
+        "seeds": reference.get("seeds"),
+        "base_params": reference.get("base_params"),
+        "grid": reference.get("grid"),
+        "shard": None,
+        "shards": {
+            "count": count,
+            "present": sorted(seen),
+            "missing": missing,
+        },
+        "complete": not missing,
+        "run_policy": reference.get("run_policy"),
+        "runs": runs,
+        "resumed_runs": sum(
+            int(m.get("resumed_runs", 0)) for m in manifests
+        ),
+        "failed_runs": _failed_indices(runs),
+        "aggregate": _aggregate(runs),
+        "total_duration_s": sum(
+            float(m.get("total_duration_s", 0.0)) for m in manifests
+        ),
+    }
+    return merged
+
+
+def merge_manifest_files(
+    paths: Sequence[Union[str, pathlib.Path]],
+    output_path: Optional[Union[str, pathlib.Path]] = None,
+    allow_missing: bool = False,
+) -> Dict[str, object]:
+    """Load shard manifests from disk, merge, optionally write the result."""
+    manifests = [load_manifest(path) for path in paths]
+    merged = merge_manifests(manifests, allow_missing=allow_missing)
+    merged["shards"]["sources"] = [str(path) for path in paths]
+    if output_path is not None:
+        write_manifest(merged, output_path)
+    return merged
 
 
 def summarize_manifest(manifest: Dict[str, object]) -> str:
     """Human-readable campaign summary (the CLI prints this)."""
+    workers = manifest.get("workers")
+    workers_note = f"{workers} worker(s)" if workers else "merged shards"
     lines = [
         f"campaign   : {manifest['campaign']}",
         f"scenario   : {manifest['scenario']}",
-        f"git rev    : {manifest['git_rev'][:12]}",
+        f"git rev    : {(manifest['git_rev'] or 'unknown')[:12]}",
         f"runs       : {manifest['aggregate']['runs']} "
-        f"({manifest['workers']} worker(s), "
+        f"({workers_note}, "
         f"{manifest['total_duration_s']:.2f}s wall)",
-        "",
-        "  run  seed  duration   outputs",
     ]
-    for run in manifest["runs"]:
-        outputs = ", ".join(
-            f"{key}={value}" for key, value in sorted(run["outputs"].items())
-        )
+    shard = manifest.get("shard")
+    if shard:
         lines.append(
-            f"  {run['index']:>3}  {run['seed']:>4}  {run['duration_s']:>7.2f}s   {outputs}"
+            f"shard      : {shard['index'] + 1}/{shard['count']} "
+            f"({shard['shard_runs']} of {shard['plan_runs']} planned runs)"
+        )
+    shards = manifest.get("shards")
+    if shards and shards.get("missing"):
+        gaps = ", ".join(str(i + 1) for i in shards["missing"])
+        lines.append(
+            f"MISSING    : shard(s) {gaps} of {shards['count']} — the "
+            f"aggregate below covers only the merged shards"
+        )
+    failed = manifest.get("failed_runs") or []
+    if failed:
+        lines.append(
+            f"FAILED     : {len(failed)} run(s): "
+            f"{', '.join(str(i) for i in failed)}"
+        )
+    lines.append("")
+    lines.append("  run  seed  duration   outputs")
+    for run in manifest["runs"]:
+        if run.get("status", "ok") != "ok":
+            error = run.get("error") or {}
+            column = (
+                f"FAILED after {run.get('attempts', '?')} attempt(s): "
+                f"{error.get('type', 'Error')}: {error.get('message', '')}"
+            )
+        else:
+            column = ", ".join(
+                f"{key}={value}" for key, value in sorted(run["outputs"].items())
+            )
+        lines.append(
+            f"  {run['index']:>3}  {run['seed']:>4}  {run['duration_s']:>7.2f}s   {column}"
         )
     lines.append("")
     lines.append("aggregate outputs:")

@@ -1,4 +1,4 @@
-"""Snapshot exporters: JSON and CSV.
+"""Snapshot and manifest exporters: JSON and CSV.
 
 Exporters operate on plain snapshot dicts (the output of
 :meth:`~repro.telemetry.registry.MetricsRegistry.snapshot` or
@@ -10,6 +10,13 @@ JSON is the canonical round-trippable form (``snapshot_from_json``
 restores the exact dict, including the non-finite histogram min/max that
 become ``null``).  CSV is a flat three-column view
 (``metric,field,value``) for spreadsheet/pandas consumption.
+
+Campaign manifests (and shard manifests) go through
+:func:`manifest_to_json` / :func:`write_manifest` / :func:`load_manifest`
+so every producer — ``run_campaign`` writing a shard, ``campaign merge``
+writing the combined manifest — serializes with the same key ordering
+and layout.  Shard-count independence is a *byte* guarantee, and it
+rests on there being exactly one serializer.
 """
 
 from __future__ import annotations
@@ -25,6 +32,9 @@ __all__ = [
     "snapshot_from_json",
     "snapshot_to_csv",
     "write_snapshot",
+    "manifest_to_json",
+    "write_manifest",
+    "load_manifest",
 ]
 
 Snapshot = Dict[str, Dict[str, object]]
@@ -77,3 +87,38 @@ def write_snapshot(
         text = snapshot_to_json(snapshot, indent=indent) + "\n"
     path.write_text(text, encoding="utf-8")
     return path
+
+
+# ----------------------------------------------------------------------
+# Campaign manifests
+# ----------------------------------------------------------------------
+def manifest_to_json(manifest: Dict[str, object]) -> str:
+    """The one canonical manifest serialization (sorted keys, 2-space
+    indent, trailing newline).  Both ``run_campaign`` and
+    ``merge_manifests`` emit through this, which is what makes "merged
+    aggregate is byte-identical to the unsharded run" a checkable claim
+    rather than a hope."""
+    return json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+
+
+def write_manifest(
+    manifest: Dict[str, object], path: Union[str, pathlib.Path]
+) -> pathlib.Path:
+    """Write a campaign (or shard) manifest to ``path``."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(manifest_to_json(manifest), encoding="utf-8")
+    return path
+
+
+def load_manifest(path: Union[str, pathlib.Path]) -> Dict[str, object]:
+    """Read a manifest back; raises ``ValueError`` naming the file on
+    unreadable or non-JSON content (the merge error surface)."""
+    path = pathlib.Path(path)
+    try:
+        manifest = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ValueError(f"cannot read manifest {path}: {exc}") from exc
+    if not isinstance(manifest, dict):
+        raise ValueError(f"manifest {path} is not a JSON object")
+    return manifest

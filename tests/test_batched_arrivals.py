@@ -117,6 +117,127 @@ class TestEventBatch:
             engine.post_batch(batch)
 
 
+class TestEventBatchEdgeCases:
+    """Boundary conditions PR 5 left unpinned: the run limit and stop
+    requests landing *mid-drain*, and re-posted batches racing ordinary
+    events scheduled for the very same instant."""
+
+    def test_payload_exactly_on_the_run_until_limit_fires(self, engine):
+        # The drain guard is ``t > limit``: a payload due exactly at
+        # ``end_time`` belongs to this run, the one after it does not.
+        fired = []
+        batch = EventBatch(
+            engine, lambda p: fired.append((engine.now, p)),
+            base=0.0, shift=0.0, offsets=[0.5, 1.0, 1.5],
+            payloads=["before", "on-limit", "after"],
+        )
+        engine.post_batch(batch)
+        engine.run_until(1.0)
+        assert fired == [(0.5, "before"), (1.0, "on-limit")]
+        assert engine.now == 1.0
+        engine.run_until(2.0)
+        assert fired == [(0.5, "before"), (1.0, "on-limit"), (1.5, "after")]
+
+    def test_limit_mid_drain_defers_without_losing_payloads(self, engine):
+        # The batch advances the clock itself while draining inline; a
+        # limit landing between two payloads must leave the clock at the
+        # limit and the batch re-posted, with no payload skipped or
+        # double-fired on resume.
+        fired = []
+        batch = EventBatch(
+            engine, lambda p: fired.append((engine.now, p)),
+            base=0.0, shift=0.0, offsets=[0.1, 0.3, 0.6],
+            payloads=["a", "b", "c"],
+        )
+        engine.post_batch(batch)
+        engine.run_until(0.4)
+        assert fired == [(0.1, "a"), (0.3, "b")]
+        assert engine.now == 0.4
+        engine.run_until(1.0)
+        assert fired == [(0.1, "a"), (0.3, "b"), (0.6, "c")]
+
+    def test_stop_from_an_interleaving_event_halts_the_drain(self, engine):
+        # stop() arrives from an *ordinary* event that preempted the
+        # batch (not from the batch's own handler): the batch must have
+        # re-posted itself before yielding, and the stop must prevent it
+        # from draining further until the next run call.
+        order = []
+        batch = EventBatch(
+            engine, lambda p: order.append(p),
+            base=0.0, shift=0.0, offsets=[1.0, 3.0, 5.0],
+            payloads=["p0", "p1", "p2"],
+        )
+        engine.post_batch(batch)
+        engine.call_at(2.0, lambda: (order.append("stop"), engine.stop()))
+        engine.run_until(10.0)
+        assert order == ["p0", "stop"]
+        engine.run_until(10.0)  # resuming drains the remainder
+        assert order == ["p0", "stop", "p1", "p2"]
+        assert engine.now == 10.0
+
+    def test_repost_races_event_queued_before_the_repost(self, engine):
+        # An ordinary event scheduled (during an earlier payload) for the
+        # same instant as the batch's next payload holds an older
+        # sequence number than the re-posted batch entry, so it wins.
+        order = []
+
+        def handler(payload):
+            order.append(payload)
+            if payload == "p0":
+                engine.call_at(1.0, lambda: order.append("evt"))
+
+        batch = EventBatch(
+            engine, handler,
+            base=0.0, shift=0.0, offsets=[0.0, 1.0], payloads=["p0", "p1"],
+        )
+        engine.post_batch(batch)
+        engine.run_until(2.0)
+        assert order == ["p0", "evt", "p1"]
+
+    def test_repost_beats_event_queued_after_the_repost(self, engine):
+        # The mirror race: once the batch has re-posted, an event
+        # scheduled *later* for the same instant draws a younger
+        # sequence number — the batch payload runs first, exactly as if
+        # the payloads had been posted individually.
+        order = []
+
+        def handler(payload):
+            order.append(payload)
+            if payload == "p0":
+                # Runs at t=1.0 (before the batch's 2.0 payload), i.e.
+                # strictly after the batch re-posted itself for t=2.0.
+                engine.call_at(
+                    1.0, lambda: engine.call_at(2.0, lambda: order.append("evt"))
+                )
+
+        batch = EventBatch(
+            engine, handler,
+            base=0.0, shift=0.0, offsets=[0.0, 2.0], payloads=["p0", "p1"],
+        )
+        engine.post_batch(batch)
+        engine.run_until(3.0)
+        assert order == ["p0", "p1", "evt"]
+
+    def test_same_timestamp_payloads_straddling_a_preemption(self, engine):
+        # Two payloads at the same instant with an interleaving event
+        # also at that instant but queued earlier: the event preempts
+        # the batch *between* the equal-time payloads only if it was
+        # queued first — here it was (queued at t=0), so the whole
+        # equal-time group still runs after it, in list order.
+        order = []
+        batch = EventBatch(
+            engine, lambda p: order.append(p),
+            base=0.0, shift=0.0, offsets=[1.0, 1.0], payloads=["p0", "p1"],
+        )
+        engine.call_at(1.0, lambda: order.append("evt"))
+        engine.post_batch(batch)
+        engine.run_until(2.0)
+        # The event was scheduled before the batch, so it holds the
+        # older sequence number and runs first; the batch then drains
+        # both equal-time payloads in list order.
+        assert order == ["evt", "p0", "p1"]
+
+
 # ----------------------------------------------------------------------
 # Batched medium == per-receiver medium, byte for byte
 # ----------------------------------------------------------------------

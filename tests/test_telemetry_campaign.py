@@ -103,19 +103,29 @@ class TestManifest:
             )
         )
         for key in (
-            "campaign", "scenario", "repro_version", "git_rev", "created_unix",
-            "workers", "seeds", "base_params", "grid", "runs", "aggregate",
+            "campaign", "scenario", "scenario_fingerprint", "repro_version",
+            "git_rev", "created_unix", "workers", "seeds", "base_params",
+            "grid", "shard", "run_policy", "runs", "failed_runs", "aggregate",
             "total_duration_s",
         ):
             assert key in manifest
         assert manifest["campaign"] == "schema-check"
         assert manifest["seeds"] == [0, 1, 2]
+        assert manifest["shard"] is None  # unsharded run
+        assert manifest["failed_runs"] == []
         assert len(manifest["runs"]) == 3
         run0 = manifest["runs"][0]
         assert set(run0) == {
-            "index", "seed", "params", "duration_s", "metrics", "outputs",
+            "index", "seed", "params", "spec", "duration_s", "metrics",
+            "outputs", "status", "attempts",
         }
+        assert run0["status"] == "ok"
+        assert run0["attempts"] == 1
+        # The embedded spec is the run's concrete ScenarioSpec: seeded,
+        # with the run's params stamped on.
+        assert run0["spec"]["seed"] == run0["seed"]
         assert manifest["aggregate"]["runs"] == 3
+        assert manifest["aggregate"]["failed"] == 0
         # Numeric outputs sum; non-numeric outputs are dropped from the
         # aggregate but kept per-run.
         expected = sum(r["outputs"]["total"] for r in manifest["runs"])
