@@ -1,0 +1,61 @@
+"""Control-plane driver overhead microbenchmark.
+
+Where ``bench_campaign_shard`` measures the in-process runner,
+this one measures the full control plane (``repro.control.driver``):
+spawning shard subprocesses, tailing their sidecars for liveness,
+auto-merging the shard manifests, and writing ``driver.json`` /
+``campaign.json``.  The scenario is the same near-noop payload, so the
+tracked number is driver + interpreter-boot overhead per run — the tax
+`campaign drive` adds on top of the work itself.  A regression here
+slows every supervised fleet, from ``make control-smoke`` to a
+multi-machine census.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+from benchmarks.perf.harness import REPO_ROOT, BenchOutcome
+
+from repro.control import DriverConfig, drive_campaign
+
+SCENARIO = "bench-campaign-noop"
+SCENARIO_MODULE = "benchmarks.perf.bench_campaign_shard"
+
+
+def bench_campaign_drive(quick: bool) -> BenchOutcome:
+    seeds = list(range(24 if quick else 240))
+    workdir = Path(tempfile.mkdtemp(prefix="bench_campaign_drive_"))
+    try:
+        start = time.perf_counter()
+        result = drive_campaign(
+            DriverConfig(
+                scenario=SCENARIO,
+                out_dir=workdir,
+                seeds=seeds,
+                params={"draws": 4},
+                shards=2,
+                workers_per_shard=2,
+                heartbeat_s=0.2,
+                heartbeat_timeout_s=60.0,
+                poll_s=0.05,
+                scenario_modules=(SCENARIO_MODULE,),
+                extra_pythonpath=(str(REPO_ROOT),),
+            )
+        )
+        drive_s = time.perf_counter() - start
+        runs = result["manifest"]["aggregate"]["runs"]
+        return BenchOutcome(
+            outputs={
+                "runs": runs,
+                "shards": 2,
+                "runs_per_s": runs / drive_s if drive_s > 0 else 0.0,
+                "reassignments": result["reassignments"],
+                "failed": result["manifest"]["aggregate"]["failed"],
+            },
+        )
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)

@@ -30,6 +30,7 @@ from benchmarks.perf.harness import (  # noqa: E402
     summarize,
     write_result,
 )
+from benchmarks.perf.bench_campaign_drive import bench_campaign_drive  # noqa: E402
 from benchmarks.perf.bench_campaign_shard import bench_campaign_shard  # noqa: E402
 from benchmarks.perf.bench_engine_churn import bench_engine_churn  # noqa: E402
 from benchmarks.perf.bench_figure6_battery import bench_figure6_battery  # noqa: E402
@@ -38,6 +39,7 @@ from benchmarks.perf.bench_table2_wardrive import bench_table2_wardrive  # noqa:
 from benchmarks.perf.bench_wardrive_full import bench_wardrive_full  # noqa: E402
 
 BENCHES = {
+    "campaign_drive": bench_campaign_drive,
     "campaign_shard": bench_campaign_shard,
     "medium_broadcast": bench_medium_broadcast,
     "engine_churn": bench_engine_churn,

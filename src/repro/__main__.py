@@ -27,6 +27,16 @@ which shards across machines and merges the results::
         --out manifest.json        # on box 2
     python -m repro campaign merge manifest.shard*.json --out manifest.json
 
+and the control plane (see ``docs/control-plane.md``), which runs the
+whole sharded fleet — spawn, monitor, restart dead shards, merge —
+from one command::
+
+    python -m repro campaign drive --scenario wardrive --seeds 8 \
+        --shards 4 --out-dir sweep/
+    python -m repro campaign status sweep/
+    python -m repro campaign compare sweep/manifest.json other.json
+    python -m repro serve --root campaign-jobs
+
 The full, narrated versions live in ``examples/``; the full-scale
 reproductions in ``benchmarks/``.
 
@@ -38,6 +48,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import pathlib
 import sys
 
 from repro.scenario import available_scenarios, run_scenario
@@ -118,6 +129,18 @@ def _parse_param(text: str):
     return key, raw
 
 
+def _parse_grid(text: str):
+    """``key=v1,v2,v3`` -> (key, [values]), each value coerced like
+    ``--param`` (int, then float, then string)."""
+    key, sep, raw = text.partition("=")
+    values = [part for part in raw.split(",") if part.strip()]
+    if not sep or not key or not values:
+        raise argparse.ArgumentTypeError(
+            f"expected KEY=V1,V2,... got {text!r}"
+        )
+    return key, [_parse_param(f"{key}={value}")[1] for value in values]
+
+
 def _parse_shard(text: str):
     """``i/N`` (1-based, as printed by the docs) -> (0-based index, count)."""
     index_text, sep, count_text = text.partition("/")
@@ -178,7 +201,7 @@ def _run_one(argv) -> int:
             f"unknown scenario {args.scenario!r}; "
             f"registered: {', '.join(available_scenarios())}"
         )
-    from repro.scenario import UnknownParameterError
+    from repro.scenario import ParameterValueError, UnknownParameterError
 
     try:
         result = run_scenario(
@@ -187,7 +210,7 @@ def _run_one(argv) -> int:
             params=dict(args.param),
             quiet=args.quiet,
         )
-    except UnknownParameterError as exc:
+    except (ParameterValueError, UnknownParameterError) as exc:
         parser.error(str(exc))
     if args.json:
         print(json.dumps(result.outputs, sort_keys=True, default=str))
@@ -240,9 +263,288 @@ def _merge_campaign(argv) -> int:
     return 0 if merged["complete"] and not merged["failed_runs"] else 1
 
 
+def _drive_campaign(argv) -> int:
+    """``python -m repro campaign drive`` — run a whole sharded fleet."""
+    from repro.control import DriverConfig, DriverError, drive_campaign
+    from repro.telemetry import summarize_manifest
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro campaign drive",
+        description="Spawn, monitor, and merge an N-shard campaign: dead "
+        "shards (crash or heartbeat silence) are relaunched on their "
+        "slice with --resume, and the shard manifests are auto-merged "
+        "into OUT_DIR/manifest.json (byte-identical aggregate to an "
+        "unsharded run)",
+    )
+    parser.add_argument(
+        "--scenario", required=True, help="registered scenario to run"
+    )
+    parser.add_argument(
+        "--out-dir", required=True, metavar="DIR",
+        help="campaign directory: spec, shard manifests + sidecars, "
+        "driver.json, and the merged manifest.json land here",
+    )
+    parser.add_argument(
+        "--seeds", type=_parse_seeds, default=[0],
+        help="seed count (N -> seeds 0..N-1) or explicit comma list",
+    )
+    parser.add_argument(
+        "--param", action="append", type=_parse_param, default=[],
+        metavar="KEY=VALUE", help="scenario parameter (repeatable)",
+    )
+    parser.add_argument(
+        "--grid", action="append", type=_parse_grid, default=[],
+        metavar="KEY=V1,V2", help="sweep a parameter (repeatable)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=2,
+        help="shard subprocesses to split the plan across (default: 2)",
+    )
+    parser.add_argument(
+        "--workers-per-shard", type=int, default=1,
+        help="pool workers inside each shard (default: 1)",
+    )
+    parser.add_argument("--name", default="", help="campaign name")
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-attempt budget for one run (default: none)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=0,
+        help="per-run retry budget inside each shard (default: 0)",
+    )
+    parser.add_argument(
+        "--on-error", choices=("raise", "record"), default="raise",
+        help="shard behaviour after a run exhausts its retries",
+    )
+    parser.add_argument(
+        "--heartbeat", type=float, default=0.5, metavar="SECONDS",
+        help="shard sidecar heartbeat interval (default: 0.5)",
+    )
+    parser.add_argument(
+        "--heartbeat-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="declare a shard dead after this much sidecar silence and "
+        "reassign its slice (default: 30)",
+    )
+    parser.add_argument(
+        "--slice-retries", type=int, default=1, metavar="N",
+        help="relaunches allowed per shard before the drive fails "
+        "(default: 1)",
+    )
+    parser.add_argument(
+        "--scenario-module", action="append", default=[], metavar="MODULE",
+        help="extra module shard subprocesses import for scenario "
+        "registration (repeatable; sets REPRO_SCENARIO_MODULES)",
+    )
+    parser.add_argument(
+        "--chaos-kill-shard", type=int, default=None, metavar="I",
+        help="fault injection: SIGKILL 0-based shard I after its first "
+        "run, to exercise slice reassignment (used by `make "
+        "control-smoke`)",
+    )
+    parser.add_argument(
+        "--chaos-stop-shard", type=int, default=None, metavar="I",
+        help="fault injection: SIGSTOP (hang) 0-based shard I after its "
+        "first run",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-event narration"
+    )
+    args = parser.parse_args(argv)
+
+    def narrate(event):
+        if args.quiet:
+            return
+        shard = event.get("shard")
+        label = f"shard {shard + 1}/{args.shards}" if shard is not None else "fleet"
+        detail = {
+            "spawn": lambda: f"spawned (pid {event['pid']}, attempt {event['attempt']})",
+            "done": lambda: f"finished its slice ({event['runs']} new run(s))",
+            "dead": lambda: f"declared dead: {event['reason']}",
+            "reassign": lambda: f"slice reassigned (attempt {event['attempt']})",
+            "chaos-kill": lambda: "chaos: SIGKILL",
+            "chaos-stop": lambda: "chaos: SIGSTOP",
+            "merged": lambda: f"merged {event['runs']} run(s) -> {event['manifest']}",
+        }.get(event["kind"], lambda: json.dumps(event, sort_keys=True))
+        print(f"[drive] {label}: {detail()}")
+
+    config = DriverConfig(
+        scenario=args.scenario,
+        out_dir=args.out_dir,
+        seeds=args.seeds,
+        params=dict(args.param),
+        grid=dict(args.grid) if args.grid else None,
+        name=args.name,
+        run_timeout_s=args.timeout,
+        retries=args.retries,
+        on_error=args.on_error,
+        heartbeat_s=args.heartbeat,
+        shards=args.shards,
+        workers_per_shard=args.workers_per_shard,
+        heartbeat_timeout_s=args.heartbeat_timeout,
+        slice_retries=args.slice_retries,
+        scenario_modules=args.scenario_module,
+        chaos_kill_shard=args.chaos_kill_shard,
+        chaos_stop_shard=args.chaos_stop_shard,
+    )
+    try:
+        config.validate()
+    except ValueError as exc:
+        parser.error(str(exc))
+    try:
+        result = drive_campaign(config, on_event=narrate)
+    except DriverError as exc:
+        print(f"drive failed: {exc}", file=sys.stderr)
+        print(
+            "[completed runs are preserved in the shard sidecars; re-run "
+            "the same drive to resume]",
+            file=sys.stderr,
+        )
+        return 1
+    manifest = result["manifest"]
+    if result["reassignments"]:
+        print(f"[{result['reassignments']} slice reassignment(s) during the drive]")
+    print(summarize_manifest(manifest))
+    print(f"\n[merged manifest written to {result['manifest_path']}]")
+    return 0 if manifest["complete"] and not manifest["failed_runs"] else 1
+
+
+def _campaign_status(argv) -> int:
+    """``python -m repro campaign status <dir>`` — fleet view from disk."""
+    from repro.control import fleet_status, render_fleet_status
+    from repro.telemetry import status_to_json
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro campaign status",
+        description="Reconstruct fleet status for a campaign directory "
+        "from its sidecars (plus campaign.json/driver.json when "
+        "present); works against running, finished, and crashed fleets",
+    )
+    parser.add_argument("dir", help="campaign directory (the drive's --out-dir)")
+    parser.add_argument(
+        "--json", action="store_true", help="print the snapshot as JSON"
+    )
+    parser.add_argument(
+        "--stall-after", type=float, default=None, metavar="SECONDS",
+        help="report a shard as stalled after this much silence "
+        "(default: 4 heartbeat intervals, or 30s without a spec)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        status = fleet_status(args.dir, stall_after_s=args.stall_after)
+    except ValueError as exc:
+        parser.error(str(exc))
+    if args.json:
+        print(status_to_json(status), end="")
+    else:
+        print(render_fleet_status(status))
+    return 1 if status["state"] == "failed" else 0
+
+
+def _compare_campaign(argv) -> int:
+    """``python -m repro campaign compare A B`` — diff two manifests."""
+    from repro.telemetry import (
+        compare_manifest_files,
+        format_comparison,
+        status_to_json,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro campaign compare",
+        description="Compare two campaign manifests: identity (scenario, "
+        "seeds, params, grid), aggregate, and per-run outputs must all "
+        "match for exit 0; host fields (git rev, durations, workers) "
+        "are reported but never fail the compare",
+    )
+    parser.add_argument("manifest_a", metavar="A", help="baseline manifest")
+    parser.add_argument("manifest_b", metavar="B", help="candidate manifest")
+    parser.add_argument(
+        "--json", action="store_true", help="print the full report as JSON"
+    )
+    args = parser.parse_args(argv)
+    try:
+        report = compare_manifest_files(args.manifest_a, args.manifest_b)
+    except ValueError as exc:
+        parser.error(str(exc))
+    if args.json:
+        print(status_to_json(report), end="")
+    else:
+        print(format_comparison(report))
+    return 0 if report["match"] else 1
+
+
+def _build_campaign_config(parser, args, shard_index, shard_count):
+    """The CampaignConfig for ``python -m repro campaign``, from flags or
+    from ``--spec-file`` (which owns the campaign definition; flags then
+    only carry per-invocation knobs and run-policy overrides)."""
+    from repro.telemetry import CampaignConfig
+
+    overrides = {
+        "workers": args.workers,
+        "output_path": args.out,
+        "resume": args.resume,
+        "shard_index": shard_index,
+        "shard_count": shard_count,
+    }
+    if args.spec_file is not None:
+        for flag, value in (
+            ("--scenario", args.scenario),
+            ("--seeds", args.seeds),
+            ("--param", args.param),
+            ("--grid", args.grid),
+        ):
+            if value:
+                parser.error(
+                    f"{flag} conflicts with --spec-file; the spec defines "
+                    f"the campaign"
+                )
+        try:
+            spec = json.loads(
+                pathlib.Path(args.spec_file).read_text(encoding="utf-8")
+            )
+        except (OSError, json.JSONDecodeError) as exc:
+            parser.error(f"cannot read campaign spec {args.spec_file}: {exc}")
+        if not isinstance(spec, dict):
+            parser.error(f"campaign spec {args.spec_file} is not a JSON object")
+        if args.name:
+            overrides["name"] = args.name
+        # Run-policy flags, when given, override the spec's policy.
+        if args.timeout is not None:
+            overrides["run_timeout_s"] = args.timeout
+        if args.retries is not None:
+            overrides["retries"] = args.retries
+        if args.retry_backoff is not None:
+            overrides["retry_backoff_s"] = args.retry_backoff
+        if args.on_error is not None:
+            overrides["on_error"] = args.on_error
+        if args.heartbeat is not None:
+            overrides["heartbeat_s"] = args.heartbeat if args.heartbeat > 0 else None
+        return CampaignConfig.from_spec_dict(spec, **overrides)
+    heartbeat = 30.0 if args.heartbeat is None else args.heartbeat
+    return CampaignConfig(
+        scenario=args.scenario or "wardrive",
+        seeds=args.seeds if args.seeds is not None else [0],
+        params=dict(args.param),
+        grid=dict(args.grid) if args.grid else None,
+        name=args.name,
+        run_timeout_s=args.timeout,
+        retries=args.retries or 0,
+        retry_backoff_s=args.retry_backoff or 0.0,
+        on_error=args.on_error or "raise",
+        heartbeat_s=heartbeat if heartbeat > 0 else None,
+        **overrides,
+    )
+
+
 def _run_campaign(argv) -> int:
     if argv and argv[0] == "merge":
         return _merge_campaign(argv[1:])
+    if argv and argv[0] == "drive":
+        return _drive_campaign(argv[1:])
+    if argv and argv[0] == "status":
+        return _campaign_status(argv[1:])
+    if argv and argv[0] == "compare":
+        return _compare_campaign(argv[1:])
     from repro.telemetry import (
         CampaignConfig,
         CampaignRunError,
@@ -254,14 +556,22 @@ def _run_campaign(argv) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro campaign",
         description="Fan a scenario out across seeds and aggregate metrics "
-        "(`campaign merge` combines shard manifests)",
+        "(subcommands: merge shard manifests, drive a whole sharded "
+        "fleet, status a campaign directory, compare two manifests)",
     )
     parser.add_argument(
-        "--scenario", default="wardrive", choices=available_scenarios(),
+        "--scenario", default=None, choices=available_scenarios(),
         help="registered scenario to run (default: wardrive)",
     )
     parser.add_argument(
-        "--seeds", type=_parse_seeds, default=[0],
+        "--spec-file", default=None, metavar="PATH",
+        help="read the campaign definition (scenario, seeds, params, "
+        "grid, run policy) from this JSON spec instead of flags; the "
+        "control-plane driver hands every shard the same spec so "
+        "values cross the process boundary typed, not re-parsed",
+    )
+    parser.add_argument(
+        "--seeds", type=_parse_seeds, default=None,
         help="seed count (N -> seeds 0..N-1) or explicit comma list",
     )
     parser.add_argument(
@@ -271,6 +581,11 @@ def _run_campaign(argv) -> int:
     parser.add_argument(
         "--param", action="append", type=_parse_param, default=[],
         metavar="KEY=VALUE", help="scenario parameter (repeatable)",
+    )
+    parser.add_argument(
+        "--grid", action="append", type=_parse_grid, default=[],
+        metavar="KEY=V1,V2", help="sweep a parameter over these values "
+        "(repeatable; the campaign runs the cross product per seed)",
     )
     parser.add_argument(
         "--out", default=None, metavar="PATH",
@@ -296,21 +611,21 @@ def _run_campaign(argv) -> int:
         help="per-attempt wall-clock budget for one run (default: none)",
     )
     parser.add_argument(
-        "--retries", type=int, default=0, metavar="N",
+        "--retries", type=int, default=None, metavar="N",
         help="extra attempts for a run that raises or times out "
         "(default: 0)",
     )
     parser.add_argument(
-        "--retry-backoff", type=float, default=0.0, metavar="SECONDS",
+        "--retry-backoff", type=float, default=None, metavar="SECONDS",
         help="sleep SECONDS * attempt between retries (default: 0)",
     )
     parser.add_argument(
-        "--on-error", choices=("raise", "record"), default="raise",
+        "--on-error", choices=("raise", "record"), default=None,
         help="after retries are exhausted: abort the campaign ('raise', "
         "default) or record the failed run in the manifest ('record')",
     )
     parser.add_argument(
-        "--heartbeat", type=float, default=30.0, metavar="SECONDS",
+        "--heartbeat", type=float, default=None, metavar="SECONDS",
         help="interval between liveness records in the sidecar "
         "(default: 30; 0 disables)",
     )
@@ -319,22 +634,7 @@ def _run_campaign(argv) -> int:
         parser.error("--resume requires --out (the manifest to resume from)")
     shard_index, shard_count = args.shard if args.shard else (None, 1)
     try:
-        config = CampaignConfig(
-            scenario=args.scenario,
-            seeds=args.seeds,
-            params=dict(args.param),
-            workers=args.workers,
-            name=args.name,
-            output_path=args.out,
-            resume=args.resume,
-            shard_index=shard_index,
-            shard_count=shard_count,
-            run_timeout_s=args.timeout,
-            retries=args.retries,
-            retry_backoff_s=args.retry_backoff,
-            on_error=args.on_error,
-            heartbeat_s=args.heartbeat if args.heartbeat > 0 else None,
-        )
+        config = _build_campaign_config(parser, args, shard_index, shard_count)
         config.validate()  # surface config errors as usage errors
     except ValueError as exc:
         parser.error(str(exc))
@@ -368,16 +668,21 @@ def main(argv=None) -> int:
         return _run_campaign(argv[1:])
     if argv and argv[0] == "run":
         return _run_one(argv[1:])
+    if argv and argv[0] == "serve":
+        from repro.control.service import main as serve_main
+
+        return serve_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Polite WiFi reproduction demos and scenario/campaign runner",
     )
     parser.add_argument(
         "demo", nargs="?", default="probe",
-        choices=sorted(_DEMOS) + ["run", "campaign"],
+        choices=sorted(_DEMOS) + ["run", "campaign", "serve"],
         help="which demo to run (default: probe), 'run <scenario>' for "
-        "any registered scenario, or 'campaign ...' for the parallel "
-        "campaign orchestrator",
+        "any registered scenario, 'campaign ...' for the parallel "
+        "campaign orchestrator, or 'serve' for the HTTP control "
+        "service",
     )
     args = parser.parse_args(argv)
     return _DEMOS[args.demo]()

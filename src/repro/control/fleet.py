@@ -1,0 +1,320 @@
+"""Fleet status reconstructed from a campaign directory's artifacts.
+
+``campaign status <dir>`` must answer "how is my sweep doing?" against
+a fleet it does not control: shards launched by the driver, by hand on
+N machines, or long dead.  So :func:`fleet_status` takes *no* live
+handles — it reads what's on disk:
+
+* ``*.runs.jsonl`` sidecars — per-shard progress (run records), shard
+  identity (the ``campaign-meta`` line), and liveness (heartbeats +
+  file mtime);
+* ``campaign.json`` — the campaign spec, if the driver (or a human)
+  wrote one: names the scenario and sizes the full run plan;
+* ``driver.json`` — the driver's own status snapshot, if a driver is
+  (or was) attached: contributes attempt counts and failure verdicts
+  the sidecars alone can't know.
+
+Both JSON files are optional; sidecars alone produce a usable view.
+A missing sidecar for a known shard reads as ``pending``, a torn
+trailing line is skipped (shared sidecar parsing), and a shard whose
+last sign of life is older than the stall threshold reads as
+``stalled`` — which is a *suspicion*, not a verdict; only the driver
+(which can see process exits) marks a shard ``failed``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import time
+from typing import Dict, List, Optional, Union
+
+from repro.telemetry.campaign import CampaignConfig, parse_sidecar_text
+
+__all__ = ["fleet_status", "render_fleet_status"]
+
+#: Fallback stall threshold when no spec declares a heartbeat interval.
+_DEFAULT_STALL_AFTER_S = 30.0
+
+#: Stalled = no activity for this many heartbeat intervals.
+_STALL_HEARTBEATS = 4.0
+
+_SHARD_NAME_RE = re.compile(r"\.shard(\d+)of(\d+)\.[^.]+\.runs\.jsonl$")
+
+
+def _read_json(path: pathlib.Path) -> Optional[Dict[str, object]]:
+    """A JSON object from ``path``, or ``None`` for missing/unreadable/
+    non-object content (status must degrade, never crash)."""
+    import json
+
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    return data if isinstance(data, dict) else None
+
+
+def _is_run_record(record: Dict[str, object]) -> bool:
+    return record.get("kind") is None and "seed" in record and "params" in record
+
+
+def _inspect_sidecar(path: pathlib.Path) -> Dict[str, object]:
+    """Everything one sidecar says about its shard (tolerant of torn
+    trailing lines and of the file vanishing mid-read)."""
+    info: Dict[str, object] = {
+        "sidecar": str(path),
+        "shard_index": None,
+        "shard_count": None,
+        "runs": 0,
+        "failed": 0,
+        "completed": None,
+        "pending": None,
+        "last_heartbeat_unix": None,
+        "last_activity_unix": None,
+    }
+    try:
+        text = path.read_text(encoding="utf-8")
+        mtime = path.stat().st_mtime
+    except OSError:
+        return info
+    info["last_activity_unix"] = mtime
+    for record in parse_sidecar_text(text):
+        kind = record.get("kind")
+        if kind == "campaign-meta":
+            shard = record.get("shard")
+            if isinstance(shard, dict):
+                info["shard_index"] = shard.get("index")
+                info["shard_count"] = shard.get("count")
+        elif kind == "heartbeat":
+            info["last_heartbeat_unix"] = record.get("unix")
+            info["completed"] = record.get("completed")
+            info["pending"] = record.get("pending")
+        elif _is_run_record(record):
+            info["runs"] = int(info["runs"]) + 1
+            if record.get("status", "ok") != "ok":
+                info["failed"] = int(info["failed"]) + 1
+    beat = info["last_heartbeat_unix"]
+    if isinstance(beat, (int, float)):
+        info["last_activity_unix"] = max(float(mtime), float(beat))
+    # The filename is a fallback identity for sidecars whose meta line
+    # was torn away (out.shard1of4.json.runs.jsonl).
+    if info["shard_index"] is None:
+        match = _SHARD_NAME_RE.search(path.name)
+        if match:
+            info["shard_index"] = int(match.group(1)) - 1
+            info["shard_count"] = int(match.group(2))
+    return info
+
+
+def _manifest_for(sidecar: pathlib.Path) -> pathlib.Path:
+    """``out.shard1of2.json.runs.jsonl`` -> ``out.shard1of2.json``."""
+    return sidecar.with_name(sidecar.name[: -len(".runs.jsonl")])
+
+
+def fleet_status(
+    campaign_dir: Union[str, pathlib.Path],
+    stall_after_s: Optional[float] = None,
+    now: Optional[float] = None,
+) -> Dict[str, object]:
+    """A point-in-time fleet snapshot for one campaign directory.
+
+    ``stall_after_s`` overrides the stall threshold (default: four
+    heartbeat intervals when the spec declares one, else 30s); ``now``
+    pins the clock for tests.  The result is JSON-safe and serialized
+    canonically by :func:`repro.telemetry.export.status_to_json`.
+    """
+    directory = pathlib.Path(campaign_dir)
+    if not directory.is_dir():
+        raise ValueError(f"not a campaign directory: {directory}")
+    now = time.time() if now is None else now
+    spec = _read_json(directory / "campaign.json")
+    driver = _read_json(directory / "driver.json")
+
+    plan_runs: Optional[int] = None
+    heartbeat_s: Optional[float] = None
+    scenario: Optional[str] = None
+    campaign_name: Optional[str] = None
+    if spec is not None:
+        try:
+            config = CampaignConfig.from_spec_dict(spec)
+            plan_runs = len(config.expand())
+            heartbeat_s = config.heartbeat_s
+            scenario = config.scenario
+            campaign_name = config.name or config.scenario
+        except ValueError:
+            spec = None  # a broken spec degrades to sidecar-only status
+    if stall_after_s is None:
+        stall_after_s = (
+            _STALL_HEARTBEATS * heartbeat_s
+            if heartbeat_s
+            else _DEFAULT_STALL_AFTER_S
+        )
+
+    observed = [
+        _inspect_sidecar(path)
+        for path in sorted(directory.glob("*.runs.jsonl"))
+    ]
+    shard_count: Optional[int] = None
+    if driver and isinstance(driver.get("shard_count"), int):
+        shard_count = driver["shard_count"]
+    else:
+        counts = {
+            info["shard_count"]
+            for info in observed
+            if isinstance(info["shard_count"], int)
+        }
+        if len(counts) == 1:
+            shard_count = counts.pop()
+
+    driver_shards: Dict[int, Dict[str, object]] = {}
+    if driver:
+        for entry in driver.get("shards", []):
+            if isinstance(entry, dict) and isinstance(entry.get("index"), int):
+                driver_shards[entry["index"]] = entry
+
+    by_index: Dict[Optional[int], Dict[str, object]] = {
+        info["shard_index"]: info for info in observed
+    }
+    indices: List[Optional[int]] = (
+        list(range(shard_count)) if shard_count else sorted(
+            by_index, key=lambda i: (i is None, i)
+        )
+    )
+
+    shards: List[Dict[str, object]] = []
+    for index in indices:
+        info = by_index.get(index)
+        from_driver = driver_shards.get(index) if isinstance(index, int) else None
+        if info is None:
+            entry: Dict[str, object] = {
+                "index": index,
+                "state": "pending",
+                "sidecar": None,
+                "runs": 0,
+                "failed": 0,
+                "completed": None,
+                "pending": None,
+                "last_heartbeat_unix": None,
+                "last_activity_unix": None,
+                "age_s": None,
+                "manifest": None,
+            }
+        else:
+            manifest = _manifest_for(pathlib.Path(info["sidecar"]))
+            last = info["last_activity_unix"]
+            age = now - float(last) if isinstance(last, (int, float)) else None
+            if manifest.exists():
+                state = "done"
+            elif age is not None and age > stall_after_s:
+                state = "stalled"
+            else:
+                state = "running"
+            entry = {
+                **info,
+                "state": state,
+                "age_s": age,
+                "manifest": str(manifest) if manifest.exists() else None,
+            }
+            entry.pop("shard_index")
+            entry.pop("shard_count")
+            entry["index"] = index
+        if from_driver:
+            # The driver has ground truth the sidecars lack: exit codes
+            # (failed beats stalled) and relaunch attempts.
+            if from_driver.get("state") == "failed":
+                entry["state"] = "failed"
+            if "attempts" in from_driver:
+                entry["attempts"] = from_driver["attempts"]
+        shards.append(entry)
+
+    merged = directory / "manifest.json"
+    states = [s["state"] for s in shards]
+    if driver and driver.get("state") in ("done", "failed"):
+        overall = driver["state"]
+    elif shards and all(state == "done" for state in states):
+        overall = "done" if merged.exists() else "merge-pending"
+    elif "failed" in states:
+        overall = "failed"
+    elif "stalled" in states:
+        overall = "stalled"
+    else:
+        overall = "running"
+
+    return {
+        "dir": str(directory),
+        "campaign": campaign_name,
+        "scenario": scenario,
+        "generated_unix": now,
+        "stall_after_s": stall_after_s,
+        "plan_runs": plan_runs,
+        "shard_count": shard_count,
+        "state": overall,
+        "driver": (
+            {
+                "state": driver.get("state"),
+                "reassignments": driver.get("reassignments"),
+                "updated_unix": driver.get("updated_unix"),
+            }
+            if driver
+            else None
+        ),
+        "shards": shards,
+        "merged_manifest": str(merged) if merged.exists() else None,
+    }
+
+
+def _age_text(age: Optional[object]) -> str:
+    if not isinstance(age, (int, float)):
+        return "-"
+    return f"{age:.1f}s ago"
+
+
+def render_fleet_status(status: Dict[str, object]) -> str:
+    """The ``campaign status`` table for one :func:`fleet_status` snapshot."""
+    lines = [
+        f"campaign : {status['campaign'] or '(no campaign.json)'}"
+        + (f"  [scenario {status['scenario']}]" if status["scenario"] else ""),
+        f"dir      : {status['dir']}",
+        f"state    : {status['state']}"
+        + (
+            f"  ({status['plan_runs']} run(s) planned across "
+            f"{status['shard_count']} shard(s))"
+            if status["plan_runs"] is not None and status["shard_count"]
+            else ""
+        ),
+    ]
+    driver = status.get("driver")
+    if driver:
+        lines.append(
+            f"driver   : {driver['state']}, "
+            f"{driver.get('reassignments') or 0} slice reassignment(s)"
+        )
+    shards = status["shards"]
+    if not shards:
+        lines.append("(no shard sidecars found)")
+        return "\n".join(lines)
+    lines.append(
+        f"{'SHARD':<7} {'STATE':<9} {'RUNS':>5} {'FAILED':>7} "
+        f"{'PENDING':>8} {'LAST ACTIVITY':<15} {'ATTEMPTS':>8}"
+    )
+    count = status["shard_count"]
+    for shard in shards:
+        index = shard["index"]
+        label = (
+            f"{index + 1}/{count}"
+            if isinstance(index, int) and count
+            else (str(index + 1) if isinstance(index, int) else "-")
+        )
+        pending = shard["pending"]
+        lines.append(
+            f"{label:<7} {shard['state']:<9} {shard['runs']:>5} "
+            f"{shard['failed']:>7} "
+            f"{pending if pending is not None else '-':>8} "
+            f"{_age_text(shard['age_s']):<15} "
+            f"{shard.get('attempts', '-'):>8}"
+        )
+    merged = status["merged_manifest"]
+    lines.append(
+        f"merged   : {merged if merged else '(not merged yet)'}"
+    )
+    return "\n".join(lines)

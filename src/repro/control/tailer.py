@@ -1,0 +1,78 @@
+"""Incremental JSONL sidecar tailing for the campaign driver.
+
+A shard's sidecar is an append-only stream of JSON lines (meta, run
+records, heartbeats) that the shard flushes per record.  The driver
+needs to watch N of them cheaply and repeatedly, which rules out
+re-reading whole files every poll; and it must never act on a *torn*
+line — the driver's dead-shard verdict hinges on "has this sidecar
+produced anything lately", so treating a half-written record as
+garbage (rather than waiting for its newline) would misread an
+actively-writing shard.
+
+:class:`SidecarTailer` therefore reads from a remembered byte offset
+and only consumes up to the last newline; the partial tail stays
+unconsumed until a later poll completes it.  A file that *shrank* —
+the signature of a relaunched shard rewriting its sidecar for
+``--resume`` replay — resets the tailer to the top so the replayed
+records are re-observed.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Dict, List, Union
+
+from repro.telemetry.campaign import parse_sidecar_record
+
+__all__ = ["SidecarTailer"]
+
+
+class SidecarTailer:
+    """Poll one sidecar file for newly completed records.
+
+    Each :meth:`poll` returns the records appended since the previous
+    poll (possibly none).  The file not existing yet is not an error —
+    the shard just hasn't opened it — and parsing reuses
+    :func:`~repro.telemetry.campaign.parse_sidecar_record`, so the
+    tolerance for blank/garbage lines matches every other sidecar
+    consumer.
+    """
+
+    def __init__(self, path: Union[str, pathlib.Path]) -> None:
+        self.path = pathlib.Path(path)
+        self._offset = 0
+
+    @property
+    def offset(self) -> int:
+        """Bytes of the file consumed so far (complete lines only)."""
+        return self._offset
+
+    def reset(self) -> None:
+        """Forget all progress; the next poll re-reads from the top."""
+        self._offset = 0
+
+    def poll(self) -> List[Dict[str, object]]:
+        """Records whose closing newline has landed since the last poll."""
+        try:
+            size = self.path.stat().st_size
+        except OSError:
+            return []
+        if size < self._offset:
+            # The file was rewritten (shard relaunched with --resume);
+            # start over so the replayed records are observed again.
+            self._offset = 0
+        if size == self._offset:
+            return []
+        with open(self.path, "rb") as handle:
+            handle.seek(self._offset)
+            chunk = handle.read()
+        boundary = chunk.rfind(b"\n")
+        if boundary < 0:
+            return []  # only a torn tail so far; leave it unconsumed
+        complete, self._offset = chunk[: boundary + 1], self._offset + boundary + 1
+        records = []
+        for line in complete.decode("utf-8", errors="replace").splitlines():
+            record = parse_sidecar_record(line)
+            if record is not None:
+                records.append(record)
+        return records

@@ -13,8 +13,18 @@ One spec, one context, one registry:
 """
 
 from repro.scenario.context import SimContext
+from repro.scenario.params import (
+    BoolParam,
+    ChoiceParam,
+    FloatParam,
+    IntParam,
+    ParamSpec,
+    ParameterValueError,
+    StrParam,
+)
 from repro.scenario.registry import (
     REGISTRY,
+    SCENARIO_MODULES_ENV,
     DuplicateScenarioError,
     RegisteredScenario,
     ScenarioRegistry,
@@ -29,14 +39,22 @@ from repro.scenario.spec import BAND_FREQUENCIES_HZ, PlacementSpec, ScenarioSpec
 
 __all__ = [
     "BAND_FREQUENCIES_HZ",
+    "BoolParam",
+    "ChoiceParam",
     "DuplicateScenarioError",
+    "FloatParam",
+    "IntParam",
+    "ParamSpec",
+    "ParameterValueError",
     "PlacementSpec",
     "REGISTRY",
     "RegisteredScenario",
+    "SCENARIO_MODULES_ENV",
     "ScenarioRegistry",
     "ScenarioResult",
     "ScenarioSpec",
     "SimContext",
+    "StrParam",
     "UnknownParameterError",
     "UnknownScenarioError",
     "available_scenarios",

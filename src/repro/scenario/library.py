@@ -27,6 +27,7 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.scenario.context import SimContext
+from repro.scenario.params import BoolParam, FloatParam, IntParam
 from repro.scenario.registry import scenario
 from repro.scenario.spec import PlacementSpec, ScenarioSpec
 
@@ -110,6 +111,12 @@ def deauth(ctx: SimContext) -> Dict[str, object]:
 @scenario(
     "battery",
     param_names=("rates_pps", "duration_s", "distance_m"),
+    param_schema={
+        # rates_pps stays schema-free: it is a sequence, which the typed
+        # layer deliberately does not model yet.
+        "duration_s": FloatParam(minimum=0.0, exclusive_minimum=True),
+        "distance_m": FloatParam(minimum=0.0, exclusive_minimum=True),
+    },
     spec=ScenarioSpec(seed=42),
     description="Figure 6 — battery-drain sweep against one ESP8266",
 )
@@ -165,6 +172,10 @@ def battery(ctx: SimContext) -> Dict[str, object]:
 @scenario(
     "locate",
     param_names=("probes_per_anchor", "area_m"),
+    param_schema={
+        "probes_per_anchor": IntParam(minimum=1),
+        "area_m": FloatParam(minimum=1.0),
+    },
     spec=ScenarioSpec(
         seed=7,
         placements=[
@@ -226,6 +237,16 @@ def locate(ctx: SimContext) -> Dict[str, object]:
         "population_scale", "keep_all_vendors", "blocks_x", "blocks_y",
         "beacon_interval", "probe_attempts", "vehicle_speed_mps", "table_top",
     ),
+    param_schema={
+        "population_scale": FloatParam(minimum=0.0, exclusive_minimum=True, maximum=1.0),
+        "keep_all_vendors": BoolParam(),
+        "blocks_x": IntParam(minimum=1),
+        "blocks_y": IntParam(minimum=1),
+        "beacon_interval": FloatParam(minimum=0.01),
+        "probe_attempts": IntParam(minimum=1),
+        "vehicle_speed_mps": FloatParam(minimum=0.1),
+        "table_top": IntParam(minimum=1),
+    },
     spec=ScenarioSpec(seed=2020, seed_medium=True, spans=True),
     description="Table 2 shape — wardrive a seeded synthetic city",
 )
@@ -275,6 +296,17 @@ def wardrive(ctx: SimContext) -> Dict[str, object]:
         "activate_radius_m", "deactivate_radius_m", "probe_attempts",
         "max_probe_rounds", "vehicle_speed_mps", "table_top",
     ),
+    param_schema={
+        "max_devices": IntParam(minimum=1),
+        "beacon_interval": FloatParam(minimum=0.01),
+        "client_probe_interval": FloatParam(minimum=0.01),
+        "activate_radius_m": FloatParam(minimum=1.0),
+        "deactivate_radius_m": FloatParam(minimum=1.0),
+        "probe_attempts": IntParam(minimum=1),
+        "max_probe_rounds": IntParam(minimum=1),
+        "vehicle_speed_mps": FloatParam(minimum=0.1),
+        "table_top": IntParam(minimum=1),
+    },
     spec=ScenarioSpec(seed=2020, seed_medium=True, spans=True),
     description="Table 2 at full scale — 5,328 devices, 186 vendors, one city",
 )

@@ -1,0 +1,271 @@
+"""Typed, coerced scenario parameter schemas.
+
+``param_names`` (PR 5) made ``--param`` typos fail fast; this module
+adds the next layer: a *schema* declaring what each parameter **is** —
+an int in a range, a positive float, one of a fixed set of choices, a
+boolean — so values arriving as strings (``--param`` on the command
+line, JSON over the control plane's HTTP surface) are coerced to their
+declared type and range-checked *before* the scenario runs, with error
+messages that name the scenario, the parameter, and the constraint that
+was violated.
+
+Declare a schema at registration time::
+
+    @scenario(
+        "my-sweep",
+        param_schema={
+            "devices": IntParam(minimum=1, maximum=10_000),
+            "scale": FloatParam(minimum=0.0, exclusive_minimum=True),
+            "mode": ChoiceParam(("fast", "exact")),
+            "verbose": BoolParam(),
+        },
+    )
+    def my_sweep(ctx):
+        ...
+
+``param_schema`` subsumes ``param_names`` (the schema's keys become the
+declared surface when ``param_names`` is omitted); parameters without a
+schema entry pass through untouched, so schemas can be adopted
+incrementally.  Every front end — ``run_scenario``, ``python -m repro
+run``, the campaign runner (base params *and* grid values), and the
+control-plane HTTP service — coerces through the same
+:meth:`~repro.scenario.registry.RegisteredScenario.coerce_params` path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+__all__ = [
+    "BoolParam",
+    "ChoiceParam",
+    "FloatParam",
+    "IntParam",
+    "ParamSpec",
+    "ParameterValueError",
+    "StrParam",
+    "coerce_params",
+]
+
+
+class ParameterValueError(ValueError):
+    """A parameter value failed its schema check.
+
+    The message names the scenario, the parameter, the offending value,
+    and the declared constraint, so a ``--param`` mistake is a one-line
+    fix rather than a stack trace.
+    """
+
+    def __init__(self, scenario: str, name: str, value: object, reason: str) -> None:
+        super().__init__(
+            f"invalid value {value!r} for parameter {name!r} of scenario "
+            f"{scenario!r}: {reason}"
+        )
+        self.scenario = scenario
+        self.param = name
+        self.value = value
+        self.reason = reason
+
+
+_TRUE_WORDS = frozenset({"1", "true", "yes", "on"})
+_FALSE_WORDS = frozenset({"0", "false", "no", "off"})
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """Base class: one parameter's declared type and constraints.
+
+    Subclasses implement :meth:`_convert` (raw value -> typed value, or
+    raise ``ValueError`` with a human reason) and may override
+    :meth:`_check` for range/choice constraints.  :meth:`describe`
+    renders the constraint for error messages and ``--list`` output.
+    """
+
+    def coerce(self, scenario: str, name: str, value: object) -> object:
+        try:
+            typed = self._convert(value)
+        except (TypeError, ValueError) as exc:
+            raise ParameterValueError(
+                scenario, name, value, str(exc) or f"expected {self.describe()}"
+            ) from None
+        reason = self._check(typed)
+        if reason is not None:
+            raise ParameterValueError(scenario, name, value, reason)
+        return typed
+
+    def _convert(self, value: object) -> object:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _check(self, value: object) -> Optional[str]:
+        return None
+
+    def describe(self) -> str:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe description (fingerprinted and served over HTTP)."""
+        return {"kind": type(self).__name__, "constraint": self.describe()}
+
+
+@dataclass(frozen=True)
+class IntParam(ParamSpec):
+    """An integer, optionally bounded (bounds inclusive)."""
+
+    minimum: Optional[int] = None
+    maximum: Optional[int] = None
+
+    def _convert(self, value: object) -> int:
+        if isinstance(value, bool):
+            raise ValueError("expected an integer, got a boolean")
+        if isinstance(value, int):
+            return value
+        if isinstance(value, float):
+            if not value.is_integer():
+                raise ValueError("expected an integer, got a non-integral float")
+            return int(value)
+        if isinstance(value, str):
+            try:
+                return int(value.strip())
+            except ValueError:
+                raise ValueError("expected an integer") from None
+        raise ValueError("expected an integer")
+
+    def _check(self, value: int) -> Optional[str]:
+        if self.minimum is not None and value < self.minimum:
+            return f"must be >= {self.minimum}"
+        if self.maximum is not None and value > self.maximum:
+            return f"must be <= {self.maximum}"
+        return None
+
+    def describe(self) -> str:
+        bounds = _bounds_note(self.minimum, self.maximum, False)
+        return f"an integer{bounds}"
+
+
+@dataclass(frozen=True)
+class FloatParam(ParamSpec):
+    """A float, optionally bounded; ``exclusive_minimum`` makes the
+    lower bound strict (the common "must be positive" case)."""
+
+    minimum: Optional[float] = None
+    maximum: Optional[float] = None
+    exclusive_minimum: bool = False
+
+    def _convert(self, value: object) -> float:
+        if isinstance(value, bool):
+            raise ValueError("expected a number, got a boolean")
+        if isinstance(value, (int, float)):
+            return float(value)
+        if isinstance(value, str):
+            try:
+                return float(value.strip())
+            except ValueError:
+                raise ValueError("expected a number") from None
+        raise ValueError("expected a number")
+
+    def _check(self, value: float) -> Optional[str]:
+        if value != value:  # NaN never satisfies a range
+            return "must be a finite number"
+        if self.minimum is not None:
+            if self.exclusive_minimum and value <= self.minimum:
+                return f"must be > {self.minimum}"
+            if not self.exclusive_minimum and value < self.minimum:
+                return f"must be >= {self.minimum}"
+        if self.maximum is not None and value > self.maximum:
+            return f"must be <= {self.maximum}"
+        return None
+
+    def describe(self) -> str:
+        bounds = _bounds_note(self.minimum, self.maximum, self.exclusive_minimum)
+        return f"a number{bounds}"
+
+
+@dataclass(frozen=True)
+class BoolParam(ParamSpec):
+    """A boolean; strings accept true/false, yes/no, on/off, 1/0."""
+
+    def _convert(self, value: object) -> bool:
+        if isinstance(value, bool):
+            return value
+        if isinstance(value, int) and value in (0, 1):
+            return bool(value)
+        if isinstance(value, str):
+            word = value.strip().lower()
+            if word in _TRUE_WORDS:
+                return True
+            if word in _FALSE_WORDS:
+                return False
+        raise ValueError("expected a boolean (true/false, yes/no, on/off, 1/0)")
+
+    def describe(self) -> str:
+        return "a boolean (true/false)"
+
+
+@dataclass(frozen=True)
+class ChoiceParam(ParamSpec):
+    """One of a fixed set of values; string input matches ``str(choice)``
+    so ``--param mode=2`` can select the integer choice ``2``."""
+
+    choices: Tuple[object, ...] = ()
+
+    def __init__(self, choices: Sequence[object]) -> None:
+        object.__setattr__(self, "choices", tuple(choices))
+        if not self.choices:
+            raise ValueError("ChoiceParam needs at least one choice")
+
+    def _convert(self, value: object) -> object:
+        if value in self.choices:
+            return self.choices[self.choices.index(value)]
+        if isinstance(value, str):
+            text = value.strip()
+            for choice in self.choices:
+                if text == str(choice):
+                    return choice
+        raise ValueError(f"expected {self.describe()}")
+
+    def describe(self) -> str:
+        return "one of " + ", ".join(str(c) for c in self.choices)
+
+
+@dataclass(frozen=True)
+class StrParam(ParamSpec):
+    """Any string (declares the parameter without constraining it)."""
+
+    def _convert(self, value: object) -> str:
+        if isinstance(value, str):
+            return value
+        raise ValueError("expected a string")
+
+    def describe(self) -> str:
+        return "a string"
+
+
+def _bounds_note(
+    minimum: Optional[float], maximum: Optional[float], exclusive_minimum: bool
+) -> str:
+    parts = []
+    if minimum is not None:
+        parts.append(f"{'>' if exclusive_minimum else '>='} {minimum}")
+    if maximum is not None:
+        parts.append(f"<= {maximum}")
+    return f" ({', '.join(parts)})" if parts else ""
+
+
+def coerce_params(
+    scenario: str,
+    schema: Optional[Dict[str, ParamSpec]],
+    params: Optional[Dict[str, object]],
+) -> Dict[str, object]:
+    """Coerce ``params`` through ``schema``; keys without a schema entry
+    pass through untouched.  Raises :class:`ParameterValueError` on the
+    first violation."""
+    if not params:
+        return dict(params or {})
+    if not schema:
+        return dict(params)
+    coerced: Dict[str, object] = {}
+    for key, value in params.items():
+        spec = schema.get(key)
+        coerced[key] = spec.coerce(scenario, key, value) if spec else value
+    return coerced

@@ -27,11 +27,14 @@ legacy ``fn(seed, params, metrics)`` callables onto it.
 from __future__ import annotations
 
 import hashlib
+import importlib
 import json
+import os
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro.scenario.context import SimContext
+from repro.scenario.params import ParamSpec, coerce_params
 from repro.scenario.spec import ScenarioSpec
 
 __all__ = [
@@ -42,10 +45,18 @@ __all__ = [
     "UnknownParameterError",
     "UnknownScenarioError",
     "REGISTRY",
+    "SCENARIO_MODULES_ENV",
     "scenario",
     "available_scenarios",
     "run_scenario",
 ]
+
+#: Comma-separated module paths imported (for their registration side
+#: effects) alongside the built-ins.  This is how out-of-tree scenarios
+#: reach subprocesses that only know a scenario *name* — the control
+#: plane's shard workers, ``python -m repro serve`` submissions, and the
+#: perf benchmarks' throwaway scenarios.
+SCENARIO_MODULES_ENV = "REPRO_SCENARIO_MODULES"
 
 #: ``fn(ctx) -> outputs``; flat JSON-serializable outputs dict.
 ScenarioFn = Callable[[SimContext], Dict[str, object]]
@@ -95,6 +106,10 @@ class RegisteredScenario:
     #: Parameter names the scenario reads from ``ctx.params``, or ``None``
     #: to skip validation (legacy scenarios that never declared them).
     param_names: Optional[tuple] = None
+    #: Typed declarations (name -> :class:`~repro.scenario.params.ParamSpec`)
+    #: for the parameters that have them; values are coerced and
+    #: range-checked through :meth:`coerce_params` before a run.
+    param_schema: Optional[Dict[str, ParamSpec]] = None
 
     def validate_params(self, params: Optional[Dict[str, object]]) -> None:
         """Raise :class:`UnknownParameterError` on undeclared keys."""
@@ -105,6 +120,20 @@ class RegisteredScenario:
             raise UnknownParameterError(
                 self.name, unknown, list(self.param_names)
             )
+
+    def coerce_params(
+        self, params: Optional[Dict[str, object]]
+    ) -> Dict[str, object]:
+        """Validate names, then coerce values through the schema.
+
+        Returns the coerced copy (``--param`` strings become their
+        declared types); raises :class:`UnknownParameterError` on an
+        undeclared key or
+        :class:`~repro.scenario.params.ParameterValueError` on a value
+        that fails its type/range/choice check.
+        """
+        self.validate_params(params)
+        return coerce_params(self.name, self.param_schema, params)
 
     def build_spec(
         self,
@@ -143,6 +172,11 @@ class RegisteredScenario:
             "param_names": (
                 sorted(self.param_names) if self.param_names is not None else None
             ),
+            "param_schema": (
+                {k: self.param_schema[k].to_dict() for k in sorted(self.param_schema)}
+                if self.param_schema
+                else None
+            ),
         }
         canonical = json.dumps(payload, sort_keys=True, default=str)
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
@@ -177,6 +211,7 @@ class ScenarioRegistry:
         spec: Optional[ScenarioSpec] = None,
         description: str = "",
         param_names: Optional[tuple] = None,
+        param_schema: Optional[Dict[str, ParamSpec]] = None,
     ) -> Callable[[ScenarioFn], ScenarioFn]:
         """Register ``fn(ctx) -> outputs`` under ``name`` (decorator).
 
@@ -184,6 +219,12 @@ class ScenarioRegistry:
         ``ctx.params``; runs passing any other key fail fast with
         :class:`UnknownParameterError`.  ``None`` (the default) skips the
         check for legacy scenarios that never declared their surface.
+
+        ``param_schema`` goes further: typed declarations
+        (:mod:`repro.scenario.params`) whose values are coerced and
+        range-checked before every run.  Schema keys must be declared
+        names; with ``param_names`` omitted, the schema's keys become
+        the declared surface.
         """
 
         def decorator(fn: ScenarioFn) -> ScenarioFn:
@@ -194,12 +235,24 @@ class ScenarioRegistry:
             summary = description
             if not summary and fn.__doc__:
                 summary = fn.__doc__.strip().splitlines()[0]
+            names = tuple(param_names) if param_names is not None else None
+            if param_schema:
+                if names is None:
+                    names = tuple(param_schema)
+                else:
+                    undeclared = sorted(set(param_schema) - set(names))
+                    if undeclared:
+                        raise ValueError(
+                            f"scenario {name!r}: param_schema keys "
+                            f"{', '.join(undeclared)} missing from param_names"
+                        )
             self._scenarios[name] = RegisteredScenario(
                 name=name,
                 fn=fn,
                 spec=spec if spec is not None else ScenarioSpec(),
                 description=summary,
-                param_names=tuple(param_names) if param_names is not None else None,
+                param_names=names,
+                param_schema=dict(param_schema) if param_schema else None,
             )
             return fn
 
@@ -213,6 +266,22 @@ class ScenarioRegistry:
         # is the legacy home of the campaign scenarios and re-exports the
         # library's, so loading the library covers both.
         import repro.scenario.library  # noqa: F401
+
+        # Out-of-tree scenario modules (comma-separated module paths).
+        # This is how a control-plane shard subprocess — which receives
+        # only a scenario *name* on its command line — learns about
+        # scenarios registered outside repro.scenario.library.
+        extra = os.environ.get(SCENARIO_MODULES_ENV, "")
+        for module_name in (m.strip() for m in extra.split(",")):
+            if not module_name:
+                continue
+            try:
+                importlib.import_module(module_name)
+            except ImportError as exc:
+                raise ImportError(
+                    f"cannot import scenario module {module_name!r} from "
+                    f"{SCENARIO_MODULES_ENV}: {exc}"
+                ) from exc
 
     def get(self, name: str) -> RegisteredScenario:
         self._ensure_builtins()
@@ -251,7 +320,7 @@ class ScenarioRegistry:
     ) -> ScenarioResult:
         """Build the context and run the named scenario once."""
         entry = self.get(name)
-        entry.validate_params(params)
+        params = entry.coerce_params(params)
         spec = entry.build_spec(seed=seed, params=params, **spec_overrides)
         ctx = SimContext(spec, metrics=metrics, quiet=quiet)
         outputs = entry.fn(ctx)
@@ -267,10 +336,12 @@ def scenario(
     spec: Optional[ScenarioSpec] = None,
     description: str = "",
     param_names: Optional[tuple] = None,
+    param_schema: Optional[Dict[str, ParamSpec]] = None,
 ) -> Callable[[ScenarioFn], ScenarioFn]:
     """Register a scenario in the shared :data:`REGISTRY` (decorator)."""
     return REGISTRY.register(
-        name, spec=spec, description=description, param_names=param_names
+        name, spec=spec, description=description, param_names=param_names,
+        param_schema=param_schema,
     )
 
 

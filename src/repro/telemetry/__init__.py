@@ -22,10 +22,18 @@ from repro.telemetry.campaign import (
     get_scenario,
     merge_manifest_files,
     merge_manifests,
+    parse_sidecar_record,
+    parse_sidecar_text,
     run_campaign,
     scenario,
     shard_manifest_path,
+    shard_run_indices,
     summarize_manifest,
+)
+from repro.telemetry.compare import (
+    compare_manifest_files,
+    compare_manifests,
+    format_comparison,
 )
 from repro.telemetry.export import (
     load_manifest,
@@ -33,8 +41,10 @@ from repro.telemetry.export import (
     snapshot_from_json,
     snapshot_to_csv,
     snapshot_to_json,
+    status_to_json,
     write_manifest,
     write_snapshot,
+    write_status,
 )
 from repro.telemetry.metrics import Counter, Gauge, Histogram
 from repro.telemetry.registry import MetricsRegistry, merge_snapshots
@@ -54,19 +64,27 @@ __all__ = [
     "SpanRecord",
     "SpanTracer",
     "available_scenarios",
+    "compare_manifest_files",
+    "compare_manifests",
+    "format_comparison",
     "get_scenario",
     "load_manifest",
     "manifest_to_json",
     "merge_manifest_files",
     "merge_manifests",
     "merge_snapshots",
+    "parse_sidecar_record",
+    "parse_sidecar_text",
     "run_campaign",
     "scenario",
     "shard_manifest_path",
+    "shard_run_indices",
     "snapshot_from_json",
     "snapshot_to_csv",
     "snapshot_to_json",
+    "status_to_json",
     "summarize_manifest",
     "write_manifest",
     "write_snapshot",
+    "write_status",
 ]

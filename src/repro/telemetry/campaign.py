@@ -71,9 +71,10 @@ import multiprocessing
 import pathlib
 import signal
 import subprocess
+import threading
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import (
     Callable,
     Dict,
@@ -105,9 +106,12 @@ __all__ = [
     "get_scenario",
     "merge_manifest_files",
     "merge_manifests",
+    "parse_sidecar_record",
+    "parse_sidecar_text",
     "run_campaign",
     "scenario",
     "shard_manifest_path",
+    "shard_run_indices",
     "sidecar_path",
     "summarize_manifest",
 ]
@@ -323,10 +327,10 @@ class CampaignConfig:
         payloads = self.expand()
         if self.shard_index is None:
             return payloads
-        return [
-            p for p in payloads
-            if p["index"] % self.shard_count == self.shard_index
-        ]
+        slice_indices = set(
+            shard_run_indices(len(payloads), self.shard_index, self.shard_count)
+        )
+        return [p for p in payloads if p["index"] in slice_indices]
 
     def run_policy(self) -> Dict[str, object]:
         """The retry/timeout policy shipped to workers (and recorded in
@@ -337,6 +341,63 @@ class CampaignConfig:
             "backoff_s": self.retry_backoff_s,
             "on_error": self.on_error,
         }
+
+    def to_spec_dict(self) -> Dict[str, object]:
+        """The JSON-safe *campaign spec*: what to run, minus this
+        process's transport knobs (shard, output path, resume, worker
+        count).  The control plane writes this to ``campaign.json`` and
+        every shard subprocess reads it back with
+        :meth:`from_spec_dict`, so parameter values cross the process
+        boundary as JSON — not as re-parsed command-line strings."""
+        return {
+            "scenario": self.scenario,
+            "seeds": [int(seed) for seed in self.seeds],
+            "params": dict(self.params),
+            "grid": (
+                {k: list(v) for k, v in self.grid.items()} if self.grid else None
+            ),
+            "name": self.name,
+            "run_timeout_s": self.run_timeout_s,
+            "retries": self.retries,
+            "retry_backoff_s": self.retry_backoff_s,
+            "on_error": self.on_error,
+            "heartbeat_s": self.heartbeat_s,
+        }
+
+    @classmethod
+    def from_spec_dict(
+        cls, spec: Dict[str, object], **overrides: object
+    ) -> "CampaignConfig":
+        """Rebuild a config from :meth:`to_spec_dict` output; unknown
+        keys raise so a typo in a submitted spec cannot silently become
+        a default.  ``overrides`` supplies the per-process knobs
+        (``shard_index``, ``output_path``, ``workers``, ...)."""
+        known = {
+            "scenario", "seeds", "params", "grid", "name", "run_timeout_s",
+            "retries", "retry_backoff_s", "on_error", "heartbeat_s",
+        }
+        unknown = sorted(set(spec) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown campaign spec key(s): {', '.join(unknown)}; "
+                f"valid: {', '.join(sorted(known))}"
+            )
+        if "scenario" not in spec or not spec["scenario"]:
+            raise ValueError("campaign spec needs a 'scenario'")
+        kwargs: Dict[str, object] = {
+            "scenario": spec["scenario"],
+            "seeds": list(spec.get("seeds") or [0]),
+            "params": dict(spec.get("params") or {}),
+            "grid": dict(spec["grid"]) if spec.get("grid") else None,
+            "name": spec.get("name") or "",
+            "run_timeout_s": spec.get("run_timeout_s"),
+            "retries": int(spec.get("retries") or 0),
+            "retry_backoff_s": float(spec.get("retry_backoff_s") or 0.0),
+            "on_error": spec.get("on_error") or "raise",
+            "heartbeat_s": spec.get("heartbeat_s"),
+        }
+        kwargs.update(overrides)
+        return cls(**kwargs)
 
 
 # ----------------------------------------------------------------------
@@ -525,6 +586,20 @@ def shard_manifest_path(
     return path.with_name(f"{path.stem}.shard{index + 1}of{count}{suffix}")
 
 
+def shard_run_indices(plan_runs: int, index: int, count: int) -> List[int]:
+    """The global run indices shard ``index`` (0-based) of ``count`` owns
+    under the deterministic round-robin split: run *k* belongs to shard
+    ``k % count``.  This is the *only* definition of a shard's slice —
+    ``shard_payloads``, the merge validation, and the control plane's
+    slice reassignment all derive from it, which is what makes stealing
+    a dead shard's remaining work exact rather than heuristic."""
+    if count < 1:
+        raise ValueError(f"shard count must be >= 1, got {count!r}")
+    if not 0 <= index < count:
+        raise ValueError(f"shard index must be in [0, {count}), got {index!r}")
+    return list(range(index, plan_runs, count))
+
+
 def _effective_output_path(config: CampaignConfig) -> Optional[pathlib.Path]:
     if config.output_path is None:
         return None
@@ -548,12 +623,22 @@ class _SidecarWriter:
     the meta line; every subsequent write happens inside the campaign's
     ``try/finally``, so a crash anywhere — a pool worker raising
     included — still closes the handle and leaves a replayable sidecar.
+
+    Heartbeats come from a dedicated daemon thread
+    (:meth:`start_heartbeats`), not from the run loop, so a sidecar
+    stays demonstrably *alive* even while one long run is executing —
+    the property the control plane's dead-shard detection rests on: a
+    slow shard keeps beating, a SIGKILLed or hung one goes silent.
+    All writes are serialized through a lock.
     """
 
     def __init__(self, config: CampaignConfig, path: pathlib.Path) -> None:
         self.path = sidecar_path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._handle = open(self.path, "w", encoding="utf-8")
+        self._lock = threading.Lock()
+        self._stop_beating = threading.Event()
+        self._beater: Optional[threading.Thread] = None
         self._emit(
             {
                 "kind": "campaign-meta",
@@ -572,8 +657,9 @@ class _SidecarWriter:
         )
 
     def _emit(self, record: Dict[str, object]) -> None:
-        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
-        self._handle.flush()
+        with self._lock:
+            self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+            self._handle.flush()
 
     def write(self, record: Dict[str, object]) -> None:
         self._emit(record)
@@ -591,7 +677,32 @@ class _SidecarWriter:
             }
         )
 
+    def start_heartbeats(
+        self,
+        interval_s: float,
+        progress: Callable[[], Tuple[int, int]],
+    ) -> None:
+        """Emit a heartbeat every ``interval_s`` while runs are in
+        flight.  ``progress`` returns ``(completed, pending)``; beats
+        stop once nothing is pending (and at :meth:`close`)."""
+
+        def beat() -> None:
+            while not self._stop_beating.wait(interval_s):
+                completed, pending = progress()
+                if pending <= 0:
+                    return
+                self.heartbeat(completed=completed, pending=pending)
+
+        self._beater = threading.Thread(
+            target=beat, name="campaign-heartbeat", daemon=True
+        )
+        self._beater.start()
+
     def close(self) -> None:
+        self._stop_beating.set()
+        if self._beater is not None:
+            self._beater.join(timeout=5.0)
+            self._beater = None
         self._handle.close()
 
     def __enter__(self) -> "_SidecarWriter":
@@ -599,6 +710,37 @@ class _SidecarWriter:
 
     def __exit__(self, *exc_info: object) -> None:
         self.close()
+
+
+def parse_sidecar_record(line: str) -> Optional[Dict[str, object]]:
+    """One sidecar line -> its record dict, or ``None`` for anything
+    unusable: blank lines, non-objects, and — crucially — the torn
+    trailing line a SIGKILLed campaign leaves mid-write.  Every sidecar
+    consumer (``--resume``, ``campaign status``, the control plane's
+    tailer) shares this tolerance instead of reimplementing it."""
+    if not line.strip():
+        return None
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError:
+        return None
+    return record if isinstance(record, dict) else None
+
+
+def parse_sidecar_text(text: str) -> List[Dict[str, object]]:
+    """Every parseable record in a sidecar's content, in order."""
+    records = []
+    for line in text.splitlines():
+        record = parse_sidecar_record(line)
+        if record is not None:
+            records.append(record)
+    return records
+
+
+def _is_run_record(record: Dict[str, object]) -> bool:
+    return (
+        record.get("kind") is None and "seed" in record and "params" in record
+    )
 
 
 def _read_sidecar(
@@ -611,19 +753,10 @@ def _read_sidecar(
     records."""
     runs: List[Dict[str, object]] = []
     scenario_name: Optional[str] = None
-    for line in path.read_text(encoding="utf-8").splitlines():
-        if not line.strip():
-            continue
-        try:
-            record = json.loads(line)
-        except json.JSONDecodeError:
-            continue
-        if not isinstance(record, dict):
-            continue
-        kind = record.get("kind")
-        if kind == "campaign-meta":
+    for record in parse_sidecar_text(path.read_text(encoding="utf-8")):
+        if record.get("kind") == "campaign-meta":
             scenario_name = record.get("scenario")
-        elif kind is None and "seed" in record and "params" in record:
+        elif _is_run_record(record):
             runs.append(record)
     return runs, scenario_name
 
@@ -703,24 +836,19 @@ def _drain_pool(
     payloads: List[Dict[str, object]],
     policy: Dict[str, object],
     writer: Optional[_SidecarWriter],
-    heartbeat_s: Optional[float],
     results: List[Dict[str, object]],
 ) -> None:
     """Submit every payload and collect results as they complete.
 
-    ``apply_async`` + polling rather than ``imap_unordered`` so the
-    parent can interleave heartbeat records while runs are in flight;
-    each record still streams to the sidecar the moment its run
-    finishes, and a worker exception (``on_error="raise"``) surfaces at
-    the matching ``.get()``."""
+    ``apply_async`` + polling rather than ``imap_unordered`` so results
+    stream to the sidecar the moment each run finishes (not in
+    submission order), and a worker exception (``on_error="raise"``)
+    surfaces at the matching ``.get()``.  Heartbeats ride the writer's
+    own thread, so this loop only moves run records."""
     pending = {
         p["index"]: pool.apply_async(_execute_run_guarded, (p, policy))
         for p in payloads
     }
-    completed = 0
-    next_heartbeat = (
-        time.monotonic() + heartbeat_s if heartbeat_s is not None else None
-    )
     while pending:
         progressed = False
         for index in list(pending):
@@ -732,15 +860,8 @@ def _drain_pool(
             if writer is not None:
                 writer.write(record)
             results.append(record)
-            completed += 1
             progressed = True
-        if not pending:
-            break
-        if next_heartbeat is not None and time.monotonic() >= next_heartbeat:
-            if writer is not None:
-                writer.heartbeat(completed=completed, pending=len(pending))
-            next_heartbeat = time.monotonic() + heartbeat_s
-        if not progressed:
+        if not progressed and pending:
             time.sleep(0.02)
 
 
@@ -755,11 +876,29 @@ def run_campaign(config: CampaignConfig) -> Dict[str, object]:
     from repro import __version__  # deferred: repro/__init__ imports telemetry
 
     # Fail fast before forking workers: config consistency, unknown
-    # scenario, then unknown parameter names (base params and every
-    # swept grid key).
+    # scenario, unknown parameter names (base params and every swept
+    # grid key), then typed coercion — base params and each grid value
+    # go through the scenario's param schema, so a CLI string like
+    # "0.05" becomes the float every worker (and every shard) agrees on.
     config.validate()
     entry = REGISTRY.get(config.scenario)
     entry.validate_params({**config.params, **{k: None for k in (config.grid or ())}})
+    if entry.param_schema:
+        config = replace(
+            config,
+            params=entry.coerce_params(config.params),
+            grid=(
+                {
+                    key: [
+                        entry.coerce_params({key: value})[key]
+                        for value in values
+                    ]
+                    for key, values in config.grid.items()
+                }
+                if config.grid
+                else None
+            ),
+        )
     full_plan = config.expand()
     payloads = config.shard_payloads()
     shard_meta = (
@@ -793,34 +932,27 @@ def run_campaign(config: CampaignConfig) -> Dict[str, object]:
         if writer is not None:
             for run in reused:
                 writer.write(run)
+        if writer is not None and config.heartbeat_s is not None and payloads:
+            # Liveness rides its own thread: the sidecar keeps beating
+            # even while one long run is executing, so the control
+            # plane can tell "slow" from "dead" without guessing.
+            total = len(payloads)
+            writer.start_heartbeats(
+                config.heartbeat_s,
+                lambda: (len(results), total - len(results)),
+            )
         if not payloads:
             pass
         elif config.workers == 1 or len(payloads) == 1:
-            next_heartbeat = (
-                time.monotonic() + config.heartbeat_s
-                if config.heartbeat_s is not None
-                else None
-            )
-            for position, payload in enumerate(payloads):
+            for payload in payloads:
                 record = _execute_run_guarded(payload, policy)
                 if writer is not None:
                     writer.write(record)
-                    if (
-                        next_heartbeat is not None
-                        and time.monotonic() >= next_heartbeat
-                    ):
-                        writer.heartbeat(
-                            completed=position + 1,
-                            pending=len(payloads) - position - 1,
-                        )
-                        next_heartbeat = time.monotonic() + config.heartbeat_s
                 results.append(record)
         else:
             workers = min(config.workers, len(payloads))
             with _pool_context().Pool(processes=workers) as pool:
-                _drain_pool(
-                    pool, payloads, policy, writer, config.heartbeat_s, results
-                )
+                _drain_pool(pool, payloads, policy, writer, results)
     finally:
         if writer is not None:
             writer.close()

@@ -1,0 +1,221 @@
+"""``campaign compare``: diff two run manifests.
+
+Answers the question every reproducibility claim eventually faces: *did
+these two sweeps run the same campaign, and did they get the same
+answer?*  Two manifests are compared on three levels:
+
+* **identity** — scenario (name + fingerprint), seeds, base params,
+  grid: disagreements mean the manifests describe *different*
+  campaigns;
+* **results** — the deterministic ``aggregate`` section (metrics +
+  summed outputs, numeric deltas reported per key) and each run's
+  ``outputs``: disagreements mean the same campaign produced different
+  answers — a determinism break, the thing this repo pins hardest;
+* **host** — git revision, repro version, worker count, durations:
+  *reported* but never failing, because re-running a campaign on a
+  different box or commit is exactly when you want to compare.
+
+:func:`compare_manifests` returns a structured report;
+:func:`format_comparison` renders it; the CLI exits non-zero on any
+identity or result mismatch.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.telemetry.export import load_manifest
+
+__all__ = [
+    "compare_manifest_files",
+    "compare_manifests",
+    "format_comparison",
+]
+
+#: Fields that define *which campaign* a manifest describes.
+_IDENTITY_FIELDS = (
+    "scenario",
+    "scenario_fingerprint",
+    "seeds",
+    "base_params",
+    "grid",
+)
+
+#: Host-side fields worth surfacing but never worth failing over.
+_HOST_FIELDS = ("repro_version", "git_rev", "workers", "total_duration_s")
+
+
+def _flatten(prefix: str, value: object, out: Dict[str, object]) -> None:
+    """``{"a": {"b": 1}}`` -> ``{"a.b": 1}`` so diffs name leaf keys."""
+    if isinstance(value, dict):
+        for key in value:
+            _flatten(f"{prefix}.{key}" if prefix else str(key), value[key], out)
+    else:
+        out[prefix] = value
+
+
+def _diff_leaves(
+    left: object, right: object
+) -> List[Dict[str, object]]:
+    """Leaf-level differences between two nested dicts, sorted by key.
+
+    Numeric differences carry a ``delta`` (right minus left) so an
+    aggregate drift reads as "+120 events", not two opaque numbers.
+    """
+    flat_left: Dict[str, object] = {}
+    flat_right: Dict[str, object] = {}
+    _flatten("", left, flat_left)
+    _flatten("", right, flat_right)
+    diffs: List[Dict[str, object]] = []
+    for key in sorted(set(flat_left) | set(flat_right)):
+        a = flat_left.get(key, "<absent>")
+        b = flat_right.get(key, "<absent>")
+        if a == b:
+            continue
+        entry: Dict[str, object] = {"key": key, "a": a, "b": b}
+        if (
+            isinstance(a, (int, float)) and isinstance(b, (int, float))
+            and not isinstance(a, bool) and not isinstance(b, bool)
+        ):
+            entry["delta"] = b - a
+        diffs.append(entry)
+    return diffs
+
+
+def _run_outputs_by_index(
+    manifest: Dict[str, object]
+) -> Dict[int, Dict[str, object]]:
+    return {
+        int(run["index"]): {
+            "seed": run.get("seed"),
+            "params": run.get("params"),
+            "status": run.get("status", "ok"),
+            "outputs": run.get("outputs", {}),
+        }
+        for run in manifest.get("runs", [])
+    }
+
+
+def compare_manifests(
+    left: Dict[str, object],
+    right: Dict[str, object],
+    labels: Tuple[str, str] = ("a", "b"),
+) -> Dict[str, object]:
+    """Structured comparison of two campaign manifests.
+
+    The report's ``match`` is True iff identity, aggregate, and per-run
+    outputs all agree; ``host`` differences never affect it.
+    """
+    identity = {
+        field: {"a": left.get(field), "b": right.get(field)}
+        for field in _IDENTITY_FIELDS
+        if left.get(field) != right.get(field)
+    }
+    aggregate = _diff_leaves(
+        left.get("aggregate") or {}, right.get("aggregate") or {}
+    )
+    runs_left = _run_outputs_by_index(left)
+    runs_right = _run_outputs_by_index(right)
+    run_diffs: List[Dict[str, object]] = []
+    for index in sorted(set(runs_left) | set(runs_right)):
+        a = runs_left.get(index)
+        b = runs_right.get(index)
+        if a != b:
+            run_diffs.append({"index": index, "a": a, "b": b})
+    host = {
+        field: {"a": left.get(field), "b": right.get(field)}
+        for field in _HOST_FIELDS
+        if left.get(field) != right.get(field)
+    }
+    return {
+        "labels": {"a": labels[0], "b": labels[1]},
+        "match": not identity and not aggregate and not run_diffs,
+        "identity": identity,
+        "aggregate": aggregate,
+        "runs": {
+            "a_count": len(runs_left),
+            "b_count": len(runs_right),
+            "differing": run_diffs,
+        },
+        "host": host,
+    }
+
+
+def compare_manifest_files(
+    left_path: Union[str, pathlib.Path],
+    right_path: Union[str, pathlib.Path],
+) -> Dict[str, object]:
+    """Load two manifests from disk and compare them."""
+    return compare_manifests(
+        load_manifest(left_path),
+        load_manifest(right_path),
+        labels=(str(left_path), str(right_path)),
+    )
+
+
+def _format_value(value: object, limit: int = 60) -> str:
+    text = repr(value)
+    return text if len(text) <= limit else text[: limit - 3] + "..."
+
+
+def format_comparison(
+    report: Dict[str, object], max_rows: Optional[int] = 20
+) -> str:
+    """Human-readable rendering of a :func:`compare_manifests` report."""
+    labels = report["labels"]
+    lines = [f"a: {labels['a']}", f"b: {labels['b']}"]
+    identity = report["identity"]
+    aggregate = report["aggregate"]
+    run_diffs: Sequence[Dict[str, object]] = report["runs"]["differing"]
+    if report["match"]:
+        lines.append(
+            f"MATCH: same campaign, same aggregate, "
+            f"{report['runs']['a_count']} run(s) identical"
+        )
+    if identity:
+        lines.append("IDENTITY MISMATCH (these are different campaigns):")
+        for field in sorted(identity):
+            pair = identity[field]
+            lines.append(
+                f"  {field:<22} a={_format_value(pair['a'])}  "
+                f"b={_format_value(pair['b'])}"
+            )
+    if report["runs"]["a_count"] != report["runs"]["b_count"]:
+        lines.append(
+            f"RUN COUNT MISMATCH: a has {report['runs']['a_count']}, "
+            f"b has {report['runs']['b_count']}"
+        )
+    if aggregate:
+        lines.append(f"AGGREGATE MISMATCH ({len(aggregate)} key(s) differ):")
+        shown = aggregate if max_rows is None else aggregate[:max_rows]
+        for entry in shown:
+            delta = (
+                f"  (delta {entry['delta']:+g})" if "delta" in entry else ""
+            )
+            lines.append(
+                f"  {entry['key']:<40} a={_format_value(entry['a'], 24)}  "
+                f"b={_format_value(entry['b'], 24)}{delta}"
+            )
+        if max_rows is not None and len(aggregate) > max_rows:
+            lines.append(f"  ... and {len(aggregate) - max_rows} more")
+    if run_diffs:
+        lines.append(f"RUN OUTPUT MISMATCH ({len(run_diffs)} run(s) differ):")
+        shown = run_diffs if max_rows is None else run_diffs[:max_rows]
+        for entry in shown:
+            lines.append(
+                f"  run {entry['index']}: a={_format_value(entry['a'])}  "
+                f"b={_format_value(entry['b'])}"
+            )
+        if max_rows is not None and len(run_diffs) > max_rows:
+            lines.append(f"  ... and {len(run_diffs) - max_rows} more")
+    host = report["host"]
+    if host:
+        lines.append("host differences (informational, never fail the compare):")
+        for field in sorted(host):
+            pair = host[field]
+            lines.append(
+                f"  {field:<22} a={_format_value(pair['a'], 28)}  "
+                f"b={_format_value(pair['b'], 28)}"
+            )
+    return "\n".join(lines)

@@ -35,6 +35,8 @@ __all__ = [
     "manifest_to_json",
     "write_manifest",
     "load_manifest",
+    "status_to_json",
+    "write_status",
 ]
 
 Snapshot = Dict[str, Dict[str, object]]
@@ -108,6 +110,32 @@ def write_manifest(
     path = pathlib.Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(manifest_to_json(manifest), encoding="utf-8")
+    return path
+
+
+# ----------------------------------------------------------------------
+# Control-plane status snapshots
+# ----------------------------------------------------------------------
+def status_to_json(status: Dict[str, object]) -> str:
+    """Canonical serialization for control-plane status snapshots (the
+    driver's ``driver.json``, ``campaign status --json``, and the HTTP
+    service's responses): same sorted-keys/2-indent/trailing-newline
+    shape as manifests, so snapshots diff cleanly."""
+    return json.dumps(status, indent=2, sort_keys=True, default=str) + "\n"
+
+
+def write_status(
+    status: Dict[str, object], path: Union[str, pathlib.Path]
+) -> pathlib.Path:
+    """Atomically write a status snapshot: the control plane rewrites
+    these while ``campaign status`` and the HTTP service read them, and
+    a torn JSON document — unlike a torn sidecar *line* — has no
+    recovery path, so replace-via-rename is mandatory here."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(status_to_json(status), encoding="utf-8")
+    tmp.replace(path)
     return path
 
 

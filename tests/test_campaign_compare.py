@@ -1,0 +1,134 @@
+"""``campaign compare``: did two manifests run the same campaign, and
+did they get the same answer?
+
+The severity model under test: **identity** differences (scenario,
+fingerprint, seeds, params, grid) and **result** differences
+(aggregate, per-run outputs) break the match and fail the CLI with
+exit 1; **host** differences (git rev, durations, workers, repro
+version) are reported but never fail — comparing across machines and
+commits is the point of the tool.
+"""
+
+import copy
+import json
+
+import pytest
+
+import tests.control_scenarios  # noqa: F401 - registers ctl-noop
+from repro.__main__ import main
+from repro.telemetry import (
+    CampaignConfig,
+    compare_manifest_files,
+    compare_manifests,
+    format_comparison,
+    run_campaign,
+    write_manifest,
+)
+
+
+@pytest.fixture(scope="module")
+def manifest():
+    return run_campaign(
+        CampaignConfig(
+            scenario="ctl-noop", seeds=[0, 1, 2], params={"draws": 3}
+        )
+    )
+
+
+class TestCompareManifests:
+    def test_rerun_of_same_campaign_matches(self, manifest):
+        rerun = run_campaign(
+            CampaignConfig(
+                scenario="ctl-noop", seeds=[0, 1, 2], params={"draws": 3}
+            )
+        )
+        report = compare_manifests(manifest, rerun)
+        assert report["match"] is True
+        assert report["identity"] == {}
+        assert report["aggregate"] == []
+        assert report["runs"]["differing"] == []
+        assert "MATCH" in format_comparison(report)
+
+    def test_host_differences_never_break_the_match(self, manifest):
+        other = copy.deepcopy(manifest)
+        other["git_rev"] = "somewhere-else"
+        other["total_duration_s"] = 999.0
+        other["workers"] = 16
+        report = compare_manifests(manifest, other)
+        assert report["match"] is True
+        assert set(report["host"]) == {"git_rev", "total_duration_s", "workers"}
+        assert "informational" in format_comparison(report)
+
+    def test_aggregate_drift_reports_numeric_delta(self, manifest):
+        other = copy.deepcopy(manifest)
+        other["aggregate"]["outputs"]["value_sum"] += 120
+        report = compare_manifests(manifest, other)
+        assert report["match"] is False
+        (diff,) = [
+            d for d in report["aggregate"] if d["key"] == "outputs.value_sum"
+        ]
+        assert diff["delta"] == 120
+        assert "delta +120" in format_comparison(report)
+
+    def test_identity_mismatch_names_the_field(self, manifest):
+        other = copy.deepcopy(manifest)
+        other["seeds"] = [0, 1, 2, 3]
+        report = compare_manifests(manifest, other)
+        assert report["match"] is False
+        assert "seeds" in report["identity"]
+        assert "different campaigns" in format_comparison(report)
+
+    def test_differing_run_outputs_are_listed_by_index(self, manifest):
+        other = copy.deepcopy(manifest)
+        other["runs"][1]["outputs"]["value_sum"] = -1
+        report = compare_manifests(manifest, other)
+        assert report["match"] is False
+        assert [d["index"] for d in report["runs"]["differing"]] == [1]
+
+    def test_run_count_mismatch_is_a_result_mismatch(self, manifest):
+        other = copy.deepcopy(manifest)
+        other["runs"] = other["runs"][:-1]
+        report = compare_manifests(manifest, other)
+        assert report["match"] is False
+        assert report["runs"]["a_count"] == 3
+        assert report["runs"]["b_count"] == 2
+        assert "RUN COUNT MISMATCH" in format_comparison(report)
+
+
+class TestCompareCli:
+    def test_matching_manifests_exit_zero(self, manifest, tmp_path, capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        write_manifest(manifest, a)
+        write_manifest(manifest, b)
+        assert main(["campaign", "compare", str(a), str(b)]) == 0
+        assert "MATCH" in capsys.readouterr().out
+
+    def test_result_mismatch_exits_nonzero(self, manifest, tmp_path, capsys):
+        other = copy.deepcopy(manifest)
+        other["aggregate"]["outputs"]["value_sum"] += 1
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        write_manifest(manifest, a)
+        write_manifest(other, b)
+        assert main(["campaign", "compare", str(a), str(b)]) == 1
+        assert "AGGREGATE MISMATCH" in capsys.readouterr().out
+
+    def test_json_report_round_trips(self, manifest, tmp_path, capsys):
+        a = tmp_path / "a.json"
+        write_manifest(manifest, a)
+        assert main(["campaign", "compare", "--json", str(a), str(a)]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["match"] is True
+
+    def test_unreadable_manifest_is_a_usage_error(self, manifest, tmp_path):
+        a = tmp_path / "a.json"
+        write_manifest(manifest, a)
+        with pytest.raises(SystemExit) as excinfo:
+            main(["campaign", "compare", str(a), str(tmp_path / "missing.json")])
+        assert excinfo.value.code == 2
+
+    def test_compare_manifest_files_labels_paths(self, manifest, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        write_manifest(manifest, a)
+        write_manifest(manifest, b)
+        report = compare_manifest_files(a, b)
+        assert report["labels"] == {"a": str(a), "b": str(b)}

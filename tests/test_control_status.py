@@ -1,0 +1,253 @@
+"""``campaign status`` / ``fleet_status``: the from-disk fleet view.
+
+Everything here is built from hand-written artifacts — sidecars,
+``campaign.json``, ``driver.json`` — with **no** driver or subprocess
+involved, because that is the contract: status is reconstructed from
+what a fleet leaves on disk, so it works against running, finished,
+and crashed campaigns alike.  Pinned specifically:
+
+* shard states (pending / running / stalled / done) derive from
+  manifests, heartbeat freshness, and the stall threshold;
+* a **torn trailing sidecar line** (a SIGKILLed shard's signature) is
+  tolerated, not fatal — reusing the shared sidecar parsing;
+* a **missing sidecar** for a known shard index reads as ``pending``;
+* ``driver.json``, when present, contributes ground truth the sidecars
+  lack (failure verdicts, attempt counts);
+* the incremental tailer consumes complete lines only and survives a
+  sidecar being rewritten underneath it (shard relaunch).
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.control import SidecarTailer, fleet_status, render_fleet_status
+from repro.telemetry import CampaignConfig, status_to_json, write_status
+
+NOW = time.time()
+
+
+def _spec(tmp_path, seeds=(0, 1, 2, 3), heartbeat_s=0.5):
+    config = CampaignConfig(
+        scenario="ctl-noop", seeds=list(seeds), name="status-test",
+        heartbeat_s=heartbeat_s,
+    )
+    write_status(config.to_spec_dict(), tmp_path / "campaign.json")
+    return config
+
+
+def _sidecar(
+    tmp_path,
+    index,
+    count,
+    run_indices=(),
+    heartbeat=None,
+    torn_tail=False,
+    with_manifest=False,
+    failed=(),
+):
+    """Write one shard sidecar (and optionally its manifest) by hand."""
+    stem = f"manifest.shard{index + 1}of{count}.json"
+    lines = [
+        json.dumps(
+            {
+                "kind": "campaign-meta",
+                "scenario": "ctl-noop",
+                "campaign": "status-test",
+                "shard": {"index": index, "count": count},
+                "created_unix": NOW - 60.0,
+            }
+        )
+    ]
+    for run_index in run_indices:
+        lines.append(
+            json.dumps(
+                {
+                    "index": run_index,
+                    "seed": run_index,
+                    "params": {},
+                    "status": "failed" if run_index in failed else "ok",
+                    "outputs": {"value": run_index},
+                }
+            )
+        )
+    if heartbeat is not None:
+        lines.append(json.dumps({"kind": "heartbeat", **heartbeat}))
+    text = "\n".join(lines) + "\n"
+    if torn_tail:
+        text += '{"index": 99, "seed": 99, "params": {}, "outpu'  # mid-write
+    path = tmp_path / f"{stem}.runs.jsonl"
+    path.write_text(text)
+    if with_manifest:
+        (tmp_path / stem).write_text("{}\n")
+    return path
+
+
+class TestShardStates:
+    def test_done_when_shard_manifest_exists(self, tmp_path):
+        _spec(tmp_path)
+        _sidecar(tmp_path, 0, 2, run_indices=(0, 2), with_manifest=True)
+        _sidecar(tmp_path, 1, 2, run_indices=(1, 3), with_manifest=True)
+        status = fleet_status(tmp_path, now=NOW)
+        assert [s["state"] for s in status["shards"]] == ["done", "done"]
+        assert status["state"] == "merge-pending"  # no merged manifest.json
+        assert status["plan_runs"] == 4
+        assert status["shard_count"] == 2
+
+    def test_done_overall_once_merged_manifest_lands(self, tmp_path):
+        _spec(tmp_path)
+        _sidecar(tmp_path, 0, 1, run_indices=(0,), with_manifest=True)
+        (tmp_path / "manifest.json").write_text("{}\n")
+        status = fleet_status(tmp_path, now=NOW)
+        assert status["state"] == "done"
+        assert status["merged_manifest"] == str(tmp_path / "manifest.json")
+
+    def test_running_with_fresh_heartbeat(self, tmp_path):
+        _spec(tmp_path)
+        _sidecar(
+            tmp_path, 0, 1, run_indices=(0, 1),
+            heartbeat={"unix": NOW - 0.2, "completed": 2, "pending": 2},
+        )
+        status = fleet_status(tmp_path, now=NOW)
+        (shard,) = status["shards"]
+        assert shard["state"] == "running"
+        assert shard["runs"] == 2
+        assert shard["pending"] == 2
+        assert shard["last_heartbeat_unix"] == pytest.approx(NOW - 0.2)
+
+    def test_stalled_after_silence(self, tmp_path):
+        _spec(tmp_path, heartbeat_s=0.5)  # stall threshold = 4 beats = 2s
+        _sidecar(
+            tmp_path, 0, 1, run_indices=(0,),
+            heartbeat={"unix": NOW - 60.0, "completed": 1, "pending": 3},
+        )
+        status = fleet_status(tmp_path, now=NOW + 120.0)
+        assert status["shards"][0]["state"] == "stalled"
+        assert status["state"] == "stalled"
+
+    def test_missing_sidecar_reads_as_pending(self, tmp_path):
+        _spec(tmp_path)
+        _sidecar(tmp_path, 0, 3, run_indices=(0,), with_manifest=True)
+        status = fleet_status(tmp_path, now=NOW)
+        by_index = {s["index"]: s["state"] for s in status["shards"]}
+        assert by_index == {0: "done", 1: "pending", 2: "pending"}
+
+
+class TestTornAndMissingArtifacts:
+    def test_torn_trailing_line_is_tolerated(self, tmp_path):
+        _spec(tmp_path)
+        _sidecar(tmp_path, 0, 1, run_indices=(0, 1, 2), torn_tail=True)
+        status = fleet_status(tmp_path, now=NOW)
+        assert status["shards"][0]["runs"] == 3  # torn record not counted
+
+    def test_no_spec_no_driver_sidecars_only(self, tmp_path):
+        _sidecar(tmp_path, 0, 2, run_indices=(0,), with_manifest=True)
+        _sidecar(tmp_path, 1, 2, run_indices=(1,))
+        status = fleet_status(tmp_path, now=NOW, stall_after_s=1e9)
+        assert status["campaign"] is None
+        assert status["plan_runs"] is None
+        assert status["shard_count"] == 2  # from the sidecar meta lines
+        assert [s["state"] for s in status["shards"]] == ["done", "running"]
+
+    def test_empty_directory_has_no_shards(self, tmp_path):
+        status = fleet_status(tmp_path, now=NOW)
+        assert status["shards"] == []
+        assert "no shard sidecars" in render_fleet_status(status)
+
+    def test_non_directory_raises(self, tmp_path):
+        with pytest.raises(ValueError, match="not a campaign directory"):
+            fleet_status(tmp_path / "nope")
+
+    def test_corrupt_spec_degrades_to_sidecar_only_view(self, tmp_path):
+        (tmp_path / "campaign.json").write_text("{not json")
+        _sidecar(tmp_path, 0, 1, run_indices=(0,), with_manifest=True)
+        status = fleet_status(tmp_path, now=NOW)
+        assert status["campaign"] is None
+        assert status["shards"][0]["state"] == "done"
+
+    def test_failed_runs_are_counted(self, tmp_path):
+        _spec(tmp_path)
+        _sidecar(tmp_path, 0, 1, run_indices=(0, 1, 2), failed=(1,))
+        status = fleet_status(tmp_path, now=NOW, stall_after_s=1e9)
+        assert status["shards"][0]["failed"] == 1
+
+
+class TestDriverJsonIntegration:
+    def test_driver_verdicts_override_sidecar_guesses(self, tmp_path):
+        _spec(tmp_path)
+        _sidecar(tmp_path, 0, 2, run_indices=(0,))
+        write_status(
+            {
+                "state": "failed",
+                "shard_count": 2,
+                "reassignments": 3,
+                "updated_unix": NOW,
+                "shards": [
+                    {"index": 0, "state": "failed", "attempts": 2},
+                    {"index": 1, "state": "failed", "attempts": 1},
+                ],
+            },
+            tmp_path / "driver.json",
+        )
+        status = fleet_status(tmp_path, now=NOW, stall_after_s=1e9)
+        assert status["state"] == "failed"
+        assert status["driver"]["reassignments"] == 3
+        assert status["shards"][0]["state"] == "failed"
+        assert status["shards"][0]["attempts"] == 2
+        assert status["shards"][1]["state"] == "failed"  # no sidecar at all
+
+    def test_render_includes_table_and_driver_line(self, tmp_path):
+        _spec(tmp_path)
+        _sidecar(tmp_path, 0, 2, run_indices=(0, 2), with_manifest=True)
+        _sidecar(tmp_path, 1, 2, run_indices=(1,))
+        write_status(
+            {
+                "state": "running",
+                "shard_count": 2,
+                "reassignments": 1,
+                "updated_unix": NOW,
+                "shards": [],
+            },
+            tmp_path / "driver.json",
+        )
+        text = render_fleet_status(fleet_status(tmp_path, now=NOW))
+        assert "SHARD" in text and "STATE" in text
+        assert "1 slice reassignment(s)" in text
+        assert "1/2" in text and "2/2" in text
+
+    def test_status_snapshot_serializes_canonically(self, tmp_path):
+        _spec(tmp_path)
+        _sidecar(tmp_path, 0, 1, run_indices=(0,), with_manifest=True)
+        status = fleet_status(tmp_path, now=NOW)
+        text = status_to_json(status)
+        assert json.loads(text)["dir"] == str(tmp_path)
+        assert text.endswith("\n")
+
+
+class TestSidecarTailer:
+    def test_incremental_polling_consumes_complete_lines_only(self, tmp_path):
+        path = tmp_path / "x.runs.jsonl"
+        tailer = SidecarTailer(path)
+        assert tailer.poll() == []  # file does not exist yet
+        path.write_text('{"kind": "campaign-meta"}\n{"index": 0, "se')
+        (first,) = tailer.poll()
+        assert first["kind"] == "campaign-meta"
+        assert tailer.poll() == []  # torn tail stays unconsumed
+        with open(path, "a") as handle:
+            handle.write('ed": 0, "params": {}}\n')
+        (second,) = tailer.poll()
+        assert second == {"index": 0, "seed": 0, "params": {}}
+
+    def test_rewritten_file_resets_the_tailer(self, tmp_path):
+        path = tmp_path / "x.runs.jsonl"
+        path.write_text('{"a": 1}\n{"b": 2}\n')
+        tailer = SidecarTailer(path)
+        assert len(tailer.poll()) == 2
+        path.write_text('{"c": 3}\n')  # shard relaunched: file shrank
+        assert tailer.poll() == [{"c": 3}]
+
+    def test_garbage_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "x.runs.jsonl"
+        path.write_text('not json\n\n{"ok": 1}\n[1, 2]\n')
+        assert SidecarTailer(path).poll() == [{"ok": 1}]
