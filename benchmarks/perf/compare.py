@@ -7,11 +7,13 @@ Usage::
 
 ``BASELINE`` and ``CANDIDATE`` are directories of ``BENCH_*.json`` files
 (or single files).  For every benchmark present in both, prints the
-``run_s`` ratio (candidate / baseline; > 1 means slower) and the change
-in events-per-second throughput.  With ``--max-regression`` the exit
-status turns non-zero when any benchmark slows past the factor — CI
-currently runs record-only (no threshold), so the trajectory accumulates
-before a gate is chosen.
+wall-time ratio (candidate / baseline; > 1 means slower) and the change
+in events-per-second throughput.  Timing reads ``engine_wall_s`` — the
+engine's own run timer, identical across entries — whenever both sides
+carry it, falling back to ``run_s`` for engine-less benchmarks, so the
+diff never mixes span and harness timers.  With ``--max-regression``
+the exit status turns non-zero when any benchmark slows past the
+factor; ``make perf-compare`` gates at 1.25x by default.
 
 Wall-clock comparisons are only meaningful between runs in the same mode
 (quick vs full) on comparable hardware; mismatched modes are flagged.
@@ -27,7 +29,11 @@ from typing import Dict
 if __package__ in (None, ""):
     sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent.parent))
 
-from benchmarks.perf.harness import load_result  # noqa: E402
+from benchmarks.perf.harness import (  # noqa: E402
+    engine_wall_s,
+    events_executed,
+    load_result,
+)
 
 
 def _load_set(path: pathlib.Path) -> Dict[str, dict]:
@@ -41,12 +47,20 @@ def _load_set(path: pathlib.Path) -> Dict[str, dict]:
     return results
 
 
-def _events_per_s(record: dict) -> float:
-    events = record.get("outputs", {}).get("events_executed")
-    run_s = record.get("run_s") or 0.0
-    if not events or not run_s:
+def _timing_pair(base: dict, cand: dict) -> tuple:
+    """(base_s, cand_s, label): engine timers when both sides have them."""
+    base_wall = engine_wall_s(base)
+    cand_wall = engine_wall_s(cand)
+    if base_wall is not None and cand_wall is not None:
+        return base_wall, cand_wall, "engine"
+    return base.get("run_s") or 0.0, cand.get("run_s") or 0.0, "run_s"
+
+
+def _events_per_s(record: dict, wall: float) -> float:
+    events = events_executed(record)
+    if not events or not wall:
         return 0.0
-    return events / run_s
+    return events / wall
 
 
 def main(argv=None) -> int:
@@ -65,20 +79,21 @@ def main(argv=None) -> int:
     if not shared:
         raise SystemExit("no benchmarks in common between the two sets")
 
-    print(f"{'bench':<24} {'base run_s':>10} {'cand run_s':>10} "
-          f"{'ratio':>7}  {'base ev/s':>12} {'cand ev/s':>12}")
+    print(f"{'bench':<24} {'base s':>10} {'cand s':>10} "
+          f"{'ratio':>7}  {'base ev/s':>12} {'cand ev/s':>12}  timer")
     worst = 0.0
     for name in shared:
         base, cand = baseline[name], candidate[name]
         flag = ""
         if base.get("quick") != cand.get("quick"):
             flag = "  [mode mismatch: quick vs full]"
-        ratio = (cand["run_s"] / base["run_s"]) if base["run_s"] else float("inf")
+        base_s, cand_s, timer = _timing_pair(base, cand)
+        ratio = (cand_s / base_s) if base_s else float("inf")
         worst = max(worst, ratio)
         print(
-            f"{name:<24} {base['run_s']:>10.3f} {cand['run_s']:>10.3f} "
-            f"{ratio:>6.2f}x  {_events_per_s(base):>12,.0f} "
-            f"{_events_per_s(cand):>12,.0f}{flag}"
+            f"{name:<24} {base_s:>10.3f} {cand_s:>10.3f} "
+            f"{ratio:>6.2f}x  {_events_per_s(base, base_s):>12,.0f} "
+            f"{_events_per_s(cand, cand_s):>12,.0f}  {timer}{flag}"
         )
     missing = sorted(set(baseline) ^ set(candidate))
     if missing:

@@ -15,6 +15,12 @@ comparable:
 ``setup_s`` / ``run_s`` / ``wall_s``
     Scenario construction time, simulation time (the number the perf
     trajectory tracks), and their sum.
+``engine_wall_s``
+    The engine's own ``engine.run.wall_time_s`` counter when the
+    benchmark carries a metrics registry (``None`` otherwise).  This is
+    the apples-to-apples number ``compare.py`` diffs: it excludes
+    scenario construction and harness overhead regardless of where a
+    benchmark put its setup/run split.
 ``outputs``
     Flat dict of benchmark-specific numbers (event counts, throughput).
 ``metrics``
@@ -78,6 +84,7 @@ def run_bench(
     outcome = fn(quick)
     wall = time.perf_counter() - start
     run_s = max(wall - outcome.setup_s, 0.0)
+    snapshot = outcome.metrics.snapshot() if outcome.metrics else None
     result: Dict[str, object] = {
         "schema": SCHEMA_VERSION,
         "bench": name,
@@ -91,10 +98,41 @@ def run_bench(
         "setup_s": outcome.setup_s,
         "run_s": run_s,
         "wall_s": wall,
+        "engine_wall_s": engine_wall_s_of(snapshot),
         "outputs": {k: outcome.outputs[k] for k in sorted(outcome.outputs)},
-        "metrics": outcome.metrics.snapshot() if outcome.metrics else None,
+        "metrics": snapshot,
     }
     return result
+
+
+def engine_wall_s_of(snapshot: Optional[Dict[str, object]]) -> Optional[float]:
+    """Extract ``engine.run.wall_time_s`` from a metrics snapshot."""
+    if not snapshot:
+        return None
+    value = snapshot.get("counters", {}).get("engine.run.wall_time_s")
+    return float(value) if value is not None else None
+
+
+def engine_wall_s(record: Dict[str, object]) -> Optional[float]:
+    """The engine wall time of a result record, old or new schema.
+
+    Prefers the top-level ``engine_wall_s`` field; falls back to digging
+    it out of the embedded metrics snapshot (pre-field baselines), then
+    to ``None`` for benchmarks that never ran an engine.
+    """
+    value = record.get("engine_wall_s")
+    if value is not None:
+        return float(value)
+    return engine_wall_s_of(record.get("metrics"))
+
+
+def events_executed(record: Dict[str, object]) -> Optional[float]:
+    """Engine events executed, from outputs or the metrics snapshot."""
+    value = record.get("outputs", {}).get("events_executed")
+    if value is None:
+        metrics = record.get("metrics") or {}
+        value = metrics.get("counters", {}).get("engine.events.executed")
+    return float(value) if value is not None else None
 
 
 def result_path(out_dir: pathlib.Path, name: str) -> pathlib.Path:

@@ -35,6 +35,7 @@ from benchmarks.perf.bench_campaign_shard import bench_campaign_shard  # noqa: E
 from benchmarks.perf.bench_engine_churn import bench_engine_churn  # noqa: E402
 from benchmarks.perf.bench_figure6_battery import bench_figure6_battery  # noqa: E402
 from benchmarks.perf.bench_medium_broadcast import bench_medium_broadcast  # noqa: E402
+from benchmarks.perf.bench_medium_soa import bench_medium_soa  # noqa: E402
 from benchmarks.perf.bench_table2_wardrive import bench_table2_wardrive  # noqa: E402
 from benchmarks.perf.bench_wardrive_full import bench_wardrive_full  # noqa: E402
 
@@ -42,6 +43,7 @@ BENCHES = {
     "campaign_drive": bench_campaign_drive,
     "campaign_shard": bench_campaign_shard,
     "medium_broadcast": bench_medium_broadcast,
+    "medium_soa": bench_medium_soa,
     "engine_churn": bench_engine_churn,
     "table2_wardrive": bench_table2_wardrive,
     "figure6_battery": bench_figure6_battery,

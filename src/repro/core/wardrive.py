@@ -39,6 +39,13 @@ class WardriveConfig:
     probe_attempts: int = 4
     max_probe_rounds: int = 6
     injector_tick: float = 0.004
+    #: ``"event"`` (default) wakes the injector only at tick-grid points
+    #: that follow a state change (discovery, probe completion, channel
+    #: hop) — thousands of events per survey instead of a fixed-rate
+    #: poll's hundreds of thousands.  ``"poll"`` keeps the original
+    #: fixed-rate loop.  Both serve targets at identical grid times and
+    #: produce byte-identical seeded traces (pinned by tests).
+    injector_mode: str = "event"
     vehicle_speed_mps: float = 11.0
     rig_height_m: float = 1.8  # dongle on the roof of the vehicle
     #: ``"multi"`` mounts one dongle per survey channel (a Kismet-style
@@ -72,6 +79,17 @@ class WardrivePipeline:
         self._targets: Dict[MacAddress, _TargetState] = {}
         self.results = SurveyResults()
         self._running = False
+        if self.config.injector_mode not in ("event", "poll"):
+            raise ValueError(
+                f"unknown injector mode {self.config.injector_mode!r}"
+            )
+        self._event_mode = self.config.injector_mode == "event"
+        #: Event-mode state: the next unserved point of the injector tick
+        #: grid (the same ``start + 0.1 + k*tick`` chain of floats the
+        #: polling loop accumulates), and the grid time a wake is already
+        #: scheduled for (dedupe).
+        self._grid = 0.0
+        self._armed_at: Optional[float] = None
         self._build_rig()
         self.scanner = PassiveScanner(
             [dongle for dongle, _ in self._units],
@@ -127,6 +145,10 @@ class WardrivePipeline:
             state["index"] = (state["index"] + 1) % len(SURVEY_CHANNELS)
             dongle.radio.channel = SURVEY_CHANNELS[state["index"]]
             self.engine.call_after(self.config.hop_dwell_s, hop)
+            if self._event_mode:
+                # The queue served just changed; the newly parked-on
+                # channel may have waiting targets.
+                self._arm_injector()
 
         self.engine.call_after(self.config.hop_dwell_s, hop)
 
@@ -137,13 +159,66 @@ class WardrivePipeline:
         state = _TargetState(record=record)
         self._targets[record.mac] = state
         self._queues.setdefault(record.channel, []).append(state)
+        if self._event_mode:
+            self._arm_injector()
 
     # ------------------------------------------------------------------
     # Stages 2+3: inject + verify (one serialized unit per channel)
     # ------------------------------------------------------------------
+    #
+    # The injector serves targets at fixed grid times (start + 0.1 +
+    # k*tick).  "poll" mode realizes the grid literally: one self-
+    # re-arming engine event per unit per tick, ~hundreds of thousands of
+    # no-op events per survey.  "event" mode (default) keeps the exact
+    # same grid but only wakes at grid points that *follow a state
+    # change*, because between changes a tick provably does nothing:
+    #
+    # * the queue and the monitor's busy flag only change at discovery,
+    #   probe completion, and channel hop — each of those arms a wake at
+    #   the first grid point strictly after it fires;
+    # * a full probe cycle (attempts x (response window + retry pause),
+    #   ~3 ms at the default settings) is shorter than the 4 ms tick, so
+    #   the polling loop never observed a mid-cycle state either;
+    # * mutators are scheduled closer to their fire time than a tick's
+    #   full period, so at a shared fire time the poll tick's sequence
+    #   number always sorted first — meaning a poll tick never saw
+    #   same-time mutations, exactly like a wake armed strictly earlier.
+    #
+    # One wake serves every unit in unit order, matching poll mode's
+    # per-unit ticks (scheduled unit 0 first) at equal times.
+    def _arm_injector(self) -> None:
+        """Schedule a wake at the first grid point after ``now`` (event mode)."""
+        if not self._running:
+            return
+        now = self.engine.now
+        tick = self.config.injector_tick
+        grid = self._grid
+        # Left-associated accumulation: visits exactly the float values
+        # the polling loop's per-tick `now + tick` chain produces.
+        while grid <= now:
+            grid += tick
+        self._grid = grid
+        if self._armed_at != grid:
+            self._armed_at = grid
+            self.engine.post(grid, self._injector_wake)
+
+    def _injector_wake(self) -> None:
+        self._armed_at = None
+        self._grid += self.config.injector_tick
+        if not self._running:
+            return
+        for unit_index in range(len(self._units)):
+            self._tick_unit(unit_index)
+
     def _injector_tick(self, unit_index: int) -> None:
         if not self._running:
             return
+        self._tick_unit(unit_index)
+        self.engine.call_after(
+            self.config.injector_tick, lambda: self._injector_tick(unit_index)
+        )
+
+    def _tick_unit(self, unit_index: int) -> None:
         dongle, probe = self._units[unit_index]
         # A hopping rig serves whatever channel it is parked on right now.
         channel = dongle.radio.channel
@@ -156,19 +231,20 @@ class WardrivePipeline:
                 state.record.mac,
                 lambda result, s=state: self._on_probe_result(s, result),
             )
-        self.engine.call_after(
-            self.config.injector_tick, lambda: self._injector_tick(unit_index)
-        )
 
     def _on_probe_result(self, state: _TargetState, result: ProbeResult) -> None:
         if result.responded:
             state.verified = True
             self.results.responded.add(state.record.mac)
-            return
-        if state.rounds < self.config.max_probe_rounds:
+        elif state.rounds < self.config.max_probe_rounds:
             # Back of its channel's queue; the vehicle may be closer (or a
             # hopping rig back on-channel) on a later pass.
             self._queues[state.record.channel].append(state)
+        if self._event_mode:
+            # The monitor freed up (and a failed target may have been
+            # re-queued): the next queued target is servable at the next
+            # grid point.
+            self._arm_injector()
 
     # ------------------------------------------------------------------
     # Drive
@@ -188,10 +264,17 @@ class WardrivePipeline:
         self.city.start(self.route)
         if self.config.rig_mode == "hopping":
             self._start_hopping()
-        for unit_index in range(len(self._units)):
-            self.engine.call_after(
-                0.1, lambda i=unit_index: self._injector_tick(i)
-            )
+        if self._event_mode:
+            # Same first fire time as poll mode's call_after(0.1, ...).
+            grid = self.engine.now + 0.1
+            self._grid = grid
+            self._armed_at = grid
+            self.engine.post(grid, self._injector_wake)
+        else:
+            for unit_index in range(len(self._units)):
+                self.engine.call_after(
+                    0.1, lambda i=unit_index: self._injector_tick(i)
+                )
         self.engine.run_until(self.engine.now + duration_s)
         self._running = False
         self.city.stop()

@@ -125,6 +125,10 @@ class AckEngine:
         self.control_handler: Optional[Callable[[Frame, Reception], None]] = None
         self.sniffer_handler: Optional[Callable[[Frame, Reception], None]] = None
         self._duplicate_cache: Dict[Tuple[MacAddress, int, int], None] = {}
+        # Hot-path caches: the config flag and own-address bytes are
+        # immutable after construction and read on every reception.
+        self._promiscuous = self.config.promiscuous
+        self._mac_value = self.mac_address._value
         radio.frame_handler = self._on_reception
 
     # ------------------------------------------------------------------
@@ -159,11 +163,11 @@ class AckEngine:
             return
         if self.sniffer_handler is not None:
             self.sniffer_handler(frame, reception)
-        if self.config.promiscuous:
+        if self._promiscuous:
             # Monitor-mode interfaces capture everything and answer nothing.
             return
         addr1 = frame.addr1
-        if addr1._value != self.mac_address._value:
+        if addr1._value != self._mac_value:
             if addr1._value[0] & 0x01:  # group bit: multicast/broadcast
                 # _pass_up inlined: group frames dominate the wardrive
                 # receive path (beacons/probes heard by hundreds of radios).

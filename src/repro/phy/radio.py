@@ -201,7 +201,10 @@ class Radio:
             self, frame, duration, self.tx_power_dbm, rate_mbps
         )
         self.frames_sent += 1
-        self.medium.engine.call_after(duration, self._tx_done)
+        # post() rather than call_after(): the handle is never cancelled,
+        # and both allocate exactly one sequence number.
+        engine = self.medium.engine
+        engine.post(engine.clock._now + duration, self._tx_done)
         return transmission
 
     def _tx_done(self) -> None:

@@ -231,6 +231,7 @@ class SimContext:
                 csi_model=self.csi_model,
                 trace=self.trace,
                 rng=medium_rng,
+                vectorized=spec.vectorized_medium,
             )
         return self._medium
 

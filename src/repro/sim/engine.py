@@ -120,6 +120,11 @@ class EventBatch:
 
     Batches are fire-and-forget like :meth:`Engine.post` callbacks: no
     cancellation, and :meth:`Engine._compact` leaves them in the heap.
+
+    ``payloads=None`` selects *index mode*: the handler receives the
+    payload's position ``i`` itself.  Handlers whose state is already a
+    parallel array (the medium's arrival spans) use this to skip a
+    per-payload sequence lookup on the hottest loop in the simulator.
     """
 
     __slots__ = ("engine", "handler", "base", "shift", "offsets", "payloads", "index")
@@ -149,26 +154,45 @@ class EventBatch:
         shift = self.shift
         i = self.index
         n = len(offsets)
-        while True:
-            handler(payloads[i])
-            i += 1
-            if i == n:
-                self.index = i
-                return
-            t = base + offsets[i] + shift
-            if t > clock._now:
-                # A handler may have scheduled new events, so the heap
-                # head is re-read every iteration.  ``t >= head`` (not
-                # ``>``) mirrors re-posting: a re-posted batch draws a
-                # fresh sequence number and loses exact-time ties to
-                # anything already queued.
-                if (
-                    t > limit
-                    or engine._stopped
-                    or (heap and t >= heap[0][0])
-                ):
-                    break
-                clock._now = t
+        # The drain loop is duplicated for the two payload modes so the
+        # per-payload cost carries no mode branch and no sequence lookup.
+        if payloads is None:
+            while True:
+                handler(i)
+                i += 1
+                if i == n:
+                    self.index = i
+                    return
+                t = base + offsets[i] + shift
+                if t > clock._now:
+                    if (
+                        t > limit
+                        or engine._stopped
+                        or (heap and t >= heap[0][0])
+                    ):
+                        break
+                    clock._now = t
+        else:
+            while True:
+                handler(payloads[i])
+                i += 1
+                if i == n:
+                    self.index = i
+                    return
+                t = base + offsets[i] + shift
+                if t > clock._now:
+                    # A handler may have scheduled new events, so the heap
+                    # head is re-read every iteration.  ``t >= head`` (not
+                    # ``>``) mirrors re-posting: a re-posted batch draws a
+                    # fresh sequence number and loses exact-time ties to
+                    # anything already queued.
+                    if (
+                        t > limit
+                        or engine._stopped
+                        or (heap and t >= heap[0][0])
+                    ):
+                        break
+                    clock._now = t
         self.index = i
         sequence = engine._scheduled
         engine._scheduled = sequence + 1
@@ -423,27 +447,27 @@ class Engine:
         try:
             while heap and not self._stopped:
                 head_time, _, head = heap[0]
+                if head_time > end_time:
+                    break
                 # Direct clock assignment instead of clock.advance(): the
                 # call_at not-in-the-past guard plus heap ordering already
                 # make head_time monotone, so the advance() check is
-                # redundant here and this runs once per event.
-                if head.__class__ is Event:
-                    if head.cancelled:
-                        pop(heap)
-                        self._cancelled_pending -= 1
-                        continue
-                    if head_time > end_time:
-                        break
+                # redundant here and this runs once per event.  Bare
+                # callbacks and batches outnumber Event handles in the
+                # arrival-heavy simulations, so they take the first branch.
+                if head.__class__ is not Event:
+                    pop(heap)
+                    clock._now = head_time
+                    head()
+                elif head.cancelled:
+                    pop(heap)
+                    self._cancelled_pending -= 1
+                    continue
+                else:
                     pop(heap)
                     head._engine = None
                     clock._now = head_time
                     head.callback()
-                else:
-                    if head_time > end_time:
-                        break
-                    pop(heap)
-                    clock._now = head_time
-                    head()
                 self._processed += 1
             if end_time > self.clock.now:
                 self.clock.advance(end_time)

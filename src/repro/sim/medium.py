@@ -46,6 +46,45 @@ refinement for *stateful* models with bounded memory (e.g.
 bound): the medium now re-uses the first computed link budget instead of
 re-invoking the model after it evicted the link, so shadowing stays
 consistent for as long as the link stays cached.
+
+Vectorized delivery (struct-of-arrays)
+--------------------------------------
+With ``vectorized=True`` (the default) the medium additionally keeps a
+per-channel **struct-of-arrays mirror** of the radio index
+(:class:`_ChannelSoA`: contiguous numpy arrays of positions, noise
+floors, sensitivities, frequencies, and static/mobile flags, rebuilt
+lazily whenever the channel's bucket version changes) and evaluates a
+whole delivery list per transmission instead of per receiver:
+
+* cold delivery resolution prefilters the channel with one vectorized
+  range test (free-space model only: a conservative numpy distance
+  bound with a wide safety margin, so every receiver the exact scalar
+  math could accept survives the filter), resolves only the candidates
+  through the scalar link-budget cache, and orders them with one
+  ``np.lexsort`` instead of a tuple sort;
+* the delivery cache stores **parallel arrays** (delays, attach seqs,
+  radios, RSSIs, SNRs) rather than per-receiver tuples, so a warm
+  transmission reuses them wholesale;
+* SNR and frame-error probabilities are precomputed per transmission
+  from those arrays, and the per-receiver ``_Arrival`` objects are
+  folded into one :class:`_ArrivalSpan` carried by the two
+  :class:`~repro.sim.engine.EventBatch` heap entries.
+
+The hard contract is **byte-identical seeded traces** against the
+scalar path (``vectorized=False``): per-pair path loss and propagation
+delay are always produced by the same scalar model calls (numpy's
+transcendental kernels differ from libm by 1 ULP on some inputs, which
+the determinism gate forbids), the numpy stages are restricted to
+IEEE-exact bookkeeping (subtract, compare, sort) plus the provably
+conservative prefilter, and RNG draws happen at the same points in the
+same order.  ``tests/test_vectorized_medium.py`` pins the equivalence
+across the full ``vectorized × batch_arrivals`` matrix.
+
+One contract the arrays add for :class:`RadioPort` implementors:
+``rx_sensitivity_dbm`` must stay constant while the radio is attached
+(detach/re-attach to change it) — the SoA mirror snapshots it per
+bucket version, exactly as the delivery-list cache already froze
+in-range verdicts across transmissions.
 """
 
 from __future__ import annotations
@@ -224,6 +263,161 @@ class _Arrival:
             self.medium._arrival_start(self)
 
 
+def _corrupt_handle(handle, reason: CorruptionReason) -> None:
+    """Mark an in-flight arrival corrupted; works on both handle kinds.
+
+    The scalar path tracks arrivals as :class:`_Arrival` objects; the
+    vectorized path as ``(span, index)`` tuples into an
+    :class:`_ArrivalSpan`.  A receiver's air state can hold both at once
+    (an unattached sender's scalar arrival overlapping a span's), so the
+    capture/half-duplex machinery goes through these accessors.
+    """
+    if type(handle) is tuple:
+        handle[0].reasons[handle[1]] = reason
+    else:
+        handle.corrupted = True
+        handle.corrupt_reason = reason
+
+
+def _handle_rssi(handle) -> float:
+    """RSSI of an in-flight arrival, for either handle kind."""
+    if type(handle) is tuple:
+        return handle[0].rssis[handle[1]]
+    return handle.rssi_dbm
+
+
+class _ArrivalSpan:
+    """Every arrival of one transmission, struct-of-arrays style.
+
+    The vectorized medium resolves a transmission's whole delivery list
+    up front — parallel arrays of radios, RSSIs, SNRs, and frame-error
+    probabilities — and schedules *one* span behind the two
+    :class:`~repro.sim.engine.EventBatch` heap entries, instead of
+    allocating one :class:`_Arrival` per receiver.  ``begin(i)`` /
+    ``end(i)`` replicate the scalar arrival lifecycle for receiver ``i``
+    exactly: same corruption rules, same RNG draw points, same
+    positional :class:`Reception` construction, so seeded traces stay
+    byte-identical across the modes.
+
+    ``reasons[i]`` doubles as the corruption flag (``None`` = clean),
+    and ``(span, i)`` tuples stand in for ``_Arrival`` objects on the
+    receivers' live-arrival lists.
+    """
+
+    __slots__ = (
+        "medium",
+        "transmission",
+        "radios",
+        "rssis",
+        "snrs",
+        "fers",
+        "reasons",
+        "ongoing_lists",
+        # Hot-path bindings resolved once per span instead of once per
+        # arrival: these references are fixed for the medium's lifetime
+        # (the dicts are mutated, never reassigned), so copying them onto
+        # the span trades ~6 loads per transmission for ~3 attribute
+        # chains per arrival — a win at 10+ receivers per frame.
+        "clock",
+        "attached",
+        "ongoing_map",
+        "transmitting",
+        "ctr_delivered",
+        "ctr_dropped",
+        "csi_model",
+    )
+
+    def __init__(
+        self,
+        medium: "Medium",
+        transmission: Transmission,
+        radios: List[RadioPort],
+        rssis: List[float],
+        snrs: List[float],
+        fers: Optional[List[float]],
+    ) -> None:
+        self.medium = medium
+        self.transmission = transmission
+        self.radios = radios
+        self.rssis = rssis
+        self.snrs = snrs
+        self.fers = fers
+        n = len(radios)
+        self.reasons: List[Optional[CorruptionReason]] = [None] * n
+        self.ongoing_lists: List[Optional[list]] = [None] * n
+        self.clock = medium.engine.clock
+        self.attached = medium._radios
+        self.ongoing_map = medium._ongoing
+        self.transmitting = medium._transmitting
+        self.ctr_delivered = medium._ctr_delivered
+        self.ctr_dropped = medium._ctr_dropped
+        self.csi_model = medium._csi_model
+
+    def begin(self, i: int) -> None:
+        """First symbol at receiver ``i``'s antenna (mirrors _arrival_begin)."""
+        name = self.radios[i].name
+        ongoing_map = self.ongoing_map
+        ongoing = ongoing_map.get(name)
+        if ongoing is None:
+            ongoing = ongoing_map[name] = []
+        tx_end = self.transmitting.get(name)
+        if tx_end is not None and tx_end > self.clock._now:
+            self.reasons[i] = CorruptionReason.RECEIVER_TRANSMITTING
+        handle = (self, i)
+        if ongoing:
+            self.medium._resolve_overlap(ongoing, handle)
+        ongoing.append(handle)
+        self.ongoing_lists[i] = ongoing
+
+    def end(self, i: int) -> None:
+        """Last symbol at receiver ``i`` (mirrors _arrival_end)."""
+        radio = self.radios[i]
+        name = radio.name
+        ongoing = self.ongoing_lists[i]
+        if ongoing:
+            try:
+                ongoing.remove((self, i))
+            except ValueError:
+                pass
+        if name not in self.attached:
+            return  # detached mid-flight
+        transmission = self.transmission
+        reason = self.reasons[i]
+        fcs_ok = reason is None
+        if fcs_ok:
+            fers = self.fers
+            if fers is not None:
+                probability = fers[i]
+                if probability > 0.0 and self.medium._rng_draw() < probability:
+                    fcs_ok = False
+        if fcs_ok:
+            ctr = self.ctr_delivered
+        else:
+            ctr = self.ctr_dropped
+        if ctr is not None:
+            ctr.value += 1
+        now = self.clock._now
+        csi = None
+        csi_model = self.csi_model
+        if csi_model is not None:
+            csi = csi_model(transmission.sender, name, now)
+        while_transmitting = reason is CorruptionReason.RECEIVER_TRANSMITTING
+        radio.on_reception(
+            Reception(
+                transmission.frame,
+                transmission,
+                self.rssis[i],
+                self.snrs[i],
+                transmission.start,
+                now,
+                fcs_ok,
+                (reason is not None) and not while_transmitting,
+                while_transmitting,
+                csi,
+            )
+        )
+
+
 class _RadioEntry:
     """Per-radio index record: channel bucket membership + position epoch."""
 
@@ -239,6 +433,89 @@ class _RadioEntry:
         self.epoch = epoch
         self.static_pos: Optional[Position] = getattr(radio, "static_position", None)
         self.last_pos: Optional[Position] = self.static_pos
+
+
+class _ChannelSoA:
+    """Struct-of-arrays mirror of one channel bucket.
+
+    Parallel contiguous numpy arrays over the bucket (in attachment
+    order): antenna positions (NaN for mobiles, whose positions are
+    re-read every transmission anyway), receive sensitivities, per-
+    receiver noise floors and carrier frequencies (uniform today — one
+    medium, one band — but carried per receiver so heterogeneous
+    front-ends only have to change this constructor), attachment
+    sequence numbers, and the static/mobile flag.  Rebuilt lazily
+    whenever the channel's bucket version moves; ``entries`` snapshots
+    the bucket so a rebuild can never race an attach/detach (those bump
+    the version).
+
+    The arrays snapshot ``rx_sensitivity_dbm`` per bucket version, which
+    is why :class:`RadioPort` requires it constant while attached.
+    """
+
+    __slots__ = (
+        "version",
+        "entries",
+        "count",
+        "seqs",
+        "sens_dbm",
+        "noise_dbm",
+        "freq_hz",
+        "xyz",
+        "static_mask",
+        "limit2_by_power",
+    )
+
+    def __init__(
+        self,
+        version: int,
+        bucket: List[_RadioEntry],
+        noise_floor_dbm: float,
+        frequency_hz: float,
+    ) -> None:
+        self.version = version
+        entries = list(bucket)
+        self.entries = entries
+        n = len(entries)
+        self.count = n
+        self.seqs = np.empty(n, dtype=np.int64)
+        self.sens_dbm = np.empty(n, dtype=np.float64)
+        self.xyz = np.empty((n, 3), dtype=np.float64)
+        self.static_mask = np.empty(n, dtype=bool)
+        xyz = self.xyz
+        for i, e in enumerate(entries):
+            self.seqs[i] = e.seq
+            self.sens_dbm[i] = e.radio.rx_sensitivity_dbm
+            pos = e.static_pos
+            if pos is None:
+                self.static_mask[i] = False
+                xyz[i, 0] = xyz[i, 1] = xyz[i, 2] = math.nan
+            else:
+                self.static_mask[i] = True
+                xyz[i, 0] = pos.x
+                xyz[i, 1] = pos.y
+                xyz[i, 2] = pos.z
+        self.noise_dbm = np.full(n, noise_floor_dbm)
+        self.freq_hz = np.full(n, frequency_hz)
+        #: power_dbm -> squared range-gate limit (slack included); the
+        #: limit depends only on per-receiver constants and the transmit
+        #: power, so it is derived once per (rebuild, power) instead of
+        #: once per cold delivery resolution.
+        self.limit2_by_power: Dict[float, np.ndarray] = {}
+
+    def limit2(self, power_dbm: float) -> np.ndarray:
+        cached = self.limit2_by_power.get(power_dbm)
+        if cached is None:
+            wavelengths = 299_792_458.0 / self.freq_hz
+            dmax = (wavelengths / (4.0 * math.pi)) * 10.0 ** (
+                (power_dbm - self.sens_dbm) / 20.0
+            )
+            np.maximum(dmax, 1.0, out=dmax)
+            cached = dmax * dmax
+            cached *= 1.0 + 1e-9
+            cached += 1e-9
+            self.limit2_by_power[power_dbm] = cached
+        return cached
 
 
 class Medium:
@@ -268,6 +545,17 @@ class Medium:
         defaults to the engine's registry, so instrumenting the engine
         instruments the medium too.  Maintains ``medium.frames.*``
         counters and the cumulative ``medium.airtime_s``.
+    batch_arrivals:
+        Schedule one pair of :class:`~repro.sim.engine.EventBatch` heap
+        entries per transmission instead of one heap entry per receiver.
+        ``False`` restores per-receiver scheduling.
+    vectorized:
+        Struct-of-arrays delivery evaluation (see the module docstring):
+        per-channel numpy mirrors, a vectorized free-space range
+        prefilter, parallel-array delivery caches, and span-based
+        arrival batches.  ``False`` restores the per-receiver scalar
+        path.  All four ``vectorized × batch_arrivals`` combinations
+        produce byte-identical seeded traces.
     """
 
     def __init__(
@@ -283,6 +571,7 @@ class Medium:
         rng: Optional[np.random.Generator] = None,
         metrics=None,
         batch_arrivals: bool = True,
+        vectorized: bool = True,
     ) -> None:
         self.engine = engine
         self.metrics = (
@@ -316,6 +605,15 @@ class Medium:
         self._fer = fer
         self._csi_model = csi_model
         self._rng = rng if rng is not None else np.random.default_rng(0)
+        #: Block-buffered uniform draws for the FER coin flips.  A numpy
+        #: ``Generator.random(n)`` call consumes exactly the same bit
+        #: stream as ``n`` successive scalar ``random()`` calls, so
+        #: refilling in blocks yields the identical draw sequence at a
+        #: fraction of the per-call overhead.  The medium owns its
+        #: generator (callers hand it a dedicated stream), so prefetching
+        #: never steals draws from anyone else.
+        self._rng_buf: List[float] = []
+        self._rng_pos = 0
         self._radios: Dict[str, RadioPort] = {}
         self._entries: Dict[str, _RadioEntry] = {}
         self._channels: Dict[int, List[_RadioEntry]] = {}
@@ -333,31 +631,34 @@ class Medium:
         #: Per-channel list of *mobile* member entries (static_pos None),
         #: re-read every transmission to detect movement.
         self._mobiles: Dict[int, List[_RadioEntry]] = {}
-        #: (sender, channel, power_dbm) -> (bucket_version, tx_epoch,
-        #: [(delay_s, attach_seq, radio, rssi_dbm), ...]) — the resolved
-        #: in-range *static* receiver list of the sender's last
-        #: transmission on that channel at that power, sorted by arrival
-        #: order (delay, then attachment order).  Mobile receivers are
-        #: deliberately excluded: they are re-resolved every transmission
-        #: from the link-budget cache, so a moving receiver (the wardrive
-        #: rig) no longer invalidates every sender's warm list.  The
-        #: channel is part of the key because each channel's version
-        #: counter is independent: a retuned sender must never validate an
-        #: old channel's list against the new channel's counter.  While
-        #: nothing in the bucket changes, a repeat transmission skips the
-        #: whole per-receiver scan.  FIFO-capped at
-        #: ``LINK_CACHE_MAX_ENTRIES`` like the link and FER caches.
-        self._delivery_cache: Dict[
-            Tuple[str, int, float],
-            Tuple[int, int, List[Tuple[float, int, RadioPort, float]]],
-        ] = {}
+        #: (sender, channel, power_dbm) -> the resolved in-range *static*
+        #: receiver list of the sender's last transmission on that channel
+        #: at that power, sorted by arrival order (delay, then attachment
+        #: order).  Scalar layout: (bucket_version, tx_epoch,
+        #: [(delay_s, attach_seq, radio, rssi_dbm), ...]).  Vectorized
+        #: layout: (bucket_version, tx_epoch, delays, attach_seqs,
+        #: radios, rssis, snrs) as parallel lists, so a warm transmission
+        #: reuses whole delivery arrays without re-deriving SNR.  Mobile
+        #: receivers are deliberately excluded from both layouts: they
+        #: are re-resolved every transmission from the link-budget cache,
+        #: so a moving receiver (the wardrive rig) no longer invalidates
+        #: every sender's warm list.  The channel is part of the key
+        #: because each channel's version counter is independent: a
+        #: retuned sender must never validate an old channel's list
+        #: against the new channel's counter.  While nothing in the
+        #: bucket changes, a repeat transmission skips the whole
+        #: per-receiver scan.  FIFO-capped at ``LINK_CACHE_MAX_ENTRIES``
+        #: like the link and FER caches.
+        self._delivery_cache: Dict[Tuple[str, int, float], tuple] = {}
         self.link_cache_hits = 0
         self.link_cache_misses = 0
         #: (snr, rate, length) -> frame-error probability.  Assumes the
         #: FER model is a pure function of its arguments (all built-ins
         #: are); cached link budgets make SNR values repeat exactly.
         self._fer_cache: Dict[Tuple[float, float, int], float] = {}
-        self._ongoing: Dict[str, List[_Arrival]] = {}
+        #: Receiver name -> live in-flight arrivals: _Arrival objects
+        #: (scalar path) and/or (span, index) tuples (vectorized path).
+        self._ongoing: Dict[str, list] = {}
         self._transmitting: Dict[str, float] = {}  # radio name -> tx end time
         self.transmission_count = 0
         #: Batched arrival scheduling: one pair of EventBatch heap entries
@@ -365,6 +666,17 @@ class Medium:
         #: receiver) pair.  ``False`` restores per-receiver scheduling
         #: (the regression tests pin both modes to identical traces).
         self._batch_arrivals = batch_arrivals
+        #: Struct-of-arrays delivery evaluation (module docstring).
+        self._vectorized = vectorized
+        #: The vectorized range prefilter solves the default free-space
+        #: model in the distance domain; a custom model disables it (the
+        #: candidate scan then walks the whole bucket, still vectorized
+        #: downstream).  ``_path_loss`` is fixed at construction, so this
+        #: flag cannot go stale.
+        self._free_space = path_loss_db is None
+        #: channel -> _ChannelSoA mirror, rebuilt when the bucket version
+        #: moves.
+        self._soa_cache: Dict[int, _ChannelSoA] = {}
 
     # ------------------------------------------------------------------
     # Attachment
@@ -526,23 +838,97 @@ class Medium:
     # ------------------------------------------------------------------
     # Channel state queries
     # ------------------------------------------------------------------
+    def _observed_position(
+        self, entry: _RadioEntry, radio: RadioPort, time: float
+    ) -> Position:
+        """Current position with the same epoch discipline as transmit().
+
+        Static radios return their pinned position; mobile radios are
+        re-read, and an observed move bumps the epoch exactly like the
+        per-transmission prescan does, so query-path and delivery-path
+        budgets can never disagree about where a radio is.
+        """
+        static = entry.static_pos
+        if static is not None:
+            return static
+        position = radio.current_position(time)
+        last = entry.last_pos
+        if position is not last and position != last:
+            entry.last_pos = position
+            entry.epoch += 1
+        return position
+
     def rssi_between(self, tx_name: str, rx_name: str, time: float) -> float:
-        """Would-be RSSI of a 20 dBm transmission between two radios."""
+        """Would-be RSSI of a 20 dBm transmission between two radios.
+
+        Resolved through the same epoch-keyed link-budget store
+        ``transmit()`` uses, so an ad-hoc query returns exactly the loss
+        a delivery would see (including frozen shadowing for stateful
+        path-loss models) instead of re-invoking the model out of band.
+        Unattached radios fall back to a fresh model call — they have no
+        epoch to key a cache entry on.
+        """
         tx = self._radios[tx_name]
         rx = self._radios[rx_name]
-        loss = self._path_loss(tx.current_position(time), rx.current_position(time))
+        tx_entry = self._entries.get(tx_name)
+        rx_entry = self._entries.get(rx_name)
+        if tx_entry is None or rx_entry is None:
+            loss = self._path_loss(
+                tx.current_position(time), rx.current_position(time)
+            )
+            return 20.0 - loss
+        tx_position = self._observed_position(tx_entry, tx, time)
+        rx_position = self._observed_position(rx_entry, rx, time)
+        cache = self._link_cache
+        key = (tx_name, rx_name)
+        cached = cache.get(key)
+        if (
+            cached is not None
+            and cached[0] == tx_entry.epoch
+            and cached[1] == rx_entry.epoch
+        ):
+            loss = cached[2]
+        else:
+            loss = self._path_loss(tx_position, rx_position)
+            delay = tx_position.propagation_delay_to(rx_position)
+            if len(cache) >= LINK_CACHE_MAX_ENTRIES:
+                cache.pop(next(iter(cache)))
+            cache[key] = (tx_entry.epoch, rx_entry.epoch, loss, delay)
         return 20.0 - loss
 
     def is_busy_for(self, radio_name: str, cca_threshold_dbm: float = -82.0) -> bool:
-        """Carrier-sense verdict: any ongoing arrival above the CCA level?"""
-        return any(
-            arrival.rssi_dbm >= cca_threshold_dbm
-            for arrival in self._ongoing.get(radio_name, [])
-        )
+        """Carrier-sense verdict: any ongoing arrival above the CCA level?
+
+        Reads the same per-span RSSI arrays the delivery path filled in,
+        for either in-flight representation.
+        """
+        for handle in self._ongoing.get(radio_name, ()):
+            if _handle_rssi(handle) >= cca_threshold_dbm:
+                return True
+        return False
 
     def is_transmitting(self, radio_name: str) -> bool:
         end = self._transmitting.get(radio_name)
         return end is not None and end > self.engine.now
+
+    # ------------------------------------------------------------------
+    # Randomness
+    # ------------------------------------------------------------------
+    def _rng_draw(self) -> float:
+        """Next uniform [0, 1) draw — the FER coin flip.
+
+        Identical sequence to calling ``self._rng.random()`` directly
+        (block refills consume the same bit stream), but ~10x cheaper
+        per draw.  Both the vectorized and scalar delivery paths draw
+        through here, in arrival order, so the two stay in lockstep.
+        """
+        pos = self._rng_pos
+        buf = self._rng_buf
+        if pos == len(buf):
+            buf = self._rng_buf = self._rng.random(1024).tolist()
+            pos = 0
+        self._rng_pos = pos + 1
+        return buf[pos]
 
     # ------------------------------------------------------------------
     # Transmission
@@ -563,7 +949,7 @@ class Medium:
         if duration <= 0.0:
             raise ValueError(f"duration must be positive, got {duration!r}")
         engine = self.engine
-        now = engine.clock.now
+        now = engine.clock._now
         sender_name = sender.name
         channel = sender.channel
         entry = self._entries.get(sender_name)
@@ -614,9 +1000,8 @@ class Medium:
         self._transmitting[sender_name] = max(
             self._transmitting.get(sender_name, 0.0), now + duration
         )
-        for arrival in self._ongoing.get(sender_name, []):
-            arrival.corrupted = True
-            arrival.corrupt_reason = CorruptionReason.RECEIVER_TRANSMITTING
+        for handle in self._ongoing.get(sender_name, []):
+            _corrupt_handle(handle, CorruptionReason.RECEIVER_TRANSMITTING)
 
         if self.trace is not None:
             self.trace.add(
@@ -630,6 +1015,19 @@ class Medium:
 
         bucket = self._channels.get(channel)
         if bucket:
+            if cacheable and self._vectorized:
+                self._deliver_vectorized(
+                    engine,
+                    now,
+                    sender_name,
+                    tx_epoch,
+                    tx_position,
+                    channel,
+                    power_dbm,
+                    transmission,
+                    duration,
+                )
+                return transmission
             cache = self._link_cache
             path_loss = self._path_loss
             targets: List[Tuple[float, int, RadioPort, float]]
@@ -788,6 +1186,339 @@ class Medium:
         return transmission
 
     # ------------------------------------------------------------------
+    # Vectorized delivery (struct-of-arrays)
+    # ------------------------------------------------------------------
+    def _channel_soa(self, channel: int) -> _ChannelSoA:
+        """The channel's SoA mirror, rebuilt iff the bucket version moved."""
+        version = self._bucket_version.get(channel, 0)
+        soa = self._soa_cache.get(channel)
+        if soa is None or soa.version != version:
+            soa = _ChannelSoA(
+                version,
+                self._channels.get(channel) or [],
+                self.noise_floor_dbm,
+                self.frequency_hz,
+            )
+            self._soa_cache[channel] = soa
+        return soa
+
+    def _deliver_vectorized(
+        self,
+        engine: Engine,
+        now: float,
+        sender_name: str,
+        tx_epoch: int,
+        tx_position: Position,
+        channel: int,
+        power_dbm: float,
+        transmission: Transmission,
+        duration: float,
+    ) -> None:
+        """Resolve and schedule a whole delivery list, struct-of-arrays style.
+
+        Stage 1 (cold only): one vectorized range gate over the channel's
+        SoA mirror picks the candidate receivers; the survivors get the
+        exact scalar link-budget math (numpy's transcendental kernels are
+        1 ULP off libm on some inputs, and seeded traces are
+        bit-compared, so the scalar model calls stay authoritative).  One
+        ``np.lexsort`` orders the list; parallel arrays (delays, seqs,
+        radios, RSSIs, SNRs) go into the delivery cache.
+
+        Stage 2 (every transmission): mobile receivers are re-resolved
+        scalar-style and merge-inserted; frame-error probabilities are
+        precomputed from the SNR array; the whole list is scheduled as
+        one :class:`_ArrivalSpan` behind two ``EventBatch`` entries (or
+        per-receiver ``_Arrival`` pushes when ``batch_arrivals=False``).
+        """
+        cache = self._link_cache
+        path_loss = self._path_loss
+        free_space = self._free_space
+        hits = misses = 0
+        version = self._bucket_version.get(channel, 0)
+        delivery_key = (sender_name, channel, power_dbm)
+        cached_delivery = self._delivery_cache.get(delivery_key)
+        if (
+            cached_delivery is not None
+            and cached_delivery[0] == version
+            and cached_delivery[1] == tx_epoch
+        ):
+            delays = cached_delivery[2]
+            seqs = cached_delivery[3]
+            radios = cached_delivery[4]
+            rssis = cached_delivery[5]
+            snrs = cached_delivery[6]
+            fer_lists = cached_delivery[7]
+            hits += len(delays)
+        else:
+            soa = self._channel_soa(channel)
+            if soa.count and free_space:
+                # Vectorized range gate.  In exact arithmetic the
+                # free-space in-range test  power − loss(d) ≥ sens  is
+                # d ≤ dmax = (λ/4π)·10^((power−sens)/20)  with loss
+                # clamped below 1 m (clamping dmax up to 1 m only admits
+                # extra candidates).  Both sides here are float-rounded,
+                # so the comparison gets ~1e-9 relative + absolute slack
+                # — about a million ULPs wider than the rounding error —
+                # and survivors are re-checked with the exact scalar
+                # math below: admitting extra is wasted work, never a
+                # wrong verdict, and nothing the scalar path accepts can
+                # be excluded.  Mobiles carry NaN positions, and NaN
+                # comparisons are False, so they fall out automatically
+                # (they are re-resolved per transmission anyway).
+                diff = soa.xyz - (tx_position.x, tx_position.y, tx_position.z)
+                d2 = np.einsum("ij,ij->i", diff, diff)
+                entries = soa.entries
+                candidates = [
+                    entries[j] for j in np.flatnonzero(d2 <= soa.limit2(power_dbm))
+                ]
+            else:
+                candidates = [e for e in soa.entries if e.static_pos is not None]
+            # Survivors get the exact scalar link budget (shared distance:
+            # the loss and delay both derive from the one distance_to()
+            # result, bit-identically to the model + propagation_delay_to
+            # pair the scalar path calls).
+            wavelength = 299_792_458.0 / self.frequency_hz
+            c_targets: List[Tuple[float, int, RadioPort, float]] = []
+            for rx in candidates:
+                rx_name = rx.name
+                if rx_name == sender_name:
+                    continue
+                radio = rx.radio
+                key = (sender_name, rx_name)
+                cached = cache.get(key)
+                if (
+                    cached is not None
+                    and cached[0] == tx_epoch
+                    and cached[1] == rx.epoch
+                ):
+                    loss = cached[2]
+                    delay = cached[3]
+                    hits += 1
+                else:
+                    rx_position = rx.static_pos
+                    if free_space:
+                        distance = tx_position.distance_to(rx_position)
+                        loss = 20.0 * math.log10(
+                            4.0 * math.pi * max(distance, 1.0) / wavelength
+                        )
+                        delay = distance / 299_792_458.0
+                    else:
+                        loss = path_loss(tx_position, rx_position)
+                        delay = tx_position.propagation_delay_to(rx_position)
+                    if len(cache) >= LINK_CACHE_MAX_ENTRIES:
+                        cache.pop(next(iter(cache)))
+                    cache[key] = (tx_epoch, rx.epoch, loss, delay)
+                    misses += 1
+                rssi = power_dbm - loss
+                if rssi < radio.rx_sensitivity_dbm:
+                    continue
+                c_targets.append((delay, rx.seq, radio, rssi))
+            n = len(c_targets)
+            if n == 0:
+                delays = []
+                seqs = []
+                radios = []
+                rssis = []
+                snrs = []
+            elif n <= 64:
+                # Tuple sort: identical (delay, seq) order to the lexsort
+                # below (seqs are unique so later fields never compare),
+                # and cheaper than five numpy round-trips at typical
+                # neighbourhood sizes.
+                c_targets.sort()
+                delays = []
+                seqs = []
+                radios = []
+                rssis = []
+                snrs = []
+                noise_floor = self.noise_floor_dbm
+                for delay, seq, radio, rssi in c_targets:
+                    delays.append(delay)
+                    seqs.append(seq)
+                    radios.append(radio)
+                    rssis.append(rssi)
+                    snrs.append(rssi - noise_floor)
+            else:
+                c_delays, c_seqs, c_radios, c_rssis = zip(*c_targets)
+                delay_arr = np.asarray(c_delays)
+                order = np.lexsort((np.asarray(c_seqs), delay_arr))
+                delays = delay_arr[order].tolist()
+                seqs = [c_seqs[k] for k in order]
+                radios = [c_radios[k] for k in order]
+                rssi_arr = np.asarray(c_rssis)[order]
+                rssis = rssi_arr.tolist()
+                # IEEE-exact: elementwise double subtraction rounds
+                # identically to the scalar `rssi - noise_floor`.
+                snrs = (rssi_arr - self.noise_floor_dbm).tolist()
+            fer_lists = {}
+            delivery_cache = self._delivery_cache
+            if len(delivery_cache) >= LINK_CACHE_MAX_ENTRIES:
+                delivery_cache.pop(next(iter(delivery_cache)))
+            delivery_cache[delivery_key] = (
+                version,
+                tx_epoch,
+                delays,
+                seqs,
+                radios,
+                rssis,
+                snrs,
+                fer_lists,
+            )
+        fers: Optional[List[float]] = None
+        fer_model = self._fer
+        if fer_model is not None and self._batch_arrivals and delays:
+            # Per-receiver frame-error probabilities for the *static* list,
+            # derived through the same (snr, rate, length) memo the scalar
+            # path fills lazily at arrival end — the model is pure, so
+            # computing early changes nothing — and cached on the delivery
+            # entry per (rate, length), so a warm transmission reuses the
+            # whole list.  The RNG draw that applies a probability stays
+            # in _ArrivalSpan.end, in arrival order.
+            rx_cache = transmission.rx_cache
+            if rx_cache is None:
+                rx_cache = transmission.rx_cache = {}
+            length = rx_cache.get("len")
+            if length is None:
+                getter = getattr(transmission.frame, "wire_length", None)
+                length = (getter() or 0) if getter is not None else 0
+                rx_cache["len"] = length
+            rate = transmission.rate_mbps
+            fers = fer_lists.get((rate, length))
+            if fers is None:
+                fer_cache = self._fer_cache
+                fers = []
+                append = fers.append
+                for snr in snrs:
+                    fer_key = (snr, rate, length)
+                    probability = fer_cache.get(fer_key)
+                    if probability is None:
+                        probability = fer_model(snr, rate, length)
+                        if len(fer_cache) >= LINK_CACHE_MAX_ENTRIES:
+                            fer_cache.pop(next(iter(fer_cache)))
+                        fer_cache[fer_key] = probability
+                    append(probability)
+                if len(fer_lists) >= 8:
+                    fer_lists.pop(next(iter(fer_lists)))
+                fer_lists[(rate, length)] = fers
+        mobiles = self._mobiles.get(channel)
+        if mobiles:
+            noise_floor = self.noise_floor_dbm
+            wavelength = 299_792_458.0 / self.frequency_hz
+            rate_length: Optional[Tuple[float, int]] = None
+            if fers is not None:
+                rate_length = (transmission.rate_mbps, transmission.rx_cache["len"])
+            mobile_targets = []
+            for rx in mobiles:
+                rx_name = rx.name
+                if rx_name == sender_name:
+                    continue
+                radio = rx.radio
+                rx_position = radio.current_position(now)
+                last = rx.last_pos
+                if rx_position is not last and rx_position != last:
+                    rx.last_pos = rx_position
+                    rx.epoch += 1
+                key = (sender_name, rx_name)
+                cached = cache.get(key)
+                if (
+                    cached is not None
+                    and cached[0] == tx_epoch
+                    and cached[1] == rx.epoch
+                ):
+                    loss = cached[2]
+                    delay = cached[3]
+                    hits += 1
+                else:
+                    if free_space:
+                        distance = tx_position.distance_to(rx_position)
+                        loss = 20.0 * math.log10(
+                            4.0 * math.pi * max(distance, 1.0) / wavelength
+                        )
+                        delay = distance / 299_792_458.0
+                    else:
+                        loss = path_loss(tx_position, rx_position)
+                        delay = tx_position.propagation_delay_to(rx_position)
+                    if len(cache) >= LINK_CACHE_MAX_ENTRIES:
+                        cache.pop(next(iter(cache)))
+                    cache[key] = (tx_epoch, rx.epoch, loss, delay)
+                    misses += 1
+                rssi = power_dbm - loss
+                if rssi < radio.rx_sensitivity_dbm:
+                    continue
+                mobile_targets.append((delay, rx.seq, radio, rssi))
+            if mobile_targets:
+                # Merge-insert by (delay, attach_seq): identical order to
+                # the scalar path's concatenate-then-sort (seqs are
+                # unique, so the sort never compares further fields).
+                # The cached lists stay untouched; the merged copies are
+                # span-private.
+                delays = list(delays)
+                seqs = list(seqs)
+                radios = list(radios)
+                rssis = list(rssis)
+                snrs = list(snrs)
+                if fers is not None:
+                    fers = list(fers)
+                    fer_cache = self._fer_cache
+                for delay, seq, radio, rssi in mobile_targets:
+                    lo, hi = 0, len(delays)
+                    while lo < hi:
+                        mid = (lo + hi) // 2
+                        if delays[mid] < delay or (
+                            delays[mid] == delay and seqs[mid] < seq
+                        ):
+                            lo = mid + 1
+                        else:
+                            hi = mid
+                    delays.insert(lo, delay)
+                    seqs.insert(lo, seq)
+                    radios.insert(lo, radio)
+                    rssis.insert(lo, rssi)
+                    snr = rssi - noise_floor
+                    snrs.insert(lo, snr)
+                    if fers is not None:
+                        fer_key = (snr, rate_length[0], rate_length[1])
+                        probability = fer_cache.get(fer_key)
+                        if probability is None:
+                            probability = fer_model(snr, *rate_length)
+                            if len(fer_cache) >= LINK_CACHE_MAX_ENTRIES:
+                                fer_cache.pop(next(iter(fer_cache)))
+                            fer_cache[fer_key] = probability
+                        fers.insert(lo, probability)
+        self.link_cache_hits += hits
+        self.link_cache_misses += misses
+        if not delays:
+            return
+        if self._batch_arrivals:
+            span = _ArrivalSpan(self, transmission, radios, rssis, snrs, fers)
+            engine.post_batch(
+                EventBatch(engine, span.begin, now, 0.0, delays, None)
+            )
+            engine.post_batch(
+                EventBatch(engine, span.end, now, duration, delays, None)
+            )
+        else:
+            # Vectorized resolution, per-receiver scheduling: identical
+            # to the legacy branch in transmit() — one two-phase
+            # _Arrival per receiver, sequence numbers advancing as
+            # post() would.
+            heap = engine._heap
+            seq = engine._scheduled
+            for k in range(len(delays)):
+                heappush(
+                    heap,
+                    (
+                        now + delays[k],
+                        seq,
+                        _Arrival(self, radios[k], transmission, rssis[k]),
+                    ),
+                )
+                seq += 1
+            engine._scheduled = seq
+            if len(heap) > engine._heap_peak:
+                engine._heap_peak = len(heap)
+
+    # ------------------------------------------------------------------
     # Arrival lifecycle
     # ------------------------------------------------------------------
     def _arrival_begin(self, arrival: _Arrival) -> None:
@@ -825,25 +1556,42 @@ class Medium:
         if len(heap) > engine._heap_peak:
             engine._heap_peak = len(heap)
 
-    def _resolve_overlap(self, ongoing: List[_Arrival], new: _Arrival) -> None:
-        """Apply the capture model between ``new`` and live arrivals."""
-        live = [a for a in ongoing if not a.corrupted]
+    def _resolve_overlap(self, ongoing: list, new) -> None:
+        """Apply the capture model between ``new`` and live arrivals.
+
+        Handles are :class:`_Arrival` objects (scalar path) and/or
+        ``(span, index)`` tuples (vectorized path); a receiver can hold
+        a mix, e.g. an unattached sender's scalar arrival overlapping a
+        span's.  The comparisons are value-identical to the old
+        scalar-only resolver.
+        """
+        live = []
+        strongest = -math.inf
+        for handle in ongoing:
+            if type(handle) is tuple:
+                span, j = handle
+                if span.reasons[j] is not None:
+                    continue
+                rssi = span.rssis[j]
+            else:
+                if handle.corrupted:
+                    continue
+                rssi = handle.rssi_dbm
+            live.append(handle)
+            if rssi > strongest:
+                strongest = rssi
         if not live:
             return
-        strongest = max(live, key=lambda a: a.rssi_dbm)
-        if new.rssi_dbm >= strongest.rssi_dbm + self.capture_threshold_db:
-            for arrival in live:
-                arrival.corrupted = True
-                arrival.corrupt_reason = CorruptionReason.CAPTURED_BY_STRONGER
-        elif new.rssi_dbm <= strongest.rssi_dbm - self.capture_threshold_db:
-            new.corrupted = True
-            new.corrupt_reason = CorruptionReason.LOCKED_ON_STRONGER
+        new_rssi = _handle_rssi(new)
+        if new_rssi >= strongest + self.capture_threshold_db:
+            for handle in live:
+                _corrupt_handle(handle, CorruptionReason.CAPTURED_BY_STRONGER)
+        elif new_rssi <= strongest - self.capture_threshold_db:
+            _corrupt_handle(new, CorruptionReason.LOCKED_ON_STRONGER)
         else:
-            new.corrupted = True
-            new.corrupt_reason = CorruptionReason.COLLISION
-            for arrival in live:
-                arrival.corrupted = True
-                arrival.corrupt_reason = CorruptionReason.COLLISION
+            _corrupt_handle(new, CorruptionReason.COLLISION)
+            for handle in live:
+                _corrupt_handle(handle, CorruptionReason.COLLISION)
 
     def _arrival_end(self, arrival: _Arrival) -> None:
         """Last symbol received: resolve FER, build the Reception, hand up."""
@@ -880,7 +1628,7 @@ class Medium:
                 if len(fer_cache) >= LINK_CACHE_MAX_ENTRIES:
                     fer_cache.pop(next(iter(fer_cache)))
                 fer_cache[fer_key] = probability
-            if probability > 0.0 and self._rng.random() < probability:
+            if probability > 0.0 and self._rng_draw() < probability:
                 fcs_ok = False
         if fcs_ok:
             ctr = self._ctr_delivered

@@ -15,6 +15,7 @@ from typing import Callable, Dict, List, Optional
 from repro.devices.base import DeviceKind
 from repro.devices.dongle import MonitorDongle
 from repro.devices.vendors import VendorDatabase
+from repro.mac import frames as frame_types
 from repro.mac.addresses import MacAddress
 from repro.mac.frames import Frame
 from repro.sim.medium import Reception
@@ -90,8 +91,6 @@ class PassiveScanner:
     @staticmethod
     def _classify(frame: Frame) -> Optional[DeviceKind]:
         """Infer device kind from what it transmits."""
-        from repro.mac import frames as frame_types
-
         if frame.is_beacon:
             return DeviceKind.ACCESS_POINT
         if frame.is_management:

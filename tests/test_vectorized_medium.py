@@ -1,0 +1,330 @@
+"""The vectorized medium: SoA delivery == scalar delivery, byte for byte.
+
+Four contracts pinned here:
+
+* the full ``vectorized × batch_arrivals`` matrix (all four combinations)
+  produces **byte-identical seeded traces** and outputs on the Figure 2
+  probe exchange and a Table 2-shaped wardrive;
+* ad-hoc queries (``rssi_between`` / ``is_busy_for``) read the same
+  epoch-keyed budgets as the delivery path, so they can never drift from
+  what a transmission actually experiences;
+* the per-channel struct-of-arrays index survives arbitrary mid-run
+  retune / reposition / detach sequences (property-tested): array-index
+  compaction never changes who hears what;
+* :class:`~repro.sim.engine.EventBatch` index mode (``payloads=None``)
+  hands the handler drain positions directly.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.phy.radio import Radio
+from repro.scenario import run_scenario
+from repro.sim.engine import Engine, EventBatch
+from repro.sim.medium import Medium
+from repro.sim.trace import FrameTrace
+from repro.sim.world import Position
+from tests.test_sim_medium import _frame
+
+MATRIX = [
+    (True, True),
+    (True, False),
+    (False, True),
+    (False, False),
+]
+
+WARDRIVE_PARAMS = {
+    "population_scale": 0.01,
+    "keep_all_vendors": False,
+    "blocks_x": 4,
+    "blocks_y": 3,
+}
+
+
+def _force_medium(monkeypatch, vectorized: bool, batch_arrivals: bool):
+    """Every Medium built while patched uses the given delivery mode."""
+    original = Medium.__init__
+
+    def forced_init(self, *args, **kwargs):
+        kwargs["vectorized"] = vectorized
+        kwargs["batch_arrivals"] = batch_arrivals
+        original(self, *args, **kwargs)
+
+    monkeypatch.setattr(Medium, "__init__", forced_init)
+
+
+# ----------------------------------------------------------------------
+# The 4-combination equivalence matrix
+# ----------------------------------------------------------------------
+class TestEquivalenceMatrix:
+    @pytest.mark.parametrize("vectorized,batched", MATRIX)
+    def test_figure2_trace_byte_identical(self, monkeypatch, vectorized, batched):
+        reference = run_scenario("probe", quiet=True)
+        with monkeypatch.context() as patched:
+            _force_medium(patched, vectorized, batched)
+            other = run_scenario("probe", quiet=True)
+        assert other.ctx.trace.to_jsonl() == reference.ctx.trace.to_jsonl()
+        assert other.outputs == reference.outputs
+
+    @pytest.mark.parametrize("vectorized,batched", MATRIX)
+    def test_wardrive_trace_byte_identical(self, monkeypatch, vectorized, batched):
+        # Static city + driving rig: exercises the static delivery cache,
+        # the per-transmission mobile merge, and the FER coin flips in
+        # every mode.
+        reference = run_scenario(
+            "wardrive", quiet=True, trace=True, params=dict(WARDRIVE_PARAMS)
+        )
+        assert int(reference.outputs["discovered"]) > 0
+        with monkeypatch.context() as patched:
+            _force_medium(patched, vectorized, batched)
+            other = run_scenario(
+                "wardrive", quiet=True, trace=True, params=dict(WARDRIVE_PARAMS)
+            )
+        assert other.ctx.trace.to_jsonl() == reference.ctx.trace.to_jsonl()
+        assert other.outputs == reference.outputs
+
+
+# ----------------------------------------------------------------------
+# Query paths read the delivery-path budgets
+# ----------------------------------------------------------------------
+class TestQueryPathsMatchDelivery:
+    def test_rssi_between_matches_delivered_rssi(self, engine):
+        # A stateful path-loss model (frozen per-link shadowing) makes any
+        # out-of-band model re-invocation visible: a second draw for the
+        # same link would disagree with what the delivery saw.
+        from repro.channel.propagation import ShadowedPathLoss
+
+        medium = Medium(
+            engine,
+            path_loss_db=ShadowedPathLoss(rng=np.random.default_rng(7)),
+        )
+        tx = Radio("tx", medium, Position(0, 0), tx_power_dbm=20.0)
+        rx = Radio("rx", medium, Position(12, 5))
+        seen = []
+        rx.frame_handler = lambda r: seen.append(r.rssi_dbm)
+
+        # Query first (primes the link cache), then deliver, then query
+        # again: all three must agree exactly.
+        before = medium.rssi_between("tx", "rx", engine.now)
+        tx.transmit(_frame(), 6.0)
+        engine.run_until(0.01)
+        after = medium.rssi_between("tx", "rx", engine.now)
+        assert len(seen) == 1
+        assert seen[0] == before == after
+
+    def test_is_busy_for_uses_delivered_rssi(self, engine):
+        medium = Medium(engine)
+        tx = Radio("tx", medium, Position(0, 0), tx_power_dbm=20.0)
+        rx = Radio("rx", medium, Position(30, 0))
+        rssi = medium.rssi_between("tx", "rx", engine.now)
+        verdicts = {}
+
+        def check():
+            verdicts["below"] = medium.is_busy_for("rx", rssi - 1.0)
+            verdicts["above"] = medium.is_busy_for("rx", rssi + 1.0)
+
+        tx.transmit(_frame(), 6.0, length_bytes=1000)
+        engine.call_after(100e-6, check)  # mid-flight
+        engine.run_until(0.01)
+        # The CCA comparison uses the very same RSSI the arrival carries.
+        assert verdicts == {"below": True, "above": False}
+
+    def test_queries_agree_across_modes(self, engine):
+        scalar_engine = Engine()
+        vec = Medium(engine, vectorized=True)
+        sca = Medium(scalar_engine, vectorized=False)
+        for medium, eng in ((vec, engine), (sca, scalar_engine)):
+            Radio("a", medium, Position(0, 0))
+            Radio("b", medium, Position(25, 40))
+        assert vec.rssi_between("a", "b", 0.0) == sca.rssi_between("a", "b", 0.0)
+
+
+# ----------------------------------------------------------------------
+# SoA index compaction under mid-run mutation (property-based)
+# ----------------------------------------------------------------------
+CHANNELS = (1, 6, 11)
+
+
+def _mutation_run(ops, vectorized: bool):
+    """Scripted world: periodic broadcasts + a mutation schedule.
+
+    Returns every reception as ``(receiver, time, rssi, fcs_ok)`` plus the
+    frame trace — the full observable surface of the delivery path.
+    """
+    engine = Engine()
+    trace = FrameTrace()
+    medium = Medium(engine, trace=trace, vectorized=vectorized)
+    radios = []
+    for i in range(9):
+        radios.append(
+            Radio(
+                f"r{i}",
+                medium,
+                Position(7.0 * (i % 3), 9.0 * (i // 3)),
+                channel=CHANNELS[i % 3],
+            )
+        )
+    log = []
+    for radio in radios:
+        radio.frame_handler = (
+            lambda rec, name=radio.name: log.append(
+                (name, rec.end, rec.rssi_dbm, rec.fcs_ok)
+            )
+        )
+
+    def apply(op):
+        kind, target, arg = op
+        radio = radios[target]
+        name = radio.name
+        attached = name in medium.radio_names
+        if kind == "retune" and attached:
+            radio.channel = CHANNELS[arg % 3]
+        elif kind == "reposition" and attached:
+            radio._position = Position(3.0 * (arg % 7), 2.0 * (arg % 5))
+        elif kind == "detach" and attached:
+            medium.detach(name)
+        elif kind == "attach" and not attached:
+            medium.attach(radio)
+
+    # One broadcast per sender per millisecond; mutations land between
+    # transmissions and also *mid-flight* (50 us into an airtime).
+    for k, op in enumerate(ops):
+        engine.call_at(1e-3 * (k + 1) + 50e-6, lambda op=op: apply(op))
+    for k in range(len(ops) + 2):
+        for s in (0, 1, 2):
+            engine.call_at(
+                1e-3 * (k + 0.5) + 17e-6 * s,
+                lambda s=s: (
+                    radios[s].name in medium.radio_names
+                    and radios[s].transmit(_frame(), 6.0, length_bytes=200)
+                ),
+            )
+    engine.run_until(1e-3 * (len(ops) + 4))
+    return log, trace.to_jsonl()
+
+
+_op = st.tuples(
+    st.sampled_from(["retune", "reposition", "detach", "attach"]),
+    st.integers(min_value=0, max_value=8),
+    st.integers(min_value=0, max_value=20),
+)
+
+
+class TestSoACompaction:
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(ops=st.lists(_op, min_size=1, max_size=8))
+    def test_mutation_sweep_is_mode_invariant(self, ops):
+        vec_log, vec_trace = _mutation_run(ops, vectorized=True)
+        sca_log, sca_trace = _mutation_run(ops, vectorized=False)
+        assert vec_log == sca_log
+        assert vec_trace == sca_trace
+
+    def test_detach_reattach_compacts_and_restores(self, engine):
+        medium = Medium(engine, vectorized=True)
+        radios = [Radio(f"x{i}", medium, Position(float(i), 0)) for i in range(5)]
+        tx = radios[0]
+        heard = []
+        for r in radios[1:]:
+            r.frame_handler = lambda rec, n=r.name: heard.append(n)
+        medium.detach("x2")
+        tx.transmit(_frame(), 6.0)
+        engine.run_until(0.01)
+        assert sorted(heard) == ["x1", "x3", "x4"]
+        heard.clear()
+        medium.attach(radios[2])
+        tx.transmit(_frame(), 6.0)
+        engine.run_until(0.02)
+        assert sorted(heard) == ["x1", "x2", "x3", "x4"]
+
+
+# ----------------------------------------------------------------------
+# The SoA arrays themselves
+# ----------------------------------------------------------------------
+class TestChannelSoA:
+    def test_mobile_rows_are_nan_and_gated_out(self, engine):
+        medium = Medium(engine, vectorized=True)
+        Radio("s", medium, Position(1, 2, 3), channel=1)
+        Radio("m", medium, lambda t: Position(t, 0), channel=1)
+        soa = medium._channel_soa(1)
+        assert soa.count == 2
+        by_name = {e.name: i for i, e in enumerate(soa.entries)}
+        assert np.array_equal(soa.xyz[by_name["s"]], [1.0, 2.0, 3.0])
+        assert np.all(np.isnan(soa.xyz[by_name["m"]]))
+        assert bool(soa.static_mask[by_name["s"]])
+        assert not bool(soa.static_mask[by_name["m"]])
+
+    def test_limit2_cached_per_power_and_covers_scalar_range(self, engine):
+        medium = Medium(engine, vectorized=True)
+        Radio("a", medium, Position(0, 0), channel=1, rx_sensitivity_dbm=-92.0)
+        Radio("b", medium, Position(5, 0), channel=1, rx_sensitivity_dbm=-70.0)
+        soa = medium._channel_soa(1)
+        limit2 = soa.limit2(20.0)
+        assert soa.limit2(20.0) is limit2  # cached per power
+        assert soa.limit2(10.0) is not limit2
+        # The squared gate must admit at least the exact scalar range:
+        # dmax = (lambda / 4 pi) * 10^((P - sens) / 20), clamped to 1 m.
+        wavelength = 299_792_458.0 / soa.freq_hz[0]
+        for i, sens in enumerate(soa.sens_dbm):
+            dmax = max(
+                (wavelength / (4.0 * math.pi)) * 10.0 ** ((20.0 - sens) / 20.0),
+                1.0,
+            )
+            assert limit2[i] >= dmax * dmax
+
+    def test_rebuilt_after_version_bump(self, engine):
+        medium = Medium(engine, vectorized=True)
+        r0 = Radio("a", medium, Position(0, 0), channel=1)
+        Radio("b", medium, Position(5, 0), channel=1)
+        first = medium._channel_soa(1)
+        r0.channel = 6  # retune bumps both buckets' versions
+        rebuilt = medium._channel_soa(1)
+        assert rebuilt is not first
+        assert rebuilt.count == 1
+        assert rebuilt.entries[0].name == "b"
+
+
+# ----------------------------------------------------------------------
+# EventBatch index mode
+# ----------------------------------------------------------------------
+class TestEventBatchIndexMode:
+    def test_none_payloads_hand_the_handler_indices(self, engine):
+        fired = []
+        batch = EventBatch(
+            engine, lambda i: fired.append((engine.now, i)),
+            base=1.0, shift=0.0, offsets=[0.0, 1e-6, 5e-6], payloads=None,
+        )
+        engine.post_batch(batch)
+        engine.run_until(2.0)
+        assert fired == [(1.0, 0), (1.0 + 1e-6, 1), (1.0 + 5e-6, 2)]
+
+    def test_index_mode_pauses_and_resumes_like_payload_mode(self, engine):
+        fired = []
+        batch = EventBatch(
+            engine, lambda i: fired.append(i),
+            base=0.0, shift=0.0, offsets=[0.1, 0.3, 0.6], payloads=None,
+        )
+        engine.post_batch(batch)
+        engine.run_until(0.4)
+        assert fired == [0, 1]
+        engine.run_until(1.0)
+        assert fired == [0, 1, 2]
+
+    def test_index_mode_yields_to_interleaving_events(self, engine):
+        order = []
+        batch = EventBatch(
+            engine, lambda i: order.append(i),
+            base=0.0, shift=0.0, offsets=[1.0, 3.0], payloads=None,
+        )
+        engine.post_batch(batch)
+        engine.call_at(2.0, lambda: order.append("evt"))
+        engine.run_until(4.0)
+        assert order == [0, "evt", 1]
