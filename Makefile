@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test coverage bench perf perf-full perf-compare demo examples examples-smoke campaign-smoke campaign-shard-smoke control-smoke docs-check clean
+.PHONY: install test coverage bench perf perf-full perf-compare perf-report demo examples examples-smoke campaign-smoke campaign-shard-smoke control-smoke docs-check clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -44,6 +44,11 @@ perf-compare:
 	PYTHONPATH=src:. $(PYTHON) benchmarks/perf/compare.py \
 		benchmarks/perf/baselines benchmarks/perf/results \
 		$(if $(MAX_REGRESSION),--max-regression $(MAX_REGRESSION),)
+
+# Human-readable summary of the latest results vs the baselines
+# (never fails the build; perf-compare is the gate).
+perf-report:
+	PYTHONPATH=src:. $(PYTHON) tools/perf_report.py
 
 demo:
 	$(PYTHON) -m repro probe

@@ -1,0 +1,141 @@
+"""Reception-path microbenchmark: one transmitter, thousands of receivers.
+
+This isolates the per-arrival cost of the reception pipeline — the span
+scheduling, the vectorized lane pre-filter, and the fused ``AckEngine``
+lane sink — with everything else held trivial: a single sender on one
+channel, a dense field of parked stations each running a real
+:class:`~repro.mac.ack_engine.AckEngine`, and an alternating broadcast /
+unicast traffic mix so all three hot lanes (group-addressed, not-for-me,
+unicast-for-me plus the ACK reply) are exercised.
+
+The same workload runs twice in one record: once on the batched
+reception path (``batched_reception=True``, the default) and once on the
+scalar escape hatch (``batched_reception=False``).  Both timings land in
+the outputs so the batched-vs-scalar ratio is tracked release over
+release; the gating ``engine_wall_s`` comes from the batched run.
+"""
+
+from __future__ import annotations
+
+from benchmarks.perf.harness import BenchOutcome
+
+import time
+
+from repro.mac.ack_engine import AckEngine
+from repro.mac.addresses import MacAddress
+from repro.mac.frames import BeaconFrame, DataFrame
+from repro.phy.radio import Radio
+from repro.sim.engine import Engine
+from repro.sim.medium import Medium
+from repro.sim.world import Position
+from repro.telemetry import MetricsRegistry
+
+CHANNEL = 6
+SEND_INTERVAL_S = 1e-3
+RATE_MBPS = 6.0
+
+SENDER_MAC = MacAddress("02:53:4e:44:00:01")
+#: Unicast traffic alternates with broadcast and always targets this
+#: station, so exactly one receiver per odd transmission takes the
+#: unicast-for-me lane and answers with an ACK.
+TARGET_MAC = MacAddress("02:10:00:00:00:00")
+
+
+def _receiver_mac(index: int) -> MacAddress:
+    """Deterministic unicast MAC for receiver ``index`` (no RNG)."""
+    return MacAddress(b"\x02\x10" + index.to_bytes(4, "big"))
+
+
+def _run_mode(
+    n_receivers: int,
+    sim_duration: float,
+    batched_reception: bool,
+    metrics: MetricsRegistry,
+) -> dict:
+    """Build the field fresh and run one reception mode to completion."""
+    setup_start = time.perf_counter()
+    engine = Engine(metrics=metrics)
+    medium = Medium(engine, batched_reception=batched_reception)
+
+    sender = Radio("sender", medium, Position(0.0, 0.0, 10.0), channel=CHANNEL)
+    AckEngine(sender, SENDER_MAC)
+
+    receivers = []
+    engines = []
+    for index in range(n_receivers):
+        # Deterministic scatter inside ~300 x 200 m: every station is
+        # comfortably inside free-space range of the sender.
+        x = 10.0 + (index * 37) % 300
+        y = 10.0 + (index * 73) % 200
+        radio = Radio(
+            f"rx{index:05d}", medium, Position(x, y, 1.5), channel=CHANNEL
+        )
+        engines.append(AckEngine(radio, _receiver_mac(index)))
+        receivers.append(radio)
+
+    beacon = BeaconFrame(addr2=SENDER_MAC, ssid="bench")
+    unicast = DataFrame(addr1=TARGET_MAC, addr2=SENDER_MAC, body=b"x" * 64)
+    sent = 0
+
+    def send() -> None:
+        nonlocal sent
+        frame = unicast if sent % 2 else beacon
+        sender.transmit(frame, RATE_MBPS)
+        sent += 1
+        engine.call_after(SEND_INTERVAL_S, send)
+
+    engine.call_after(0.0, send)
+    setup_s = time.perf_counter() - setup_start
+
+    run_start = time.perf_counter()
+    engine.run_until(sim_duration)
+    run_s = time.perf_counter() - run_start
+
+    return {
+        "setup_s": setup_s,
+        "run_s": run_s,
+        "transmissions": medium.transmission_count,
+        "receptions": sum(radio.frames_delivered for radio in receivers),
+        "frames_seen": sum(e.stats.frames_seen for e in engines),
+        "acks_sent": sum(e.stats.acks_sent for e in engines),
+        "events_executed": engine.events_processed,
+    }
+
+
+def bench_reception_path(quick: bool) -> BenchOutcome:
+    n_receivers = 1200 if quick else 5000
+    sim_duration = 0.2 if quick else 0.3
+
+    metrics = MetricsRegistry()
+    batched = _run_mode(n_receivers, sim_duration, True, metrics)
+    # The scalar pass gets a throwaway registry so the gating
+    # engine_wall_s reflects only the batched (default) path.
+    scalar = _run_mode(n_receivers, sim_duration, False, MetricsRegistry())
+
+    counters_match = all(
+        batched[key] == scalar[key]
+        for key in (
+            "transmissions",
+            "receptions",
+            "frames_seen",
+            "acks_sent",
+            "events_executed",
+        )
+    )
+    return BenchOutcome(
+        outputs={
+            "receivers": n_receivers,
+            "sim_s": sim_duration,
+            "transmissions": batched["transmissions"],
+            "receptions": batched["receptions"],
+            "frames_seen": batched["frames_seen"],
+            "acks_sent": batched["acks_sent"],
+            "events_executed": batched["events_executed"],
+            "batched_run_s": batched["run_s"],
+            "scalar_run_s": scalar["run_s"],
+            "scalar_over_batched": scalar["run_s"] / max(batched["run_s"], 1e-9),
+            "counters_match": int(counters_match),
+        },
+        metrics=metrics,
+        setup_s=batched["setup_s"] + scalar["setup_s"],
+    )

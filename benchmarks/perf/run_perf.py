@@ -36,6 +36,7 @@ from benchmarks.perf.bench_engine_churn import bench_engine_churn  # noqa: E402
 from benchmarks.perf.bench_figure6_battery import bench_figure6_battery  # noqa: E402
 from benchmarks.perf.bench_medium_broadcast import bench_medium_broadcast  # noqa: E402
 from benchmarks.perf.bench_medium_soa import bench_medium_soa  # noqa: E402
+from benchmarks.perf.bench_reception_path import bench_reception_path  # noqa: E402
 from benchmarks.perf.bench_table2_wardrive import bench_table2_wardrive  # noqa: E402
 from benchmarks.perf.bench_wardrive_full import bench_wardrive_full  # noqa: E402
 
@@ -44,6 +45,7 @@ BENCHES = {
     "campaign_shard": bench_campaign_shard,
     "medium_broadcast": bench_medium_broadcast,
     "medium_soa": bench_medium_soa,
+    "reception_path": bench_reception_path,
     "engine_churn": bench_engine_churn,
     "table2_wardrive": bench_table2_wardrive,
     "figure6_battery": bench_figure6_battery,

@@ -40,6 +40,19 @@ class DeviceKind(enum.Enum):
     MONITOR = "monitor"
 
 
+#: Mirror of the `_dispatch_frame` management-subtype switch, used by the
+#: passivity probe to find which handler a frame type routes to.
+_MGMT_HANDLERS = {
+    frame_types.SUBTYPE_BEACON: "on_beacon",
+    frame_types.SUBTYPE_PROBE_REQUEST: "on_probe_request",
+    frame_types.SUBTYPE_PROBE_RESPONSE: "on_probe_response",
+    frame_types.SUBTYPE_AUTH: "on_auth",
+    frame_types.SUBTYPE_ASSOC_REQUEST: "on_assoc_request",
+    frame_types.SUBTYPE_ASSOC_RESPONSE: "on_assoc_response",
+    frame_types.SUBTYPE_DEAUTH: "on_deauth",
+}
+
+
 class Device:
     """Base class for everything with a WiFi radio."""
 
@@ -81,8 +94,6 @@ class Device:
         self.transmitter = MacTransmitter(
             self.radio, self.ack_engine, self.mac, rng, band, use_dcf=use_dcf
         )
-        self.ack_engine.mac_handler = self._dispatch_frame
-        self.ack_engine.sniffer_handler = self._account_frame
         self.accountant: Optional[EnergyAccountant] = None
         if power_profile is not None:
             self.accountant = EnergyAccountant(self.radio, power_profile)
@@ -91,6 +102,23 @@ class Device:
             self.power_save = PowerSaveController(
                 self.radio, self.engine, power_save
             )
+        # Handler installation comes after the accountant/power-save
+        # wiring so the passivity contracts below read settled state.
+        # The batch fast lanes may skip a contractually-passive handler
+        # entirely; both probes are conservative — any override or any
+        # attached accounting falls back to the scalar path.
+        if type(self)._dispatch_frame is Device._dispatch_frame:
+            self.ack_engine.install_mac_handler(
+                self._dispatch_frame, passive_probe=self._dispatch_is_passive
+            )
+        else:
+            self.ack_engine.install_mac_handler(self._dispatch_frame)
+        if type(self)._account_frame is Device._account_frame:
+            self.ack_engine.install_sniffer(
+                self._account_frame, passive_check=self._sniffer_is_passive
+            )
+        else:
+            self.ack_engine.install_sniffer(self._account_frame)
         self._sequence = itertools.count(int(rng.integers(0, 4096)))
         self.unsolicited_data_frames = 0
         self.fake_frames_discarded = 0
@@ -116,6 +144,53 @@ class Device:
         if frame.sequence == 0 and not frame.is_control:
             frame.sequence = self.next_sequence()
         self.transmitter.send(frame, rate_mbps, on_complete, retry_limit)
+
+    # ------------------------------------------------------------------
+    # Batch-lane passivity contracts
+    # ------------------------------------------------------------------
+    def _sniffer_is_passive(self) -> bool:
+        """True while :meth:`_account_frame` would observably do nothing.
+
+        Only consulted when the method is not overridden (see __init__);
+        the base implementation touches state solely through the
+        accountant and the power-save controller.
+        """
+        return self.accountant is None and self.power_save is None
+
+    #: (ftype, subtype) -> whether the base dispatch table routes it to a
+    #: handler this class doesn't override.  Keyed per class (populated
+    #: lazily on each class's own dict, never inherited), since overrides
+    #: differ per subclass while the verdict is identical across
+    #: instances.
+    _dispatch_passive_cache: dict
+
+    def _dispatch_is_passive(self, key: tuple) -> bool:
+        """True if :meth:`_dispatch_frame` is a no-op for this frame type.
+
+        Group-addressed frames of a passive type — beacons at idle
+        stations are the wardrive's dominant traffic — can then be
+        accounted for without ever constructing the frame's Reception.
+        """
+        cls = type(self)
+        cache = cls.__dict__.get("_dispatch_passive_cache")
+        if cache is None:
+            cache = {}
+            cls._dispatch_passive_cache = cache
+        verdict = cache.get(key)
+        if verdict is None:
+            ftype, subtype = key
+            if ftype is FrameType.MANAGEMENT:
+                name = _MGMT_HANDLERS.get(subtype, "on_management")
+                verdict = getattr(cls, name) is getattr(Device, name)
+            elif ftype is FrameType.CONTROL:
+                # _dispatch_frame has no control branch at all.
+                verdict = True
+            else:
+                # DATA (and anything unknown): the base on_data counts
+                # unsolicited frames, so it is never passive.
+                verdict = False
+            cache[key] = verdict
+        return verdict
 
     # ------------------------------------------------------------------
     # Receive-side accounting (every decoded frame, ours or not)

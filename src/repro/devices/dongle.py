@@ -49,6 +49,13 @@ class RawPsdu:
         except Exception:
             return None
 
+    def dest_u64(self) -> Optional[int]:
+        """Receiver address for the medium's batch pre-filter, or ``None``
+        when the bytes don't parse (every receiver then takes the scalar
+        path and applies its own malformed-frame handling)."""
+        frame = self._parsed()
+        return frame.dest_u64() if frame is not None else None
+
     def trace_source(self) -> str:
         frame = self._parsed()
         return frame.trace_source() if frame is not None else "(raw)"

@@ -31,9 +31,9 @@ from repro.mac.frames import AckFrame, CtsFrame, Frame, FrameType
 from repro.mac.serialization import FrameFormatError, deserialize
 from repro.phy.constants import Band, sifs
 from repro.phy.plcp import cts_airtime
-from repro.phy.radio import Radio
+from repro.phy.radio import Radio, _SLEEP
 from repro.phy.rates import ack_rate_for
-from repro.sim.medium import Reception
+from repro.sim.medium import LANE_FCS_FAIL, LANE_NOT_FOR_ME, Reception
 
 #: How many (transmitter, sequence) pairs the duplicate cache remembers.
 _DUPLICATE_CACHE_SIZE = 64
@@ -124,16 +124,145 @@ class AckEngine:
         self.mac_handler: Optional[Callable[[Frame, Reception], None]] = None
         self.control_handler: Optional[Callable[[Frame, Reception], None]] = None
         self.sniffer_handler: Optional[Callable[[Frame, Reception], None]] = None
+        # Passivity contracts for the batched reception fast lanes (see
+        # install_sniffer / install_mac_handler).  The identity fields
+        # remember which handler the contract was made for: code that
+        # later assigns `sniffer_handler` / `mac_handler` directly (tests
+        # do) breaks the identity match and every arrival falls back to
+        # the scalar path — never an incorrect fast verdict.
+        self._passive_sniffer: Optional[Callable] = None
+        self._sniffer_passive_check: Optional[Callable[[], bool]] = None
+        self._passive_mac: Optional[Callable] = None
+        self._mac_passive_probe: Optional[Callable[[tuple], bool]] = None
+        #: (ftype, subtype) -> probe verdict, cleared when the contract
+        #: is reinstalled.  The probe itself memoizes per device class;
+        #: this engine-local mirror just skips the call on the hot lane.
+        self._passive_keys: Dict[tuple, bool] = {}
         self._duplicate_cache: Dict[Tuple[MacAddress, int, int], None] = {}
         # Hot-path caches: the config flag and own-address bytes are
         # immutable after construction and read on every reception.
         self._promiscuous = self.config.promiscuous
         self._mac_value = self.mac_address._value
+        # A (nonstandard) group-bit own address would tie with the
+        # group-destination test; the fast lanes refuse to guess and the
+        # scalar path keeps its exact address-match semantics.
+        self._group_mac = bool(self._mac_value[0] & 0x01)
         radio.frame_handler = self._on_reception
+        # Assigning frame_handler cleared the batch hook; install ours
+        # after it, plus the receive MAC the medium's vectorized
+        # pre-filter classifies against.  The radio attached before this
+        # engine existed, so tell the medium the addressing changed.
+        radio.frame_handler_batch = self._on_reception_lane
+        radio.rx_mac_u64 = int.from_bytes(self._mac_value, "big")
+        medium = getattr(radio, "medium", None)
+        if medium is not None:
+            note = getattr(medium, "note_addressing_changed", None)
+            if note is not None:
+                note(radio.name)
+
+    # ------------------------------------------------------------------
+    # Handler installation (batch-lane passivity contracts)
+    # ------------------------------------------------------------------
+    def install_sniffer(
+        self,
+        handler: Callable[[Frame, Reception], None],
+        passive_check: Optional[Callable[[], bool]] = None,
+    ) -> None:
+        """Set :attr:`sniffer_handler`, optionally with a passivity contract.
+
+        ``passive_check()`` returning ``True`` promises that ``handler``
+        currently has no observable effect for any frame, so the batched
+        fast lanes may skip invoking it.  It is re-evaluated per span
+        (cheap attribute checks), letting passivity change at runtime.
+        """
+        self.sniffer_handler = handler
+        self._passive_sniffer = handler if passive_check is not None else None
+        self._sniffer_passive_check = passive_check
+
+    def install_mac_handler(
+        self,
+        handler: Callable[[Frame, Reception], None],
+        passive_probe: Optional[Callable[[tuple], bool]] = None,
+    ) -> None:
+        """Set :attr:`mac_handler`, optionally with a passivity contract.
+
+        ``passive_probe((ftype, subtype))`` returning ``True`` promises
+        that ``handler`` is a no-op for group frames of that type — the
+        wardrive's dominant traffic (beacons heard by hundreds of idle
+        stations), which then never leaves the counter-only fast lane.
+        """
+        self.mac_handler = handler
+        self._passive_mac = handler if passive_probe is not None else None
+        self._mac_passive_probe = passive_probe
+        self._passive_keys = {}
 
     # ------------------------------------------------------------------
     # Receive path
     # ------------------------------------------------------------------
+    def _on_reception_lane(self, lane: int, span, index: int) -> bool:
+        """Batched fast path: account for a pre-classified arrival.
+
+        Installed as the radio's ``frame_handler_batch``, which the
+        medium caches directly as the delivery sink — so the radio-level
+        contract (the sleep drop, the ``frames_delivered`` bump) is
+        applied here rather than in :meth:`Radio.on_reception_batch`.
+        Consumes the lanes whose scalar handling is pure counter
+        arithmetic — below-FCS, clean-but-not-for-me, and group frames
+        whose handlers are contractually passive — and returns ``False``
+        for everything else (for-me unicast with its ACK scheduling,
+        promiscuous capture, any non-passive handler), sending the
+        medium through the byte-identical scalar path instead.  Mutates
+        nothing before returning ``False``.
+        """
+        radio = self.radio
+        if radio._state is _SLEEP:
+            radio.frames_dropped_asleep += 1
+            return True
+        stats = self.stats
+        if lane == LANE_FCS_FAIL:
+            stats.frames_seen += 1
+            stats.fcs_failures += 1
+            radio.frames_delivered += 1
+            return True
+        if self._promiscuous:
+            return False
+        sniffer = self.sniffer_handler
+        if sniffer is not None and (
+            sniffer is not self._passive_sniffer
+            or not self._sniffer_passive_check()
+        ):
+            return False
+        if lane == LANE_NOT_FOR_ME:
+            stats.frames_seen += 1
+            radio.frames_delivered += 1
+            return True
+        # LANE_GROUP: delivered to the MAC handler in the scalar path —
+        # consumable only when that handler is contractually passive for
+        # this frame type (or absent).
+        if self._group_mac:
+            return False
+        handler = self.mac_handler
+        if handler is None:
+            stats.frames_seen += 1
+            stats.passed_up += 1
+            radio.frames_delivered += 1
+            return True
+        key = span.frame_key
+        if handler is self._passive_mac and key is not None:
+            # The probe's verdict is structural (which methods the device
+            # class overrides) and permanently memoized per class, so the
+            # per-engine memo here cannot go stale ahead of it.
+            verdict = self._passive_keys.get(key)
+            if verdict is None:
+                verdict = self._mac_passive_probe(key)
+                self._passive_keys[key] = verdict
+            if verdict:
+                stats.frames_seen += 1
+                stats.passed_up += 1
+                radio.frames_delivered += 1
+                return True
+        return False
+
     def _on_reception(self, reception: Reception) -> None:
         stats = self.stats
         stats.frames_seen += 1

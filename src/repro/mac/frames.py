@@ -97,6 +97,16 @@ class Frame:
     def transmitter(self) -> Optional[MacAddress]:
         return self.addr2
 
+    def dest_u64(self) -> int:
+        """The RA as a 48-bit big-endian integer (bit 40 = group bit).
+
+        The medium's batched reception path classifies a whole arrival
+        batch against receiver-MAC mirrors with one integer comparison;
+        this hook is how a payload exposes its destination without any
+        per-receiver parsing.
+        """
+        return int.from_bytes(self.addr1._value, "big")
+
     @property
     def is_management(self) -> bool:
         return self.ftype is FrameType.MANAGEMENT

@@ -34,6 +34,10 @@ class DcfTimer:
         self.engine = engine
         self.rng = rng
         self.band = band
+        # Band timing constants are fixed per timer; resolving them per
+        # backoff draw is measurable at wardrive transmission rates.
+        self._difs = difs(band)
+        self._slot = slot_time(band)
 
     def contention_window(self, retry_count: int) -> int:
         """CW for the given retry stage: (CW_MIN+1)·2^r − 1, capped."""
@@ -43,7 +47,7 @@ class DcfTimer:
     def backoff_delay(self, retry_count: int = 0) -> float:
         """One DIFS plus a uniformly-drawn number of slots."""
         slots = int(self.rng.integers(0, self.contention_window(retry_count) + 1))
-        return difs(self.band) + slots * slot_time(self.band)
+        return self._difs + slots * self._slot
 
     def schedule(
         self,

@@ -73,7 +73,22 @@ class Radio:
         self._position = position  # property setter fills static_position
         self._state = RadioState.IDLE
         self._state_listeners: List[Callable[[RadioState, float], None]] = []
-        self.frame_handler: Optional[Callable[[Reception], None]] = None
+        self._frame_handler: Optional[Callable[[Reception], None]] = None
+        #: Lane-aware fast sink for the medium's batched reception path:
+        #: ``f(lane, span, index) -> bool`` (True = arrival fully
+        #: accounted for without a Reception).  The hook owns the whole
+        #: per-arrival radio contract — sleep drop and the
+        #: ``frames_delivered`` bump included — so the medium may cache
+        #: it directly as the delivery sink.  Installed alongside
+        #: ``frame_handler`` by the ACK engine; assigning
+        #: ``frame_handler`` clears it (and notifies the medium), so code
+        #: that swaps in a bare scalar handler (tests do) can never leave
+        #: a stale fast path behind.
+        self.frame_handler_batch: Optional[Callable[[int, object, int], bool]] = None
+        #: Receive MAC as a 48-bit big-endian integer, published by the
+        #: ACK engine for the medium's vectorized address pre-filter;
+        #: ``None`` until a MAC layer claims the radio.
+        self.rx_mac_u64: Optional[int] = None
         self.frames_sent = 0
         self.frames_delivered = 0
         self.frames_dropped_asleep = 0
@@ -125,15 +140,52 @@ class Radio:
             return provider(time)
         return provider
 
+    @property
+    def frame_handler(self) -> Optional[Callable[[Reception], None]]:
+        return self._frame_handler
+
+    @frame_handler.setter
+    def frame_handler(self, handler: Optional[Callable[[Reception], None]]) -> None:
+        self._frame_handler = handler
+        # A new scalar handler invalidates any batch fast path installed
+        # for the previous one; the installer re-sets it afterwards.  The
+        # medium caches the batch hook inside its delivery lists, so
+        # clearing an installed hook must also bump the channel's cache
+        # version (note_addressing_changed covers exactly that).
+        if self.frame_handler_batch is not None:
+            self.frame_handler_batch = None
+            self.medium.note_addressing_changed(self.name)
+
     def on_reception(self, reception: Reception) -> None:
         """Medium callback: route a finished arrival to the MAC."""
         if self._state is _SLEEP:
             self.frames_dropped_asleep += 1
             return
         self.frames_delivered += 1
-        handler = self.frame_handler
+        handler = self._frame_handler
         if handler is not None:
             handler(reception)
+
+    def on_reception_batch(self, lane: int, span, index: int) -> bool:
+        """Lane-classified fast path for one arrival of a batched span.
+
+        Returns ``True`` when the arrival is fully accounted for without
+        a :class:`Reception` object.  An installed ``frame_handler_batch``
+        owns the whole verdict — including the sleep drop and the
+        ``frames_delivered`` bump, which lets the medium cache the hook
+        itself as the delivery sink and skip this wrapper entirely.  With
+        no hook installed, the sleep drop is applied here and everything
+        else returns ``False`` to the byte-identical scalar path (which
+        re-applies the sleep check, so nothing here may consume the
+        arrival first).
+        """
+        handler = self.frame_handler_batch
+        if handler is not None:
+            return handler(lane, span, index)
+        if self._state is _SLEEP:
+            self.frames_dropped_asleep += 1
+            return True
+        return False
 
     # ------------------------------------------------------------------
     # State machine

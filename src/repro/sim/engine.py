@@ -125,11 +125,38 @@ class EventBatch:
     payload's position ``i`` itself.  Handlers whose state is already a
     parallel array (the medium's arrival spans) use this to skip a
     per-payload sequence lookup on the hottest loop in the simulator.
+
+    ``slices=True`` selects *slice mode* (implies index mode): instead of
+    one handler call per item, the handler is invoked **once per drain
+    window** with the batch object itself and must consume a contiguous
+    slice of due items, returning the index of the first unprocessed
+    item.  The handler takes over the engine's inner loop for the slice:
+    starting from ``batch.index`` it must process at least one item,
+    advance ``clock._now`` to each later item's fire time exactly as the
+    index-mode loop would (``base + offsets[i] + shift``, left-
+    associated), and stop at the first item whose fire time exceeds the
+    run limit, lands at/after the heap head, or follows a stop request —
+    the same yield conditions as the inline drain above.  The engine then
+    re-posts the batch at ``next_time()`` if items remain.  This exists
+    for the medium's batched reception path: handing the arrival span a
+    whole slice of same-deadline arrivals removes a Python call per
+    arrival from the hottest loop in the simulator.
     """
 
-    __slots__ = ("engine", "handler", "base", "shift", "offsets", "payloads", "index")
+    __slots__ = (
+        "engine",
+        "handler",
+        "base",
+        "shift",
+        "offsets",
+        "payloads",
+        "index",
+        "slices",
+    )
 
-    def __init__(self, engine, handler, base, shift, offsets, payloads) -> None:
+    def __init__(
+        self, engine, handler, base, shift, offsets, payloads, slices=False
+    ) -> None:
         self.engine = engine
         self.handler = handler
         self.base = base
@@ -137,6 +164,7 @@ class EventBatch:
         self.offsets = offsets
         self.payloads = payloads
         self.index = 0
+        self.slices = slices
 
     def next_time(self) -> float:
         """Fire time of the next pending payload."""
@@ -154,6 +182,18 @@ class EventBatch:
         shift = self.shift
         i = self.index
         n = len(offsets)
+        if self.slices:
+            i = handler(self)
+            self.index = i
+            if i >= n:
+                return
+            t = base + offsets[i] + shift
+            sequence = engine._scheduled
+            engine._scheduled = sequence + 1
+            heappush(heap, (t, sequence, self))
+            if len(heap) > engine._heap_peak:
+                engine._heap_peak = len(heap)
+            return
         # The drain loop is duplicated for the two payload modes so the
         # per-payload cost carries no mode branch and no sequence lookup.
         if payloads is None:

@@ -91,6 +91,7 @@ from __future__ import annotations
 
 import enum
 import math
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
 from heapq import heappush
 from typing import Callable, Dict, List, Optional, Protocol, Tuple
@@ -112,6 +113,11 @@ DEFAULT_CAPTURE_THRESHOLD_DB = 10.0
 #: Upper bound on cached (tx, rx) link budgets; beyond it the oldest entry
 #: is dropped (FIFO), mirroring ShadowedPathLoss's own memory bound.
 LINK_CACHE_MAX_ENTRIES = 1_000_000
+
+#: Per-channel bucket changelog length; a delivery list staler than this
+#: many bucket mutations resolves cold (at that point a full re-scan is
+#: competitive with replaying the log anyway).
+_BUCKET_LOG_MAX = 128
 
 
 class CorruptionReason(enum.Enum):
@@ -286,6 +292,47 @@ def _handle_rssi(handle) -> float:
     return handle.rssi_dbm
 
 
+#: Reception lanes handed to ``Radio.on_reception_batch`` by the batched
+#: reception path.  A lane names the *verdict* of the vectorized
+#: pre-filter for one arrival, computed before any :class:`Reception`
+#: object exists; a consumer that can fully account for the arrival from
+#: the lane alone (counters only, no observable side effects) returns
+#: ``True`` and the medium skips ``Reception`` construction entirely.
+LANE_FCS_FAIL = 0  # frame corrupted (collision, half-duplex, FER coin)
+LANE_NOT_FOR_ME = 1  # clean unicast addressed to a different MAC
+LANE_GROUP = 2  # clean group-addressed (broadcast/multicast) frame
+
+#: Span-level lane classification states (``_ArrivalSpan.lane_mode``).
+_LANES_UNSET = 0  # not classified yet (first arrival end computes it)
+_LANES_SCALAR = 1  # no fast lanes: every arrival takes the scalar path
+_LANES_GROUP = 2  # group-addressed frame: LANE_GROUP for every receiver
+_LANES_UNICAST = 3  # unicast: per-receiver for-me / not-for-me split
+
+#: Sentinel for "this radio advertises no receive MAC" in the uint64
+#: mirrors; no 48-bit destination can ever equal it.
+_NO_MAC = 0xFFFF_FFFF_FFFF_FFFF
+
+#: Group/multicast bit of a 48-bit MAC viewed as a big-endian integer
+#: (the LSB of the first address byte).
+_GROUP_BIT = 1 << 40
+
+
+def _batch_sink(radio):
+    """The per-arrival batch sink cached in delivery lists.
+
+    An installed ``frame_handler_batch`` owns the whole radio contract
+    (sleep drop, delivered accounting — see :class:`repro.phy.radio.
+    Radio`), so it is cached directly and the ``on_reception_batch``
+    wrapper drops out of the hot path.  Changing either hook bumps the
+    channel version (``note_addressing_changed``), which re-captures the
+    sink here.
+    """
+    sink = getattr(radio, "frame_handler_batch", None)
+    if sink is not None:
+        return sink
+    return getattr(radio, "on_reception_batch", None)
+
+
 class _ArrivalSpan:
     """Every arrival of one transmission, struct-of-arrays style.
 
@@ -302,6 +349,15 @@ class _ArrivalSpan:
     ``reasons[i]`` doubles as the corruption flag (``None`` = clean),
     and ``(span, i)`` tuples stand in for ``_Arrival`` objects on the
     receivers' live-arrival lists.
+
+    With ``batched_reception`` the span is also the *slice handler* for
+    the two :class:`~repro.sim.engine.EventBatch` entries
+    (``begin_slice`` / ``end_slice``): each takes over the engine's
+    inline drain for a contiguous run of same-deadline arrivals, and the
+    end slice routes each arrival through the lane pre-filter before any
+    :class:`Reception` exists.  Lanes are classified lazily, once per
+    span, from the frame's destination address (``dest_u64``) against
+    the per-receiver MAC mirror carried in ``macs`` / ``mac_arr``.
     """
 
     __slots__ = (
@@ -313,6 +369,7 @@ class _ArrivalSpan:
         "fers",
         "reasons",
         "ongoing_lists",
+        "handles",
         # Hot-path bindings resolved once per span instead of once per
         # arrival: these references are fixed for the medium's lifetime
         # (the dicts are mutated, never reassigned), so copying them onto
@@ -325,6 +382,23 @@ class _ArrivalSpan:
         "ctr_delivered",
         "ctr_dropped",
         "csi_model",
+        # Batched-reception lane state: per-receiver MAC mirror (uint64
+        # ints, _NO_MAC when unknown), pre-resolved on_reception_batch
+        # bound methods (None for ports without one), optional numpy
+        # view of `macs` for one-comparison classification, and the
+        # lazily computed verdicts.
+        "macs",
+        "sinks",
+        "mac_arr",
+        "lane_mode",
+        "for_me",
+        "frame_key",
+        # Per-batch absolute due times (`base + offset + shift`, computed
+        # with the engine's exact left-associated float adds), cached on
+        # first slice call so window boundaries are bisections instead of
+        # per-item arithmetic.
+        "due_begin",
+        "due_end",
     )
 
     def __init__(
@@ -335,6 +409,9 @@ class _ArrivalSpan:
         rssis: List[float],
         snrs: List[float],
         fers: Optional[List[float]],
+        macs: Optional[List[int]] = None,
+        sinks: Optional[list] = None,
+        mac_arr: Optional[np.ndarray] = None,
     ) -> None:
         self.medium = medium
         self.transmission = transmission
@@ -345,6 +422,10 @@ class _ArrivalSpan:
         n = len(radios)
         self.reasons: List[Optional[CorruptionReason]] = [None] * n
         self.ongoing_lists: List[Optional[list]] = [None] * n
+        # The exact handle tuples appended to the ongoing lists, kept so
+        # the end phase removes by identity-equal object instead of
+        # re-allocating one per arrival.
+        self.handles: List[Optional[tuple]] = [None] * n
         self.clock = medium.engine.clock
         self.attached = medium._radios
         self.ongoing_map = medium._ongoing
@@ -352,6 +433,14 @@ class _ArrivalSpan:
         self.ctr_delivered = medium._ctr_delivered
         self.ctr_dropped = medium._ctr_dropped
         self.csi_model = medium._csi_model
+        self.macs = macs
+        self.sinks = sinks
+        self.mac_arr = mac_arr
+        self.lane_mode = _LANES_UNSET
+        self.for_me: Optional[List[bool]] = None
+        self.frame_key = None
+        self.due_begin: Optional[List[float]] = None
+        self.due_end: Optional[List[float]] = None
 
     def begin(self, i: int) -> None:
         """First symbol at receiver ``i``'s antenna (mirrors _arrival_begin)."""
@@ -368,6 +457,7 @@ class _ArrivalSpan:
             self.medium._resolve_overlap(ongoing, handle)
         ongoing.append(handle)
         self.ongoing_lists[i] = ongoing
+        self.handles[i] = handle
 
     def end(self, i: int) -> None:
         """Last symbol at receiver ``i`` (mirrors _arrival_end)."""
@@ -376,7 +466,7 @@ class _ArrivalSpan:
         ongoing = self.ongoing_lists[i]
         if ongoing:
             try:
-                ongoing.remove((self, i))
+                ongoing.remove(self.handles[i])
             except ValueError:
                 pass
         if name not in self.attached:
@@ -416,6 +506,337 @@ class _ArrivalSpan:
                 csi,
             )
         )
+
+    # -- batched reception -------------------------------------------------
+
+    def _classify(self) -> None:
+        """Compute the span's lane verdicts, once, before the first dispatch.
+
+        The pre-filter needs only the frame's receiver address: the
+        ``dest_u64`` hook (on :class:`~repro.mac.frames.Frame` and
+        ``RawPsdu``) yields it as a 48-bit big-endian integer, or
+        ``None`` when unparseable — then, as whenever a CSI model is
+        installed (its per-arrival invocation has its own RNG ordering),
+        every arrival takes the scalar path.  A group destination makes
+        the whole span ``LANE_GROUP``; a unicast destination is compared
+        against the receiver-MAC mirror — one numpy comparison when the
+        cached array is available — splitting the span into for-me
+        (scalar) and ``LANE_NOT_FOR_ME`` arrivals.
+        """
+        mode = _LANES_SCALAR
+        self.frame_key = None
+        if self.csi_model is None and self.sinks is not None:
+            frame = self.transmission.frame
+            hook = getattr(frame, "dest_u64", None)
+            dest = hook() if hook is not None else None
+            if dest is not None:
+                if dest & _GROUP_BIT:
+                    ftype = getattr(frame, "ftype", None)
+                    if ftype is not None:
+                        self.frame_key = (ftype, frame.subtype)
+                    mode = _LANES_GROUP
+                else:
+                    arr = self.mac_arr
+                    if arr is not None:
+                        self.for_me = (arr == dest).tolist()
+                    else:
+                        self.for_me = [m == dest for m in self.macs]
+                    mode = _LANES_UNICAST
+        self.lane_mode = mode
+
+    def _hand_up(self, i: int, fcs_ok: bool, reason) -> None:
+        """Scalar tail of ``end(i)``: build the Reception and dispatch it."""
+        transmission = self.transmission
+        radio = self.radios[i]
+        now = self.clock._now
+        csi = None
+        csi_model = self.csi_model
+        if csi_model is not None:
+            csi = csi_model(transmission.sender, radio.name, now)
+        while_transmitting = reason is CorruptionReason.RECEIVER_TRANSMITTING
+        radio.on_reception(
+            Reception(
+                transmission.frame,
+                transmission,
+                self.rssis[i],
+                self.snrs[i],
+                transmission.start,
+                now,
+                fcs_ok,
+                (reason is not None) and not while_transmitting,
+                while_transmitting,
+                csi,
+            )
+        )
+
+    def _window(self, due: List[float], i: int, n: int, engine) -> int:
+        """End index of the contiguous due run starting at ``i``.
+
+        Encodes the engine drain's yield conditions as two bisections
+        over the precomputed due times: items process while they are
+        within the run limit and strictly before the next heap event
+        (none of which can change between items unless an upcall runs).
+        The first item is always due — the engine popped the batch at
+        its time — and exact-time ties with the last processed item
+        always process, both exactly as the index-mode drain behaves.
+        """
+        if engine._stopped:
+            j = i + 1
+        else:
+            j = bisect_right(due, engine._run_limit, i, n)
+            heap = engine._heap
+            if heap:
+                j2 = bisect_left(due, heap[0][0], i, n)
+                if j2 < j:
+                    j = j2
+            if j <= i:
+                j = i + 1
+        while j < n and due[j] == due[j - 1]:
+            j += 1
+        return j
+
+    def begin_slice(self, batch) -> int:
+        """Slice-mode arrival starts: ``begin(i)`` for a run of due items.
+
+        Equivalent to the engine's index-mode drain — same processable
+        run, same final clock value — but the whole window is computed
+        up front (:meth:`_window`): arrival starts never run user code
+        and never touch the heap, so the yield conditions cannot change
+        mid-run and the per-item time arithmetic and boundary checks
+        vanish.  The clock is written once at the end; the per-item
+        "receiver transmitting" test uses each arrival's own due time,
+        which is exactly the value the clock would have held.
+        """
+        offsets = batch.offsets
+        i = batch.index
+        n = len(offsets)
+        due = self.due_begin
+        if due is None:
+            base = batch.base
+            shift = batch.shift
+            due = self.due_begin = [base + off + shift for off in offsets]
+        medium = self.medium
+        j = self._window(due, i, n, medium.engine)
+        radios = self.radios
+        reasons = self.reasons
+        ongoing_map = self.ongoing_map
+        ongoing_lists = self.ongoing_lists
+        handles = self.handles
+        transmitting = self.transmitting
+        resolve = medium._resolve_overlap
+        for idx in range(i, j):
+            name = radios[idx].name
+            ongoing = ongoing_map.get(name)
+            if ongoing is None:
+                ongoing = ongoing_map[name] = []
+            tx_end = transmitting.get(name)
+            if tx_end is not None and tx_end > due[idx]:
+                reasons[idx] = CorruptionReason.RECEIVER_TRANSMITTING
+            handle = (self, idx)
+            if ongoing:
+                resolve(ongoing, handle)
+            ongoing.append(handle)
+            ongoing_lists[idx] = ongoing
+            handles[idx] = handle
+        clock = self.clock
+        t = due[j - 1]
+        if t > clock._now:
+            clock._now = t
+        return j
+
+    def end_slice(self, batch) -> int:
+        """Slice-mode arrival ends: the lane pre-filter dispatch loop.
+
+        For each due arrival: remove the live-arrival handle, skip
+        receivers detached mid-flight, flip the FER coin (same RNG draw
+        point and order as the scalar path), then classify.  Arrivals a
+        lane consumer fully accounts for (``sinks[i](lane, span, i)``
+        returning ``True``) never construct a :class:`Reception`; the
+        rest fall back to the byte-identical scalar dispatch.  Delivered
+        and dropped tallies accumulate locally and flush before every
+        scalar upcall, so any code observing the counters mid-slice sees
+        exactly the scalar path's values.
+
+        The drain is windowed (:meth:`_window`): lane consumers never
+        touch the engine — they account through span data and their own
+        counters (the contract on ``frame_handler_batch``) — so the
+        yield conditions only change at scalar upcalls, and the window
+        is recomputed exactly there.  The clock advances lazily: nothing
+        in a fast-lane run can observe it, so it is written to the
+        arrival's due time only before an upcall and at the window end,
+        landing on the same final value the per-item drain produces.
+        """
+        offsets = batch.offsets
+        i = batch.index
+        n = len(offsets)
+        medium = self.medium
+        engine = medium.engine
+        due = self.due_end
+        if due is None:
+            base = batch.base
+            shift = batch.shift
+            due = self.due_end = [base + off + shift for off in offsets]
+        if self.lane_mode == _LANES_UNSET:
+            self._classify()
+        lane_mode = self.lane_mode
+        if lane_mode == _LANES_SCALAR:
+            return self._end_slice_scalar(batch, due)
+        clock = self.clock
+        heap = engine._heap
+        limit = engine._run_limit
+        radios = self.radios
+        reasons = self.reasons
+        fers = self.fers
+        attached = self.attached
+        ongoing_lists = self.ongoing_lists
+        handles = self.handles
+        is_group = lane_mode == _LANES_GROUP
+        sinks = self.sinks
+        for_me = self.for_me
+        ctr_delivered = self.ctr_delivered
+        ctr_dropped = self.ctr_dropped
+        n_delivered = 0
+        n_dropped = 0
+        rng_draw = medium._rng_draw
+        first = True
+        while True:
+            if first:
+                first = False
+            else:
+                t = due[i]
+                if t > clock._now and (
+                    t > limit
+                    or engine._stopped
+                    or (heap and t >= heap[0][0])
+                ):
+                    break
+            j = self._window(due, i, n, engine)
+            upcall = -1
+            for idx in range(i, j):
+                ongoing = ongoing_lists[idx]
+                if ongoing:
+                    try:
+                        ongoing.remove(handles[idx])
+                    except ValueError:
+                        pass
+                radio = radios[idx]
+                if radio.name not in attached:
+                    continue  # detached mid-flight
+                reason = reasons[idx]
+                fcs_ok = reason is None
+                if fcs_ok and fers is not None:
+                    probability = fers[idx]
+                    if probability > 0.0 and rng_draw() < probability:
+                        fcs_ok = False
+                if fcs_ok:
+                    n_delivered += 1
+                else:
+                    n_dropped += 1
+                sink = sinks[idx]
+                if sink is not None:
+                    if not fcs_ok:
+                        if sink(LANE_FCS_FAIL, self, idx):
+                            continue
+                    elif is_group:
+                        if sink(LANE_GROUP, self, idx):
+                            continue
+                    elif not for_me[idx]:
+                        if sink(LANE_NOT_FOR_ME, self, idx):
+                            continue
+                # Scalar fallback: sync the clock and the public
+                # counters first, so the upcall observes exactly the
+                # per-item drain's state.
+                t = due[idx]
+                if t > clock._now:
+                    clock._now = t
+                if n_delivered:
+                    if ctr_delivered is not None:
+                        ctr_delivered.value += n_delivered
+                    n_delivered = 0
+                if n_dropped:
+                    if ctr_dropped is not None:
+                        ctr_dropped.value += n_dropped
+                    n_dropped = 0
+                self._hand_up(idx, fcs_ok, reason)
+                upcall = idx
+                break
+            if upcall < 0:
+                # Clean window: no upcall ran, so the boundary state the
+                # window was computed from is unchanged and j is final.
+                i = j
+                t = due[j - 1]
+                if t > clock._now:
+                    clock._now = t
+                break
+            i = upcall + 1
+            if i == n:
+                break
+        if n_delivered and ctr_delivered is not None:
+            ctr_delivered.value += n_delivered
+        if n_dropped and ctr_dropped is not None:
+            ctr_dropped.value += n_dropped
+        return i
+
+    def _end_slice_scalar(self, batch, due: List[float]) -> int:
+        """Per-item arrival-end drain for spans with no fast lanes.
+
+        CSI-tagged or unparseable transmissions upcall for every
+        attached receiver, so the windowed loop would recompute its
+        boundary per item; this mirror of the engine's index-mode drain
+        is cheaper there.
+        """
+        i = batch.index
+        n = len(due)
+        medium = self.medium
+        engine = medium.engine
+        heap = engine._heap
+        limit = engine._run_limit
+        clock = self.clock
+        radios = self.radios
+        reasons = self.reasons
+        fers = self.fers
+        attached = self.attached
+        ongoing_lists = self.ongoing_lists
+        handles = self.handles
+        ctr_delivered = self.ctr_delivered
+        ctr_dropped = self.ctr_dropped
+        rng_draw = medium._rng_draw
+        while True:
+            ongoing = ongoing_lists[i]
+            if ongoing:
+                try:
+                    ongoing.remove(handles[i])
+                except ValueError:
+                    pass
+            radio = radios[i]
+            if radio.name in attached:
+                reason = reasons[i]
+                fcs_ok = reason is None
+                if fcs_ok and fers is not None:
+                    probability = fers[i]
+                    if probability > 0.0 and rng_draw() < probability:
+                        fcs_ok = False
+                if fcs_ok:
+                    if ctr_delivered is not None:
+                        ctr_delivered.value += 1
+                elif ctr_dropped is not None:
+                    ctr_dropped.value += 1
+                self._hand_up(i, fcs_ok, reason)
+            i += 1
+            if i == n:
+                return i
+            t = due[i]
+            if t > clock._now:
+                # Upcalls may schedule events or stop the run, so the
+                # heap head and stop flag are re-read every iteration,
+                # exactly like the engine's index-mode drain.
+                if (
+                    t > limit
+                    or engine._stopped
+                    or (heap and t >= heap[0][0])
+                ):
+                    return i
+                clock._now = t
 
 
 class _RadioEntry:
@@ -463,6 +884,8 @@ class _ChannelSoA:
         "freq_hz",
         "xyz",
         "static_mask",
+        "mac_u64",
+        "mac_list",
         "limit2_by_power",
     )
 
@@ -482,10 +905,19 @@ class _ChannelSoA:
         self.sens_dbm = np.empty(n, dtype=np.float64)
         self.xyz = np.empty((n, 3), dtype=np.float64)
         self.static_mask = np.empty(n, dtype=bool)
+        #: Receiver MAC mirror for the batched-reception pre-filter: the
+        #: address each radio answers to (``rx_mac_u64``, published by
+        #: its AckEngine) as a uint64, ``_NO_MAC`` when unadvertised.
+        #: Snapshot per bucket version like every other column;
+        #: :meth:`Medium.note_addressing_changed` bumps the version when
+        #: an address is (re)published after attach.
+        self.mac_u64 = np.empty(n, dtype=np.uint64)
         xyz = self.xyz
         for i, e in enumerate(entries):
             self.seqs[i] = e.seq
             self.sens_dbm[i] = e.radio.rx_sensitivity_dbm
+            mac = getattr(e.radio, "rx_mac_u64", None)
+            self.mac_u64[i] = _NO_MAC if mac is None else mac
             pos = e.static_pos
             if pos is None:
                 self.static_mask[i] = False
@@ -495,6 +927,9 @@ class _ChannelSoA:
                 xyz[i, 0] = pos.x
                 xyz[i, 1] = pos.y
                 xyz[i, 2] = pos.z
+        #: Python-int view of ``mac_u64`` so the cold delivery scan can
+        #: copy addresses without per-element numpy boxing.
+        self.mac_list: List[int] = self.mac_u64.tolist()
         self.noise_dbm = np.full(n, noise_floor_dbm)
         self.freq_hz = np.full(n, frequency_hz)
         #: power_dbm -> squared range-gate limit (slack included); the
@@ -556,6 +991,18 @@ class Medium:
         arrival batches.  ``False`` restores the per-receiver scalar
         path.  All four ``vectorized × batch_arrivals`` combinations
         produce byte-identical seeded traces.
+    batched_reception:
+        Batch-first reception dispatch (requires ``vectorized`` and
+        ``batch_arrivals``): arrival batches drain as contiguous slices
+        (:class:`~repro.sim.engine.EventBatch` slice mode), and a
+        vectorized pre-filter classifies each slice into below-FCS /
+        not-for-me / group-addressed / unicast-for-me lanes before any
+        :class:`Reception` object exists — no-op lanes only bump stats
+        counters, and ``Reception`` is constructed lazily for the
+        surviving arrivals.  ``False`` restores per-index dispatch
+        through ``Radio.on_reception``; all eight
+        ``vectorized × batch_arrivals × batched_reception`` combinations
+        produce byte-identical seeded traces.
     """
 
     def __init__(
@@ -572,6 +1019,7 @@ class Medium:
         metrics=None,
         batch_arrivals: bool = True,
         vectorized: bool = True,
+        batched_reception: bool = True,
     ) -> None:
         self.engine = engine
         self.metrics = (
@@ -628,6 +1076,19 @@ class Medium:
         #: whenever a member radio's position epoch bumps.  Guards the
         #: delivery-list cache below.
         self._bucket_version: Dict[int, int] = {}
+        #: Per-channel changelog of bucket mutations since the last
+        #: un-patchable one: ``(version_after_bump, op, entry)`` with op
+        #: ``"+"`` (attach), ``"-"`` (detach) or ``"m"`` (receive MAC /
+        #: batch sink changed).  Lets a stale warm delivery list advance
+        #: by replaying only the changed members instead of re-resolving
+        #: the whole bucket — the dominant cold-path cause at city scale
+        #: is lazy activation attaching/detaching a handful of radios
+        #: between transmissions.  ``None`` means the channel saw a
+        #: mutation the patcher can't replay (retune, reposition) and
+        #: every stale list must resolve cold once.  Within one list the
+        #: versions are consecutive, so coverage is a single index
+        #: computation.
+        self._bucket_log: Dict[int, Optional[list]] = {}
         #: Per-channel list of *mobile* member entries (static_pos None),
         #: re-read every transmission to detect movement.
         self._mobiles: Dict[int, List[_RadioEntry]] = {}
@@ -668,6 +1129,11 @@ class Medium:
         self._batch_arrivals = batch_arrivals
         #: Struct-of-arrays delivery evaluation (module docstring).
         self._vectorized = vectorized
+        #: Batch-first reception dispatch: slice-mode arrival batches +
+        #: vectorized lane pre-filter (class docstring).  Only effective
+        #: on the vectorized batched path; ``False`` is the per-index
+        #: reference mode the equivalence matrix pins.
+        self._batched_reception = batched_reception
         #: The vectorized range prefilter solves the default free-space
         #: model in the distance domain; a custom model disables it (the
         #: candidate scan then walks the whole bucket, still vectorized
@@ -703,11 +1169,40 @@ class Medium:
         self._channels.setdefault(entry.channel, []).append(entry)
         if entry.static_pos is None:
             self._mobiles.setdefault(entry.channel, []).append(entry)
-        self._bump_bucket(entry.channel)
+        self._bump_bucket(entry.channel, "+", entry)
 
-    def _bump_bucket(self, channel: int) -> None:
-        """Invalidate cached delivery lists targeting ``channel``."""
-        self._bucket_version[channel] = self._bucket_version.get(channel, 0) + 1
+    def _bump_bucket(self, channel: int, op: Optional[str] = None, entry=None) -> None:
+        """Invalidate cached delivery lists targeting ``channel``.
+
+        ``op``/``entry`` record the mutation in the channel changelog so
+        stale warm lists can be patched instead of fully re-resolved;
+        calling with no ``op`` poisons the log (full resolve required).
+        """
+        self._bucket_version[channel] = version = (
+            self._bucket_version.get(channel, 0) + 1
+        )
+        if op is None:
+            self._bucket_log[channel] = None
+            return
+        log = self._bucket_log.get(channel)
+        if log is None:
+            log = self._bucket_log[channel] = []
+        log.append((version, op, entry))
+        if len(log) > _BUCKET_LOG_MAX:
+            del log[: len(log) - _BUCKET_LOG_MAX]
+
+    def note_addressing_changed(self, radio_name: str) -> None:
+        """Invalidate caches after ``radio_name`` changed its receive MAC.
+
+        An :class:`~repro.mac.ack_engine.AckEngine` publishes its MAC
+        onto the radio (``rx_mac_u64``) *after* the radio attached, so
+        any SoA mirror or delivery list resolved in between carries a
+        stale/absent address.  Bumping the bucket version forces both to
+        rebuild before the next classification.
+        """
+        entry = self._entries.get(radio_name)
+        if entry is not None:
+            self._bump_bucket(entry.channel, "m", entry)
 
     def detach(self, radio_name: str) -> None:
         entry = self._entries.pop(radio_name, None)
@@ -718,12 +1213,13 @@ class Medium:
             mobiles = self._mobiles.get(entry.channel)
             if mobiles is not None and entry in mobiles:
                 mobiles.remove(entry)
-            self._bump_bucket(entry.channel)
+            self._bump_bucket(entry.channel, "-", entry)
             # Reserve a fresh epoch for any future radio with this name so
-            # cached link budgets from this life can never be reused.
+            # cached link budgets from this life can never be reused.  The
+            # same epoch mismatch retires this sender's own stale delivery
+            # lists if the name ever transmits again, so they are left to
+            # FIFO eviction instead of scanning the cache here.
             self._epoch_reserve[radio_name] = entry.epoch + 1
-            for key in [k for k in self._delivery_cache if k[0] == radio_name]:
-                del self._delivery_cache[key]
         self._radios.pop(radio_name, None)
         self._ongoing.pop(radio_name, None)
         self._transmitting.pop(radio_name, None)
@@ -1202,6 +1698,136 @@ class Medium:
             self._soa_cache[channel] = soa
         return soa
 
+    def _patch_delivery(
+        self,
+        cached: tuple,
+        version: int,
+        channel: int,
+        sender_name: str,
+        tx_epoch: int,
+        tx_position: Position,
+        power_dbm: float,
+    ) -> Optional[tuple]:
+        """Advance a stale vectorized delivery list by replaying the log.
+
+        Returns the re-cached 11-tuple, or ``None`` when the changelog
+        cannot cover the gap (poisoned, trimmed, or absent) and a full
+        cold resolution is required.  The replay produces exactly the
+        list a cold resolution would: additions get the same scalar link
+        budget through the same cache and the same ``(delay, attach
+        seq)`` binary insert the mobile merge uses (unique seqs make
+        that order identical to the full sort), removals and addressing
+        updates locate members by attachment seq.  Only static members
+        matter — mobiles are re-resolved every transmission — and only
+        attach/detach/addressing mutations are replayable; position and
+        channel changes poison the log.
+        """
+        log = self._bucket_log.get(channel)
+        if log is None:
+            return None
+        idx = cached[0] + 1 - log[0][0]
+        if idx < 0:
+            return None
+        delays = list(cached[2])
+        seqs = list(cached[3])
+        radios = list(cached[4])
+        rssis = list(cached[5])
+        snrs = list(cached[6])
+        macs = list(cached[8])
+        sinks = list(cached[9])
+        cache = self._link_cache
+        free_space = self._free_space
+        path_loss = self._path_loss
+        noise_floor = self.noise_floor_dbm
+        wavelength = 299_792_458.0 / self.frequency_hz
+        hits = misses = 0
+        for _v, op, e in log[idx:]:
+            if e.name == sender_name or e.static_pos is None:
+                continue  # the sender itself / a mobile: never listed
+            if op == "+":
+                radio = e.radio
+                key = (sender_name, e.name)
+                row = cache.get(key)
+                if row is not None and row[0] == tx_epoch and row[1] == e.epoch:
+                    loss = row[2]
+                    delay = row[3]
+                    hits += 1
+                else:
+                    rx_position = e.static_pos
+                    if free_space:
+                        distance = tx_position.distance_to(rx_position)
+                        loss = 20.0 * math.log10(
+                            4.0 * math.pi * max(distance, 1.0) / wavelength
+                        )
+                        delay = distance / 299_792_458.0
+                    else:
+                        loss = path_loss(tx_position, rx_position)
+                        delay = tx_position.propagation_delay_to(rx_position)
+                    if len(cache) >= LINK_CACHE_MAX_ENTRIES:
+                        cache.pop(next(iter(cache)))
+                    cache[key] = (tx_epoch, e.epoch, loss, delay)
+                    misses += 1
+                rssi = power_dbm - loss
+                if rssi < radio.rx_sensitivity_dbm:
+                    continue
+                seq = e.seq
+                lo, hi = 0, len(delays)
+                while lo < hi:
+                    mid = (lo + hi) // 2
+                    if delays[mid] < delay or (
+                        delays[mid] == delay and seqs[mid] < seq
+                    ):
+                        lo = mid + 1
+                    else:
+                        hi = mid
+                delays.insert(lo, delay)
+                seqs.insert(lo, seq)
+                radios.insert(lo, radio)
+                rssis.insert(lo, rssi)
+                snrs.insert(lo, rssi - noise_floor)
+                rx_mac = getattr(radio, "rx_mac_u64", None)
+                macs.insert(lo, _NO_MAC if rx_mac is None else rx_mac)
+                sinks.insert(lo, _batch_sink(radio))
+            else:
+                try:
+                    k = seqs.index(e.seq)
+                except ValueError:
+                    continue  # was out of range for this sender
+                if op == "-":
+                    del delays[k]
+                    del seqs[k]
+                    del radios[k]
+                    del rssis[k]
+                    del snrs[k]
+                    del macs[k]
+                    del sinks[k]
+                else:  # "m": receive MAC / batch sink changed
+                    radio = e.radio
+                    rx_mac = getattr(radio, "rx_mac_u64", None)
+                    macs[k] = _NO_MAC if rx_mac is None else rx_mac
+                    sinks[k] = _batch_sink(radio)
+        self.link_cache_hits += hits
+        self.link_cache_misses += misses
+        mac_arr = np.array(macs, dtype=np.uint64) if len(macs) > 64 else None
+        fresh = (
+            version,
+            tx_epoch,
+            delays,
+            seqs,
+            radios,
+            rssis,
+            snrs,
+            {},
+            macs,
+            sinks,
+            mac_arr,
+        )
+        delivery_cache = self._delivery_cache
+        if len(delivery_cache) >= LINK_CACHE_MAX_ENTRIES:
+            delivery_cache.pop(next(iter(delivery_cache)))
+        delivery_cache[(sender_name, channel, power_dbm)] = fresh
+        return fresh
+
     def _deliver_vectorized(
         self,
         engine: Engine,
@@ -1237,20 +1863,33 @@ class Medium:
         version = self._bucket_version.get(channel, 0)
         delivery_key = (sender_name, channel, power_dbm)
         cached_delivery = self._delivery_cache.get(delivery_key)
-        if (
-            cached_delivery is not None
-            and cached_delivery[0] == version
-            and cached_delivery[1] == tx_epoch
-        ):
+        if cached_delivery is not None:
+            if cached_delivery[1] != tx_epoch:
+                cached_delivery = None
+            elif cached_delivery[0] != version:
+                cached_delivery = self._patch_delivery(
+                    cached_delivery,
+                    version,
+                    channel,
+                    sender_name,
+                    tx_epoch,
+                    tx_position,
+                    power_dbm,
+                )
+        if cached_delivery is not None:
             delays = cached_delivery[2]
             seqs = cached_delivery[3]
             radios = cached_delivery[4]
             rssis = cached_delivery[5]
             snrs = cached_delivery[6]
             fer_lists = cached_delivery[7]
+            macs = cached_delivery[8]
+            sinks = cached_delivery[9]
+            mac_arr = cached_delivery[10]
             hits += len(delays)
         else:
             soa = self._channel_soa(channel)
+            soa_macs = soa.mac_list
             if soa.count and free_space:
                 # Vectorized range gate.  In exact arithmetic the
                 # free-space in-range test  power − loss(d) ≥ sens  is
@@ -1269,17 +1908,22 @@ class Medium:
                 d2 = np.einsum("ij,ij->i", diff, diff)
                 entries = soa.entries
                 candidates = [
-                    entries[j] for j in np.flatnonzero(d2 <= soa.limit2(power_dbm))
+                    (entries[j], soa_macs[j])
+                    for j in np.flatnonzero(d2 <= soa.limit2(power_dbm))
                 ]
             else:
-                candidates = [e for e in soa.entries if e.static_pos is not None]
+                candidates = [
+                    (e, soa_macs[j])
+                    for j, e in enumerate(soa.entries)
+                    if e.static_pos is not None
+                ]
             # Survivors get the exact scalar link budget (shared distance:
             # the loss and delay both derive from the one distance_to()
             # result, bit-identically to the model + propagation_delay_to
             # pair the scalar path calls).
             wavelength = 299_792_458.0 / self.frequency_hz
-            c_targets: List[Tuple[float, int, RadioPort, float]] = []
-            for rx in candidates:
+            c_targets: List[tuple] = []
+            for rx, rx_mac in candidates:
                 rx_name = rx.name
                 if rx_name == sender_name:
                     continue
@@ -1312,14 +1956,26 @@ class Medium:
                 rssi = power_dbm - loss
                 if rssi < radio.rx_sensitivity_dbm:
                     continue
-                c_targets.append((delay, rx.seq, radio, rssi))
+                c_targets.append(
+                    (
+                        delay,
+                        rx.seq,
+                        radio,
+                        rssi,
+                        rx_mac,
+                        _batch_sink(radio),
+                    )
+                )
             n = len(c_targets)
+            mac_arr = None
             if n == 0:
                 delays = []
                 seqs = []
                 radios = []
                 rssis = []
                 snrs = []
+                macs = []
+                sinks = []
             elif n <= 64:
                 # Tuple sort: identical (delay, seq) order to the lexsort
                 # below (seqs are unique so later fields never compare),
@@ -1331,15 +1987,21 @@ class Medium:
                 radios = []
                 rssis = []
                 snrs = []
+                macs = []
+                sinks = []
                 noise_floor = self.noise_floor_dbm
-                for delay, seq, radio, rssi in c_targets:
+                for delay, seq, radio, rssi, rx_mac, sink in c_targets:
                     delays.append(delay)
                     seqs.append(seq)
                     radios.append(radio)
                     rssis.append(rssi)
                     snrs.append(rssi - noise_floor)
+                    macs.append(rx_mac)
+                    sinks.append(sink)
             else:
-                c_delays, c_seqs, c_radios, c_rssis = zip(*c_targets)
+                c_delays, c_seqs, c_radios, c_rssis, c_macs, c_sinks = zip(
+                    *c_targets
+                )
                 delay_arr = np.asarray(c_delays)
                 order = np.lexsort((np.asarray(c_seqs), delay_arr))
                 delays = delay_arr[order].tolist()
@@ -1350,6 +2012,11 @@ class Medium:
                 # IEEE-exact: elementwise double subtraction rounds
                 # identically to the scalar `rssi - noise_floor`.
                 snrs = (rssi_arr - self.noise_floor_dbm).tolist()
+                macs = [c_macs[k] for k in order]
+                sinks = [c_sinks[k] for k in order]
+                # Large static lists get a numpy view of the MAC column
+                # so lane classification is one vectorized comparison.
+                mac_arr = np.array(macs, dtype=np.uint64)
             fer_lists = {}
             delivery_cache = self._delivery_cache
             if len(delivery_cache) >= LINK_CACHE_MAX_ENTRIES:
@@ -1363,6 +2030,9 @@ class Medium:
                 rssis,
                 snrs,
                 fer_lists,
+                macs,
+                sinks,
+                mac_arr,
             )
         fers: Optional[List[float]] = None
         fer_model = self._fer
@@ -1445,6 +2115,8 @@ class Medium:
                 rssi = power_dbm - loss
                 if rssi < radio.rx_sensitivity_dbm:
                     continue
+                # MAC / sink capture happens at merge-insert below, so
+                # out-of-range mobiles never pay for it.
                 mobile_targets.append((delay, rx.seq, radio, rssi))
             if mobile_targets:
                 # Merge-insert by (delay, attach_seq): identical order to
@@ -1457,6 +2129,9 @@ class Medium:
                 radios = list(radios)
                 rssis = list(rssis)
                 snrs = list(snrs)
+                macs = list(macs)
+                sinks = list(sinks)
+                mac_arr = None  # merged copies diverge from the cached array
                 if fers is not None:
                     fers = list(fers)
                     fer_cache = self._fer_cache
@@ -1474,6 +2149,9 @@ class Medium:
                     seqs.insert(lo, seq)
                     radios.insert(lo, radio)
                     rssis.insert(lo, rssi)
+                    rx_mac = getattr(radio, "rx_mac_u64", None)
+                    macs.insert(lo, _NO_MAC if rx_mac is None else rx_mac)
+                    sinks.insert(lo, _batch_sink(radio))
                     snr = rssi - noise_floor
                     snrs.insert(lo, snr)
                     if fers is not None:
@@ -1490,13 +2168,27 @@ class Medium:
         if not delays:
             return
         if self._batch_arrivals:
-            span = _ArrivalSpan(self, transmission, radios, rssis, snrs, fers)
-            engine.post_batch(
-                EventBatch(engine, span.begin, now, 0.0, delays, None)
+            span = _ArrivalSpan(
+                self, transmission, radios, rssis, snrs, fers, macs, sinks, mac_arr
             )
-            engine.post_batch(
-                EventBatch(engine, span.end, now, duration, delays, None)
-            )
+            if self._batched_reception:
+                engine.post_batch(
+                    EventBatch(
+                        engine, span.begin_slice, now, 0.0, delays, None, True
+                    )
+                )
+                engine.post_batch(
+                    EventBatch(
+                        engine, span.end_slice, now, duration, delays, None, True
+                    )
+                )
+            else:
+                engine.post_batch(
+                    EventBatch(engine, span.begin, now, 0.0, delays, None)
+                )
+                engine.post_batch(
+                    EventBatch(engine, span.end, now, duration, delays, None)
+                )
         else:
             # Vectorized resolution, per-receiver scheduling: identical
             # to the legacy branch in transmit() — one two-phase

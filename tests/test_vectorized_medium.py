@@ -2,9 +2,9 @@
 
 Four contracts pinned here:
 
-* the full ``vectorized × batch_arrivals`` matrix (all four combinations)
-  produces **byte-identical seeded traces** and outputs on the Figure 2
-  probe exchange and a Table 2-shaped wardrive;
+* the full ``vectorized × batch_arrivals × batched_reception`` matrix
+  (all eight combinations) produces **byte-identical seeded traces** and
+  outputs on the Figure 2 probe exchange and a Table 2-shaped wardrive;
 * ad-hoc queries (``rssi_between`` / ``is_busy_for``) read the same
   epoch-keyed budgets as the delivery path, so they can never drift from
   what a transmission actually experiences;
@@ -31,11 +31,15 @@ from repro.sim.trace import FrameTrace
 from repro.sim.world import Position
 from tests.test_sim_medium import _frame
 
+#: (vectorized, batch_arrivals, batched_reception).  The reception flag
+#: only takes effect on the vectorized batched path, so the other
+#: combinations double as no-op coverage: passing it must never change a
+#: trace anywhere.
 MATRIX = [
-    (True, True),
-    (True, False),
-    (False, True),
-    (False, False),
+    (vectorized, batch_arrivals, batched_reception)
+    for vectorized in (True, False)
+    for batch_arrivals in (True, False)
+    for batched_reception in (True, False)
 ]
 
 WARDRIVE_PARAMS = {
@@ -46,33 +50,40 @@ WARDRIVE_PARAMS = {
 }
 
 
-def _force_medium(monkeypatch, vectorized: bool, batch_arrivals: bool):
+def _force_medium(
+    monkeypatch, vectorized: bool, batch_arrivals: bool, batched_reception: bool
+):
     """Every Medium built while patched uses the given delivery mode."""
     original = Medium.__init__
 
     def forced_init(self, *args, **kwargs):
         kwargs["vectorized"] = vectorized
         kwargs["batch_arrivals"] = batch_arrivals
+        kwargs["batched_reception"] = batched_reception
         original(self, *args, **kwargs)
 
     monkeypatch.setattr(Medium, "__init__", forced_init)
 
 
 # ----------------------------------------------------------------------
-# The 4-combination equivalence matrix
+# The 8-combination equivalence matrix
 # ----------------------------------------------------------------------
 class TestEquivalenceMatrix:
-    @pytest.mark.parametrize("vectorized,batched", MATRIX)
-    def test_figure2_trace_byte_identical(self, monkeypatch, vectorized, batched):
+    @pytest.mark.parametrize("vectorized,batched,reception", MATRIX)
+    def test_figure2_trace_byte_identical(
+        self, monkeypatch, vectorized, batched, reception
+    ):
         reference = run_scenario("probe", quiet=True)
         with monkeypatch.context() as patched:
-            _force_medium(patched, vectorized, batched)
+            _force_medium(patched, vectorized, batched, reception)
             other = run_scenario("probe", quiet=True)
         assert other.ctx.trace.to_jsonl() == reference.ctx.trace.to_jsonl()
         assert other.outputs == reference.outputs
 
-    @pytest.mark.parametrize("vectorized,batched", MATRIX)
-    def test_wardrive_trace_byte_identical(self, monkeypatch, vectorized, batched):
+    @pytest.mark.parametrize("vectorized,batched,reception", MATRIX)
+    def test_wardrive_trace_byte_identical(
+        self, monkeypatch, vectorized, batched, reception
+    ):
         # Static city + driving rig: exercises the static delivery cache,
         # the per-transmission mobile merge, and the FER coin flips in
         # every mode.
@@ -81,7 +92,7 @@ class TestEquivalenceMatrix:
         )
         assert int(reference.outputs["discovered"]) > 0
         with monkeypatch.context() as patched:
-            _force_medium(patched, vectorized, batched)
+            _force_medium(patched, vectorized, batched, reception)
             other = run_scenario(
                 "wardrive", quiet=True, trace=True, params=dict(WARDRIVE_PARAMS)
             )

@@ -72,6 +72,29 @@ class TestSnrFerBatch:
         fers = SnrFerModel().batch(np.linspace(-20.0, 60.0, 17), 54.0, 1500)
         assert np.all(fers >= 0.0) and np.all(fers <= 1.0)
 
+    @pytest.mark.parametrize("rate,length", [(1.0, 64), (6.0, 300), (54.0, 1500)])
+    def test_scipy_absent_fallback_bit_identical(self, monkeypatch, rate, length):
+        # Without SciPy, batch() must degrade to the scalar loop — not a
+        # divergent numpy reimplementation.  Bit-identity (not allclose)
+        # on a seeded sweep pins that the fallback *is* the scalar path.
+        import repro.phy.signal as signal
+
+        monkeypatch.setattr(signal, "_erfc_array", None)
+        model = SnrFerModel()
+        snrs = np.random.default_rng(1234).uniform(-10.0, 45.0, size=64)
+        fallback = model.batch(snrs, rate, length)
+        scalar = np.array([model(s, rate, length) for s in snrs.tolist()])
+        assert np.array_equal(fallback, scalar)
+
+    def test_scipy_absent_fallback_accepts_scalar_input(self, monkeypatch):
+        import repro.phy.signal as signal
+
+        monkeypatch.setattr(signal, "_erfc_array", None)
+        model = SnrFerModel()
+        out = model.batch(12.0, 6.0, 300)
+        assert out.shape == (1,)
+        assert float(out[0]) == model(12.0, 6.0, 300)
+
 
 class TestShadowedBatch:
     def test_matches_scalar_and_shares_the_frozen_draws(self):

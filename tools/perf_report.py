@@ -1,0 +1,157 @@
+"""Render a performance report from perf-suite result files.
+
+Reads a directory of ``BENCH_*.json`` records (as produced by
+``benchmarks/perf/run_perf.py``) and prints one table row per benchmark:
+engine wall time, events executed, events/second, and — when a baseline
+record for the same benchmark exists — the timing ratio against it
+(candidate / baseline; > 1.00 means slower).
+
+Usage (from the repo root, ``make perf-report`` wraps the default)::
+
+    PYTHONPATH=src:. python tools/perf_report.py
+    PYTHONPATH=src:. python tools/perf_report.py --format markdown
+    PYTHONPATH=src:. python tools/perf_report.py \
+        --results benchmarks/perf/results \
+        --baselines benchmarks/perf/baselines --out report.md
+
+Unlike ``benchmarks/perf/compare.py`` (the pass/fail regression gate),
+this tool never exits non-zero on a slowdown: it is the human-facing
+summary for commit messages, PR descriptions, and docs refreshes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import Dict, List, Optional
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
+
+from benchmarks.perf.harness import (  # noqa: E402
+    engine_wall_s,
+    events_executed,
+    load_result,
+)
+
+DEFAULT_RESULTS = REPO_ROOT / "benchmarks" / "perf" / "results"
+DEFAULT_BASELINES = REPO_ROOT / "benchmarks" / "perf" / "baselines"
+
+COLUMNS = ("bench", "mode", "engine_s", "events", "events/s", "vs baseline")
+
+
+def _load_set(path: pathlib.Path) -> Dict[str, dict]:
+    """Load every ``BENCH_*.json`` under ``path`` keyed by bench name."""
+    if not path.exists():
+        return {}
+    files = [path] if path.is_file() else sorted(path.glob("BENCH_*.json"))
+    return {str(r["bench"]): r for r in map(load_result, files)}
+
+
+def _timing(record: dict) -> Optional[float]:
+    """Engine wall time, falling back to run_s for engine-less benches."""
+    wall = engine_wall_s(record)
+    if wall is not None:
+        return wall
+    run_s = record.get("run_s")
+    return float(run_s) if run_s is not None else None
+
+
+def _fmt(value: Optional[float], pattern: str, missing: str = "-") -> str:
+    return pattern.format(value) if value is not None else missing
+
+
+def report_rows(
+    results: Dict[str, dict], baselines: Dict[str, dict]
+) -> List[List[str]]:
+    """One formatted row per benchmark, sorted by name."""
+    rows = []
+    for name in sorted(results):
+        record = results[name]
+        wall = _timing(record)
+        events = events_executed(record)
+        rate = events / wall if events and wall else None
+        base = baselines.get(name)
+        ratio = None
+        note = ""
+        if base is not None:
+            base_wall = _timing(base)
+            if base_wall:
+                ratio = (wall or 0.0) / base_wall
+            if bool(base.get("quick")) != bool(record.get("quick")):
+                note = " (mode mismatch)"
+        rows.append([
+            name,
+            "quick" if record.get("quick") else "full",
+            _fmt(wall, "{:.3f}"),
+            _fmt(events, "{:,.0f}"),
+            _fmt(rate, "{:,.0f}"),
+            (_fmt(ratio, "{:.2f}x") + note) if base is not None else "(new)",
+        ])
+    return rows
+
+
+def render_table(rows: List[List[str]]) -> str:
+    """Plain-text table with aligned columns."""
+    table = [list(COLUMNS)] + rows
+    widths = [max(len(row[i]) for row in table) for i in range(len(COLUMNS))]
+    lines = []
+    for index, row in enumerate(table):
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        if index == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(line.rstrip() for line in lines)
+
+
+def render_markdown(rows: List[List[str]]) -> str:
+    """GitHub-flavored markdown table."""
+    lines = [
+        "| " + " | ".join(COLUMNS) + " |",
+        "|" + "|".join("---" for _ in COLUMNS) + "|",
+    ]
+    lines += ["| " + " | ".join(row) + " |" for row in rows]
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--results", type=pathlib.Path, default=DEFAULT_RESULTS,
+        help="directory of BENCH_*.json records to report on",
+    )
+    parser.add_argument(
+        "--baselines", type=pathlib.Path, default=DEFAULT_BASELINES,
+        help="directory of checked-in baseline records to diff against",
+    )
+    parser.add_argument(
+        "--format", choices=("table", "markdown"), default="table",
+    )
+    parser.add_argument(
+        "--out", type=pathlib.Path, default=None,
+        help="write the report here instead of stdout",
+    )
+    args = parser.parse_args(argv)
+
+    results = _load_set(args.results)
+    if not results:
+        print(
+            f"no BENCH_*.json results under {args.results}; "
+            "run `make perf` first",
+            file=sys.stderr,
+        )
+        return 1
+    rows = report_rows(results, _load_set(args.baselines))
+    render = render_markdown if args.format == "markdown" else render_table
+    text = render(rows) + "\n"
+    if args.out is not None:
+        args.out.write_text(text, encoding="utf-8")
+        print(f"wrote {args.out}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
