@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test coverage bench perf perf-full perf-compare perf-report demo examples examples-smoke campaign-smoke campaign-shard-smoke control-smoke docs-check clean
+.PHONY: install test coverage bench perf perf-full perf-compare perf-report demo examples examples-smoke campaign-smoke campaign-shard-smoke control-smoke metro-smoke docs-check clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -106,6 +106,13 @@ control-smoke:
 	$(PYTHON) -m repro campaign --scenario battery --seeds 4 --param duration_s=2.0 --out /tmp/control_smoke_ref.json > /dev/null
 	$(PYTHON) -m repro campaign compare /tmp/control_smoke/manifest.json /tmp/control_smoke_ref.json
 	@echo "control smoke OK: killed shard's slice was stolen and the merge matches"
+
+# CI-sized check of the tiled partition runner (docs/partitioning.md):
+# the same quick-mode metro census on a 2x2 tile grid across 2 worker
+# processes and on the single-process tiles=1 equivalence anchor must
+# produce identical aggregates (tile- and worker-count independence).
+metro-smoke:
+	$(PYTHON) -c "from repro.scenario import run_scenario; base=dict(metro_scale=1.0, blocks_x=10, blocks_y=8, max_devices=400, epoch_s=20.0); tiled=run_scenario('wardrive-metro', seed=0, quiet=True, params=dict(base, tiles_x=2, tiles_y=2, tile_workers=2)); single=run_scenario('wardrive-metro', seed=0, quiet=True, params=dict(base, tiles_x=1, tiles_y=1)); keys=('population','vendors','discovered','probed','responded','vendors_responded'); bad=[k for k in keys if tiled.outputs[k]!=single.outputs[k]]; assert not bad, f'tiled != tiles=1 on {bad}'; print('metro smoke OK:', tiled.outputs['discovered'], 'discovered,', tiled.outputs['tiles'], 'tiles /', tiled.outputs['tile_workers'], 'workers == tiles=1')"
 
 clean:
 	rm -rf .pytest_cache .hypothesis benchmarks/results

@@ -1,0 +1,62 @@
+"""The metro-scale tiled wardrive: one survey across many engines.
+
+Runs the ``wardrive-metro`` scenario (``repro.sim.partition``,
+``docs/partitioning.md``): the Table 2 census scaled up over a larger
+street grid, cut into tiles that each run their own engine/medium and
+exchange probe evidence through the deterministic epoch bus.
+
+Quick mode surveys a capped-population four-tile city in-process in a
+few seconds — enough to exercise tile construction, the epoch barrier,
+and the evidence relay on every CI run.  Full mode
+(``make perf-full``) is the ROADMAP's metro census: ``metro_scale=20``
+over a 48x32-block grid, ~106k devices on a 4x3 tile grid.  The
+``engine.run.wall_time_s`` counter compare.py diffs is the *sum* over
+tile engines (the per-tile counters are merged into one snapshot), so
+the number stays process-count-honest.
+"""
+
+from __future__ import annotations
+
+from benchmarks.perf.harness import BenchOutcome
+
+from repro.scenario import run_scenario
+from repro.telemetry import MetricsRegistry
+
+#: Quick-mode shape: a one-tenth-scale census on a 2x2 tile grid.
+QUICK_PARAMS = {
+    "tiles_x": 2,
+    "tiles_y": 2,
+    "metro_scale": 1.0,
+    "blocks_x": 12,
+    "blocks_y": 8,
+    "max_devices": 500,
+    "epoch_s": 30.0,
+}
+
+#: Full-mode shape: the >=100k-device metro (5,328 x 20 = ~106k specs).
+FULL_PARAMS = {
+    "tiles_x": 4,
+    "tiles_y": 3,
+    "tile_workers": 4,
+    "metro_scale": 20.0,
+    "blocks_x": 48,
+    "blocks_y": 32,
+    "epoch_s": 60.0,
+}
+
+
+def bench_wardrive_metro(quick: bool) -> BenchOutcome:
+    metrics = MetricsRegistry()
+    params = dict(QUICK_PARAMS if quick else FULL_PARAMS)
+    result = run_scenario(
+        "wardrive-metro", seed=0, params=params, metrics=metrics, quiet=True
+    )
+    outputs = dict(result.outputs)
+    # events_executed comes from the merged per-tile engine counters the
+    # partition runner folds into the registry (the parent context never
+    # builds an engine of its own on the tiled path).
+    snapshot = metrics.snapshot()
+    outputs["events_executed"] = snapshot["counters"].get(
+        "engine.events.executed", 0
+    )
+    return BenchOutcome(outputs=outputs, metrics=metrics, setup_s=0.0)

@@ -39,6 +39,7 @@ from benchmarks.perf.bench_medium_soa import bench_medium_soa  # noqa: E402
 from benchmarks.perf.bench_reception_path import bench_reception_path  # noqa: E402
 from benchmarks.perf.bench_table2_wardrive import bench_table2_wardrive  # noqa: E402
 from benchmarks.perf.bench_wardrive_full import bench_wardrive_full  # noqa: E402
+from benchmarks.perf.bench_wardrive_metro import bench_wardrive_metro  # noqa: E402
 
 BENCHES = {
     "campaign_drive": bench_campaign_drive,
@@ -50,6 +51,7 @@ BENCHES = {
     "table2_wardrive": bench_table2_wardrive,
     "figure6_battery": bench_figure6_battery,
     "wardrive_full": bench_wardrive_full,
+    "wardrive_metro": bench_wardrive_metro,
 }
 
 

@@ -106,6 +106,26 @@ def _inspect_sidecar(path: pathlib.Path) -> Dict[str, object]:
     return info
 
 
+#: Partition knobs (docs/partitioning.md) surfaced by ``campaign
+#: status`` when a sweep drives a tiled scenario such as wardrive-metro.
+_TILING_KEYS = ("tiles_x", "tiles_y", "tile_workers")
+
+
+def _tiling_of(config: CampaignConfig) -> Optional[Dict[str, object]]:
+    """The sweep's tile/worker knobs, or ``None`` for untiled scenarios.
+
+    A grid axis reports its full value list (the sweep covers them
+    all); a plain param reports the single value every run shares.
+    """
+    values: Dict[str, object] = {}
+    for key in _TILING_KEYS:
+        if config.grid and key in config.grid:
+            values[key] = list(config.grid[key])
+        elif key in config.params:
+            values[key] = config.params[key]
+    return values or None
+
+
 def _manifest_for(sidecar: pathlib.Path) -> pathlib.Path:
     """``out.shard1of2.json.runs.jsonl`` -> ``out.shard1of2.json``."""
     return sidecar.with_name(sidecar.name[: -len(".runs.jsonl")])
@@ -134,6 +154,7 @@ def fleet_status(
     heartbeat_s: Optional[float] = None
     scenario: Optional[str] = None
     campaign_name: Optional[str] = None
+    tiling: Optional[Dict[str, object]] = None
     if spec is not None:
         try:
             config = CampaignConfig.from_spec_dict(spec)
@@ -141,6 +162,7 @@ def fleet_status(
             heartbeat_s = config.heartbeat_s
             scenario = config.scenario
             campaign_name = config.name or config.scenario
+            tiling = _tiling_of(config)
         except ValueError:
             spec = None  # a broken spec degrades to sidecar-only status
     if stall_after_s is None:
@@ -248,6 +270,7 @@ def fleet_status(
         "stall_after_s": stall_after_s,
         "plan_runs": plan_runs,
         "shard_count": shard_count,
+        "tiling": tiling,
         "state": overall,
         "driver": (
             {
@@ -283,6 +306,12 @@ def render_fleet_status(status: Dict[str, object]) -> str:
             else ""
         ),
     ]
+    tiling = status.get("tiling")
+    if tiling:
+        lines.append(
+            "tiling   : "
+            + ", ".join(f"{key}={value}" for key, value in tiling.items())
+        )
     driver = status.get("driver")
     if driver:
         lines.append(

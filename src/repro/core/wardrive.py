@@ -77,6 +77,9 @@ class WardrivePipeline:
         self._units: List[tuple] = []  # (dongle, probe) pairs
         self._queues: Dict[int, List[_TargetState]] = {}
         self._targets: Dict[MacAddress, _TargetState] = {}
+        #: MACs another tile already verified (``apply_external_evidence``
+        #: before this pipeline discovered them).
+        self._preverified: set = set()
         self.results = SurveyResults()
         self._running = False
         if self.config.injector_mode not in ("event", "poll"):
@@ -158,9 +161,49 @@ class WardrivePipeline:
     def _on_discovery(self, record: DiscoveredDevice) -> None:
         state = _TargetState(record=record)
         self._targets[record.mac] = state
+        if record.mac in self._preverified:
+            # A neighbouring tile already probed this device and relayed
+            # the ACK evidence (apply_external_evidence): record the
+            # verdict instead of burning probe airtime on a duplicate.
+            state.verified = True
+            self.results.probed.add(record.mac)
+            self.results.responded.add(record.mac)
+            return
         self._queues.setdefault(record.channel, []).append(state)
         if self._event_mode:
             self._arm_injector()
+
+    def apply_external_evidence(self, mac: MacAddress, responded: bool) -> None:
+        """Adopt another pipeline's probe verdict for ``mac``.
+
+        The partition layer calls this at epoch boundaries when a
+        neighbouring tile probed a device this pipeline also covers (the
+        device sits in both tiles' halos).  The verdict is merged into
+        :attr:`results` exactly as if this pipeline had probed the
+        device itself; a queued target is dropped (probing again would
+        only duplicate airtime), and a device not discovered yet is
+        remembered so :meth:`_on_discovery` skips enqueueing it later.
+        Only positive verdicts are adopted for undiscovered devices —
+        a neighbour's *failed* probe must not stop this tile (which may
+        be closer) from trying.
+        """
+        mac = MacAddress(mac)
+        state = self._targets.get(mac)
+        if state is None:
+            if responded:
+                self._preverified.add(mac)
+            return
+        if responded:
+            if not state.verified:
+                state.verified = True
+                self.results.probed.add(mac)
+                self.results.responded.add(mac)
+            self._dequeue(state)
+
+    def _dequeue(self, state: _TargetState) -> None:
+        queue = self._queues.get(state.record.channel)
+        if queue is not None and state in queue:
+            queue.remove(state)
 
     # ------------------------------------------------------------------
     # Stages 2+3: inject + verify (one serialized unit per channel)
@@ -249,17 +292,25 @@ class WardrivePipeline:
     # ------------------------------------------------------------------
     # Drive
     # ------------------------------------------------------------------
-    def run(
+    def begin(
         self,
         duration_s: Optional[float] = None,
         route: Optional[DriveRoute] = None,
-    ) -> SurveyResults:
-        """Execute the survey; returns the aggregated results."""
+    ) -> float:
+        """Arm the survey and return its end time (``engine.now`` base).
+
+        Splitting :meth:`run` into begin / caller-driven
+        ``engine.run_until`` / :meth:`finish` lets the partition layer
+        advance the survey in epoch slices and exchange cross-tile
+        evidence at the boundaries.  :meth:`run` composes the three, so
+        the single-process path is unchanged.
+        """
         self.route = route if route is not None else self.city.survey_route(
             self.config.vehicle_speed_mps
         )
         if duration_s is None:
             duration_s = self.route.duration + 10.0
+        self._duration_s = duration_s
         self._running = True
         self.city.start(self.route)
         if self.config.rig_mode == "hopping":
@@ -275,12 +326,25 @@ class WardrivePipeline:
                 self.engine.call_after(
                     0.1, lambda i=unit_index: self._injector_tick(i)
                 )
-        self.engine.run_until(self.engine.now + duration_s)
+        return self.engine.now + duration_s
+
+    def finish(self) -> SurveyResults:
+        """Tear down after the engine reached the end time; aggregate."""
         self._running = False
         self.city.stop()
         self.results.discovered = list(self.scanner.devices.values())
-        self.results.duration_s = duration_s
+        self.results.duration_s = self._duration_s
         return self.results
+
+    def run(
+        self,
+        duration_s: Optional[float] = None,
+        route: Optional[DriveRoute] = None,
+    ) -> SurveyResults:
+        """Execute the survey; returns the aggregated results."""
+        end_time = self.begin(duration_s, route)
+        self.engine.run_until(end_time)
+        return self.finish()
 
     # ------------------------------------------------------------------
     # Introspection

@@ -19,7 +19,11 @@ second at its default parameters, campaign-safe (narration goes through
   ``beacon_interval``, ``vehicle_speed_mps``, ``probe_attempts``, …);
 * ``wardrive-full`` — Table 2 at full scale: all 5,328 devices from the
   186-vendor census (parameters: ``max_devices``, ``activate_radius_m``,
-  ``beacon_interval``, ``vehicle_speed_mps``, ``probe_attempts``, …).
+  ``beacon_interval``, ``vehicle_speed_mps``, ``probe_attempts``, …);
+* ``wardrive-metro`` — the metro-scale census on the tiled multi-process
+  medium (``docs/partitioning.md``; parameters: ``tiles_x``,
+  ``tiles_y``, ``tile_workers``, ``epoch_s``, ``halo_m``,
+  ``metro_scale``, ``blocks_x``, ``blocks_y``, ``max_devices``, …).
 """
 
 from __future__ import annotations
@@ -31,7 +35,15 @@ from repro.scenario.params import BoolParam, FloatParam, IntParam
 from repro.scenario.registry import scenario
 from repro.scenario.spec import PlacementSpec, ScenarioSpec
 
-__all__ = ["probe", "deauth", "battery", "locate", "wardrive", "wardrive_full"]
+__all__ = [
+    "probe",
+    "deauth",
+    "battery",
+    "locate",
+    "wardrive",
+    "wardrive_full",
+    "wardrive_metro",
+]
 
 
 @scenario(
@@ -373,4 +385,112 @@ def wardrive_full(ctx: SimContext) -> Dict[str, object]:
         "responded": results.total_responded,
         "vendors_responded": vendors_responded,
         "response_rate": results.response_rate,
+    }
+
+
+@scenario(
+    "wardrive-metro",
+    param_names=(
+        "tiles_x", "tiles_y", "tile_workers", "epoch_s", "halo_m",
+        "metro_scale", "blocks_x", "blocks_y", "max_devices",
+        "beacon_interval", "client_probe_interval", "activate_radius_m",
+        "deactivate_radius_m", "probe_attempts", "max_probe_rounds",
+        "vehicle_speed_mps",
+    ),
+    param_schema={
+        "tiles_x": IntParam(minimum=1),
+        "tiles_y": IntParam(minimum=1),
+        "tile_workers": IntParam(minimum=1),
+        "epoch_s": FloatParam(minimum=0.1),
+        "halo_m": FloatParam(minimum=0.0),
+        "metro_scale": FloatParam(minimum=0.0, exclusive_minimum=True),
+        "blocks_x": IntParam(minimum=1),
+        "blocks_y": IntParam(minimum=1),
+        "max_devices": IntParam(minimum=1),
+        "beacon_interval": FloatParam(minimum=0.01),
+        "client_probe_interval": FloatParam(minimum=0.01),
+        "activate_radius_m": FloatParam(minimum=1.0),
+        "deactivate_radius_m": FloatParam(minimum=1.0),
+        "probe_attempts": IntParam(minimum=1),
+        "max_probe_rounds": IntParam(minimum=1),
+        "vehicle_speed_mps": FloatParam(minimum=0.1),
+    },
+    spec=ScenarioSpec(seed=2020, seed_medium=True, spans=True),
+    description="Metro-scale census on the tiled multi-process medium",
+)
+def wardrive_metro(ctx: SimContext) -> Dict[str, object]:
+    """A >=100k-device metro census on the spatially partitioned medium.
+
+    The Table 2 census is scaled up ``metro_scale`` times over a larger
+    street grid, cut into ``tiles_x x tiles_y`` tiles, and surveyed by
+    one vehicle whose evidence crosses tile boundaries through the
+    deterministic epoch bus (``repro.sim.partition``,
+    ``docs/partitioning.md``).  ``tiles_x=tiles_y=1`` is byte-identical
+    to the single-process ``wardrive-full`` path at matched city
+    parameters; aggregates are tile- and worker-count independent
+    (pinned by ``tests/test_partition.py``).  ``max_devices`` caps the
+    population for quick modes without changing the configuration shape.
+    """
+    from repro.sim.partition import PartitionConfig, run_partitioned_wardrive
+    from repro.core.wardrive import WardriveConfig
+    from repro.survey.city import CityConfig
+
+    params = ctx.params
+    max_devices = params.get("max_devices")
+    halo_m = float(params.get("halo_m", 0.0))
+    city_config = CityConfig(
+        seed=ctx.spec.seed,
+        blocks_x=int(params.get("blocks_x", 48)),
+        blocks_y=int(params.get("blocks_y", 32)),
+        population_scale=float(params.get("metro_scale", 20.0)),
+        keep_all_vendors=True,
+        max_devices=int(max_devices) if max_devices is not None else None,
+        beacon_interval=float(params.get("beacon_interval", 0.6)),
+        client_probe_interval=float(params.get("client_probe_interval", 2.5)),
+        activate_radius_m=float(params.get("activate_radius_m", 75.0)),
+        deactivate_radius_m=float(params.get("deactivate_radius_m", 110.0)),
+    )
+    wardrive_config = WardriveConfig(
+        probe_attempts=int(params.get("probe_attempts", 4)),
+        max_probe_rounds=int(params.get("max_probe_rounds", 8)),
+        vehicle_speed_mps=float(params.get("vehicle_speed_mps", 14.0)),
+    )
+    partition = PartitionConfig(
+        tiles_x=int(params.get("tiles_x", 4)),
+        tiles_y=int(params.get("tiles_y", 3)),
+        tile_workers=int(params.get("tile_workers", 1)),
+        epoch_s=float(params.get("epoch_s", 30.0)),
+        halo_m=halo_m if halo_m > 0.0 else None,
+    )
+    with ctx.tracer.span("drive"):
+        outcome = run_partitioned_wardrive(
+            ctx, city_config, wardrive_config, partition
+        )
+    by_mac = {spec.mac.bytes: spec for spec in outcome.specs}
+    vendors = len({spec.vendor for spec in outcome.specs})
+    acked = outcome.responded & outcome.probed
+    vendors_responded = len(
+        {by_mac[mac].vendor for mac in acked if mac in by_mac}
+    )
+    ctx.say(
+        f"metro: {outcome.population} devices across {vendors} vendors; "
+        f"{outcome.tiles_x}x{outcome.tiles_y} tiles on "
+        f"{outcome.tile_workers} worker(s), {outcome.epochs} epochs"
+    )
+    return {
+        "population": outcome.population,
+        "vendors": vendors,
+        "discovered": len(outcome.discovered),
+        "probed": len(outcome.probed),
+        "responded": len(outcome.responded),
+        "vendors_responded": vendors_responded,
+        "response_rate": (len(acked) / len(outcome.probed)) if outcome.probed else 0.0,
+        "tiles": outcome.tiles_x * outcome.tiles_y,
+        "tile_workers": outcome.tile_workers,
+        "epochs": outcome.epochs,
+        "idle_epochs": outcome.idle_epochs,
+        "halo_radios": outcome.halo_radios,
+        "relay_messages": outcome.relay_messages,
+        "relay_applied": outcome.relay_applied,
+        "relay_halo_tx": outcome.relay_halo_tx,
     }

@@ -408,6 +408,25 @@ class Engine:
         """Request the current :meth:`run_until`/:meth:`run` loop to exit."""
         self._stopped = True
 
+    def next_event_time(self) -> Optional[float]:
+        """Fire time of the next live event, or ``None`` on an empty queue.
+
+        Pops cancelled heads (keeping the lazy-deletion tallies exact) so
+        the answer is always a time :meth:`run_until` would actually
+        execute at.  The partitioned runner uses this to fast-forward a
+        tile through epochs in which it has nothing scheduled without
+        paying a ``run_until`` call per boundary.
+        """
+        heap = self._heap
+        while heap:
+            head_time, _, head = heap[0]
+            if head.__class__ is Event and head.cancelled:
+                heappop(heap)
+                self._cancelled_pending -= 1
+                continue
+            return head_time
+        return None
+
     # ------------------------------------------------------------------
     # Lazy-deletion bookkeeping
     # ------------------------------------------------------------------

@@ -1143,6 +1143,12 @@ class Medium:
         #: channel -> _ChannelSoA mirror, rebuilt when the bucket version
         #: moves.
         self._soa_cache: Dict[int, _ChannelSoA] = {}
+        #: Transmit taps (``add_transmit_observer``).  Called with each
+        #: Transmission record after it is built but before delivery;
+        #: observers must not mutate medium state.  The tiled partition
+        #: runner uses one to count halo-origin cross-tile traffic
+        #: without touching the delivery fast paths.
+        self._tx_observers: List[Callable[[Transmission], None]] = []
 
     # ------------------------------------------------------------------
     # Attachment
@@ -1190,6 +1196,46 @@ class Medium:
         log.append((version, op, entry))
         if len(log) > _BUCKET_LOG_MAX:
             del log[: len(log) - _BUCKET_LOG_MAX]
+
+    def add_transmit_observer(self, observer: Callable[[Transmission], None]) -> None:
+        """Register a read-only tap called with every :class:`Transmission`.
+
+        Observers fire synchronously inside :meth:`transmit`, after the
+        record is built and before delivery resolution.  They must not
+        mutate medium state or consume the medium's RNG — the byte-
+        equivalence contract requires a tapped run to produce the exact
+        trace of an untapped one.
+        """
+        self._tx_observers.append(observer)
+
+    def max_decode_range_m(
+        self, power_dbm: float, channel: Optional[int] = None
+    ) -> float:
+        """Worst-case free-space decode range for ``power_dbm``, in metres.
+
+        The most sensitive attached receiver (on ``channel``, or anywhere
+        when ``channel`` is ``None``) bounds how far a transmission at
+        ``power_dbm`` can possibly be decoded under the default free-space
+        model: ``d_max = (λ / 4π) · 10^((power − sensitivity) / 20)``.
+        Returns ``0.0`` with no attached radios.  The partitioning docs
+        use this to contrast the km-scale PHY decode range against the
+        activation-radius interaction range that actually sizes halos.
+        """
+        if channel is None:
+            entries = self._entries.values()
+        else:
+            entries = self._channels.get(channel, ())
+        best_sens = None
+        for entry in entries:
+            sens = float(getattr(entry.radio, "rx_sensitivity_dbm", -90.0))
+            if best_sens is None or sens < best_sens:
+                best_sens = sens
+        if best_sens is None:
+            return 0.0
+        wavelength = 299_792_458.0 / self.frequency_hz
+        return (wavelength / (4.0 * math.pi)) * 10.0 ** (
+            (power_dbm - best_sens) / 20.0
+        )
 
     def note_addressing_changed(self, radio_name: str) -> None:
         """Invalidate caches after ``radio_name`` changed its receive MAC.
@@ -1486,6 +1532,9 @@ class Medium:
             tx_position=tx_position,
         )
         self.transmission_count += 1
+        if self._tx_observers:
+            for observer in self._tx_observers:
+                observer(transmission)
         ctr = self._ctr_tx
         if ctr is not None:
             ctr.value += 1

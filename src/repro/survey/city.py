@@ -98,7 +98,15 @@ class DeviceSpec:
 
 
 def _scaled_census(census: List, scale: float, keep_all_vendors: bool = True) -> List:
-    if scale >= 1.0:
+    """Scale a (vendor, count) census.
+
+    ``scale == 1.0`` returns the census untouched (the exact Table 2
+    population); ``scale < 1.0`` shrinks it for unit-test cities and
+    ``scale > 1.0`` grows it for the metro-scale census — the same
+    per-vendor rounding in both directions, so vendor *diversity* (186
+    vendors) is preserved while device counts scale.
+    """
+    if scale == 1.0:
         return census
     floor = 1 if keep_all_vendors else 0
     scaled = []
@@ -109,6 +117,102 @@ def _scaled_census(census: List, scale: float, keep_all_vendors: bool = True) ->
     return scaled
 
 
+def _street_positions(
+    rng: np.random.Generator, cfg: CityConfig, count: int
+) -> List[Position]:
+    """Household positions set back from the street grid."""
+    positions = []
+    for _ in range(count):
+        # A household sits beside a random street segment.
+        gx = float(rng.uniform(0, cfg.blocks_x - 1)) * cfg.block_m
+        gy = int(rng.integers(0, cfg.blocks_y)) * cfg.block_m
+        side = 1.0 if rng.random() < 0.5 else -1.0
+        setback = float(rng.uniform(0.4, 1.6)) * cfg.house_setback_m
+        positions.append(Position(gx, gy + side * setback, 3.0))
+    return positions
+
+
+def generate_specs(
+    config: CityConfig, vendor_db: Optional[VendorDatabase] = None
+) -> List[DeviceSpec]:
+    """Deterministic :class:`DeviceSpec` list for ``config``.
+
+    A pure function of the config (one fresh generator seeded from
+    ``config.seed``): every caller — the city itself, or a partition
+    tile worker regenerating the population instead of receiving ~100k
+    pickled specs — gets byte-identical identities, positions, and
+    visit order.  Orders are assigned to the returned list positions.
+    """
+    cfg = config
+    db = vendor_db if vendor_db is not None else VendorDatabase()
+    rng = np.random.default_rng(cfg.seed)
+    ap_census = _scaled_census(
+        full_ap_census(), cfg.population_scale, cfg.keep_all_vendors
+    )
+    client_census = _scaled_census(
+        full_client_census(), cfg.population_scale, cfg.keep_all_vendors
+    )
+
+    ap_specs: List[DeviceSpec] = []
+    used = set()
+    for vendor, count in ap_census:
+        ouis = db.ouis_for(vendor)
+        for index in range(count):
+            while True:
+                mac = random_mac(rng, ouis[index % len(ouis)])
+                if mac not in used:
+                    used.add(mac)
+                    break
+            ap_specs.append(
+                DeviceSpec(
+                    mac=mac,
+                    vendor=vendor,
+                    kind=DeviceKind.ACCESS_POINT,
+                    position=Position(0, 0),  # placed below
+                    channel=int(
+                        SURVEY_CHANNELS[int(rng.integers(0, len(SURVEY_CHANNELS)))]
+                    ),
+                    ssid=f"net-{len(ap_specs):04d}",
+                )
+            )
+    for spec, position in zip(ap_specs, _street_positions(rng, cfg, len(ap_specs))):
+        spec.position = position
+
+    client_specs: List[DeviceSpec] = []
+    for vendor, count in client_census:
+        ouis = db.ouis_for(vendor)
+        for index in range(count):
+            while True:
+                mac = random_mac(rng, ouis[index % len(ouis)])
+                if mac not in used:
+                    used.add(mac)
+                    break
+            # Clients live in some household: near a random AP.
+            home = ap_specs[int(rng.integers(0, len(ap_specs)))]
+            offset_x = float(rng.uniform(-8.0, 8.0))
+            offset_y = float(rng.uniform(-8.0, 8.0))
+            client_specs.append(
+                DeviceSpec(
+                    mac=mac,
+                    vendor=vendor,
+                    kind=DeviceKind.CLIENT,
+                    position=home.position.translated(offset_x, offset_y, -1.0),
+                    channel=home.channel,
+                    bssid=home.mac,
+                )
+            )
+    specs = ap_specs + client_specs
+    cap = cfg.max_devices
+    if cap is not None and len(specs) > cap:
+        # Evenly-spaced subsample: deterministic, and it preserves the
+        # AP/client ratio and the spatial spread of the full city.
+        step = len(specs) / cap
+        specs = [specs[int(i * step)] for i in range(cap)]
+    for order, spec in enumerate(specs):
+        spec.order = order
+    return specs
+
+
 class SyntheticCity:
     """Device population + lazy activation around a tracked vehicle."""
 
@@ -117,6 +221,7 @@ class SyntheticCity:
         engine: Engine,
         medium: Medium,
         config: Optional[CityConfig] = None,
+        specs: Optional[List[DeviceSpec]] = None,
     ) -> None:
         self.engine = engine
         self.medium = medium
@@ -134,93 +239,47 @@ class SyntheticCity:
         #: :meth:`start` when ``config.activation_grid`` is on.
         self._grid: Optional[Dict[tuple, List[int]]] = None
         self._grid_cell_m = 0.0
-        self._generate_population()
+        if specs is None:
+            self._generate_population()
+        else:
+            self._adopt_specs(specs)
 
     # ------------------------------------------------------------------
     # Population
     # ------------------------------------------------------------------
-    def _street_positions(self, count: int) -> List[Position]:
-        """Household positions set back from the street grid."""
-        cfg = self.config
-        positions = []
-        for _ in range(count):
-            # A household sits beside a random street segment.
-            gx = float(self._rng.uniform(0, cfg.blocks_x - 1)) * cfg.block_m
-            gy = int(self._rng.integers(0, cfg.blocks_y)) * cfg.block_m
-            side = 1.0 if self._rng.random() < 0.5 else -1.0
-            setback = float(self._rng.uniform(0.4, 1.6)) * cfg.house_setback_m
-            positions.append(Position(gx, gy + side * setback, 3.0))
-        return positions
-
     def _generate_population(self) -> None:
-        cfg = self.config
-        ap_census = _scaled_census(
-            full_ap_census(), cfg.population_scale, cfg.keep_all_vendors
-        )
-        client_census = _scaled_census(
-            full_client_census(), cfg.population_scale, cfg.keep_all_vendors
-        )
+        self.specs = generate_specs(self.config, self.vendor_db)
+        self._by_mac: Dict[MacAddress, DeviceSpec] = {
+            spec.mac: spec for spec in self.specs
+        }
 
-        ap_specs: List[DeviceSpec] = []
-        used = set()
-        for vendor, count in ap_census:
-            ouis = self.vendor_db.ouis_for(vendor)
-            for index in range(count):
-                while True:
-                    mac = random_mac(self._rng, ouis[index % len(ouis)])
-                    if mac not in used:
-                        used.add(mac)
-                        break
-                ap_specs.append(
-                    DeviceSpec(
-                        mac=mac,
-                        vendor=vendor,
-                        kind=DeviceKind.ACCESS_POINT,
-                        position=Position(0, 0),  # placed below
-                        channel=int(
-                            SURVEY_CHANNELS[
-                                int(self._rng.integers(0, len(SURVEY_CHANNELS)))
-                            ]
-                        ),
-                        ssid=f"net-{len(ap_specs):04d}",
-                    )
-                )
-        for spec, position in zip(ap_specs, self._street_positions(len(ap_specs))):
-            spec.position = position
+    def _adopt_specs(self, specs: List[DeviceSpec]) -> None:
+        """Run this city over an externally supplied device population.
 
-        client_specs: List[DeviceSpec] = []
-        for vendor, count in client_census:
-            ouis = self.vendor_db.ouis_for(vendor)
-            for index in range(count):
-                while True:
-                    mac = random_mac(self._rng, ouis[index % len(ouis)])
-                    if mac not in used:
-                        used.add(mac)
-                        break
-                # Clients live in some household: near a random AP.
-                home = ap_specs[int(self._rng.integers(0, len(ap_specs)))]
-                offset_x = float(self._rng.uniform(-8.0, 8.0))
-                offset_y = float(self._rng.uniform(-8.0, 8.0))
-                client_specs.append(
-                    DeviceSpec(
-                        mac=mac,
-                        vendor=vendor,
-                        kind=DeviceKind.CLIENT,
-                        position=home.position.translated(offset_x, offset_y, -1.0),
-                        channel=home.channel,
-                        bssid=home.mac,
-                    )
+        The partition layer uses this to hand a tile city the subset of
+        the full city's specs it owns (plus its halo).  Each spec is
+        cloned: runtime fields (``device``, ``active``,
+        ``ever_activated``) are per-city state, and ``order`` must be
+        renumbered because :meth:`_tick_candidates` indexes
+        ``self.specs`` by it.  Identity fields (MAC, vendor, position,
+        channel) are shared immutable values, so two tile cities
+        adopting overlapping subsets stay independent.
+        """
+        adopted: List[DeviceSpec] = []
+        for order, src in enumerate(specs):
+            adopted.append(
+                DeviceSpec(
+                    mac=src.mac,
+                    vendor=src.vendor,
+                    kind=src.kind,
+                    position=src.position,
+                    channel=src.channel,
+                    ssid=src.ssid,
+                    bssid=src.bssid,
+                    order=order,
                 )
-        specs = ap_specs + client_specs
-        cap = cfg.max_devices
-        if cap is not None and len(specs) > cap:
-            # Evenly-spaced subsample: deterministic, and it preserves the
-            # AP/client ratio and the spatial spread of the full city.
-            step = len(specs) / cap
-            specs = [specs[int(i * step)] for i in range(cap)]
-        self.specs = specs
-        for order, spec in enumerate(self.specs):
-            spec.order = order
+            )
+        self.specs = adopted
         self._by_mac: Dict[MacAddress, DeviceSpec] = {
             spec.mac: spec for spec in self.specs
         }

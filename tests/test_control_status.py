@@ -224,6 +224,32 @@ class TestDriverJsonIntegration:
         assert json.loads(text)["dir"] == str(tmp_path)
         assert text.endswith("\n")
 
+    def test_tiled_sweep_surfaces_tile_worker_counts(self, tmp_path):
+        # A sweep over a partitioned scenario (docs/partitioning.md)
+        # reports its tiling knobs: plain params as the shared value,
+        # grid axes as the swept value list.
+        config = CampaignConfig(
+            scenario="ctl-noop", seeds=[0], name="metro-sweep",
+            params={"tiles_x": 4, "tiles_y": 3},
+            grid={"tile_workers": [1, 4]},
+        )
+        write_status(config.to_spec_dict(), tmp_path / "campaign.json")
+        _sidecar(tmp_path, 0, 1, run_indices=(0,))
+        status = fleet_status(tmp_path, now=NOW)
+        assert status["tiling"] == {
+            "tiles_x": 4, "tiles_y": 3, "tile_workers": [1, 4],
+        }
+        assert "tiling   : tiles_x=4, tiles_y=3, tile_workers=[1, 4]" in (
+            render_fleet_status(status)
+        )
+
+    def test_untiled_sweep_has_no_tiling_line(self, tmp_path):
+        _spec(tmp_path)
+        _sidecar(tmp_path, 0, 1, run_indices=(0,))
+        status = fleet_status(tmp_path, now=NOW)
+        assert status["tiling"] is None
+        assert "tiling" not in render_fleet_status(status)
+
 
 class TestSidecarTailer:
     def test_incremental_polling_consumes_complete_lines_only(self, tmp_path):

@@ -17,6 +17,17 @@ Usage (from the repo root, ``make perf-report`` wraps the default)::
 Unlike ``benchmarks/perf/compare.py`` (the pass/fail regression gate),
 this tool never exits non-zero on a slowdown: it is the human-facing
 summary for commit messages, PR descriptions, and docs refreshes.
+
+With ``--history DIR`` (repeatable) the report gains a **perf
+trajectory** section: one timing column per result set — the checked-in
+baselines, each history directory (e.g. ``bench-results`` artifacts
+downloaded from CI runs), and the current results — ordered by the
+records' own ``created_unix`` stamps.  That turns a pile of downloaded
+artifacts into the engine-time history the ROADMAP asks for::
+
+    PYTHONPATH=src:. python tools/perf_report.py \
+        --history ~/artifacts/bench-results-run41 \
+        --history ~/artifacts/bench-results-run57
 """
 
 from __future__ import annotations
@@ -93,10 +104,71 @@ def report_rows(
     return rows
 
 
-def render_table(rows: List[List[str]]) -> str:
+def _set_created(records: Dict[str, dict]) -> float:
+    """Earliest record stamp of a result set (orders trajectory columns)."""
+    stamps = [
+        float(r["created_unix"]) for r in records.values() if r.get("created_unix")
+    ]
+    return min(stamps) if stamps else float("inf")
+
+
+def trajectory_columns(
+    baselines: Dict[str, dict],
+    history: List["tuple[str, Dict[str, dict]]"],
+    results: Dict[str, dict],
+) -> List["tuple[str, Dict[str, dict]]"]:
+    """Labelled result sets in chronological order.
+
+    The baselines and current results bracket the downloaded artifacts;
+    every set sorts by its own records' ``created_unix``, so column
+    order reflects when the numbers were measured, not how the
+    directories were passed on the command line.
+    """
+    sets = [("baseline", baselines)] + list(history) + [("current", results)]
+    return sorted(
+        (pair for pair in sets if pair[1]), key=lambda pair: _set_created(pair[1])
+    )
+
+
+def trajectory_rows(
+    columns: List["tuple[str, Dict[str, dict]]"],
+) -> List[List[str]]:
+    """One row per bench: engine seconds per result set, oldest first."""
+    names = sorted({name for _, records in columns for name in records})
+    rows = []
+    for name in names:
+        row = [name]
+        first = None
+        for _, records in columns:
+            wall = _timing(records[name]) if name in records else None
+            if wall is not None and first is None:
+                first = wall
+            row.append(_fmt(wall, "{:.3f}"))
+        last = next(
+            (
+                _timing(records[name])
+                for _, records in reversed(columns)
+                if name in records and _timing(records[name]) is not None
+            ),
+            None,
+        )
+        row.append(
+            _fmt(last / first if first and last is not None else None, "{:.2f}x")
+        )
+        rows.append(row)
+    return rows
+
+
+def trajectory_header(
+    columns: List["tuple[str, Dict[str, dict]]"],
+) -> List[str]:
+    return ["bench"] + [label for label, _ in columns] + ["last/first"]
+
+
+def render_table(rows: List[List[str]], columns=COLUMNS) -> str:
     """Plain-text table with aligned columns."""
-    table = [list(COLUMNS)] + rows
-    widths = [max(len(row[i]) for row in table) for i in range(len(COLUMNS))]
+    table = [list(columns)] + rows
+    widths = [max(len(row[i]) for row in table) for i in range(len(columns))]
     lines = []
     for index, row in enumerate(table):
         lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
@@ -105,11 +177,11 @@ def render_table(rows: List[List[str]]) -> str:
     return "\n".join(line.rstrip() for line in lines)
 
 
-def render_markdown(rows: List[List[str]]) -> str:
+def render_markdown(rows: List[List[str]], columns=COLUMNS) -> str:
     """GitHub-flavored markdown table."""
     lines = [
-        "| " + " | ".join(COLUMNS) + " |",
-        "|" + "|".join("---" for _ in COLUMNS) + "|",
+        "| " + " | ".join(columns) + " |",
+        "|" + "|".join("---" for _ in columns) + "|",
     ]
     lines += ["| " + " | ".join(row) + " |" for row in rows]
     return "\n".join(lines)
@@ -124,6 +196,13 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--baselines", type=pathlib.Path, default=DEFAULT_BASELINES,
         help="directory of checked-in baseline records to diff against",
+    )
+    parser.add_argument(
+        "--history", type=pathlib.Path, action="append", default=None,
+        metavar="DIR",
+        help="extra BENCH_*.json directory (e.g. a downloaded CI "
+             "bench-results artifact) to fold into a perf-trajectory "
+             "section (repeatable)",
     )
     parser.add_argument(
         "--format", choices=("table", "markdown"), default="table",
@@ -142,9 +221,24 @@ def main(argv=None) -> int:
             file=sys.stderr,
         )
         return 1
-    rows = report_rows(results, _load_set(args.baselines))
+    baselines = _load_set(args.baselines)
+    rows = report_rows(results, baselines)
     render = render_markdown if args.format == "markdown" else render_table
     text = render(rows) + "\n"
+    if args.history:
+        history = [(path.name or str(path), _load_set(path))
+                   for path in args.history]
+        missing = [label for label, records in history if not records]
+        for label in missing:
+            print(f"no BENCH_*.json records under history set {label}",
+                  file=sys.stderr)
+        columns = trajectory_columns(baselines, history, results)
+        header = trajectory_header(columns)
+        section = render(trajectory_rows(columns), header)
+        title = ("\n## Perf trajectory (engine seconds)\n\n"
+                 if args.format == "markdown"
+                 else "\nPerf trajectory (engine seconds)\n\n")
+        text += title + section + "\n"
     if args.out is not None:
         args.out.write_text(text, encoding="utf-8")
         print(f"wrote {args.out}")
