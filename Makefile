@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test coverage bench perf perf-full perf-compare perf-report demo examples examples-smoke campaign-smoke campaign-shard-smoke control-smoke metro-smoke docs-check clean
+.PHONY: install test coverage bench perf perf-full perf-compare perf-report demo examples examples-smoke campaign-smoke campaign-shard-smoke control-smoke metro-smoke metro-chaos-smoke docs-check clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -20,6 +20,7 @@ coverage:
 		|| { echo "coverage: pytest-cov not installed; skipping (pip install -e .[test])"; exit 0; } \
 		&& $(PYTHON) -m pytest tests/ -q \
 			--cov=repro.telemetry --cov=repro.sim.engine \
+			--cov=repro.sim.partition \
 			--cov-report=term-missing --cov-fail-under=$(COVERAGE_FLOOR)
 
 bench:
@@ -113,6 +114,13 @@ control-smoke:
 # produce identical aggregates (tile- and worker-count independence).
 metro-smoke:
 	$(PYTHON) -c "from repro.scenario import run_scenario; base=dict(metro_scale=1.0, blocks_x=10, blocks_y=8, max_devices=400, epoch_s=20.0); tiled=run_scenario('wardrive-metro', seed=0, quiet=True, params=dict(base, tiles_x=2, tiles_y=2, tile_workers=2)); single=run_scenario('wardrive-metro', seed=0, quiet=True, params=dict(base, tiles_x=1, tiles_y=1)); keys=('population','vendors','discovered','probed','responded','vendors_responded'); bad=[k for k in keys if tiled.outputs[k]!=single.outputs[k]]; assert not bad, f'tiled != tiles=1 on {bad}'; print('metro smoke OK:', tiled.outputs['discovered'], 'discovered,', tiled.outputs['tiles'], 'tiles /', tiled.outputs['tile_workers'], 'workers == tiles=1')"
+
+# Fault-tolerance check of the tile supervisor (docs/partitioning.md):
+# the same quick-mode census with one of the two workers SIGKILLed
+# mid-epoch must relaunch it, fast-forward it by deterministic replay,
+# and still produce aggregates identical to an undisturbed run.
+metro-chaos-smoke:
+	$(PYTHON) -c "from repro.scenario import run_scenario; base=dict(metro_scale=1.0, blocks_x=10, blocks_y=8, max_devices=400, epoch_s=20.0, tiles_x=2, tiles_y=2, tile_workers=2, heartbeat_s=0.1, heartbeat_timeout_s=10.0); killed=run_scenario('wardrive-metro', seed=0, quiet=True, params=dict(base, chaos_kill_worker=0, chaos_kill_epoch=1, chaos_kill_phase='mid')); calm=run_scenario('wardrive-metro', seed=0, quiet=True, params=base); keys=('population','vendors','discovered','probed','responded','vendors_responded'); bad=[k for k in keys if killed.outputs[k]!=calm.outputs[k]]; assert not bad, f'recovered != undisturbed on {bad}'; assert killed.outputs['recoveries'] >= 1, 'chaos kill did not trigger a recovery'; print('metro chaos smoke OK:', killed.outputs['recoveries'], 'recovery,', killed.outputs['responded'], 'responded == undisturbed')"
 
 clean:
 	rm -rf .pytest_cache .hypothesis benchmarks/results

@@ -22,10 +22,13 @@ from benchmarks.perf.harness import BenchOutcome
 from repro.scenario import run_scenario
 from repro.telemetry import MetricsRegistry
 
-#: Quick-mode shape: a one-tenth-scale census on a 2x2 tile grid.
+#: Quick-mode shape: a one-tenth-scale census on a 2x2 tile grid across
+#: two supervised workers, so the CI gate also prices the supervisor
+#: overhead (heartbeats + per-epoch checkpoints over the pipes).
 QUICK_PARAMS = {
     "tiles_x": 2,
     "tiles_y": 2,
+    "tile_workers": 2,
     "metro_scale": 1.0,
     "blocks_x": 12,
     "blocks_y": 8,

@@ -16,6 +16,7 @@ links drop frames.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -351,6 +352,32 @@ class WardrivePipeline:
     # ------------------------------------------------------------------
     def pending_targets(self) -> int:
         return sum(len(queue) for queue in self._queues.values())
+
+    def checkpoint_state(self) -> Dict[str, int]:
+        """Compact digest of the pipeline's verdict state.
+
+        The partition supervisor snapshots this at every epoch barrier
+        and compares a relaunched worker's deterministic replay against
+        the dead incarnation's last report.  Counts catch coarse drift;
+        ``digest`` (a CRC over the sorted probed/responded/pre-verified
+        MAC sets) catches same-size different-content divergence.  Small
+        by construction — it crosses a pipe every epoch.
+        """
+        blob = b"|".join(
+            b",".join(sorted(mac.bytes for mac in macs))
+            for macs in (
+                self.results.probed,
+                self.results.responded,
+                self._preverified,
+            )
+        )
+        return {
+            "discovered": len(self.scanner.devices),
+            "probed": len(self.results.probed),
+            "responded": len(self.results.responded),
+            "pending": self.pending_targets(),
+            "digest": zlib.crc32(blob),
+        }
 
     def verification_rate(self) -> float:
         if not self._targets:

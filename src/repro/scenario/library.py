@@ -31,7 +31,7 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.scenario.context import SimContext
-from repro.scenario.params import BoolParam, FloatParam, IntParam
+from repro.scenario.params import BoolParam, ChoiceParam, FloatParam, IntParam
 from repro.scenario.registry import scenario
 from repro.scenario.spec import PlacementSpec, ScenarioSpec
 
@@ -395,7 +395,9 @@ def wardrive_full(ctx: SimContext) -> Dict[str, object]:
         "metro_scale", "blocks_x", "blocks_y", "max_devices",
         "beacon_interval", "client_probe_interval", "activate_radius_m",
         "deactivate_radius_m", "probe_attempts", "max_probe_rounds",
-        "vehicle_speed_mps",
+        "vehicle_speed_mps", "supervise", "heartbeat_s",
+        "heartbeat_timeout_s", "tile_retries", "chaos_kill_worker",
+        "chaos_kill_epoch", "chaos_kill_phase",
     ),
     param_schema={
         "tiles_x": IntParam(minimum=1),
@@ -414,6 +416,13 @@ def wardrive_full(ctx: SimContext) -> Dict[str, object]:
         "probe_attempts": IntParam(minimum=1),
         "max_probe_rounds": IntParam(minimum=1),
         "vehicle_speed_mps": FloatParam(minimum=0.1),
+        "supervise": BoolParam(),
+        "heartbeat_s": FloatParam(minimum=0.01),
+        "heartbeat_timeout_s": FloatParam(minimum=0.1),
+        "tile_retries": IntParam(minimum=0),
+        "chaos_kill_worker": IntParam(minimum=0),
+        "chaos_kill_epoch": IntParam(minimum=0),
+        "chaos_kill_phase": ChoiceParam(["boundary", "mid", "stop", "finish"]),
     },
     spec=ScenarioSpec(seed=2020, seed_medium=True, spans=True),
     description="Metro-scale census on the tiled multi-process medium",
@@ -455,12 +464,26 @@ def wardrive_metro(ctx: SimContext) -> Dict[str, object]:
         max_probe_rounds=int(params.get("max_probe_rounds", 8)),
         vehicle_speed_mps=float(params.get("vehicle_speed_mps", 14.0)),
     )
+    chaos = None
+    if params.get("chaos_kill_worker") is not None:
+        # Fault injection for the chaos smoke / tests: kill (or stall)
+        # one worker once and let the supervisor recover it.
+        chaos = {
+            "worker": int(params["chaos_kill_worker"]),
+            "epoch": int(params.get("chaos_kill_epoch", 1)),
+            "phase": str(params.get("chaos_kill_phase", "mid")),
+        }
     partition = PartitionConfig(
         tiles_x=int(params.get("tiles_x", 4)),
         tiles_y=int(params.get("tiles_y", 3)),
         tile_workers=int(params.get("tile_workers", 1)),
         epoch_s=float(params.get("epoch_s", 30.0)),
         halo_m=halo_m if halo_m > 0.0 else None,
+        supervise=bool(params.get("supervise", True)),
+        heartbeat_s=float(params.get("heartbeat_s", 0.5)),
+        heartbeat_timeout_s=float(params.get("heartbeat_timeout_s", 30.0)),
+        tile_retries=int(params.get("tile_retries", 2)),
+        chaos=chaos,
     )
     with ctx.tracer.span("drive"):
         outcome = run_partitioned_wardrive(
@@ -493,4 +516,6 @@ def wardrive_metro(ctx: SimContext) -> Dict[str, object]:
         "relay_messages": outcome.relay_messages,
         "relay_applied": outcome.relay_applied,
         "relay_halo_tx": outcome.relay_halo_tx,
+        "tiles_clamped": outcome.tiles_clamped,
+        "recoveries": outcome.recoveries,
     }

@@ -91,6 +91,7 @@ from __future__ import annotations
 
 import enum
 import math
+import zlib
 from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
 from heapq import heappush
@@ -1471,6 +1472,18 @@ class Medium:
             pos = 0
         self._rng_pos = pos + 1
         return buf[pos]
+
+    def rng_fingerprint(self) -> int:
+        """CRC of the RNG stream position (generator state + buffer
+        cursor).  Two media have drawn identical FER-coin sequences iff
+        their fingerprints match — the partition supervisor uses this to
+        validate a relaunched tile's deterministic replay.
+        """
+        key = (
+            f"{self._rng_pos}/{len(self._rng_buf)}|"
+            f"{self._rng.bit_generator.state!r}"
+        )
+        return zlib.crc32(key.encode())
 
     # ------------------------------------------------------------------
     # Transmission

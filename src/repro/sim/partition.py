@@ -44,12 +44,36 @@ proves out for shards):
   (workers regenerate the spec list rather than receiving mutable
   state), and the bus sorts before delivery, so any worker count
   produces the same messages in the same order.
+
+Fault tolerance (``PartitionConfig.supervise``, on by default): the
+parent supervises every tile worker the way the campaign control plane
+supervises shards.  Workers emit wall-clock heartbeats over their pipe;
+the parent declares a worker dead when its process exits without a
+result or goes silent past ``heartbeat_timeout_s`` while epoch output
+is due (a slow-but-alive worker keeps heartbeating and is never
+killed).  Each epoch outbox carries a compact per-tile **checkpoint**
+(epoch index, pipeline verdict digest, medium RNG stream position, bus
+relay cursor).  A dead worker is relaunched and **fast-forwarded**: its
+tiles are rebuilt from the seed and replayed — advance to each past
+epoch boundary, re-apply the recorded inbox backlog — which is sound
+because tile state is a pure function of (seed, inbox history); the
+recomputed checkpoint must match the dead incarnation's last reported
+one (:class:`ReplayDivergence` otherwise), duplicate bus messages are
+dropped by ``(epoch, src_tile, seq)``, and the worker rejoins the
+lock-step without perturbing surviving tiles.  Recovered aggregates are
+identical to an undisturbed run's — pinned by
+``tests/test_partition_chaos.py`` across kill schedules.
 """
 
 from __future__ import annotations
 
 import math
 import multiprocessing
+import os
+import pickle
+import signal
+import threading
+import time
 import zlib
 from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
@@ -62,9 +86,12 @@ __all__ = [
     "BusMessage",
     "PartitionConfig",
     "PartitionOutcome",
+    "ReplayDivergence",
     "TileBus",
     "TileGrid",
     "TilePlan",
+    "TileRecoveryExhausted",
+    "TileWorkerDied",
     "derive_run_token",
     "run_partitioned_wardrive",
 ]
@@ -73,6 +100,48 @@ __all__ = [
 #: short enough that duplicate border probing is pruned within a couple
 #: of street blocks of driving.
 DEFAULT_EPOCH_S = 30.0
+
+
+class TileWorkerDied(RuntimeError):
+    """A tile worker process died (or went silent) before delivering.
+
+    Raised instead of hanging on the pipe: the supervisor turns it into
+    a relaunch when retries remain; without supervision (or at the
+    recovery point itself) it propagates with the verdict attached.
+    """
+
+    def __init__(self, tiles: Sequence[int], verdict: str) -> None:
+        self.tiles = list(tiles)
+        self.verdict = verdict
+        super().__init__(f"tile worker for tiles {self.tiles} {verdict}")
+
+
+class TileRecoveryExhausted(RuntimeError):
+    """The relaunch budget ran out; carries partial progress.
+
+    ``partial`` holds what the run knew when it gave up: total
+    recoveries attempted and each tile's last reported checkpoint
+    (epoch reached, verdict counts) — enough to size what was lost
+    without pretending the aggregates are complete.
+    """
+
+    def __init__(
+        self, tiles: Sequence[int], retries: int, partial: Dict[str, object]
+    ) -> None:
+        self.tiles = list(tiles)
+        self.retries = retries
+        self.partial = partial
+        super().__init__(
+            f"tile worker for tiles {self.tiles} kept dying after "
+            f"{retries} relaunch(es); giving up with partial progress "
+            f"{partial.get('checkpoints')}"
+        )
+
+
+class ReplayDivergence(RuntimeError):
+    """A relaunched worker's replayed state disagrees with the dead
+    incarnation's checkpoint — the determinism contract is broken, so
+    recovery must not silently continue."""
 
 
 # ----------------------------------------------------------------------
@@ -98,8 +167,10 @@ class TileGrid:
         height = max(config.blocks_y - 1, 1) * config.block_m
         self.nx_cells = max(1, int(math.ceil(width / self.cell_m)))
         self.ny_cells = max(1, int(math.ceil(height / self.cell_m)))
-        self.tiles_x = min(int(tiles_x), self.nx_cells)
-        self.tiles_y = min(int(tiles_y), self.ny_cells)
+        self.requested_x = int(tiles_x)
+        self.requested_y = int(tiles_y)
+        self.tiles_x = min(self.requested_x, self.nx_cells)
+        self.tiles_y = min(self.requested_y, self.ny_cells)
         # Even split of the cell rows/columns among tiles, in cells.
         self._x_cuts = [
             round(i * self.nx_cells / self.tiles_x) for i in range(self.tiles_x + 1)
@@ -128,6 +199,11 @@ class TileGrid:
     @property
     def n_tiles(self) -> int:
         return self.tiles_x * self.tiles_y
+
+    @property
+    def tiles_clamped(self) -> int:
+        """How many requested tiles the activation-cell clamp removed."""
+        return self.requested_x * self.requested_y - self.n_tiles
 
     def tile_of(self, x: float, y: float) -> int:
         """The tile owning point ``(x, y)`` (total: edges clamp inward)."""
@@ -231,6 +307,11 @@ class TileBus:
     sorted by ``(src_tile, seq)`` and grouped by destination.  Delivery
     order is independent of which worker produced which message and of
     the order outboxes were ingested.
+
+    Redelivery is idempotent: a message whose ``(epoch, src_tile, seq)``
+    the bus has already accepted is dropped (counted in
+    :attr:`duplicates`), so a recovered worker re-emitting an epoch's
+    outbox cannot double-apply evidence.
     """
 
     def __init__(self, n_tiles: int, run_token: int) -> None:
@@ -238,7 +319,9 @@ class TileBus:
         self.run_token = run_token
         self.posted = 0
         self.delivered = 0
+        self.duplicates = 0
         self._pending: List[BusMessage] = []
+        self._seen: Set[Tuple[int, int, int]] = set()
 
     def ingest(self, messages: Sequence[BusMessage]) -> None:
         for msg in messages:
@@ -249,6 +332,11 @@ class TileBus:
                 )
             if not (0 <= msg.dst_tile < self.n_tiles):
                 raise ValueError(f"bus message for unknown tile {msg.dst_tile}")
+            key = (msg.epoch, msg.src_tile, msg.seq)
+            if key in self._seen:
+                self.duplicates += 1
+                continue
+            self._seen.add(key)
             self._pending.append(msg)
             self.posted += 1
 
@@ -286,6 +374,26 @@ class PartitionConfig:
     #: Halo width in metres; ``None`` = ``2 x deactivate_radius_m`` (the
     #: workload's maximum interaction range, see the module docstring).
     halo_m: Optional[float] = None
+    #: Supervise worker processes: heartbeat liveness, per-epoch
+    #: checkpoints, and relaunch-with-replay on death.  Off, a dead
+    #: worker raises :class:`TileWorkerDied` instead of hanging.
+    supervise: bool = True
+    #: Wall-clock interval between worker heartbeats.
+    heartbeat_s: float = 0.5
+    #: Silence (no heartbeat, no output) after which a live-but-stuck
+    #: worker is declared dead, SIGKILLed, and relaunched.
+    heartbeat_timeout_s: float = 30.0
+    #: Total relaunch budget across the run; exhaustion raises
+    #: :class:`TileRecoveryExhausted` with partial progress attached.
+    tile_retries: int = 2
+    #: Fault injection for the chaos tests / smoke target, e.g.
+    #: ``{"worker": 0, "epoch": 1, "phase": "mid"}``.  Phases: ``mid``
+    #: (SIGKILL halfway through the epoch), ``boundary`` (SIGKILL after
+    #: the outbox), ``stop`` (SIGSTOP at the epoch start), ``finish``
+    #: (SIGKILL before the final summaries), ``sleep`` (stall
+    #: ``seconds`` of wall time while still heartbeating).  Relaunched
+    #: incarnations run with the chaos stripped.
+    chaos: Optional[Dict[str, object]] = None
 
     def resolve_halo_m(self, city: CityConfig) -> float:
         if self.halo_m is not None:
@@ -317,6 +425,16 @@ class PartitionOutcome:
     #: Per-tile metrics snapshots merged into one (counters add); the
     #: runner also folds the merged counters into the caller's registry.
     merged_snapshot: Optional[Dict[str, Dict[str, object]]] = None
+    #: The grid as requested, before clamping to activation cells, and
+    #: how many requested tiles the clamp removed.
+    requested_tiles_x: int = 0
+    requested_tiles_y: int = 0
+    tiles_clamped: int = 0
+    #: Supervision outcomes: worker relaunches performed, checkpoint
+    #: bytes shipped over the pipes, duplicate bus messages dropped.
+    recoveries: int = 0
+    checkpoint_bytes: int = 0
+    relay_duplicates: int = 0
 
 
 # ----------------------------------------------------------------------
@@ -423,6 +541,25 @@ class _TileSim:
             self.pipeline.apply_external_evidence(MacAddress(raw), responded)
             self.applied += 1
 
+    def checkpoint(self, epoch: int) -> Dict[str, int]:
+        """Compact epoch-barrier state digest (taken after the epoch's
+        advance + evidence scan, before the inbox is applied).
+
+        Deterministic replay from the seed plus the recorded inbox
+        backlog must land on exactly this dict; the supervisor compares
+        a relaunched worker's recomputation against the dead
+        incarnation's last report and refuses to continue on mismatch.
+        """
+        state = self.pipeline.checkpoint_state()
+        state.update(
+            tile=self.tile,
+            epoch=epoch,
+            relayed=len(self._relayed),
+            applied=self.applied,
+            rng=self.ctx.medium.rng_fingerprint(),
+        )
+        return state
+
     def finish(self) -> Dict[str, object]:
         results = self.pipeline.finish()
         owned = self.owned_macs
@@ -469,38 +606,163 @@ class _LocalHost:
 
 
 class _RemoteHost:
-    def __init__(self, process, conn, tiles: List[int]) -> None:
+    """One worker process's parent-side endpoint, with the liveness and
+    recovery bookkeeping the supervisor needs.
+
+    ``policy`` is ``None`` (unsupervised: death is detected — never a
+    hang — but raises instead of recovering) or the heartbeat settings.
+    The inbox log and checkpoint cache survive relaunches: they are the
+    replay backlog and the replay-validation reference.
+    """
+
+    #: Pipe poll granularity; bounds death-detection latency.
+    _POLL_S = 0.05
+
+    def __init__(self, tiles: List[int], policy: Optional[Dict[str, float]]) -> None:
+        self.tiles = tiles
+        self.policy = policy
+        self.process = None
+        self.conn = None
+        #: Protocol cursors: outbox@e received => outboxes_got == e + 1;
+        #: inbox@e delivered => inboxes_sent == e + 1.  A relaunch
+        #: resumes at epoch ``inboxes_sent`` (everything before it is
+        #: replayable from the recorded inbox log).
+        self.outboxes_got = 0
+        self.inboxes_sent = 0
+        self.inbox_log: List[Dict[int, List[BusMessage]]] = []
+        self.checkpoints: Dict[int, Dict[str, int]] = {}
+        self.checkpoint_epoch = -1
+        self.checkpoint_bytes = 0
+        self.tiles_payload: List[tuple] = []
+
+    def attach(self, process, conn) -> None:
+        if self.conn is not None:
+            try:
+                self.conn.close()
+            except OSError:  # pragma: no cover - already torn down
+                pass
         self.process = process
         self.conn = conn
-        self.tiles = tiles
+
+    def kill(self) -> None:
+        if self.process is None:
+            return
+        if self.process.is_alive():
+            self.process.kill()  # SIGKILL works on SIGSTOPped workers too
+        self.process.join()
+
+    def _recv(self) -> tuple:
+        """Receive the next non-heartbeat message, or raise
+        :class:`TileWorkerDied` with a verdict.
+
+        Verdicts: *exit-without-result* (process gone and the pipe
+        drained) always; *silence-timeout* only when supervised —
+        heartbeats refresh the deadline, so a slow worker that is still
+        beating waits out arbitrarily long epochs unharmed.
+        """
+        timeout = None if self.policy is None else float(
+            self.policy["heartbeat_timeout_s"]
+        )
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            try:
+                ready = self.conn.poll(self._POLL_S)
+            except (EOFError, OSError):
+                raise TileWorkerDied(self.tiles, "closed its pipe unexpectedly")
+            if ready:
+                try:
+                    msg = self.conn.recv()
+                except (EOFError, OSError, pickle.UnpicklingError):
+                    raise TileWorkerDied(self.tiles, "died mid-message (torn pipe)")
+                if msg and msg[0] == "hb":
+                    if deadline is not None:
+                        deadline = time.monotonic() + timeout
+                    continue
+                return msg
+            if not self.process.is_alive():
+                if self.conn.poll(0):  # drain buffered output first
+                    continue
+                raise TileWorkerDied(self.tiles, "exited without a result")
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TileWorkerDied(
+                    self.tiles,
+                    f"went silent for {timeout:.1f}s (no heartbeat)",
+                )
+
+    def _expect(self, tag: str, epoch: Optional[int] = None) -> tuple:
+        msg = self._recv()
+        got_epoch = msg[1] if len(msg) > 1 else None
+        if msg[0] != tag or (epoch is not None and got_epoch != epoch):
+            want = tag if epoch is None else f"{tag}@{epoch}"
+            raise RuntimeError(
+                f"tile worker protocol error: expected {want}, "
+                f"got {msg[0]}@{got_epoch}"
+            )
+        return msg
 
     def poll_outbox(self, epoch: int, boundary: float) -> List[BusMessage]:
-        try:
-            tag, worker_epoch, messages = self.conn.recv()
-        except EOFError:
-            raise RuntimeError(
-                f"tile worker for tiles {self.tiles} died before epoch {epoch}"
-            )
-        if tag != "outbox" or worker_epoch != epoch:
-            raise RuntimeError(
-                f"tile worker protocol error: expected outbox@{epoch}, "
-                f"got {tag}@{worker_epoch}"
-            )
+        _, _, messages, ckpts = self._expect("outbox", epoch)
+        if ckpts is not None:
+            self.checkpoint_bytes += len(pickle.dumps(ckpts))
+            self.checkpoints = ckpts
+            self.checkpoint_epoch = epoch
+        self.outboxes_got = epoch + 1
         return messages
 
     def push_inbox(self, epoch: int, by_tile: Dict[int, List[BusMessage]]) -> None:
-        self.conn.send(("inbox", epoch, {t: by_tile.get(t, []) for t in self.tiles}))
+        mine = {t: by_tile.get(t, []) for t in self.tiles}
+        if epoch == len(self.inbox_log):
+            self.inbox_log.append(mine)
+        else:
+            self.inbox_log[epoch] = mine  # resend after a recovery
+        try:
+            self.conn.send(("inbox", epoch, mine))
+        except (OSError, ValueError) as exc:
+            raise TileWorkerDied(self.tiles, f"pipe write failed ({exc})")
+        self.inboxes_sent = epoch + 1
 
     def finish(self) -> List[Dict[str, object]]:
-        try:
-            tag, summaries = self.conn.recv()
-        except EOFError:
-            raise RuntimeError(f"tile worker for tiles {self.tiles} died at finish")
-        if tag != "done":
-            raise RuntimeError(f"tile worker protocol error: expected done, got {tag}")
+        msg = self._expect("done")
         self.conn.close()
         self.process.join()
-        return summaries
+        return msg[1]
+
+
+def _heartbeat_loop(conn, lock, stop, interval_s: float) -> None:
+    beat = 0
+    while not stop.wait(interval_s):
+        beat += 1
+        try:
+            with lock:
+                conn.send(("hb", beat))
+        except (OSError, ValueError):  # parent gone; the worker exits soon
+            return
+
+
+def _maybe_chaos(
+    chaos: Dict[str, object],
+    phase: str,
+    epoch: Optional[int],
+    host: Optional["_LocalHost"] = None,
+    boundaries: Optional[Sequence[float]] = None,
+) -> None:
+    """Self-inflicted faults for the chaos suite (no-op without a match)."""
+    if not chaos or chaos.get("phase") != phase:
+        return
+    if phase != "finish" and chaos.get("epoch") != epoch:
+        return
+    if phase == "sleep":
+        time.sleep(float(chaos.get("seconds", 0.0)))
+        return
+    if phase == "stop":
+        os.kill(os.getpid(), signal.SIGSTOP)
+        return
+    if phase == "mid":
+        low = boundaries[epoch - 1] if epoch else 0.0
+        mid = (low + boundaries[epoch]) / 2.0
+        for sim in host.sims:
+            sim.ctx.engine.run_until(min(mid, sim.end_time))
+    os.kill(os.getpid(), signal.SIGKILL)
 
 
 def _tile_worker_main(conn, payload: Dict[str, object]) -> None:
@@ -510,8 +772,30 @@ def _tile_worker_main(conn, payload: Dict[str, object]) -> None:
     epoch boundaries) — never simulator state.  The spec list is
     regenerated from the seed, so what a tile simulates cannot depend on
     which process it landed in.
+
+    A relaunched worker additionally gets a ``resume`` block: the epoch
+    to rejoin at and the recorded inbox backlog.  It fast-forwards by
+    replaying every past epoch — advance to the boundary, rescan
+    evidence (discarded: the bus delivered it long ago, and the scan
+    keeps the relay cursor exact), apply the recorded inbox — then
+    reports the recomputed checkpoint for the supervisor to validate
+    and rejoins the lock-step.
     """
+    send_lock = threading.Lock()
+    stop_heartbeats = threading.Event()
+
+    def send(obj) -> None:
+        with send_lock:
+            conn.send(obj)
+
     try:
+        supervise = payload.get("supervise")
+        if supervise:
+            threading.Thread(
+                target=_heartbeat_loop,
+                args=(conn, send_lock, stop_heartbeats, supervise["heartbeat_s"]),
+                daemon=True,
+            ).start()
         scenario_spec = ScenarioSpec.from_dict(payload["scenario_spec"])
         city_config = CityConfig(**payload["city_config"])
         wardrive_config = _wardrive_config_from_dict(payload["wardrive_config"])
@@ -531,8 +815,42 @@ def _tile_worker_main(conn, payload: Dict[str, object]) -> None:
             for tile, owned, halo, halo_owners in payload["tiles"]
         ]
         host = _LocalHost(sims)
-        for epoch, boundary in enumerate(payload["boundaries"]):
-            conn.send(("outbox", epoch, host.poll_outbox(epoch, boundary)))
+        boundaries = payload["boundaries"]
+        chaos = payload.get("chaos") or {}
+        resume = payload.get("resume")
+        start_epoch = 0
+        skip_first_outbox = False
+        if resume is not None:
+            start_epoch = resume["epoch"]
+            skip_first_outbox = resume["outbox_consumed"]
+            validate_epoch = resume["validate_epoch"]
+            validated = None
+            # When the dead incarnation's outbox@start was already
+            # consumed, its advance belongs to the replay too.
+            replay_upto = start_epoch + (1 if skip_first_outbox else 0)
+            for epoch in range(replay_upto):
+                host.poll_outbox(epoch, boundaries[epoch])  # discarded
+                if epoch == validate_epoch:
+                    validated = {
+                        sim.tile: sim.checkpoint(epoch) for sim in host.sims
+                    }
+                if epoch < start_epoch:
+                    host.push_inbox(epoch, resume["inbox_log"][epoch])
+            send(("resumed", start_epoch, validated))
+        for epoch in range(start_epoch, len(boundaries)):
+            boundary = boundaries[epoch]
+            if epoch == start_epoch and skip_first_outbox:
+                pass  # advanced during replay; parent holds the outbox
+            else:
+                _maybe_chaos(chaos, "stop", epoch)
+                _maybe_chaos(chaos, "sleep", epoch)
+                _maybe_chaos(chaos, "mid", epoch, host, boundaries)
+                messages = host.poll_outbox(epoch, boundary)
+                ckpts = None
+                if supervise:
+                    ckpts = {sim.tile: sim.checkpoint(epoch) for sim in host.sims}
+                send(("outbox", epoch, messages, ckpts))
+                _maybe_chaos(chaos, "boundary", epoch)
             tag, inbox_epoch, by_tile = conn.recv()
             if tag != "inbox" or inbox_epoch != epoch:
                 raise RuntimeError(
@@ -540,9 +858,12 @@ def _tile_worker_main(conn, payload: Dict[str, object]) -> None:
                     f"got {tag}@{inbox_epoch}"
                 )
             host.push_inbox(epoch, by_tile)
-        conn.send(("done", host.finish()))
+        _maybe_chaos(chaos, "finish", None)
+        send(("done", host.finish()))
     finally:
-        conn.close()
+        stop_heartbeats.set()
+        with send_lock:
+            conn.close()
 
 
 def _wardrive_config_to_dict(config) -> Dict[str, object]:
@@ -565,6 +886,129 @@ def _pool_context() -> multiprocessing.context.BaseContext:
     # cheaply; spawn is the portable fallback.
     methods = multiprocessing.get_all_start_methods()
     return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+# ----------------------------------------------------------------------
+# The tile fleet (spawn / supervise / relaunch)
+# ----------------------------------------------------------------------
+class _TileFleet:
+    """Spawns the worker processes and relaunches the ones that die.
+
+    The recovery move mirrors the campaign control plane's: SIGKILL
+    whatever is left of the dead worker, respawn it on the *same* tiles
+    (chaos stripped), hand it the recorded inbox backlog so it can
+    replay itself back to the failure epoch, and validate the replayed
+    checkpoint against the dead incarnation's last report before
+    letting it rejoin.  Survivors never notice: they are blocked on
+    their own pipes, heartbeating, while the relaunch happens.
+    """
+
+    def __init__(
+        self,
+        mp_ctx: multiprocessing.context.BaseContext,
+        base_payload: Dict[str, object],
+        worker_tiles: Sequence[Sequence[int]],
+        tiles_payloads: Sequence[List[tuple]],
+        partition: PartitionConfig,
+    ) -> None:
+        self.mp_ctx = mp_ctx
+        self.base_payload = base_payload
+        self.partition = partition
+        self.policy = (
+            {
+                "heartbeat_s": float(partition.heartbeat_s),
+                "heartbeat_timeout_s": float(partition.heartbeat_timeout_s),
+            }
+            if partition.supervise
+            else None
+        )
+        self.recoveries = 0
+        self.hosts: List[_RemoteHost] = []
+        chaos = partition.chaos
+        for w, tiles in enumerate(worker_tiles):
+            host = _RemoteHost(list(tiles), self.policy)
+            host.tiles_payload = list(tiles_payloads[w])
+            self.hosts.append(host)
+            mine = chaos if chaos and chaos.get("worker") == w else None
+            self._spawn(host, chaos=mine)
+
+    def _spawn(
+        self,
+        host: _RemoteHost,
+        chaos: Optional[Dict[str, object]] = None,
+        resume: Optional[Dict[str, object]] = None,
+    ) -> None:
+        parent_conn, child_conn = self.mp_ctx.Pipe()
+        payload = dict(self.base_payload)
+        payload["tiles"] = host.tiles_payload
+        payload["supervise"] = self.policy
+        if chaos:
+            payload["chaos"] = dict(chaos)
+        if resume is not None:
+            payload["resume"] = resume
+        process = self.mp_ctx.Process(
+            target=_tile_worker_main, args=(child_conn, payload), daemon=True
+        )
+        process.start()
+        child_conn.close()
+        host.attach(process, parent_conn)
+
+    def call(self, host: _RemoteHost, op):
+        """Run ``op(host)``, recovering the worker on a death verdict."""
+        while True:
+            try:
+                return op(host)
+            except TileWorkerDied as failure:
+                self.recover(host, failure)
+
+    def recover(self, host: _RemoteHost, failure: TileWorkerDied) -> None:
+        if self.policy is None:
+            raise failure
+        if self.recoveries >= self.partition.tile_retries:
+            partial = {
+                "recoveries": self.recoveries,
+                "checkpoints": {
+                    tile: dict(ckpt)
+                    for h in self.hosts
+                    for tile, ckpt in h.checkpoints.items()
+                },
+            }
+            raise TileRecoveryExhausted(
+                host.tiles, self.recoveries, partial
+            ) from failure
+        self.recoveries += 1
+        host.kill()
+        # Everything before ``inboxes_sent`` is fully replayable: the
+        # parent holds those epochs' inboxes.  If the dead incarnation's
+        # outbox for the resume epoch was already consumed (ingested
+        # into the bus), the relaunch must advance through that epoch
+        # too but not re-send it.
+        resume_epoch = host.inboxes_sent
+        outbox_consumed = host.outboxes_got > resume_epoch
+        resume = {
+            "epoch": resume_epoch,
+            "outbox_consumed": outbox_consumed,
+            "inbox_log": host.inbox_log[:resume_epoch],
+            "validate_epoch": host.checkpoint_epoch,
+        }
+        self._spawn(host, chaos=None, resume=resume)
+        msg = host._expect("resumed", resume_epoch)
+        validated = msg[2]
+        if host.checkpoint_epoch >= 0 and validated != host.checkpoints:
+            raise ReplayDivergence(
+                f"relaunched worker for tiles {host.tiles} replayed to epoch "
+                f"{host.checkpoint_epoch} but its checkpoint disagrees with "
+                f"the dead incarnation's: {validated!r} != {host.checkpoints!r}"
+            )
+
+    def shutdown(self) -> None:
+        for host in self.hosts:
+            host.kill()
+            if host.conn is not None:
+                try:
+                    host.conn.close()
+                except OSError:  # pragma: no cover - already closed
+                    pass
 
 
 # ----------------------------------------------------------------------
@@ -636,6 +1080,9 @@ def run_partitioned_wardrive(
             relay_halo_tx=0,
             specs=city.specs,
             merged_snapshot=None,
+            requested_tiles_x=grid.requested_x,
+            requested_tiles_y=grid.requested_y,
+            tiles_clamped=grid.tiles_clamped,
         )
         _publish_partition_counters(ctx, outcome)
         return outcome
@@ -655,7 +1102,10 @@ def run_partitioned_wardrive(
         for w in range(n_workers)
     ]
 
-    hosts: List[object] = []
+    bus = TileBus(grid.n_tiles, run_token)
+    summaries: List[Dict[str, object]] = []
+    recoveries = 0
+    checkpoint_bytes = 0
     if n_workers == 1:
         sims = [
             _TileSim(
@@ -671,45 +1121,51 @@ def run_partitioned_wardrive(
             )
             for tile in range(grid.n_tiles)
         ]
-        hosts.append(_LocalHost(sims))
-    else:
-        mp_ctx = _pool_context()
-        for tiles in worker_tiles:
-            parent_conn, child_conn = mp_ctx.Pipe()
-            payload = {
-                "scenario_spec": tile_spec.to_dict(),
-                "city_config": asdict(city_config),
-                "wardrive_config": _wardrive_config_to_dict(wardrive_config),
-                "run_token": run_token,
-                "boundaries": boundaries,
-                "tiles": [
-                    (
-                        tile,
-                        plan.owned[tile],
-                        plan.halo[tile],
-                        [plan.owner_of[o] for o in plan.halo[tile]],
-                    )
-                    for tile in tiles
-                ],
-            }
-            process = mp_ctx.Process(
-                target=_tile_worker_main, args=(child_conn, payload), daemon=True
-            )
-            process.start()
-            child_conn.close()
-            hosts.append(_RemoteHost(process, parent_conn, tiles))
-
-    bus = TileBus(grid.n_tiles, run_token)
-    for epoch, boundary in enumerate(boundaries):
-        for host in hosts:
+        host = _LocalHost(sims)
+        for epoch, boundary in enumerate(boundaries):
             bus.ingest(host.poll_outbox(epoch, boundary))
-        by_tile = bus.exchange(epoch)
-        for host in hosts:
-            host.push_inbox(epoch, by_tile)
-
-    summaries: List[Dict[str, object]] = []
-    for host in hosts:
+            host.push_inbox(epoch, bus.exchange(epoch))
         summaries.extend(host.finish())
+    else:
+        def _tile_payload(tile: int) -> tuple:
+            return (
+                tile,
+                plan.owned[tile],
+                plan.halo[tile],
+                [plan.owner_of[o] for o in plan.halo[tile]],
+            )
+
+        base_payload = {
+            "scenario_spec": tile_spec.to_dict(),
+            "city_config": asdict(city_config),
+            "wardrive_config": _wardrive_config_to_dict(wardrive_config),
+            "run_token": run_token,
+            "boundaries": boundaries,
+        }
+        fleet = _TileFleet(
+            _pool_context(),
+            base_payload,
+            worker_tiles,
+            [[_tile_payload(t) for t in tiles] for tiles in worker_tiles],
+            partition,
+        )
+        try:
+            for epoch, boundary in enumerate(boundaries):
+                for host in fleet.hosts:
+                    bus.ingest(
+                        fleet.call(
+                            host, lambda h: h.poll_outbox(epoch, boundary)
+                        )
+                    )
+                by_tile = bus.exchange(epoch)
+                for host in fleet.hosts:
+                    fleet.call(host, lambda h: h.push_inbox(epoch, by_tile))
+            for host in fleet.hosts:
+                summaries.extend(fleet.call(host, lambda h: h.finish()))
+        finally:
+            fleet.shutdown()
+        recoveries = fleet.recoveries
+        checkpoint_bytes = sum(h.checkpoint_bytes for h in fleet.hosts)
     summaries.sort(key=lambda s: s["tile"])
 
     from repro.telemetry.registry import merge_snapshots
@@ -747,6 +1203,12 @@ def run_partitioned_wardrive(
         relay_halo_tx=halo_tx,
         specs=specs,
         merged_snapshot=merged,
+        requested_tiles_x=grid.requested_x,
+        requested_tiles_y=grid.requested_y,
+        tiles_clamped=grid.tiles_clamped,
+        recoveries=recoveries,
+        checkpoint_bytes=checkpoint_bytes,
+        relay_duplicates=bus.duplicates,
     )
     _publish_partition_counters(ctx, outcome)
     return outcome
@@ -792,3 +1254,18 @@ def _publish_partition_counters(ctx: SimContext, outcome: PartitionOutcome) -> N
     registry.counter(
         "partition.relay.halo_tx", "transmissions originating from halo mirrors"
     ).value += outcome.relay_halo_tx
+    registry.counter(
+        "partition.relay.duplicates",
+        "duplicate bus messages dropped by (epoch, src_tile, seq)",
+    ).value += outcome.relay_duplicates
+    registry.counter(
+        "partition.tiles_clamped",
+        "requested tiles removed by the activation-cell clamp",
+    ).value += outcome.tiles_clamped
+    registry.counter(
+        "partition.recoveries", "tile workers relaunched after a death verdict"
+    ).value += outcome.recoveries
+    registry.counter(
+        "partition.checkpoint_bytes",
+        "pickled checkpoint bytes shipped over worker pipes",
+    ).value += outcome.checkpoint_bytes

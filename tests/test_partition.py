@@ -115,6 +115,27 @@ class TestTileGrid:
         assert grid.tiles_x == grid.nx_cells
         assert grid.tiles_y == grid.ny_cells
         assert grid.n_tiles < 64 * 64
+        assert grid.requested_x == grid.requested_y == 64
+        assert grid.tiles_clamped == 64 * 64 - grid.n_tiles
+
+    def test_clamp_surfaced_in_outcome_and_telemetry(self):
+        """Requesting more tiles than activation cells must not clamp
+        silently: the outcome carries the requested vs effective grid
+        and the registry gains a partition.tiles_clamped counter."""
+        config = _tiny_city_config()  # 2x1 cells: 3x2 request clamps to 2x1
+        ctx, outcome = _run_tiled(config, 3, 2)
+        assert (outcome.requested_tiles_x, outcome.requested_tiles_y) == (3, 2)
+        assert (outcome.tiles_x, outcome.tiles_y) == (2, 1)
+        assert outcome.tiles_clamped == 3 * 2 - 2 * 1
+        counters = ctx.metrics.snapshot()["counters"]
+        assert counters["partition.tiles_clamped"] == outcome.tiles_clamped
+
+    def test_unclamped_grid_reports_zero_clamped(self):
+        config = _tiny_city_config()
+        ctx, outcome = _run_tiled(config, 2, 1)
+        assert outcome.tiles_clamped == 0
+        assert (outcome.requested_tiles_x, outcome.requested_tiles_y) == (2, 1)
+        assert ctx.metrics.snapshot()["counters"]["partition.tiles_clamped"] == 0
 
     def test_rect_distance_is_euclidean_to_rectangle(self):
         config = _tiny_city_config(blocks_x=12, blocks_y=8, activate_radius_m=90.0)
@@ -351,6 +372,10 @@ class TestSingleTileEquivalence:
         _, outcome = _run_tiled(config, grid.tiles_x, grid.tiles_y)
         assert outcome.epochs == 0
         assert outcome.tiles_x == outcome.tiles_y == 1
+        assert outcome.tiles_clamped == 0  # clamp happened in TileGrid above
+        _, direct = _run_tiled(config, 5, 5)
+        assert (direct.requested_tiles_x, direct.requested_tiles_y) == (5, 5)
+        assert direct.tiles_clamped == 24  # 5x5 requested, 1 effective
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,319 @@
+"""Chaos/equivalence pack for the tile supervisor (docs/partitioning.md).
+
+The recovery contract under test: a tile worker that dies (SIGKILL at an
+epoch boundary, SIGKILL mid-epoch, SIGSTOP past the heartbeat timeout,
+SIGKILL at finish) is relaunched, fast-forwarded by deterministic replay
+from the seed plus the recorded inbox backlog, and rejoins the lock-step
+— and the recovered run's aggregates are *identical* to an undisturbed
+run's, the same way ``tests/test_partition.py`` pins tile- and
+worker-count independence.  A slow-but-alive worker keeps heartbeating
+and must never be killed; an exhausted relaunch budget must fail cleanly
+with partial metrics, not hang.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.wardrive import WardriveConfig
+from repro.scenario.context import SimContext
+from repro.scenario.spec import ScenarioSpec
+from repro.sim.partition import (
+    BusMessage,
+    PartitionConfig,
+    TileBus,
+    TileRecoveryExhausted,
+    TileWorkerDied,
+    derive_run_token,
+    run_partitioned_wardrive,
+)
+from repro.survey.city import CityConfig
+
+
+def _tiny_city_config(**overrides) -> CityConfig:
+    """The same sub-second city the partition determinism tests use."""
+    base = dict(
+        seed=2020,
+        blocks_x=3,
+        blocks_y=2,
+        population_scale=0.005,
+        keep_all_vendors=False,
+        beacon_interval=0.5,
+        activate_radius_m=90.0,
+        deactivate_radius_m=130.0,
+    )
+    base.update(overrides)
+    return CityConfig(**base)
+
+
+def _run(
+    config,
+    tiles_x=2,
+    tiles_y=1,
+    workers=2,
+    epoch_s=8.0,
+    supervise=True,
+    chaos=None,
+    retries=2,
+    heartbeat_s=0.05,
+    heartbeat_timeout_s=5.0,
+):
+    ctx = SimContext(ScenarioSpec(seed=config.seed, seed_medium=True), quiet=True)
+    outcome = run_partitioned_wardrive(
+        ctx,
+        config,
+        WardriveConfig(vehicle_speed_mps=14.0),
+        PartitionConfig(
+            tiles_x=tiles_x,
+            tiles_y=tiles_y,
+            tile_workers=workers,
+            epoch_s=epoch_s,
+            supervise=supervise,
+            heartbeat_s=heartbeat_s,
+            heartbeat_timeout_s=heartbeat_timeout_s,
+            tile_retries=retries,
+            chaos=chaos,
+        ),
+    )
+    return ctx, outcome
+
+
+def _aggregate_key(outcome):
+    return (
+        outcome.population,
+        sorted(outcome.discovered),
+        sorted(outcome.probed),
+        sorted(outcome.responded),
+    )
+
+
+@pytest.fixture(scope="module")
+def anchor():
+    """The tiles=1 single-path reference aggregates."""
+    _, outcome = _run(_tiny_city_config(), tiles_x=1, tiles_y=1, workers=1)
+    return outcome
+
+
+@pytest.fixture(scope="module")
+def calm():
+    """An undisturbed 2x1-tile / 2-worker supervised run."""
+    _, outcome = _run(_tiny_city_config())
+    return outcome
+
+
+# ----------------------------------------------------------------------
+# Kill schedules: recovery must be lossless
+# ----------------------------------------------------------------------
+class TestKillScheduleEquivalence:
+    """≥3 kill schedules, each pinned against the undisturbed run."""
+
+    @pytest.mark.parametrize(
+        "phase,epoch",
+        [
+            ("boundary", 0),  # SIGKILL right after the epoch-0 outbox
+            ("mid", 1),       # SIGKILL halfway through epoch 1's advance
+            ("boundary", 2),  # SIGKILL after a later boundary
+            ("mid", 0),       # SIGKILL before any checkpoint exists
+        ],
+    )
+    def test_sigkill_recovers_identically(self, phase, epoch, calm, anchor):
+        ctx, out = _run(
+            _tiny_city_config(),
+            chaos={"worker": 0, "epoch": epoch, "phase": phase},
+        )
+        assert out.recoveries == 1
+        assert _aggregate_key(out) == _aggregate_key(calm) == _aggregate_key(anchor)
+        # The bus saw the same evidence: nothing lost, nothing doubled.
+        assert out.relay_messages == calm.relay_messages
+        assert out.relay_applied == calm.relay_applied
+        counters = ctx.metrics.snapshot()["counters"]
+        assert counters["partition.recoveries"] == 1
+        assert counters["partition.checkpoint_bytes"] == out.checkpoint_bytes > 0
+
+    def test_sigstop_past_timeout_is_killed_and_recovered(self, calm):
+        """A stopped worker stops heartbeating too: the silence verdict
+        SIGKILLs it and the relaunch replays it back in losslessly."""
+        _, out = _run(
+            _tiny_city_config(),
+            chaos={"worker": 1, "epoch": 1, "phase": "stop"},
+            heartbeat_timeout_s=1.0,
+        )
+        assert out.recoveries == 1
+        assert _aggregate_key(out) == _aggregate_key(calm)
+        assert out.relay_applied == calm.relay_applied
+
+    def test_sigkill_at_finish_recovers(self, calm):
+        """Death after the last barrier: the relaunch replays the whole
+        run and only re-delivers the final summaries."""
+        _, out = _run(
+            _tiny_city_config(),
+            chaos={"worker": 0, "phase": "finish"},
+        )
+        assert out.recoveries == 1
+        assert _aggregate_key(out) == _aggregate_key(calm)
+
+    def test_second_worker_kill_also_recovers(self, calm):
+        _, out = _run(
+            _tiny_city_config(),
+            chaos={"worker": 1, "epoch": 2, "phase": "mid"},
+        )
+        assert out.recoveries == 1
+        assert _aggregate_key(out) == _aggregate_key(calm)
+
+
+# ----------------------------------------------------------------------
+# Liveness verdicts
+# ----------------------------------------------------------------------
+class TestLivenessVerdicts:
+    def test_slow_but_alive_is_not_killed(self, calm):
+        """Stalling 3x past the silence timeout while the heartbeat
+        thread keeps beating must not trigger a kill: slowness is not
+        death."""
+        _, out = _run(
+            _tiny_city_config(),
+            chaos={"worker": 0, "epoch": 1, "phase": "sleep", "seconds": 2.5},
+            heartbeat_timeout_s=0.8,
+        )
+        assert out.recoveries == 0
+        assert _aggregate_key(out) == _aggregate_key(calm)
+
+    def test_unsupervised_death_raises_instead_of_hanging(self):
+        """The `finish()`-blocks-forever regression: with supervision
+        off, a SIGKILLed worker must surface a `TileWorkerDied` promptly
+        — never hang the parent on `conn.recv()`."""
+        start = time.monotonic()
+        with pytest.raises(TileWorkerDied) as info:
+            _run(
+                _tiny_city_config(),
+                supervise=False,
+                chaos={"worker": 0, "phase": "finish"},
+            )
+        assert time.monotonic() - start < 30.0
+        assert 0 in info.value.tiles
+
+    def test_unsupervised_mid_epoch_death_raises(self):
+        with pytest.raises(TileWorkerDied):
+            _run(
+                _tiny_city_config(),
+                supervise=False,
+                chaos={"worker": 0, "epoch": 1, "phase": "mid"},
+            )
+
+    def test_retry_budget_exhaustion_fails_cleanly_with_partials(self):
+        """retries=0: the first death must raise `TileRecoveryExhausted`
+        carrying the partial progress (per-tile checkpoints reached)."""
+        with pytest.raises(TileRecoveryExhausted) as info:
+            _run(
+                _tiny_city_config(),
+                retries=0,
+                chaos={"worker": 0, "epoch": 1, "phase": "mid"},
+            )
+        exc = info.value
+        assert exc.retries == 0
+        assert exc.partial["recoveries"] == 0
+        # Both tiles reported epoch-0 checkpoints before the kill.
+        ckpts = exc.partial["checkpoints"]
+        assert set(ckpts) == {0, 1}
+        for ckpt in ckpts.values():
+            assert ckpt["epoch"] == 0
+            assert "digest" in ckpt and "rng" in ckpt
+
+
+# ----------------------------------------------------------------------
+# Recovered runs stay worker-count-independent (hypothesis sweep)
+# ----------------------------------------------------------------------
+class TestRecoveredDeterminism:
+    @settings(
+        max_examples=4,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        tiles_x=st.integers(min_value=2, max_value=3),
+        tiles_y=st.integers(min_value=1, max_value=2),
+        workers=st.integers(min_value=2, max_value=3),
+        epoch_s=st.sampled_from([5.0, 8.0, 12.0]),
+        kill_epoch=st.integers(min_value=0, max_value=2),
+        kill_phase=st.sampled_from(["boundary", "mid"]),
+    )
+    def test_recovered_aggregates_match_tiles1_anchor(
+        self, tiles_x, tiles_y, workers, epoch_s, kill_epoch, kill_phase, anchor
+    ):
+        _, out = _run(
+            _tiny_city_config(),
+            tiles_x=tiles_x,
+            tiles_y=tiles_y,
+            workers=workers,
+            epoch_s=epoch_s,
+            chaos={"worker": 0, "epoch": kill_epoch, "phase": kill_phase},
+        )
+        assert out.recoveries == 1
+        assert _aggregate_key(out) == _aggregate_key(anchor)
+
+
+# ----------------------------------------------------------------------
+# Bus idempotency under redelivery
+# ----------------------------------------------------------------------
+class TestBusRedelivery:
+    def _msg(self, src, seq, dst, token, epoch=0):
+        return BusMessage(
+            epoch=epoch,
+            src_tile=src,
+            seq=seq,
+            dst_tile=dst,
+            payload=(b"\x02\x00\x00\x00\x00\x01", True),
+            token=token,
+        )
+
+    def test_duplicate_src_seq_redelivery_dropped(self):
+        """A restarted worker re-emitting an epoch's outbox must not
+        double-apply: duplicates by ``(epoch, src_tile, seq)`` are
+        dropped and counted."""
+        token = derive_run_token(2020, 2, 1, 260.0, 8.0)
+        bus = TileBus(2, token)
+        first = [self._msg(0, 0, 1, token), self._msg(0, 1, 1, token)]
+        bus.ingest(first)
+        bus.ingest(first)  # verbatim redelivery
+        assert bus.posted == 2
+        assert bus.duplicates == 2
+        delivered = bus.exchange(0)[1]
+        assert [(m.src_tile, m.seq) for m in delivered] == [(0, 0), (0, 1)]
+
+    def test_duplicate_drop_survives_the_epoch_barrier(self):
+        """Redelivery *after* the epoch was exchanged (the recovered
+        worker is one barrier behind) is still dropped, not treated as
+        a lost-barrier protocol error."""
+        token = derive_run_token(2020, 2, 1, 260.0, 8.0)
+        bus = TileBus(2, token)
+        bus.ingest([self._msg(0, 0, 1, token)])
+        bus.exchange(0)
+        bus.ingest([self._msg(0, 0, 1, token)])
+        assert bus.duplicates == 1
+        assert bus.exchange(0) == {}
+
+    def test_distinct_seq_is_not_a_duplicate(self):
+        token = derive_run_token(2020, 2, 1, 260.0, 8.0)
+        bus = TileBus(2, token)
+        bus.ingest([self._msg(0, 0, 1, token)])
+        bus.ingest([self._msg(0, 1, 1, token), self._msg(0, 0, 1, token, epoch=1)])
+        assert bus.duplicates == 0
+        assert bus.posted == 3
+
+    def test_foreign_run_token_refused_after_restart(self):
+        """A stale worker from a differently-tiled (or differently
+        seeded) incarnation cannot feed this run's bus: its token is
+        derived from (seed, tiling, epoch length) and is refused."""
+        token = derive_run_token(2020, 2, 1, 260.0, 8.0)
+        bus = TileBus(2, token)
+        for stale in (
+            derive_run_token(2021, 2, 1, 260.0, 8.0),  # different seed
+            derive_run_token(2020, 2, 2, 260.0, 8.0),  # different tiling
+            derive_run_token(2020, 2, 1, 260.0, 5.0),  # different epochs
+        ):
+            with pytest.raises(ValueError, match="token"):
+                bus.ingest([self._msg(0, 0, 1, stale)])
+        assert bus.posted == 0
